@@ -1,0 +1,284 @@
+//! Back-filling variants of FCFS.
+//!
+//! * [`ConservativeBackfilling`] — every job receives, in submission order,
+//!   the earliest start time that does not delay any previously considered
+//!   job (§2.2: "conservative back-filling considers all tasks, and greedily
+//!   schedules each task at the earliest possible date, without delaying any
+//!   previously scheduled task").
+//! * [`EasyBackfilling`] — the EASY (aggressive) variant: only the job at the
+//!   head of the queue holds a guaranteed start time; a later job may jump the
+//!   queue if starting it now does not delay that guaranteed start.
+//!
+//! The paper notes that the *most* aggressive variant — any job may delay any
+//! other as long as it starts earlier — is exactly LSRC
+//! (see [`crate::list_scheduling::Lsrc`]).
+
+use crate::traits::Scheduler;
+use resa_core::prelude::*;
+use std::collections::BTreeSet;
+
+/// Conservative backfilling: earliest fit in submission order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConservativeBackfilling;
+
+impl ConservativeBackfilling {
+    /// Create a conservative backfilling scheduler.
+    pub fn new() -> Self {
+        ConservativeBackfilling
+    }
+}
+
+impl Scheduler for ConservativeBackfilling {
+    fn name(&self) -> String {
+        "conservative-backfilling".to_string()
+    }
+
+    fn schedule(&self, instance: &ResaInstance) -> Schedule {
+        let mut profile = instance.profile();
+        let mut schedule = Schedule::new();
+        for job in instance.jobs() {
+            let start = profile
+                .earliest_fit(job.width, job.duration, job.release)
+                .expect("feasible instances always admit a fit");
+            profile
+                .reserve(start, job.duration, job.width)
+                .expect("earliest_fit guarantees capacity");
+            schedule.place(job.id, start);
+        }
+        schedule
+    }
+}
+
+/// EASY (aggressive) backfilling.
+///
+/// Event-driven formulation: at every decision point the head of the waiting
+/// queue is started if it fits now; otherwise its *shadow time* (the earliest
+/// time at which it will fit given the jobs currently running and the
+/// reservations) is computed, and any other queued job is allowed to start now
+/// provided doing so does not push the head job past its shadow time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EasyBackfilling;
+
+impl EasyBackfilling {
+    /// Create an EASY backfilling scheduler.
+    pub fn new() -> Self {
+        EasyBackfilling
+    }
+}
+
+impl Scheduler for EasyBackfilling {
+    fn name(&self) -> String {
+        "EASY-backfilling".to_string()
+    }
+
+    fn schedule(&self, instance: &ResaInstance) -> Schedule {
+        let jobs = instance.jobs();
+        let mut profile = instance.profile();
+        let mut schedule = Schedule::new();
+        let mut queue: Vec<JobId> = jobs.iter().map(|j| j.id).collect();
+        if queue.is_empty() {
+            return schedule;
+        }
+        let mut now = jobs.iter().map(|j| j.release).min().unwrap_or(Time::ZERO);
+        let mut completions: BTreeSet<Time> = BTreeSet::new();
+        let releases: BTreeSet<Time> = jobs.iter().map(|j| j.release).collect();
+
+        while !queue.is_empty() {
+            // 1. Start the head of the queue (and successive heads) while they fit.
+            while let Some(&head_id) = queue.first() {
+                let head = instance.job(head_id).expect("ids come from the instance");
+                if head.release <= now
+                    && profile.min_capacity_in(now, head.duration) >= head.width
+                {
+                    profile
+                        .reserve(now, head.duration, head.width)
+                        .expect("capacity just checked");
+                    schedule.place(head_id, now);
+                    completions.insert(now + head.duration);
+                    queue.remove(0);
+                } else {
+                    break;
+                }
+            }
+            if queue.is_empty() {
+                break;
+            }
+            // 2. The head does not fit now: compute its shadow start on a
+            //    snapshot of the current profile.
+            let head_id = queue[0];
+            let head = instance.job(head_id).expect("ids come from the instance");
+            let shadow = profile
+                .earliest_fit(head.width, head.duration, now.max(head.release))
+                .expect("feasible instances always admit a fit");
+            // 3. Backfill: start any later job that fits now without delaying
+            //    the shadow start of the head job.
+            let mut i = 1;
+            while i < queue.len() {
+                let id = queue[i];
+                let job = instance.job(id).expect("ids come from the instance");
+                let fits_now = job.release <= now
+                    && profile.min_capacity_in(now, job.duration) >= job.width;
+                if fits_now {
+                    // Tentatively reserve and re-check the head's shadow time.
+                    profile
+                        .reserve(now, job.duration, job.width)
+                        .expect("capacity just checked");
+                    let new_shadow = profile
+                        .earliest_fit(head.width, head.duration, now.max(head.release))
+                        .expect("feasible instances always admit a fit");
+                    if new_shadow <= shadow {
+                        schedule.place(id, now);
+                        completions.insert(now + job.duration);
+                        queue.remove(i);
+                        continue; // same index now holds the next job
+                    } else {
+                        profile
+                            .release(now, job.duration, job.width)
+                            .expect("undoing a reservation we just made");
+                    }
+                }
+                i += 1;
+            }
+            // 4. Advance the clock.
+            let next_completion = completions
+                .range((std::ops::Bound::Excluded(now), std::ops::Bound::Unbounded))
+                .next()
+                .copied();
+            let next_release = releases
+                .range((std::ops::Bound::Excluded(now), std::ops::Bound::Unbounded))
+                .next()
+                .copied();
+            let next_profile_change = profile.next_change_after(now);
+            let candidates = [next_completion, next_release, next_profile_change, Some(shadow)];
+            let next = candidates
+                .into_iter()
+                .flatten()
+                .filter(|&t| t > now)
+                .min();
+            match next {
+                Some(t) => now = t,
+                None => now = shadow.max(now + Dur::ONE),
+            }
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fcfs::Fcfs;
+    use crate::list_scheduling::Lsrc;
+    use resa_core::instance::ResaInstanceBuilder;
+
+    fn blocked_head_instance() -> ResaInstance {
+        // J0 (3 wide) runs first; J1 (4 wide) blocks; J2 (1 wide, short) can
+        // backfill beside J0 without delaying J1; J3 (1 wide, long) would
+        // delay J1 and must not be backfilled by EASY.
+        ResaInstanceBuilder::new(4)
+            .job(3, 4u64) // J0
+            .job(4, 2u64) // J1 (head once J0 is running)
+            .job(1, 4u64) // J2: finishes exactly when J0 does → no delay
+            .job(1, 6u64) // J3: would push J1 from t=4 to t=6
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn conservative_backfills_without_delaying() {
+        let inst = blocked_head_instance();
+        let s = ConservativeBackfilling::new().schedule(&inst);
+        assert!(s.is_valid(&inst));
+        assert_eq!(s.start_of(JobId(0)), Some(Time(0)));
+        // J1's earliest fit given J0 is t=4.
+        assert_eq!(s.start_of(JobId(1)), Some(Time(4)));
+        // J2 fits at 0 beside J0 without moving J1 (profile insertion).
+        assert_eq!(s.start_of(JobId(2)), Some(Time(0)));
+        // J3 (length 6) cannot fit at 0 (it would collide with J1 at [4,6)),
+        // so conservative places it at its earliest true fit: t=6.
+        assert_eq!(s.start_of(JobId(3)), Some(Time(6)));
+    }
+
+    #[test]
+    fn easy_backfills_only_when_head_not_delayed() {
+        let inst = blocked_head_instance();
+        let s = EasyBackfilling::new().schedule(&inst);
+        assert!(s.is_valid(&inst));
+        assert_eq!(s.start_of(JobId(0)), Some(Time(0)));
+        assert_eq!(s.start_of(JobId(2)), Some(Time(0)), "harmless backfill allowed");
+        assert_eq!(s.start_of(JobId(1)), Some(Time(4)), "head not delayed");
+        assert!(s.start_of(JobId(3)).unwrap() >= Time(4), "delaying backfill refused");
+    }
+
+    #[test]
+    fn all_policies_feasible_with_reservations() {
+        let inst = ResaInstanceBuilder::new(8)
+            .job(5, 6u64)
+            .job(3, 2u64)
+            .job(8, 1u64)
+            .job(2, 9u64)
+            .job(1, 3u64)
+            .reservation(4, 5u64, 3u64)
+            .reservation(2, 3u64, 12u64)
+            .build()
+            .unwrap();
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(Fcfs::new()),
+            Box::new(ConservativeBackfilling::new()),
+            Box::new(EasyBackfilling::new()),
+            Box::new(Lsrc::new()),
+        ];
+        let mut makespans = Vec::new();
+        for s in &schedulers {
+            let sched = s.schedule(&inst);
+            assert!(sched.is_valid(&inst), "{} produced invalid schedule", s.name());
+            assert_eq!(sched.len(), inst.n_jobs());
+            makespans.push(sched.makespan(&inst));
+        }
+        // Aggressiveness ordering usually (not always) helps; at minimum the
+        // most aggressive policy is never worse than strict FCFS here.
+        assert!(makespans[3] <= makespans[0]);
+    }
+
+    #[test]
+    fn conservative_equals_fcfs_on_sequential_chain() {
+        // When every job needs the whole machine there is nothing to backfill.
+        let inst = ResaInstanceBuilder::new(4)
+            .jobs(3, 4, 2u64)
+            .build()
+            .unwrap();
+        let c = ConservativeBackfilling::new().schedule(&inst);
+        let f = Fcfs::new().schedule(&inst);
+        assert_eq!(c.makespan(&inst), f.makespan(&inst));
+        assert_eq!(c.makespan(&inst), Time(6));
+    }
+
+    #[test]
+    fn easy_empty_instance() {
+        let inst = ResaInstanceBuilder::new(4).build().unwrap();
+        assert!(EasyBackfilling::new().schedule(&inst).is_empty());
+        assert!(ConservativeBackfilling::new().schedule(&inst).is_empty());
+    }
+
+    #[test]
+    fn easy_respects_release_dates() {
+        let inst = ResaInstanceBuilder::new(2)
+            .job_released_at(2, 2u64, 4u64)
+            .job(1, 1u64)
+            .build()
+            .unwrap();
+        let s = EasyBackfilling::new().schedule(&inst);
+        assert!(s.is_valid(&inst));
+        assert_eq!(s.start_of(JobId(0)), Some(Time(4)));
+        assert_eq!(s.start_of(JobId(1)), Some(Time(0)));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(
+            ConservativeBackfilling::new().name(),
+            "conservative-backfilling"
+        );
+        assert_eq!(EasyBackfilling::new().name(), "EASY-backfilling");
+    }
+}

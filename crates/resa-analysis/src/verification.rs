@@ -1,0 +1,297 @@
+//! Guarantee verification: which of the paper's bounds apply to an instance,
+//! and does a given schedule respect them?
+//!
+//! [`GuaranteeReport`] is the programmatic form of the checklist a reviewer
+//! would run on a claimed result: identify the instance class (reservation
+//! free / non-increasing / α-restricted / unrestricted), derive every bound
+//! the paper proves for that class, and compare a schedule's makespan against
+//! each bound relative to a reference (optimum or certified lower bound).
+//!
+//! The checks are *one-sided*: exceeding a bound relative to a mere lower
+//! bound of the optimum is not a violation (the reference may simply be
+//! loose), so each check carries the reference kind it was made against.
+
+use crate::guarantees;
+use crate::ratio::{RatioHarness, ReferenceKind};
+use resa_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The instance class, in the paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceClass {
+    /// No reservation at all: RIGIDSCHEDULING (Theorem 2 applies).
+    ReservationFree,
+    /// Non-increasing reservations (§4.1, Proposition 1 applies).
+    NonIncreasing,
+    /// α-restricted reservations for the reported α (§4.2, Propositions 2–3).
+    AlphaRestricted,
+    /// Unrestricted reservations (Theorem 1: no finite guarantee exists).
+    Unrestricted,
+}
+
+/// One guarantee check.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuaranteeCheck {
+    /// Human-readable name of the bound (e.g. "Graham 2 - 1/m").
+    pub bound_name: String,
+    /// The numeric value of the bound.
+    pub bound: f64,
+    /// The measured ratio `C_max / reference`.
+    pub measured_ratio: f64,
+    /// How the reference was obtained.
+    pub reference_kind: ReferenceKind,
+    /// Whether the check is conclusive (a violation against a true optimum)
+    /// or informational (measured against a lower bound).
+    pub conclusive: bool,
+    /// Whether the measured ratio respects the bound.
+    pub satisfied: bool,
+}
+
+/// The full report for one (instance, schedule) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuaranteeReport {
+    /// The detected instance class.
+    pub class: InstanceClass,
+    /// The largest α for which the instance is α-restricted, if any.
+    pub max_alpha: Option<(u64, u64)>,
+    /// The schedule's makespan.
+    pub makespan: u64,
+    /// The reference value used for the ratios.
+    pub reference: u64,
+    /// How the reference was obtained.
+    pub reference_kind: ReferenceKind,
+    /// Individual bound checks.
+    pub checks: Vec<GuaranteeCheck>,
+}
+
+impl GuaranteeReport {
+    /// Whether any *conclusive* check failed (a bound violated against a true
+    /// optimum) — this would contradict the paper and indicates a bug.
+    pub fn has_conclusive_violation(&self) -> bool {
+        self.checks.iter().any(|c| c.conclusive && !c.satisfied)
+    }
+}
+
+/// Classify an instance in the paper's taxonomy.
+pub fn classify(instance: &ResaInstance) -> InstanceClass {
+    if instance.n_reservations() == 0 {
+        InstanceClass::ReservationFree
+    } else if instance.has_nonincreasing_reservations() {
+        InstanceClass::NonIncreasing
+    } else if instance.max_alpha().is_some() {
+        InstanceClass::AlphaRestricted
+    } else {
+        InstanceClass::Unrestricted
+    }
+}
+
+/// Verify a schedule of `instance` against every guarantee of the paper that
+/// applies to its class, using `harness` to obtain the reference.
+pub fn verify_schedule(
+    harness: &RatioHarness,
+    instance: &ResaInstance,
+    schedule: &Schedule,
+) -> GuaranteeReport {
+    let class = classify(instance);
+    let (reference, reference_kind) = harness.reference(instance);
+    let makespan = schedule.makespan(instance);
+    let measured_ratio = if reference == Time::ZERO {
+        1.0
+    } else {
+        makespan.ticks() as f64 / reference.ticks() as f64
+    };
+    let conclusive = reference_kind == ReferenceKind::Optimal;
+    let mut checks = Vec::new();
+    let mut push = |name: String, bound: f64| {
+        checks.push(GuaranteeCheck {
+            bound_name: name,
+            bound,
+            measured_ratio,
+            reference_kind,
+            conclusive,
+            satisfied: measured_ratio <= bound + 1e-9,
+        });
+    };
+    match class {
+        InstanceClass::ReservationFree => {
+            push(
+                format!("Graham 2 - 1/m (m = {})", instance.machines()),
+                guarantees::graham_bound(instance.machines()),
+            );
+        }
+        InstanceClass::NonIncreasing => {
+            let available = instance.profile().capacity_at(reference).max(1);
+            push(
+                format!("Proposition 1: 2 - 1/m(C*) (m(C*) = {available})"),
+                guarantees::nonincreasing_bound(available),
+            );
+            if let Some(alpha) = instance.max_alpha() {
+                push(
+                    format!("Proposition 3: 2/alpha (alpha = {alpha})"),
+                    guarantees::alpha_upper_bound(alpha.as_f64()),
+                );
+            }
+        }
+        InstanceClass::AlphaRestricted => {
+            let alpha = instance
+                .max_alpha()
+                .expect("AlphaRestricted class implies a valid alpha");
+            push(
+                format!("Proposition 3: 2/alpha (alpha = {alpha})"),
+                guarantees::alpha_upper_bound(alpha.as_f64()),
+            );
+        }
+        InstanceClass::Unrestricted => {
+            // Theorem 1: no finite bound exists; nothing to check.
+        }
+    }
+    GuaranteeReport {
+        class,
+        max_alpha: instance.max_alpha().map(|a| (a.num(), a.denom())),
+        makespan: makespan.ticks(),
+        reference: reference.ticks(),
+        reference_kind,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resa_algos::prelude::*;
+    use resa_core::instance::ResaInstanceBuilder;
+
+    #[test]
+    fn classification() {
+        let free = ResaInstanceBuilder::new(4).job(2, 3u64).build().unwrap();
+        assert_eq!(classify(&free), InstanceClass::ReservationFree);
+
+        let nonincr = ResaInstanceBuilder::new(4)
+            .job(2, 3u64)
+            .reservation(2, 5u64, 0u64)
+            .build()
+            .unwrap();
+        assert_eq!(classify(&nonincr), InstanceClass::NonIncreasing);
+
+        let alpha = ResaInstanceBuilder::new(4)
+            .job(2, 3u64)
+            .reservation(2, 5u64, 3u64)
+            .build()
+            .unwrap();
+        assert_eq!(classify(&alpha), InstanceClass::AlphaRestricted);
+
+        // Widest job needs the whole machine while a reservation exists and
+        // starts later: no alpha works and the reservations are increasing.
+        let unrestricted = ResaInstanceBuilder::new(4)
+            .job(4, 3u64)
+            .reservation(2, 5u64, 3u64)
+            .build()
+            .unwrap();
+        assert_eq!(classify(&unrestricted), InstanceClass::Unrestricted);
+    }
+
+    #[test]
+    fn reservation_free_report() {
+        let inst = ResaInstanceBuilder::new(3)
+            .jobs(6, 1, 1u64)
+            .job(1, 3u64)
+            .build()
+            .unwrap();
+        let schedule = Lsrc::new().schedule(&inst);
+        let report = verify_schedule(&RatioHarness::new(), &inst, &schedule);
+        assert_eq!(report.class, InstanceClass::ReservationFree);
+        assert_eq!(report.reference_kind, ReferenceKind::Optimal);
+        assert_eq!(report.checks.len(), 1);
+        assert!(report.checks[0].satisfied);
+        assert!(!report.has_conclusive_violation());
+    }
+
+    #[test]
+    fn alpha_restricted_report() {
+        let inst = ResaInstanceBuilder::new(8)
+            .job(4, 3u64)
+            .job(2, 5u64)
+            .reservation(4, 4u64, 2u64)
+            .build()
+            .unwrap();
+        assert_eq!(classify(&inst), InstanceClass::AlphaRestricted);
+        let schedule = Lsrc::new().schedule(&inst);
+        let report = verify_schedule(&RatioHarness::new(), &inst, &schedule);
+        assert_eq!(report.max_alpha, Some((1, 2)));
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.bound_name.contains("2/alpha")));
+        assert!(!report.has_conclusive_violation());
+    }
+
+    #[test]
+    fn nonincreasing_report_has_two_checks() {
+        let inst = ResaInstanceBuilder::new(8)
+            .job(3, 4u64)
+            .job(2, 2u64)
+            .reservation(4, 3u64, 0u64)
+            .build()
+            .unwrap();
+        let schedule = Lsrc::new().schedule(&inst);
+        let report = verify_schedule(&RatioHarness::new(), &inst, &schedule);
+        assert_eq!(report.class, InstanceClass::NonIncreasing);
+        assert_eq!(report.checks.len(), 2);
+        assert!(!report.has_conclusive_violation());
+    }
+
+    #[test]
+    fn unrestricted_report_has_no_checks() {
+        let inst = ResaInstanceBuilder::new(4)
+            .job(4, 3u64)
+            .reservation(2, 5u64, 3u64)
+            .build()
+            .unwrap();
+        let schedule = Lsrc::new().schedule(&inst);
+        let report = verify_schedule(&RatioHarness::new(), &inst, &schedule);
+        assert_eq!(report.class, InstanceClass::Unrestricted);
+        assert!(report.checks.is_empty());
+        assert!(!report.has_conclusive_violation());
+    }
+
+    #[test]
+    fn violations_are_detected() {
+        // A deliberately terrible (but feasible) schedule: everything
+        // sequential at the far end.
+        let inst = ResaInstanceBuilder::new(4).jobs(4, 1, 1u64).build().unwrap();
+        let mut schedule = Schedule::new();
+        for (i, j) in inst.jobs().iter().enumerate() {
+            schedule.place(j.id, Time(100 * (i as u64 + 1)));
+        }
+        assert!(schedule.is_valid(&inst));
+        let report = verify_schedule(&RatioHarness::new(), &inst, &schedule);
+        assert!(report.has_conclusive_violation());
+    }
+
+    #[test]
+    fn lsrc_passes_verification_on_a_batch() {
+        // The paper's guarantees are about list scheduling: LSRC (any order)
+        // and its guarantee-preserving local-search wrapper must always pass.
+        for seed in 0..5u64 {
+            let mut b = ResaInstanceBuilder::new(6);
+            for i in 0..6u64 {
+                b = b.job(1 + ((seed + i) % 3) as u32, 1 + (seed * 2 + i) % 7);
+            }
+            let inst = b.reservation(3, 3u64, 0u64).build().unwrap();
+            let mut schedulers: Vec<Box<dyn Scheduler>> = ListOrder::DETERMINISTIC
+                .iter()
+                .map(|&o| Box::new(Lsrc::with_order(o)) as Box<dyn Scheduler>)
+                .collect();
+            schedulers.push(Box::new(LocalSearch::new(Lsrc::new())));
+            for s in schedulers {
+                let schedule = s.schedule(&inst);
+                let report = verify_schedule(&RatioHarness::new(), &inst, &schedule);
+                assert!(
+                    !report.has_conclusive_violation(),
+                    "{} violates a paper bound on seed {seed}",
+                    s.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Throughput benchmarks of every scheduler on realistic workload sizes
+//! (these are the "substrate" benchmarks: they time the algorithms
+//! themselves rather than a figure pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use resa_algos::prelude::*;
+use resa_core::prelude::*;
+use resa_workloads::prelude::*;
+
+fn workload(machines: u32, n: usize, alpha: Alpha) -> ResaInstance {
+    let jobs = FeitelsonWorkload::for_cluster(machines, n).generate(3);
+    AlphaReservations {
+        machines,
+        alpha,
+        count: 6,
+        horizon: 5_000,
+        max_duration: 400,
+    }
+    .instance(jobs, 3)
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    for &n in &[100usize, 500, 2000] {
+        let inst = workload(128, n, Alpha::HALF);
+        group.throughput(Throughput::Elements(n as u64));
+        for scheduler in resa_algos::all_schedulers() {
+            group.bench_with_input(
+                BenchmarkId::new(scheduler.name(), n),
+                &inst,
+                |b, inst| b.iter(|| scheduler.makespan(inst)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use resa_sim::prelude::*;
+    let mut group = c.benchmark_group("online_simulator");
+    for &n in &[200usize, 1000] {
+        let jobs = FeitelsonWorkload::for_cluster(128, n)
+            .with_arrivals(5)
+            .generate(9);
+        let inst = ResaInstance::new(128, jobs, Vec::new()).unwrap();
+        let sim = Simulator::new(inst);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &sim, |b, sim| {
+            b.iter(|| sim.run(&GreedyPolicy).metrics.makespan)
+        });
+        group.bench_with_input(BenchmarkId::new("easy", n), &sim, |b, sim| {
+            b.iter(|| sim.run(&EasyPolicy).metrics.makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_algorithms, bench_simulator
+}
+criterion_main!(benches);

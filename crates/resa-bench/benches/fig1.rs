@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure-1 pipeline: building the 3-PARTITION
+//! reduction and solving the reduced instance exactly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resa_algos::prelude::*;
+use resa_exact::prelude::*;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_3partition_reduction");
+    for k in [2usize, 3, 4] {
+        let tp = satisfiable_instance(k, 12, 42);
+        let red = three_partition_to_resa(&tp, 2);
+        group.bench_with_input(BenchmarkId::new("exact_solve", k), &red, |b, red| {
+            b.iter(|| ExactSolver::new().solve(&red.instance).makespan)
+        });
+        group.bench_with_input(BenchmarkId::new("lsrc", k), &red, |b, red| {
+            b.iter(|| Lsrc::new().makespan(&red.instance))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fig1
+}
+criterion_main!(benches);

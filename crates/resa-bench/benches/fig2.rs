@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure-2 pipeline: LSRC under non-increasing
+//! reservations and the Proposition-1 transformation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resa_algos::prelude::*;
+use resa_core::prelude::*;
+use resa_workloads::prelude::*;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_nonincreasing");
+    for m in [16u32, 64] {
+        let jobs = UniformWorkload::for_cluster(m, 100).generate(1);
+        let inst = NonIncreasingReservations {
+            machines: m,
+            steps: 4,
+            max_initial_unavailable: m / 2,
+            max_duration: 60,
+        }
+        .instance(jobs, 1);
+        group.bench_with_input(BenchmarkId::new("lsrc", m), &inst, |b, inst| {
+            b.iter(|| Lsrc::new().makespan(inst))
+        });
+        group.bench_with_input(BenchmarkId::new("transform", m), &inst, |b, inst| {
+            b.iter(|| nonincreasing_to_rigid(inst, Time(10_000)).unwrap().instance.n_jobs())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the Figure-3 pipeline: the Proposition-2 adversarial
+//! instance across k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resa_algos::prelude::*;
+use resa_workloads::prelude::*;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_proposition2");
+    for k in [4u32, 8, 16, 32] {
+        let adv = proposition2_instance(k);
+        group.bench_with_input(BenchmarkId::new("lsrc_adversarial", k), &adv, |b, adv| {
+            b.iter(|| Lsrc::new().makespan(&adv.instance))
+        });
+        group.bench_with_input(BenchmarkId::new("construct", k), &k, |b, &k| {
+            b.iter(|| proposition2_instance(k).instance.n_jobs())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Figure-4 pipeline: evaluating the bound curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resa_analysis::prelude::*;
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_bounds_grid_1000", |b| {
+        b.iter(|| {
+            let rows = figure4_series(0.01, 1000);
+            rows.iter().map(|r| r.b1 + r.b2 + r.upper_bound).sum::<f64>()
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fig4
+}
+criterion_main!(benches);

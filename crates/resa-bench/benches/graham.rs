@@ -1,0 +1,32 @@
+//! Criterion bench for the Theorem-2 (Graham bound) measurement pipeline:
+//! LSRC plus the exact reference on small random instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resa_algos::prelude::*;
+use resa_analysis::prelude::*;
+use resa_exact::prelude::*;
+use resa_workloads::prelude::*;
+
+fn bench_graham(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graham_bound");
+    for n in [6usize, 8, 10] {
+        let inst = UniformWorkload::for_cluster(8, n).instance(7);
+        group.bench_with_input(BenchmarkId::new("exact", n), &inst, |b, inst| {
+            b.iter(|| ExactSolver::new().solve(inst).makespan)
+        });
+        group.bench_with_input(BenchmarkId::new("ratio_harness", n), &inst, |b, inst| {
+            b.iter(|| RatioHarness::new().measure(&Lsrc::new(), inst).ratio)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_graham
+}
+criterion_main!(benches);

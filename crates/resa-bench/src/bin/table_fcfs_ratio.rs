@@ -1,0 +1,13 @@
+//! E6: FCFS has no constant performance guarantee.
+
+use resa_bench::{fcfs_ratio_experiment, fcfs_table};
+
+fn main() {
+    let rows = fcfs_ratio_experiment(&[8, 16, 32, 64], 200);
+    let table = fcfs_table(&rows);
+    resa_bench::emit("table_fcfs_ratio", &table, &rows);
+    println!(
+        "Reading: the FCFS/LSRC ratio grows roughly like m/2 (the number of rounds), while\n\
+         conservative and EASY backfilling recover part of the loss and LSRC stays near OPT."
+    );
+}

@@ -1,0 +1,237 @@
+//! Error types shared across the model substrate.
+
+// Variant fields are named after the model quantities they carry; the variant
+// doc comments describe them.
+#![allow(missing_docs)]
+
+use crate::time::Time;
+use std::fmt;
+
+/// Errors raised while constructing or validating instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The cluster must contain at least one machine.
+    NoMachines,
+    /// A job requests zero processors.
+    ZeroWidthJob { job: usize },
+    /// A job has zero duration.
+    ZeroDurationJob { job: usize },
+    /// A job requests more processors than the cluster has.
+    JobTooWide { job: usize, width: u32, machines: u32 },
+    /// A reservation requests zero processors.
+    ZeroWidthReservation { reservation: usize },
+    /// A reservation has zero duration.
+    ZeroDurationReservation { reservation: usize },
+    /// A reservation requests more processors than the cluster has.
+    ReservationTooWide {
+        reservation: usize,
+        width: u32,
+        machines: u32,
+    },
+    /// The set of reservations is infeasible: at some instant they require
+    /// more than the `m` machines of the cluster (violates the paper's
+    /// feasibility requirement `∀t, U(t) ≤ m`).
+    InfeasibleReservations { at: Time, required: u32, machines: u32 },
+    /// The instance violates the α-restriction it claims
+    /// (`U(t) ≤ (1−α)m` and `q_i ≤ αm`).
+    AlphaViolation { detail: String },
+    /// Duplicate job identifier.
+    DuplicateJobId { id: usize },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoMachines => write!(f, "instance must have at least one machine"),
+            ModelError::ZeroWidthJob { job } => {
+                write!(f, "job {job} requests zero processors")
+            }
+            ModelError::ZeroDurationJob { job } => write!(f, "job {job} has zero duration"),
+            ModelError::JobTooWide {
+                job,
+                width,
+                machines,
+            } => write!(
+                f,
+                "job {job} requests {width} processors but the cluster only has {machines}"
+            ),
+            ModelError::ZeroWidthReservation { reservation } => {
+                write!(f, "reservation {reservation} requests zero processors")
+            }
+            ModelError::ZeroDurationReservation { reservation } => {
+                write!(f, "reservation {reservation} has zero duration")
+            }
+            ModelError::ReservationTooWide {
+                reservation,
+                width,
+                machines,
+            } => write!(
+                f,
+                "reservation {reservation} requests {width} processors but the cluster only has {machines}"
+            ),
+            ModelError::InfeasibleReservations {
+                at,
+                required,
+                machines,
+            } => write!(
+                f,
+                "reservations require {required} processors at {at} but the cluster only has {machines}"
+            ),
+            ModelError::AlphaViolation { detail } => {
+                write!(f, "alpha-restriction violated: {detail}")
+            }
+            ModelError::DuplicateJobId { id } => write!(f, "duplicate job id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Errors raised while validating a schedule against an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A job appears more than once in the schedule.
+    DuplicateJob { job: usize },
+    /// A job of the instance is missing from the schedule.
+    MissingJob { job: usize },
+    /// The schedule mentions a job that the instance does not contain.
+    UnknownJob { job: usize },
+    /// A job starts before its release date.
+    StartsBeforeRelease { job: usize, start: Time, release: Time },
+    /// At `at`, the running jobs require more processors than are available
+    /// (cluster size minus reservations).
+    CapacityExceeded {
+        at: Time,
+        required: u32,
+        available: u32,
+    },
+    /// The processor assignment gives a job a wrong number of processors.
+    WrongAssignmentWidth { job: usize, expected: u32, got: u32 },
+    /// Two concurrent jobs (or a job and a reservation) share a processor.
+    ProcessorConflict { processor: u32, at: Time },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::DuplicateJob { job } => {
+                write!(f, "job {job} is scheduled more than once")
+            }
+            ScheduleError::MissingJob { job } => write!(f, "job {job} is not scheduled"),
+            ScheduleError::UnknownJob { job } => {
+                write!(f, "schedule references unknown job {job}")
+            }
+            ScheduleError::StartsBeforeRelease {
+                job,
+                start,
+                release,
+            } => write!(
+                f,
+                "job {job} starts at {start}, before its release date {release}"
+            ),
+            ScheduleError::CapacityExceeded {
+                at,
+                required,
+                available,
+            } => write!(
+                f,
+                "at {at} the schedule uses {required} processors but only {available} are available"
+            ),
+            ScheduleError::WrongAssignmentWidth { job, expected, got } => write!(
+                f,
+                "job {job} is assigned {got} processors, expected {expected}"
+            ),
+            ScheduleError::ProcessorConflict { processor, at } => {
+                write!(f, "processor {processor} is used twice at {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Errors raised by [`crate::profile::ResourceProfile`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A reservation attempt exceeded the capacity available in its window.
+    InsufficientCapacity {
+        at: Time,
+        requested: u32,
+        available: u32,
+    },
+    /// A release attempt exceeded the original base capacity.
+    ReleaseAboveBase { at: Time, capacity: u32, base: u32 },
+    /// The requested window is empty (zero duration).
+    EmptyWindow,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::InsufficientCapacity {
+                at,
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot reserve {requested} processors at {at}: only {available} available"
+            ),
+            ProfileError::ReleaseAboveBase { at, capacity, base } => write!(
+                f,
+                "release at {at} would raise capacity to {capacity}, above the base capacity {base}"
+            ),
+            ProfileError::EmptyWindow => write!(f, "window has zero duration"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_error_display() {
+        let e = ModelError::JobTooWide {
+            job: 3,
+            width: 10,
+            machines: 8,
+        };
+        assert!(e.to_string().contains("job 3"));
+        assert!(e.to_string().contains("10"));
+        assert!(ModelError::NoMachines.to_string().contains("machine"));
+    }
+
+    #[test]
+    fn schedule_error_display() {
+        let e = ScheduleError::CapacityExceeded {
+            at: Time(4),
+            required: 9,
+            available: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("t4"));
+        assert!(s.contains('9'));
+        assert!(s.contains('8'));
+    }
+
+    #[test]
+    fn profile_error_display() {
+        let e = ProfileError::InsufficientCapacity {
+            at: Time(1),
+            requested: 4,
+            available: 2,
+        };
+        assert!(e.to_string().contains("reserve 4"));
+        assert!(ProfileError::EmptyWindow.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&ModelError::NoMachines);
+        assert_err(&ScheduleError::MissingJob { job: 0 });
+        assert_err(&ProfileError::EmptyWindow);
+    }
+}

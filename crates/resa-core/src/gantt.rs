@@ -1,0 +1,143 @@
+//! ASCII Gantt-chart rendering.
+//!
+//! Used by the examples and the experiment binaries to show schedules the way
+//! the paper draws them (jobs packed in the machine × time plane, reservations
+//! as hatched blocks). The rendering works from a concrete processor
+//! assignment so that every row is a processor and every column a time slice.
+
+use crate::instance::ResaInstance;
+use crate::schedule::Schedule;
+use crate::time::Time;
+
+/// Render `schedule` on `instance` as an ASCII Gantt chart.
+///
+/// * rows: processors (top row = processor 0);
+/// * columns: time, one character per `tick_per_char` ticks;
+/// * job cells show the last character of the job id (`0`–`9`, then letters);
+/// * reservation cells show `#`;
+/// * idle cells show `.`.
+///
+/// Returns a plain string; an infeasible schedule is rendered as an error
+/// message instead (rendering is a debugging aid, not a validation tool).
+pub fn render_gantt(instance: &ResaInstance, schedule: &Schedule, tick_per_char: u64) -> String {
+    let tick = tick_per_char.max(1);
+    let assignment = match schedule.assign_processors(instance) {
+        Ok(a) => a,
+        Err(e) => return format!("<infeasible schedule: {e}>"),
+    };
+    let horizon = schedule
+        .makespan(instance)
+        .max(
+            instance
+                .reservations()
+                .iter()
+                .map(|r| r.end())
+                .max()
+                .unwrap_or(Time::ZERO),
+        )
+        .ticks();
+    let cols = (horizon.div_ceil(tick)) as usize;
+    let m = instance.machines() as usize;
+    let mut grid = vec![vec!['.'; cols]; m];
+
+    let mut paint = |procs: &[u32], start: Time, end: Time, ch_of: &dyn Fn(usize) -> char| {
+        let c0 = (start.ticks() / tick) as usize;
+        let c1 = (end.ticks().div_ceil(tick)) as usize;
+        for &p in procs {
+            let row = &mut grid[p as usize];
+            for (c, cell) in row.iter_mut().enumerate().take(c1.min(cols)).skip(c0) {
+                *cell = ch_of(c);
+            }
+        }
+    };
+
+    for r in instance.reservations() {
+        if let Some(procs) = assignment.of_reservation(r.id) {
+            paint(procs, r.start, r.end(), &|_| '#');
+        }
+    }
+    for p in schedule.placements() {
+        if let Some(job) = instance.job(p.job) {
+            if let Some(procs) = assignment.of_job(p.job) {
+                let label = job_label(p.job.0);
+                paint(procs, p.start, p.start + job.duration, &|_| label);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "m={} machines, horizon={} ticks ({} ticks/char)\n",
+        m, horizon, tick
+    ));
+    for (idx, row) in grid.iter().enumerate() {
+        out.push_str(&format!("P{idx:>3} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("      ");
+    for c in 0..cols {
+        out.push(if c % 10 == 0 { '+' } else { '-' });
+    }
+    out.push('\n');
+    out
+}
+
+fn job_label(id: usize) -> char {
+    const LABELS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    LABELS[id % LABELS.len()] as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ResaInstanceBuilder;
+    use crate::job::JobId;
+
+    #[test]
+    fn renders_jobs_and_reservations() {
+        let inst = ResaInstanceBuilder::new(3)
+            .job(2, 2u64)
+            .job(1, 4u64)
+            .reservation(1, 2u64, 2u64)
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.place(JobId(0), Time(0));
+        s.place(JobId(1), Time(0));
+        let txt = render_gantt(&inst, &s, 1);
+        assert!(txt.contains("m=3 machines"));
+        assert!(txt.contains('#'), "reservation must be drawn: {txt}");
+        assert!(txt.contains('0'), "job 0 must be drawn: {txt}");
+        assert!(txt.contains('1'), "job 1 must be drawn: {txt}");
+        // 3 processor rows + header + axis
+        assert_eq!(txt.lines().count(), 5);
+    }
+
+    #[test]
+    fn infeasible_schedule_is_reported() {
+        let inst = ResaInstanceBuilder::new(2).job(2, 2u64).job(2, 2u64).build().unwrap();
+        let mut s = Schedule::new();
+        s.place(JobId(0), Time(0));
+        s.place(JobId(1), Time(0));
+        let txt = render_gantt(&inst, &s, 1);
+        assert!(txt.contains("infeasible"));
+    }
+
+    #[test]
+    fn tick_scaling_reduces_columns() {
+        let inst = ResaInstanceBuilder::new(2).job(1, 100u64).build().unwrap();
+        let mut s = Schedule::new();
+        s.place(JobId(0), Time(0));
+        let fine = render_gantt(&inst, &s, 1);
+        let coarse = render_gantt(&inst, &s, 10);
+        assert!(fine.len() > coarse.len());
+    }
+
+    #[test]
+    fn job_labels_cycle() {
+        assert_eq!(job_label(0), '0');
+        assert_eq!(job_label(10), 'a');
+        assert_eq!(job_label(62), '0');
+    }
+}

@@ -1,0 +1,333 @@
+//! Textual instance format (reading and writing).
+//!
+//! A small, line-oriented format so instances can be stored in files, shared
+//! between the experiment binaries, and attached to bug reports:
+//!
+//! ```text
+//! # comments start with '#'
+//! machines 8
+//! job <width> <duration> [release]
+//! reservation <width> <duration> <start>
+//! ```
+//!
+//! Jobs and reservations are numbered densely in file order. JSON
+//! serialization is also available for every model type through `serde`
+//! (see [`to_json`] / [`from_json`]).
+
+use crate::error::ModelError;
+use crate::instance::ResaInstance;
+use crate::job::Job;
+use crate::reservation::Reservation;
+use std::fmt::Write as _;
+
+#[allow(missing_docs)] // variant fields are self-describing positions/quantities
+/// Errors raised while parsing the textual instance format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line starts with an unknown directive.
+    UnknownDirective { line: usize, directive: String },
+    /// A directive has the wrong number of arguments.
+    WrongArity {
+        line: usize,
+        directive: &'static str,
+        expected: &'static str,
+    },
+    /// An argument is not a non-negative integer.
+    BadNumber { line: usize, argument: String },
+    /// The `machines` directive is missing or appears after jobs/reservations.
+    MachinesNotFirst { line: usize },
+    /// The parsed instance fails model validation.
+    Invalid(ModelError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownDirective { line, directive } => {
+                write!(f, "line {line}: unknown directive '{directive}'")
+            }
+            ParseError::WrongArity {
+                line,
+                directive,
+                expected,
+            } => write!(f, "line {line}: '{directive}' expects {expected}"),
+            ParseError::BadNumber { line, argument } => {
+                write!(f, "line {line}: '{argument}' is not a non-negative integer")
+            }
+            ParseError::MachinesNotFirst { line } => write!(
+                f,
+                "line {line}: 'machines <m>' must appear once, before any job or reservation"
+            ),
+            ParseError::Invalid(e) => write!(f, "instance is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ModelError> for ParseError {
+    fn from(e: ModelError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+/// Parse an instance from its textual form.
+pub fn parse_instance(text: &str) -> Result<ResaInstance, ParseError> {
+    let mut machines: Option<u32> = None;
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut reservations: Vec<Reservation> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let directive = fields.next().expect("non-empty line has a first token");
+        let args: Vec<&str> = fields.collect();
+        let num = |s: &str| -> Result<u64, ParseError> {
+            s.parse::<u64>().map_err(|_| ParseError::BadNumber {
+                line,
+                argument: s.to_string(),
+            })
+        };
+        match directive {
+            "machines" => {
+                if machines.is_some() || !jobs.is_empty() || !reservations.is_empty() {
+                    return Err(ParseError::MachinesNotFirst { line });
+                }
+                if args.len() != 1 {
+                    return Err(ParseError::WrongArity {
+                        line,
+                        directive: "machines",
+                        expected: "exactly one argument: the machine count",
+                    });
+                }
+                machines = Some(num(args[0])? as u32);
+            }
+            "job" => {
+                if machines.is_none() {
+                    return Err(ParseError::MachinesNotFirst { line });
+                }
+                if args.len() != 2 && args.len() != 3 {
+                    return Err(ParseError::WrongArity {
+                        line,
+                        directive: "job",
+                        expected: "<width> <duration> [release]",
+                    });
+                }
+                let width = num(args[0])? as u32;
+                let duration = num(args[1])?;
+                let release = if args.len() == 3 { num(args[2])? } else { 0 };
+                jobs.push(Job::released_at(jobs.len(), width, duration, release));
+            }
+            "reservation" => {
+                if machines.is_none() {
+                    return Err(ParseError::MachinesNotFirst { line });
+                }
+                if args.len() != 3 {
+                    return Err(ParseError::WrongArity {
+                        line,
+                        directive: "reservation",
+                        expected: "<width> <duration> <start>",
+                    });
+                }
+                let width = num(args[0])? as u32;
+                let duration = num(args[1])?;
+                let start = num(args[2])?;
+                reservations.push(Reservation::new(reservations.len(), width, duration, start));
+            }
+            other => {
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    directive: other.to_string(),
+                })
+            }
+        }
+    }
+    let machines = machines.ok_or(ParseError::MachinesNotFirst { line: 0 })?;
+    Ok(ResaInstance::new(machines, jobs, reservations)?)
+}
+
+/// Serialize an instance to the textual form.
+pub fn write_instance(instance: &ResaInstance) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# resa-sched instance");
+    let _ = writeln!(
+        out,
+        "# {} jobs, {} reservations",
+        instance.n_jobs(),
+        instance.n_reservations()
+    );
+    let _ = writeln!(out, "machines {}", instance.machines());
+    for j in instance.jobs() {
+        if j.release.ticks() == 0 {
+            let _ = writeln!(out, "job {} {}", j.width, j.duration.ticks());
+        } else {
+            let _ = writeln!(
+                out,
+                "job {} {} {}",
+                j.width,
+                j.duration.ticks(),
+                j.release.ticks()
+            );
+        }
+    }
+    for r in instance.reservations() {
+        let _ = writeln!(
+            out,
+            "reservation {} {} {}",
+            r.width,
+            r.duration.ticks(),
+            r.start.ticks()
+        );
+    }
+    out
+}
+
+/// Serialize an instance to pretty JSON.
+pub fn to_json(instance: &ResaInstance) -> String {
+    serde_json::to_string_pretty(instance).expect("instances are serializable")
+}
+
+/// Parse an instance from its JSON form, re-running model validation.
+pub fn from_json(text: &str) -> Result<ResaInstance, ParseError> {
+    let raw: ResaInstance = serde_json::from_str(text).map_err(|_| ParseError::BadNumber {
+        line: 0,
+        argument: "<json>".to_string(),
+    })?;
+    // serde bypasses the constructor; validate by rebuilding.
+    Ok(ResaInstance::new(
+        raw.machines(),
+        raw.jobs().to_vec(),
+        raw.reservations().to_vec(),
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ResaInstanceBuilder;
+    use crate::time::Time;
+
+    fn sample() -> ResaInstance {
+        ResaInstanceBuilder::new(8)
+            .job(4, 10u64)
+            .job_released_at(2, 5u64, 7u64)
+            .reservation(6, 4u64, 3u64)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let inst = sample();
+        let text = write_instance(&inst);
+        let parsed = parse_instance(&text).unwrap();
+        assert_eq!(parsed, inst);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let inst = sample();
+        let json = to_json(&inst);
+        let parsed = from_json(&json).unwrap();
+        assert_eq!(parsed, inst);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# header\n\nmachines 4\n  # indented comment\njob 2 3\n";
+        let inst = parse_instance(text).unwrap();
+        assert_eq!(inst.machines(), 4);
+        assert_eq!(inst.n_jobs(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let err = parse_instance("machines 4\nfrobnicate 1 2\n").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownDirective { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_arity_and_bad_numbers() {
+        assert!(matches!(
+            parse_instance("machines 4\njob 2\n").unwrap_err(),
+            ParseError::WrongArity { line: 2, .. }
+        ));
+        assert!(matches!(
+            parse_instance("machines 4\njob 2 x\n").unwrap_err(),
+            ParseError::BadNumber { line: 2, .. }
+        ));
+        assert!(matches!(
+            parse_instance("machines many\n").unwrap_err(),
+            ParseError::BadNumber { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_instance("machines 4\nreservation 1 2\n").unwrap_err(),
+            ParseError::WrongArity { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_or_late_machines() {
+        assert!(matches!(
+            parse_instance("job 1 2\n").unwrap_err(),
+            ParseError::MachinesNotFirst { line: 1 }
+        ));
+        assert!(matches!(
+            parse_instance("").unwrap_err(),
+            ParseError::MachinesNotFirst { line: 0 }
+        ));
+        assert!(matches!(
+            parse_instance("machines 4\nmachines 5\n").unwrap_err(),
+            ParseError::MachinesNotFirst { line: 2 }
+        ));
+    }
+
+    #[test]
+    fn rejects_model_violations() {
+        // Job wider than the cluster.
+        let err = parse_instance("machines 2\njob 5 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(ModelError::JobTooWide { .. })));
+        // Infeasible reservations.
+        let err =
+            parse_instance("machines 2\nreservation 2 5 0\nreservation 1 5 2\n").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::Invalid(ModelError::InfeasibleReservations { .. })
+        ));
+    }
+
+    #[test]
+    fn from_json_revalidates() {
+        // Hand-craft a JSON blob describing an infeasible instance.
+        let inst = ResaInstanceBuilder::new(8)
+            .job(1, 1u64)
+            .reservation(8, 5u64, 0u64)
+            .build()
+            .unwrap();
+        let json = to_json(&inst).replace("\"machines\": 8", "\"machines\": 4");
+        assert!(from_json(&json).is_err());
+    }
+
+    #[test]
+    fn release_dates_preserved() {
+        let text = write_instance(&sample());
+        assert!(text.contains("job 2 5 7"));
+        let parsed = parse_instance(&text).unwrap();
+        assert_eq!(parsed.jobs()[1].release, Time(7));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParseError::UnknownDirective {
+            line: 3,
+            directive: "x".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(ParseError::MachinesNotFirst { line: 1 }
+            .to_string()
+            .contains("machines"));
+    }
+}

@@ -1,0 +1,183 @@
+//! # resa-core
+//!
+//! Model substrate for the reproduction of *"Analysis of Scheduling Algorithms
+//! with Reservations"* (Eyraud-Dubois, Mounié, Trystram — IPDPS 2007).
+//!
+//! The crate defines the two scheduling problems studied by the paper and the
+//! data structures every other crate of the workspace builds on:
+//!
+//! * [`instance::RigidInstance`] — RIGIDSCHEDULING
+//!   (`P | p_j, size_j | C_max`): `n` rigid parallel jobs on `m` identical
+//!   machines;
+//! * [`instance::ResaInstance`] — RESASCHEDULING: the same problem with
+//!   advance reservations that withdraw processors during fixed windows;
+//! * [`instance::Alpha`] — the exact rational `α` of the α-restricted problem
+//!   of §4.2 (`U(t) ≤ (1−α)m`, `q_i ≤ αm`);
+//! * [`profile::ResourceProfile`] — the piecewise-constant availability
+//!   timeline `m(t) = m − U(t)`, with earliest-fit queries and
+//!   reserve/release updates (the substrate of every scheduler in
+//!   `resa-algos`);
+//! * [`schedule::Schedule`] — start-time assignments, feasibility validation,
+//!   makespan/utilization metrics and concrete processor assignments;
+//! * [`bounds`] — certified lower bounds on the optimal makespan.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use resa_core::prelude::*;
+//!
+//! // A 8-machine cluster, three jobs, one reservation taking 6 machines
+//! // during [3, 7).
+//! let instance = ResaInstanceBuilder::new(8)
+//!     .job(4, 10u64)
+//!     .job(2, 5u64)
+//!     .job(8, 2u64)
+//!     .reservation(6, 4u64, 3u64)
+//!     .build()
+//!     .unwrap();
+//!
+//! assert_eq!(instance.machines(), 8);
+//! assert_eq!(instance.profile().capacity_at(Time(4)), 2);
+//!
+//! // Hand-build a schedule and validate it.
+//! let mut schedule = Schedule::new();
+//! schedule.place(JobId(1), Time(0)); // 2 procs for 5 ticks
+//! schedule.place(JobId(0), Time(7)); // 4 procs after the reservation
+//! schedule.place(JobId(2), Time(17)); // whole machine afterwards
+//! assert!(schedule.is_valid(&instance));
+//! assert_eq!(schedule.makespan(&instance), Time(19));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod error;
+pub mod gantt;
+pub mod instance;
+pub mod io;
+pub mod job;
+pub mod profile;
+pub mod reservation;
+pub mod schedule;
+pub mod time;
+
+/// Convenient glob import of the most frequently used items.
+pub mod prelude {
+    pub use crate::bounds::{lower_bound, lower_bound_rigid};
+    pub use crate::error::{ModelError, ProfileError, ScheduleError};
+    pub use crate::gantt::render_gantt;
+    pub use crate::instance::{Alpha, ResaInstance, ResaInstanceBuilder, RigidInstance};
+    pub use crate::io::{parse_instance, write_instance};
+    pub use crate::job::{Job, JobId};
+    pub use crate::profile::ResourceProfile;
+    pub use crate::reservation::{Reservation, ReservationId};
+    pub use crate::schedule::{Placement, ProcessorAssignment, Schedule};
+    pub use crate::time::{Dur, Time};
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::prelude::*;
+    use proptest::prelude::*;
+
+    /// Strategy: a small feasible ResaInstance.
+    fn arb_instance() -> impl Strategy<Value = ResaInstance> {
+        (2u32..=16, 1usize..=10, 0usize..=4).prop_flat_map(|(m, n_jobs, n_res)| {
+            let jobs = proptest::collection::vec((1u32..=m, 1u64..=20), n_jobs);
+            let reservations = proptest::collection::vec((1u32..=m, 1u64..=10), n_res);
+            (Just(m), jobs, reservations).prop_map(|(m, jobs, reservations)| {
+                let mut b = ResaInstanceBuilder::new(m);
+                for (w, p) in jobs {
+                    b = b.job(w, p);
+                }
+                for (i, (w, p)) in reservations.into_iter().enumerate() {
+                    // Pairwise-disjoint windows (start every 11 ticks, length
+                    // at most 10) keep any combination feasible.
+                    b = b.reservation(w, p, (i as u64) * 11);
+                }
+                b.build().expect("constructed instances are feasible")
+            })
+        })
+    }
+
+    proptest! {
+        /// The availability profile never exceeds the cluster size and the
+        /// area function is monotone.
+        #[test]
+        fn profile_invariants(inst in arb_instance(), t1 in 0u64..100, t2 in 0u64..100) {
+            let p = inst.profile();
+            prop_assert!(p.capacity_at(Time(t1)) <= inst.machines());
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(p.available_area(Time(lo)) <= p.available_area(Time(hi)));
+        }
+
+        /// earliest_fit returns a window that indeed has enough capacity, and
+        /// no earlier profile breakpoint would fit.
+        #[test]
+        fn earliest_fit_is_correct(inst in arb_instance(), w in 1u32..=8, d in 1u64..=15) {
+            let p = inst.profile();
+            if let Some(t) = p.earliest_fit(w, Dur(d), Time::ZERO) {
+                prop_assert!(p.min_capacity_in(t, Dur(d)) >= w);
+                // Minimality at breakpoints before t.
+                for &(bt, _) in p.steps() {
+                    if bt < t {
+                        prop_assert!(p.min_capacity_in(bt, Dur(d)) < w);
+                    }
+                }
+            } else {
+                prop_assert!(w > p.base());
+            }
+        }
+
+        /// reserve followed by release restores the profile exactly.
+        #[test]
+        fn reserve_release_roundtrip(
+            m in 2u32..=16, start in 0u64..=50, d in 1u64..=20, w in 1u32..=16
+        ) {
+            let mut p = ResourceProfile::constant(m);
+            let before = p.clone();
+            if w <= m {
+                p.reserve(Time(start), Dur(d), w).unwrap();
+                p.release(Time(start), Dur(d), w).unwrap();
+                prop_assert_eq!(p, before);
+            } else {
+                prop_assert!(p.reserve(Time(start), Dur(d), w).is_err());
+                prop_assert_eq!(p, before);
+            }
+        }
+
+        /// A schedule placing every job at the end of everything else (pure
+        /// sequential tail) is always feasible, and its makespan is at least
+        /// the certified lower bound.
+        #[test]
+        fn sequential_schedule_is_feasible(inst in arb_instance()) {
+            let p = inst.profile();
+            let mut s = Schedule::new();
+            let mut t = Time::ZERO;
+            for j in inst.jobs() {
+                let start = p.earliest_fit(j.width, j.duration, t).unwrap();
+                s.place(j.id, start);
+                t = start + j.duration;
+            }
+            prop_assert!(s.is_valid(&inst));
+            let lb = lower_bound(&inst).unwrap();
+            prop_assert!(s.makespan(&inst) >= lb);
+        }
+
+        /// Processor assignment of a feasible schedule always verifies.
+        #[test]
+        fn assignment_verifies(inst in arb_instance()) {
+            let p = inst.profile();
+            let mut s = Schedule::new();
+            let mut t = Time::ZERO;
+            for j in inst.jobs() {
+                let start = p.earliest_fit(j.width, j.duration, t).unwrap();
+                s.place(j.id, start);
+                t = start + j.duration;
+            }
+            let asg = s.assign_processors(&inst).unwrap();
+            prop_assert!(asg.verify(&inst, &s).is_ok());
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! 3-PARTITION instances and an exact solver.
+//!
+//! Theorem 1 of the paper proves that RESASCHEDULING admits no finite-ratio
+//! polynomial approximation (unless P = NP) by a reduction from 3-PARTITION:
+//! given `3k` integers `x_i` summing to `kB`, decide whether they can be
+//! partitioned into `k` triples each summing to `B`.
+//!
+//! This module provides the combinatorial side of that reduction: the
+//! [`ThreePartition`] instance type, a backtracking exact solver (3-PARTITION
+//! is strongly NP-hard, but the reduction experiments only need small `k`),
+//! and a generator of satisfiable instances.
+
+use std::fmt;
+
+/// An instance of 3-PARTITION: `3k` positive integers with total `k·B`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreePartition {
+    items: Vec<u64>,
+    target: u64,
+}
+
+/// A solution: `k` disjoint groups of three item indices, each summing to `B`.
+pub type Partition = Vec<[usize; 3]>;
+
+#[allow(missing_docs)] // variant fields are self-describing model quantities
+/// Errors raised when constructing a [`ThreePartition`] instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreePartitionError {
+    /// The number of items is not a multiple of three (or zero).
+    WrongItemCount { count: usize },
+    /// The total of the items is not `k·B` for the given target `B`.
+    WrongTotal { total: u64, expected: u64 },
+    /// An item is zero (the classical formulation requires positive items).
+    ZeroItem { index: usize },
+}
+
+impl fmt::Display for ThreePartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreePartitionError::WrongItemCount { count } => {
+                write!(f, "item count {count} is not a positive multiple of 3")
+            }
+            ThreePartitionError::WrongTotal { total, expected } => {
+                write!(f, "items sum to {total}, expected k·B = {expected}")
+            }
+            ThreePartitionError::ZeroItem { index } => write!(f, "item {index} is zero"),
+        }
+    }
+}
+
+impl std::error::Error for ThreePartitionError {}
+
+impl ThreePartition {
+    /// Build an instance, checking that `items.len() = 3k`, all items are
+    /// positive and `Σ items = k·target`.
+    pub fn new(items: Vec<u64>, target: u64) -> Result<Self, ThreePartitionError> {
+        if items.is_empty() || items.len() % 3 != 0 {
+            return Err(ThreePartitionError::WrongItemCount { count: items.len() });
+        }
+        if let Some(index) = items.iter().position(|&x| x == 0) {
+            return Err(ThreePartitionError::ZeroItem { index });
+        }
+        let k = (items.len() / 3) as u64;
+        let total: u64 = items.iter().sum();
+        if total != k * target {
+            return Err(ThreePartitionError::WrongTotal {
+                total,
+                expected: k * target,
+            });
+        }
+        Ok(ThreePartition { items, target })
+    }
+
+    /// The items `x_1 … x_{3k}`.
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    /// The group target `B`.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// The number of groups `k`.
+    pub fn k(&self) -> usize {
+        self.items.len() / 3
+    }
+
+    /// Decide the instance by backtracking; returns a witness partition if one
+    /// exists.
+    ///
+    /// The search assigns items in decreasing-value order to the first group
+    /// that still has room, with standard symmetry breaking (a new group is
+    /// opened only once). Worst-case exponential, fine for the `k ≤ ~8` range
+    /// used by the Theorem-1 experiments.
+    pub fn solve(&self) -> Option<Partition> {
+        let k = self.k();
+        let mut order: Vec<usize> = (0..self.items.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.items[i]));
+        let mut sums = vec![0u64; k];
+        let mut counts = vec![0usize; k];
+        let mut assign = vec![usize::MAX; self.items.len()];
+        if self.backtrack(&order, 0, &mut sums, &mut counts, &mut assign) {
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+            for (item, &g) in assign.iter().enumerate() {
+                groups[g].push(item);
+            }
+            Some(
+                groups
+                    .into_iter()
+                    .map(|g| {
+                        debug_assert_eq!(g.len(), 3);
+                        [g[0], g[1], g[2]]
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Whether the instance is a yes-instance.
+    pub fn is_satisfiable(&self) -> bool {
+        self.solve().is_some()
+    }
+
+    /// Check a candidate partition: disjoint triples covering all items, each
+    /// summing to `B`.
+    pub fn verify(&self, partition: &Partition) -> bool {
+        if partition.len() != self.k() {
+            return false;
+        }
+        let mut used = vec![false; self.items.len()];
+        for group in partition {
+            let mut sum = 0u64;
+            for &idx in group {
+                if idx >= self.items.len() || used[idx] {
+                    return false;
+                }
+                used[idx] = true;
+                sum += self.items[idx];
+            }
+            if sum != self.target {
+                return false;
+            }
+        }
+        used.into_iter().all(|u| u)
+    }
+
+    fn backtrack(
+        &self,
+        order: &[usize],
+        pos: usize,
+        sums: &mut Vec<u64>,
+        counts: &mut Vec<usize>,
+        assign: &mut Vec<usize>,
+    ) -> bool {
+        if pos == order.len() {
+            return sums.iter().all(|&s| s == self.target);
+        }
+        let item = order[pos];
+        let value = self.items[item];
+        let mut opened_empty_group = false;
+        for g in 0..sums.len() {
+            if counts[g] == 3 || sums[g] + value > self.target {
+                continue;
+            }
+            // Symmetry breaking: all empty groups are equivalent.
+            if counts[g] == 0 {
+                if opened_empty_group {
+                    continue;
+                }
+                opened_empty_group = true;
+            }
+            sums[g] += value;
+            counts[g] += 1;
+            assign[item] = g;
+            if self.backtrack(order, pos + 1, sums, counts, assign) {
+                return true;
+            }
+            sums[g] -= value;
+            counts[g] -= 1;
+            assign[item] = usize::MAX;
+        }
+        false
+    }
+}
+
+/// Generate a satisfiable 3-PARTITION instance with `k` groups and target `B`
+/// from a deterministic seed.
+///
+/// Every item satisfies the classical strictness condition `B/4 < x_i < B/2`,
+/// which guarantees that *any* packing of the items into bins of capacity `B`
+/// uses exactly three items per bin — the property the Theorem-1 reduction
+/// relies on when interpreting schedules as partitions.
+///
+/// Panics if `target < 9` (below that no triple of integers strictly between
+/// `B/4` and `B/2` can sum to `B`) or `k = 0`.
+pub fn satisfiable_instance(k: usize, target: u64, seed: u64) -> ThreePartition {
+    assert!(target >= 9, "target must be at least 9");
+    assert!(k >= 1, "k must be at least 1");
+    // Open interval (B/4, B/2) in integers: 4x > B and 2x < B.
+    let lo = target / 4 + 1;
+    let hi = target.div_ceil(2) - 1;
+    debug_assert!(lo <= hi);
+    // Simple deterministic splitter (xorshift) — no external RNG needed here.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let pick = |lo: u64, hi: u64, r: u64| lo + r % (hi - lo + 1);
+    let mut items = Vec::with_capacity(3 * k);
+    for _ in 0..k {
+        // a must leave room for b, c ∈ [lo, hi] with b + c = B − a.
+        let a_lo = lo.max(target.saturating_sub(2 * hi));
+        let a_hi = hi.min(target - 2 * lo);
+        let a = pick(a_lo, a_hi, next());
+        let rest = target - a;
+        let b_lo = lo.max(rest.saturating_sub(hi));
+        let b_hi = hi.min(rest - lo);
+        let b = pick(b_lo, b_hi, next());
+        let c = rest - b;
+        debug_assert!(c >= lo && c <= hi);
+        items.push(a);
+        items.push(b);
+        items.push(c);
+    }
+    // Interleave to hide the construction from the solver.
+    let n = items.len();
+    let offset = seed as usize % n;
+    let mut shuffled = vec![0u64; n];
+    for (i, &v) in items.iter().enumerate() {
+        shuffled[(i * 7 + offset) % n] = v;
+    }
+    // The permutation i → (7i + s) mod n is a bijection iff gcd(7, n) = 1;
+    // when 7 | n fall back to the identity order.
+    let final_items = if n % 7 == 0 { items } else { shuffled };
+    ThreePartition::new(final_items, target).expect("construction is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            ThreePartition::new(vec![1, 2], 3),
+            Err(ThreePartitionError::WrongItemCount { count: 2 })
+        ));
+        assert!(matches!(
+            ThreePartition::new(vec![], 3),
+            Err(ThreePartitionError::WrongItemCount { count: 0 })
+        ));
+        assert!(matches!(
+            ThreePartition::new(vec![1, 2, 3], 7),
+            Err(ThreePartitionError::WrongTotal { total: 6, expected: 7 })
+        ));
+        assert!(matches!(
+            ThreePartition::new(vec![0, 3, 3], 6),
+            Err(ThreePartitionError::ZeroItem { index: 0 })
+        ));
+        let ok = ThreePartition::new(vec![1, 2, 3], 6).unwrap();
+        assert_eq!(ok.k(), 1);
+        assert_eq!(ok.target(), 6);
+        assert_eq!(ok.items(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn solves_trivial_yes_instance() {
+        let inst = ThreePartition::new(vec![1, 2, 3], 6).unwrap();
+        let sol = inst.solve().unwrap();
+        assert!(inst.verify(&sol));
+    }
+
+    #[test]
+    fn solves_two_group_instance() {
+        // Groups {4,3,1} and {2,2,4} with B = 8.
+        let inst = ThreePartition::new(vec![4, 2, 3, 2, 1, 4], 8).unwrap();
+        let sol = inst.solve().unwrap();
+        assert!(inst.verify(&sol));
+        assert_eq!(sol.len(), 2);
+    }
+
+    #[test]
+    fn detects_no_instance() {
+        // Items sum to 2B but no triple sums to B = 9: items {1,1,1,5,5,5}
+        // can only form triples summing to 3, 7, 11 or 15.
+        let inst = ThreePartition::new(vec![1, 1, 1, 5, 5, 5], 9).unwrap();
+        assert!(inst.solve().is_none());
+        assert!(!inst.is_satisfiable());
+    }
+
+    #[test]
+    fn verify_rejects_bad_partitions() {
+        let inst = ThreePartition::new(vec![4, 2, 3, 2, 1, 4], 8).unwrap();
+        // Wrong number of groups.
+        assert!(!inst.verify(&vec![[0, 1, 2]]));
+        // Re-used item.
+        assert!(!inst.verify(&vec![[0, 0, 2], [3, 4, 5]]));
+        // Wrong sums: 4+2+3 = 9 and 2+1+4 = 7.
+        assert!(!inst.verify(&vec![[0, 1, 2], [3, 4, 5]]));
+        // Out-of-range index.
+        assert!(!inst.verify(&vec![[0, 1, 9], [2, 3, 4]]));
+    }
+
+    #[test]
+    fn generator_produces_satisfiable_instances() {
+        for seed in 0..10u64 {
+            for k in 1..=4usize {
+                let inst = satisfiable_instance(k, 20, seed);
+                assert_eq!(inst.k(), k);
+                assert_eq!(inst.items().iter().sum::<u64>(), 20 * k as u64);
+                let sol = inst.solve().expect("generated instances are satisfiable");
+                assert!(inst.verify(&sol));
+            }
+        }
+    }
+
+    #[test]
+    fn generator_items_are_strictly_between_quarter_and_half() {
+        for seed in 0..5u64 {
+            let b = 23u64;
+            let inst = satisfiable_instance(5, b, seed);
+            assert!(inst.items().iter().all(|&x| 4 * x > b && 2 * x < b));
+        }
+        let inst = satisfiable_instance(4, 9, 7);
+        assert!(inst.items().iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be at least 9")]
+    fn generator_rejects_tiny_target() {
+        let _ = satisfiable_instance(2, 8, 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ThreePartitionError::WrongTotal {
+            total: 5,
+            expected: 6,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(ThreePartitionError::ZeroItem { index: 2 }
+            .to_string()
+            .contains('2'));
+    }
+}

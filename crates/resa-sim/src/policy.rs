@@ -1,0 +1,207 @@
+//! On-line scheduling policies.
+//!
+//! At every decision point the simulation engine hands the policy the current
+//! time, the waiting queue (jobs released but not yet started, in arrival
+//! order) and the current availability profile (reservations *and* running
+//! jobs already subtracted). The policy returns the subset of waiting jobs to
+//! start right now; the engine performs the starts and keeps simulating.
+//!
+//! The three policies mirror §2.2 of the paper:
+//! * [`FcfsPolicy`] — start queued jobs strictly in order, stop at the first
+//!   that does not fit;
+//! * [`EasyPolicy`] — like FCFS, but allow later jobs to start now when doing
+//!   so does not delay the earliest possible start of the queue head;
+//! * [`GreedyPolicy`] — start *every* waiting job that fits now, i.e. the
+//!   on-line incarnation of LSRC (the most aggressive back-filling).
+
+use resa_core::prelude::*;
+
+/// The scheduling decision interface used by the simulation engine.
+pub trait OnlinePolicy {
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Return the ids of the waiting jobs to start at `now`, in the order in
+    /// which they should be started. `queue` is in arrival order; `profile`
+    /// already excludes running jobs and reservations.
+    fn decide(&self, now: Time, queue: &[Job], profile: &ResourceProfile) -> Vec<JobId>;
+}
+
+/// Strict FCFS: start the head of the queue while it fits, never look past
+/// the first job that does not fit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FcfsPolicy;
+
+impl OnlinePolicy for FcfsPolicy {
+    fn name(&self) -> String {
+        "FCFS".to_string()
+    }
+
+    fn decide(&self, now: Time, queue: &[Job], profile: &ResourceProfile) -> Vec<JobId> {
+        let mut profile = profile.clone();
+        let mut started = Vec::new();
+        for job in queue {
+            if profile.min_capacity_in(now, job.duration) >= job.width {
+                profile
+                    .reserve(now, job.duration, job.width)
+                    .expect("capacity just checked");
+                started.push(job.id);
+            } else {
+                break;
+            }
+        }
+        started
+    }
+}
+
+/// Greedy (LSRC-like): start every waiting job that fits now, scanning the
+/// queue in arrival order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyPolicy;
+
+impl OnlinePolicy for GreedyPolicy {
+    fn name(&self) -> String {
+        "greedy-LSRC".to_string()
+    }
+
+    fn decide(&self, now: Time, queue: &[Job], profile: &ResourceProfile) -> Vec<JobId> {
+        let mut profile = profile.clone();
+        let mut started = Vec::new();
+        for job in queue {
+            if profile.min_capacity_in(now, job.duration) >= job.width {
+                profile
+                    .reserve(now, job.duration, job.width)
+                    .expect("capacity just checked");
+                started.push(job.id);
+            }
+        }
+        started
+    }
+}
+
+/// EASY backfilling: the queue head is started if possible; otherwise later
+/// jobs may start provided they do not delay the head's earliest possible
+/// start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EasyPolicy;
+
+impl OnlinePolicy for EasyPolicy {
+    fn name(&self) -> String {
+        "EASY".to_string()
+    }
+
+    fn decide(&self, now: Time, queue: &[Job], profile: &ResourceProfile) -> Vec<JobId> {
+        let mut profile = profile.clone();
+        let mut started = Vec::new();
+        let mut idx = 0;
+        // Start successive heads while they fit.
+        while idx < queue.len() {
+            let job = &queue[idx];
+            if profile.min_capacity_in(now, job.duration) >= job.width {
+                profile
+                    .reserve(now, job.duration, job.width)
+                    .expect("capacity just checked");
+                started.push(job.id);
+                idx += 1;
+            } else {
+                break;
+            }
+        }
+        if idx >= queue.len() {
+            return started;
+        }
+        // The head at `idx` is blocked: compute its shadow start.
+        let head = &queue[idx];
+        let shadow = profile
+            .earliest_fit(head.width, head.duration, now)
+            .expect("feasible instances always admit a fit");
+        for job in &queue[idx + 1..] {
+            if profile.min_capacity_in(now, job.duration) >= job.width {
+                profile
+                    .reserve(now, job.duration, job.width)
+                    .expect("capacity just checked");
+                let new_shadow = profile
+                    .earliest_fit(head.width, head.duration, now)
+                    .expect("feasible instances always admit a fit");
+                if new_shadow <= shadow {
+                    started.push(job.id);
+                } else {
+                    profile
+                        .release(now, job.duration, job.width)
+                        .expect("undoing our own reservation");
+                }
+            }
+        }
+        started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(m: u32) -> ResourceProfile {
+        ResourceProfile::constant(m)
+    }
+
+    fn queue() -> Vec<Job> {
+        vec![
+            Job::new(0usize, 3, 4u64), // fits
+            Job::new(1usize, 4, 2u64), // blocked behind J0
+            Job::new(2usize, 1, 4u64), // harmless backfill
+            Job::new(3usize, 1, 6u64), // would delay J1
+        ]
+    }
+
+    #[test]
+    fn fcfs_stops_at_first_blocker() {
+        let d = FcfsPolicy.decide(Time::ZERO, &queue(), &profile(4));
+        assert_eq!(d, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn greedy_starts_everything_that_fits() {
+        let d = GreedyPolicy.decide(Time::ZERO, &queue(), &profile(4));
+        assert_eq!(d, vec![JobId(0), JobId(2)]);
+    }
+
+    #[test]
+    fn easy_backfills_without_delaying_head() {
+        let d = EasyPolicy.decide(Time::ZERO, &queue(), &profile(4));
+        // J0 starts, J1 blocked (shadow 4), J2 backfills (completes at 4),
+        // J3 would complete at 6 > 4 and is refused.
+        assert_eq!(d, vec![JobId(0), JobId(2)]);
+    }
+
+    #[test]
+    fn easy_equals_fcfs_when_nothing_backfills() {
+        let q = vec![Job::new(0usize, 4, 3u64), Job::new(1usize, 4, 3u64)];
+        let e = EasyPolicy.decide(Time::ZERO, &q, &profile(4));
+        let f = FcfsPolicy.decide(Time::ZERO, &q, &profile(4));
+        assert_eq!(e, f);
+        assert_eq!(e, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn empty_queue() {
+        assert!(FcfsPolicy.decide(Time::ZERO, &[], &profile(4)).is_empty());
+        assert!(EasyPolicy.decide(Time::ZERO, &[], &profile(4)).is_empty());
+        assert!(GreedyPolicy.decide(Time::ZERO, &[], &profile(4)).is_empty());
+    }
+
+    #[test]
+    fn respects_reduced_profile() {
+        // Only 2 processors free: nothing of width 3+ can start.
+        let mut p = profile(4);
+        p.reserve(Time::ZERO, Dur(10), 2).unwrap();
+        let d = GreedyPolicy.decide(Time::ZERO, &queue(), &p);
+        assert_eq!(d, vec![JobId(2), JobId(3)]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FcfsPolicy.name(), "FCFS");
+        assert_eq!(EasyPolicy.name(), "EASY");
+        assert_eq!(GreedyPolicy.name(), "greedy-LSRC");
+    }
+}

@@ -1,0 +1,200 @@
+//! Feitelson-style parallel-workload model.
+//!
+//! Real batch-scheduler traces (the workloads the paper's introduction
+//! motivates) are not bundled with the paper; this module provides the
+//! standard synthetic substitute used throughout the parallel-job-scheduling
+//! literature:
+//!
+//! * job widths favour **powers of two** (and small values), reflecting how
+//!   users request processors on clusters;
+//! * durations are **heavy-tailed**: many short jobs, a few very long ones
+//!   (here a truncated log-uniform distribution);
+//! * widths and durations are weakly positively correlated (wider jobs tend
+//!   to run a bit longer).
+//!
+//! The model is deliberately simple (a handful of parameters, all documented)
+//! but produces the job-geometry mix that makes back-filling interesting.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use resa_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Feitelson-style workload model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeitelsonWorkload {
+    /// Number of machines of the target cluster.
+    pub machines: u32,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Probability that a job width is a power of two (vs uniform).
+    pub power_of_two_fraction: f64,
+    /// Maximum job width as a fraction of the cluster (e.g. 0.5 keeps every
+    /// job within half the machine, matching an α = 1/2 restriction).
+    pub max_width_fraction: f64,
+    /// Shortest possible duration.
+    pub min_duration: u64,
+    /// Longest possible duration (log-uniform upper end).
+    pub max_duration: u64,
+    /// Strength of the width/duration correlation in `[0, 1]`.
+    pub width_duration_correlation: f64,
+    /// Mean inter-arrival gap; 0 generates an off-line workload (all jobs
+    /// released at time 0).
+    pub mean_interarrival: u64,
+}
+
+impl FeitelsonWorkload {
+    /// The default mixture for a cluster of `machines` processors.
+    pub fn for_cluster(machines: u32, jobs: usize) -> Self {
+        FeitelsonWorkload {
+            machines,
+            jobs,
+            power_of_two_fraction: 0.6,
+            max_width_fraction: 0.5,
+            min_duration: 1,
+            max_duration: 1000,
+            width_duration_correlation: 0.3,
+            mean_interarrival: 0,
+        }
+    }
+
+    /// Same model but with Poisson-like arrivals (geometric inter-arrival
+    /// gaps of the given mean), for the on-line experiments.
+    pub fn with_arrivals(mut self, mean_interarrival: u64) -> Self {
+        self.mean_interarrival = mean_interarrival;
+        self
+    }
+
+    /// Largest width the model will generate.
+    pub fn max_width(&self) -> u32 {
+        (((self.machines as f64) * self.max_width_fraction).floor() as u32)
+            .clamp(1, self.machines)
+    }
+
+    /// Generate the jobs deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_width = self.max_width();
+        let mut release = 0u64;
+        (0..self.jobs)
+            .map(|i| {
+                let width = self.sample_width(&mut rng, max_width);
+                let duration = self.sample_duration(&mut rng, width, max_width);
+                if self.mean_interarrival > 0 {
+                    // Geometric inter-arrival with the requested mean.
+                    let p = 1.0 / (self.mean_interarrival as f64 + 1.0);
+                    // Keep u strictly inside (0, 1) so the logarithm is finite.
+                    let u: f64 = rng.gen_range(1e-12..1.0f64);
+                    let gap = (u.ln() / (1.0 - p).ln()).floor().min(1e15) as u64;
+                    release += gap;
+                }
+                Job::released_at(i, width, duration, release)
+            })
+            .collect()
+    }
+
+    fn sample_width<R: Rng>(&self, rng: &mut R, max_width: u32) -> u32 {
+        if rng.gen_bool(self.power_of_two_fraction.clamp(0.0, 1.0)) {
+            // Pick a random power of two not exceeding max_width.
+            let max_exp = 31 - max_width.leading_zeros();
+            let exp = rng.gen_range(0..=max_exp);
+            (1u32 << exp).min(max_width)
+        } else {
+            rng.gen_range(1..=max_width)
+        }
+    }
+
+    fn sample_duration<R: Rng>(&self, rng: &mut R, width: u32, max_width: u32) -> Dur {
+        let lo = (self.min_duration.max(1)) as f64;
+        let hi = (self.max_duration.max(self.min_duration + 1)) as f64;
+        // Log-uniform base sample.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let base = (lo.ln() + u * (hi.ln() - lo.ln())).exp();
+        // Mild positive correlation with width.
+        let c = self.width_duration_correlation.clamp(0.0, 1.0);
+        let width_factor = 1.0 + c * (width as f64 / max_width as f64);
+        let d = (base * width_factor).round().clamp(lo, hi * 2.0) as u64;
+        Dur(d.max(1))
+    }
+
+    /// Generate a complete (reservation-free) instance.
+    pub fn instance(&self, seed: u64) -> ResaInstance {
+        ResaInstance::new(self.machines, self.generate(seed), Vec::new())
+            .expect("generated jobs always fit the cluster")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_within_fraction() {
+        let w = FeitelsonWorkload::for_cluster(128, 500);
+        let jobs = w.generate(11);
+        assert_eq!(jobs.len(), 500);
+        assert!(jobs.iter().all(|j| j.width >= 1 && j.width <= 64));
+    }
+
+    #[test]
+    fn many_widths_are_powers_of_two() {
+        let w = FeitelsonWorkload::for_cluster(128, 1000);
+        let jobs = w.generate(5);
+        let pow2 = jobs.iter().filter(|j| j.width.is_power_of_two()).count();
+        // At least the power-of-two fraction (other widths can also be
+        // powers of two by chance).
+        assert!(pow2 as f64 >= 0.5 * jobs.len() as f64, "pow2 = {pow2}");
+    }
+
+    #[test]
+    fn durations_are_heavy_tailed() {
+        let w = FeitelsonWorkload::for_cluster(64, 2000);
+        let jobs = w.generate(9);
+        let durations: Vec<u64> = jobs.iter().map(|j| j.duration.ticks()).collect();
+        let mean = durations.iter().sum::<u64>() as f64 / durations.len() as f64;
+        let mut sorted = durations.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        // Log-uniform ⇒ mean well above median.
+        assert!(mean > median, "mean {mean} median {median}");
+        assert!(*sorted.first().unwrap() >= 1);
+    }
+
+    #[test]
+    fn offline_model_releases_everything_at_zero() {
+        let w = FeitelsonWorkload::for_cluster(32, 100);
+        assert!(w.generate(2).iter().all(|j| j.release == Time::ZERO));
+    }
+
+    #[test]
+    fn arrival_model_is_nondecreasing_and_spreads_out() {
+        let w = FeitelsonWorkload::for_cluster(32, 200).with_arrivals(10);
+        let jobs = w.generate(3);
+        assert!(jobs.windows(2).all(|p| p[0].release <= p[1].release));
+        assert!(jobs.last().unwrap().release > Time::ZERO);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = FeitelsonWorkload::for_cluster(64, 50);
+        assert_eq!(w.generate(4), w.generate(4));
+        assert_ne!(w.generate(4), w.generate(5));
+    }
+
+    #[test]
+    fn instance_is_valid_and_alpha_half_restricted() {
+        let w = FeitelsonWorkload::for_cluster(64, 100);
+        let inst = w.instance(1);
+        assert!(inst.is_alpha_restricted(Alpha::HALF));
+    }
+
+    #[test]
+    fn max_width_clamps() {
+        let mut w = FeitelsonWorkload::for_cluster(5, 10);
+        w.max_width_fraction = 0.01;
+        assert_eq!(w.max_width(), 1);
+        w.max_width_fraction = 10.0;
+        assert_eq!(w.max_width(), 5);
+    }
+}

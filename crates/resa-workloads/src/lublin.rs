@@ -1,0 +1,210 @@
+//! A Lublin–Feitelson-style workload model.
+//!
+//! The second standard synthetic model of the parallel-workloads literature:
+//! compared to [`crate::feitelson::FeitelsonWorkload`] it adds
+//!
+//! * a bimodal split between *interactive* (short, narrow) and *batch*
+//!   (long, wide) jobs;
+//! * hyper-gamma-like durations approximated by a two-mode log-uniform
+//!   mixture (short mode / long mode), which captures the key property the
+//!   original hyper-Gamma fit was introduced for: a heavy upper tail with a
+//!   large mass of very short jobs;
+//! * a fraction of strictly serial (width-1) jobs, which real traces contain
+//!   in large numbers.
+//!
+//! The model is deterministic per seed and documents every parameter — it is
+//! a *substitute* for real traces (none ship with the paper), not a re-fit of
+//! the published Lublin model.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use resa_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Lublin-style model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LublinWorkload {
+    /// Number of machines of the target cluster.
+    pub machines: u32,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Fraction of *interactive* jobs (short and narrow).
+    pub interactive_fraction: f64,
+    /// Fraction of strictly serial (width 1) jobs among all jobs.
+    pub serial_fraction: f64,
+    /// Duration range of interactive jobs (log-uniform).
+    pub interactive_duration: (u64, u64),
+    /// Duration range of batch jobs (log-uniform).
+    pub batch_duration: (u64, u64),
+    /// Maximum job width as a fraction of the cluster.
+    pub max_width_fraction: f64,
+    /// Mean inter-arrival gap; 0 for an off-line workload.
+    pub mean_interarrival: u64,
+}
+
+impl LublinWorkload {
+    /// Default mixture for a cluster of `machines` processors.
+    pub fn for_cluster(machines: u32, jobs: usize) -> Self {
+        LublinWorkload {
+            machines,
+            jobs,
+            interactive_fraction: 0.55,
+            serial_fraction: 0.25,
+            interactive_duration: (1, 30),
+            batch_duration: (50, 3_000),
+            max_width_fraction: 0.5,
+            mean_interarrival: 0,
+        }
+    }
+
+    /// Same model with arrivals (geometric inter-arrival gaps of the given
+    /// mean).
+    pub fn with_arrivals(mut self, mean_interarrival: u64) -> Self {
+        self.mean_interarrival = mean_interarrival;
+        self
+    }
+
+    /// Largest width the model will generate.
+    pub fn max_width(&self) -> u32 {
+        (((self.machines as f64) * self.max_width_fraction).floor() as u32)
+            .clamp(1, self.machines)
+    }
+
+    /// Generate the jobs deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB10C_5EED);
+        let max_width = self.max_width();
+        let mut release = 0u64;
+        (0..self.jobs)
+            .map(|i| {
+                let interactive = rng.gen_bool(self.interactive_fraction.clamp(0.0, 1.0));
+                let serial = rng.gen_bool(self.serial_fraction.clamp(0.0, 1.0));
+                let width = if serial {
+                    1
+                } else if interactive {
+                    // Interactive parallel jobs are narrow: up to a quarter of
+                    // the allowed width, favouring powers of two.
+                    let cap = (max_width / 4).max(1);
+                    sample_width(&mut rng, cap)
+                } else {
+                    sample_width(&mut rng, max_width)
+                };
+                let (lo, hi) = if interactive {
+                    self.interactive_duration
+                } else {
+                    self.batch_duration
+                };
+                let duration = log_uniform(&mut rng, lo.max(1), hi.max(lo.max(1)));
+                if self.mean_interarrival > 0 {
+                    let p = 1.0 / (self.mean_interarrival as f64 + 1.0);
+                    let u: f64 = rng.gen_range(1e-12..1.0f64);
+                    release += (u.ln() / (1.0 - p).ln()).floor().min(1e15) as u64;
+                }
+                Job::released_at(i, width, duration, release)
+            })
+            .collect()
+    }
+
+    /// Generate a complete (reservation-free) instance.
+    pub fn instance(&self, seed: u64) -> ResaInstance {
+        ResaInstance::new(self.machines, self.generate(seed), Vec::new())
+            .expect("generated jobs always fit the cluster")
+    }
+}
+
+fn sample_width<R: Rng>(rng: &mut R, max_width: u32) -> u32 {
+    if max_width == 1 {
+        return 1;
+    }
+    if rng.gen_bool(0.7) {
+        let max_exp = 31 - max_width.leading_zeros();
+        let exp = rng.gen_range(0..=max_exp);
+        (1u32 << exp).min(max_width)
+    } else {
+        rng.gen_range(1..=max_width)
+    }
+}
+
+fn log_uniform<R: Rng>(rng: &mut R, lo: u64, hi: u64) -> Dur {
+    if lo >= hi {
+        return Dur(lo.max(1));
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let v = ((lo as f64).ln() + u * ((hi as f64).ln() - (lo as f64).ln())).exp();
+    Dur((v.round() as u64).clamp(lo, hi).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_jobs_within_bounds() {
+        let w = LublinWorkload::for_cluster(128, 800);
+        let jobs = w.generate(3);
+        assert_eq!(jobs.len(), 800);
+        assert!(jobs.iter().all(|j| j.width >= 1 && j.width <= 64));
+        assert!(jobs.iter().all(|j| j.duration.ticks() >= 1));
+        assert!(jobs.iter().all(|j| j.duration.ticks() <= 3_000));
+    }
+
+    #[test]
+    fn contains_serial_and_wide_jobs() {
+        let w = LublinWorkload::for_cluster(128, 1000);
+        let jobs = w.generate(5);
+        let serial = jobs.iter().filter(|j| j.width == 1).count();
+        let wide = jobs.iter().filter(|j| j.width >= 16).count();
+        assert!(serial > 100, "serial = {serial}");
+        assert!(wide > 20, "wide = {wide}");
+    }
+
+    #[test]
+    fn bimodal_durations() {
+        let w = LublinWorkload::for_cluster(64, 2000);
+        let jobs = w.generate(9);
+        let short = jobs.iter().filter(|j| j.duration.ticks() <= 30).count();
+        let long = jobs.iter().filter(|j| j.duration.ticks() >= 100).count();
+        // Both modes are well represented.
+        assert!(short as f64 > 0.3 * jobs.len() as f64);
+        assert!(long as f64 > 0.2 * jobs.len() as f64);
+    }
+
+    #[test]
+    fn deterministic_and_distinct_from_feitelson() {
+        let w = LublinWorkload::for_cluster(64, 100);
+        assert_eq!(w.generate(1), w.generate(1));
+        assert_ne!(w.generate(1), w.generate(2));
+        let f = crate::feitelson::FeitelsonWorkload::for_cluster(64, 100).generate(1);
+        assert_ne!(w.generate(1), f);
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let w = LublinWorkload::for_cluster(32, 300).with_arrivals(7);
+        let jobs = w.generate(2);
+        assert!(jobs.windows(2).all(|p| p[0].release <= p[1].release));
+        assert!(jobs.last().unwrap().release > Time::ZERO);
+    }
+
+    #[test]
+    fn instance_is_alpha_half_restricted() {
+        let inst = LublinWorkload::for_cluster(96, 200).instance(4);
+        assert!(inst.is_alpha_restricted(Alpha::HALF));
+        assert_eq!(inst.n_reservations(), 0);
+    }
+
+    #[test]
+    fn degenerate_parameters() {
+        let mut w = LublinWorkload::for_cluster(2, 20);
+        w.max_width_fraction = 0.1; // max width clamps to 1
+        assert_eq!(w.max_width(), 1);
+        assert!(w.generate(0).iter().all(|j| j.width == 1));
+        w.interactive_duration = (5, 5);
+        w.batch_duration = (7, 7);
+        let jobs = w.generate(1);
+        assert!(jobs
+            .iter()
+            .all(|j| j.duration == Dur(5) || j.duration == Dur(7)));
+    }
+}

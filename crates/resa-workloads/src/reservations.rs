@@ -1,0 +1,229 @@
+//! Random reservation generators.
+//!
+//! Two families matching the two restricted problems of §4:
+//!
+//! * [`AlphaReservations`] — α-restricted reservations: at every instant the
+//!   reserved processors never exceed `(1 − α)·m` (generated so that the
+//!   bound holds by construction, whatever the overlaps);
+//! * [`NonIncreasingReservations`] — a staircase of reservations all starting
+//!   at time 0, so the unavailability function is non-increasing
+//!   (the hypothesis of Proposition 1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use resa_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Generator of α-restricted reservation sets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaReservations {
+    /// Number of machines of the cluster.
+    pub machines: u32,
+    /// The α parameter: reservations never exceed `(1 − α)·m` at any instant.
+    pub alpha: Alpha,
+    /// Number of reservations to generate.
+    pub count: usize,
+    /// Horizon within which reservation windows start.
+    pub horizon: u64,
+    /// Maximum duration of a single reservation.
+    pub max_duration: u64,
+}
+
+impl AlphaReservations {
+    /// Generate the reservations deterministically from `seed`.
+    ///
+    /// The generator slices the `[0, horizon)` window into `count` disjoint
+    /// slots and places one reservation inside each slot, with width at most
+    /// `(1−α)·m`. Disjointness guarantees the α-restriction however wide the
+    /// individual reservations are.
+    pub fn generate(&self, seed: u64) -> Vec<Reservation> {
+        let max_width = self.alpha.max_reserved_width(self.machines);
+        if max_width == 0 || self.count == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slot = (self.horizon / self.count as u64).max(2);
+        (0..self.count)
+            .map(|i| {
+                let width = rng.gen_range(1..=max_width);
+                let slot_start = i as u64 * slot;
+                let duration = rng.gen_range(1..=self.max_duration.min(slot - 1).max(1));
+                let latest_start = slot_start + slot - duration.min(slot);
+                let start = rng.gen_range(slot_start..=latest_start.max(slot_start));
+                Reservation::new(i, width, duration, start)
+            })
+            .collect()
+    }
+
+    /// Generate a complete instance by adding the reservations to `jobs`.
+    ///
+    /// Jobs wider than `α·m` are narrowed to `α·m` so the whole instance is
+    /// α-restricted (the experiments sweep α and reuse one base workload).
+    pub fn instance(&self, jobs: Vec<Job>, seed: u64) -> ResaInstance {
+        let max_job_width = self.alpha.max_job_width(self.machines).max(1);
+        let clamped: Vec<Job> = jobs
+            .into_iter()
+            .map(|j| Job {
+                width: j.width.min(max_job_width),
+                ..j
+            })
+            .collect();
+        ResaInstance::new(self.machines, clamped, self.generate(seed))
+            .expect("generated reservations are feasible by construction")
+    }
+}
+
+/// Generator of non-increasing reservation staircases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NonIncreasingReservations {
+    /// Number of machines of the cluster.
+    pub machines: u32,
+    /// Number of steps of the staircase.
+    pub steps: usize,
+    /// Maximum total unavailability at time 0 (must be < `machines` so that
+    /// at least one processor is always free).
+    pub max_initial_unavailable: u32,
+    /// Maximum duration of a staircase step.
+    pub max_duration: u64,
+}
+
+impl NonIncreasingReservations {
+    /// Generate the staircase deterministically from `seed`: every
+    /// reservation starts at time 0 with a random width and duration, so the
+    /// unavailability can only decrease over time.
+    pub fn generate(&self, seed: u64) -> Vec<Reservation> {
+        let cap = self.max_initial_unavailable.min(self.machines.saturating_sub(1));
+        if cap == 0 || self.steps == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut remaining = cap;
+        let mut out = Vec::new();
+        for i in 0..self.steps {
+            if remaining == 0 {
+                break;
+            }
+            let width = rng.gen_range(1..=remaining.div_ceil(2).max(1)).min(remaining);
+            let duration = rng.gen_range(1..=self.max_duration.max(1));
+            out.push(Reservation::new(i, width, duration, 0u64));
+            remaining -= width;
+        }
+        out
+    }
+
+    /// Generate a complete instance with the given jobs.
+    pub fn instance(&self, jobs: Vec<Job>, seed: u64) -> ResaInstance {
+        ResaInstance::new(self.machines, jobs, self.generate(seed))
+            .expect("staircases never exceed the cluster size")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resa_core::reservation::{is_nonincreasing, peak_unavailability};
+
+    #[test]
+    fn alpha_reservations_respect_the_bound() {
+        for seed in 0..20u64 {
+            let gen = AlphaReservations {
+                machines: 32,
+                alpha: Alpha::HALF,
+                count: 6,
+                horizon: 200,
+                max_duration: 25,
+            };
+            let rs = gen.generate(seed);
+            assert_eq!(rs.len(), 6);
+            assert!(peak_unavailability(&rs) <= 16, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alpha_instance_is_alpha_restricted() {
+        let gen = AlphaReservations {
+            machines: 24,
+            alpha: Alpha::new(1, 3).unwrap(),
+            count: 4,
+            horizon: 100,
+            max_duration: 20,
+        };
+        let jobs = vec![Job::new(0usize, 20, 5u64), Job::new(1usize, 3, 9u64)];
+        let inst = gen.instance(jobs, 7);
+        // The width-20 job was clamped to α·m = 8.
+        assert!(inst.is_alpha_restricted(Alpha::new(1, 3).unwrap()));
+        assert_eq!(inst.jobs()[0].width, 8);
+        assert_eq!(inst.jobs()[1].width, 3);
+    }
+
+    #[test]
+    fn alpha_one_generates_nothing() {
+        let gen = AlphaReservations {
+            machines: 8,
+            alpha: Alpha::ONE,
+            count: 5,
+            horizon: 50,
+            max_duration: 5,
+        };
+        assert!(gen.generate(0).is_empty());
+    }
+
+    #[test]
+    fn alpha_reservations_are_deterministic() {
+        let gen = AlphaReservations {
+            machines: 16,
+            alpha: Alpha::HALF,
+            count: 3,
+            horizon: 60,
+            max_duration: 10,
+        };
+        assert_eq!(gen.generate(5), gen.generate(5));
+    }
+
+    #[test]
+    fn nonincreasing_staircase_is_nonincreasing() {
+        for seed in 0..20u64 {
+            let gen = NonIncreasingReservations {
+                machines: 16,
+                steps: 5,
+                max_initial_unavailable: 12,
+                max_duration: 30,
+            };
+            let rs = gen.generate(seed);
+            assert!(is_nonincreasing(&rs), "seed {seed}");
+            assert!(peak_unavailability(&rs) <= 12);
+        }
+    }
+
+    #[test]
+    fn nonincreasing_instance_always_leaves_a_processor() {
+        let gen = NonIncreasingReservations {
+            machines: 8,
+            steps: 10,
+            max_initial_unavailable: 100, // clamped to m − 1 = 7
+            max_duration: 10,
+        };
+        let inst = gen.instance(vec![Job::new(0usize, 1, 5u64)], 3);
+        assert!(inst.has_nonincreasing_reservations());
+        assert!(inst.profile().min_capacity() >= 1);
+    }
+
+    #[test]
+    fn zero_steps_or_zero_cap() {
+        let gen = NonIncreasingReservations {
+            machines: 4,
+            steps: 0,
+            max_initial_unavailable: 3,
+            max_duration: 5,
+        };
+        assert!(gen.generate(1).is_empty());
+        let gen2 = NonIncreasingReservations {
+            machines: 1,
+            steps: 3,
+            max_initial_unavailable: 5,
+            max_duration: 5,
+        };
+        assert!(gen2.generate(1).is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! A minimal Standard-Workload-Format-style trace codec.
+//!
+//! The paper's motivation is production batch schedulers, whose workloads are
+//! traditionally distributed in the Standard Workload Format (SWF) of the
+//! Parallel Workloads Archive. No real trace ships with the paper, so this
+//! module provides (a) a reader/writer for the subset of SWF fields the model
+//! needs — job id, submit time, run time, number of processors — and (b) a
+//! synthetic trace writer so experiments and examples can round-trip through
+//! the same file format a real deployment would use.
+//!
+//! Format: one job per line, `;`-prefixed comment lines, whitespace-separated
+//! fields `job_id submit_time run_time processors` (a strict subset of the
+//! 18-field SWF records; extra fields on a line are ignored so genuine SWF
+//! files parse too).
+
+use resa_core::prelude::*;
+use std::fmt::Write as _;
+
+#[allow(missing_docs)] // variant fields are self-describing model quantities
+/// Errors raised while parsing a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwfError {
+    /// A line does not have the four required fields.
+    MissingFields { line: usize },
+    /// A field is not a valid non-negative integer.
+    BadField { line: usize, field: &'static str },
+    /// A job has zero processors or zero runtime (invalid in the rigid model).
+    DegenerateJob { line: usize },
+}
+
+impl std::fmt::Display for SwfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwfError::MissingFields { line } => {
+                write!(f, "line {line}: expected at least 4 fields")
+            }
+            SwfError::BadField { line, field } => {
+                write!(f, "line {line}: field '{field}' is not a non-negative integer")
+            }
+            SwfError::DegenerateJob { line } => {
+                write!(f, "line {line}: job has zero processors or zero runtime")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Parse a trace from its textual form. Job ids are re-numbered densely in
+/// file order (the original id is not preserved, matching how the simulator
+/// identifies jobs).
+pub fn parse_trace(text: &str) -> Result<Vec<Job>, SwfError> {
+    let mut jobs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 4 {
+            return Err(SwfError::MissingFields { line });
+        }
+        let parse = |idx: usize, name: &'static str| -> Result<u64, SwfError> {
+            fields[idx]
+                .parse::<u64>()
+                .map_err(|_| SwfError::BadField { line, field: name })
+        };
+        let _orig_id = parse(0, "job_id")?;
+        let submit = parse(1, "submit_time")?;
+        let run_time = parse(2, "run_time")?;
+        let procs = parse(3, "processors")?;
+        if run_time == 0 || procs == 0 {
+            return Err(SwfError::DegenerateJob { line });
+        }
+        let id = jobs.len();
+        jobs.push(Job::released_at(id, procs as u32, run_time, submit));
+    }
+    Ok(jobs)
+}
+
+/// Serialize jobs to the textual trace form (with a header comment).
+pub fn write_trace(jobs: &[Job], cluster_machines: u32) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; resa-sched synthetic trace");
+    let _ = writeln!(out, "; MaxProcs: {cluster_machines}");
+    let _ = writeln!(out, "; fields: job_id submit_time run_time processors");
+    for job in jobs {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            job.id.0,
+            job.release.ticks(),
+            job.duration.ticks(),
+            job.width
+        );
+    }
+    out
+}
+
+/// Convert a list of trace jobs (with release dates) into an off-line
+/// RESASCHEDULING instance by dropping the release dates — the paper's
+/// off-line model considers all jobs available at time 0.
+pub fn as_offline_instance(
+    machines: u32,
+    jobs: &[Job],
+    reservations: Vec<Reservation>,
+) -> Result<ResaInstance, resa_core::error::ModelError> {
+    let offline: Vec<Job> = jobs
+        .iter()
+        .map(|j| Job::new(j.id.0, j.width.min(machines).max(1), j.duration))
+        .collect();
+    ResaInstance::new(machines, offline, reservations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let jobs = vec![
+            Job::released_at(0usize, 4, 100u64, 0u64),
+            Job::released_at(1usize, 16, 50u64, 30u64),
+            Job::released_at(2usize, 1, 7u64, 31u64),
+        ];
+        let text = write_trace(&jobs, 32);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, jobs);
+    }
+
+    #[test]
+    fn parses_comments_and_extra_fields() {
+        let text = "; comment\n# other comment\n\n 3 10 20 4 extra fields ignored 9 9\n";
+        let jobs = parse_trace(text).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id, JobId(0)); // re-numbered densely
+        assert_eq!(jobs[0].release, Time(10));
+        assert_eq!(jobs[0].duration, Dur(20));
+        assert_eq!(jobs[0].width, 4);
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        assert_eq!(
+            parse_trace("1 2 3").unwrap_err(),
+            SwfError::MissingFields { line: 1 }
+        );
+        assert_eq!(
+            parse_trace("; ok\n1 2 x 4").unwrap_err(),
+            SwfError::BadField {
+                line: 2,
+                field: "run_time"
+            }
+        );
+        assert_eq!(
+            parse_trace("1 0 5 0").unwrap_err(),
+            SwfError::DegenerateJob { line: 1 }
+        );
+        assert_eq!(
+            parse_trace("1 0 0 5").unwrap_err(),
+            SwfError::DegenerateJob { line: 1 }
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SwfError::MissingFields { line: 3 }.to_string().contains("3"));
+        assert!(SwfError::BadField {
+            line: 1,
+            field: "processors"
+        }
+        .to_string()
+        .contains("processors"));
+    }
+
+    #[test]
+    fn offline_instance_conversion() {
+        let jobs = vec![
+            Job::released_at(0usize, 4, 10u64, 5u64),
+            Job::released_at(1usize, 64, 3u64, 9u64), // wider than the cluster: clamped
+        ];
+        let inst = as_offline_instance(16, &jobs, Vec::new()).unwrap();
+        assert_eq!(inst.n_jobs(), 2);
+        assert!(inst.jobs().iter().all(|j| j.release == Time::ZERO));
+        assert_eq!(inst.jobs()[1].width, 16);
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(parse_trace("").unwrap().is_empty());
+        assert!(parse_trace("; nothing\n").unwrap().is_empty());
+    }
+}

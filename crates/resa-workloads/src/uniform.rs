@@ -1,0 +1,122 @@
+//! Uniform random rigid-job workloads.
+//!
+//! The simplest synthetic model: independent jobs whose widths and durations
+//! are drawn uniformly from configurable ranges. Useful as a neutral baseline
+//! for the average-case experiments (E7 in DESIGN.md).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use resa_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the uniform workload model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniformWorkload {
+    /// Number of machines of the target cluster.
+    pub machines: u32,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Minimum job width (inclusive).
+    pub min_width: u32,
+    /// Maximum job width (inclusive, clamped to `machines`).
+    pub max_width: u32,
+    /// Minimum duration (inclusive).
+    pub min_duration: u64,
+    /// Maximum duration (inclusive).
+    pub max_duration: u64,
+}
+
+impl UniformWorkload {
+    /// A reasonable default configuration for a cluster of `machines`
+    /// processors: widths in `[1, machines/2]`, durations in `[1, 50]`.
+    pub fn for_cluster(machines: u32, jobs: usize) -> Self {
+        UniformWorkload {
+            machines,
+            jobs,
+            min_width: 1,
+            max_width: (machines / 2).max(1),
+            min_duration: 1,
+            max_duration: 50,
+        }
+    }
+
+    /// Generate the jobs of the workload deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generate the jobs using an existing RNG.
+    pub fn generate_with<R: Rng>(&self, rng: &mut R) -> Vec<Job> {
+        let max_w = self.max_width.min(self.machines).max(self.min_width);
+        let max_d = self.max_duration.max(self.min_duration);
+        (0..self.jobs)
+            .map(|i| {
+                let width = rng.gen_range(self.min_width..=max_w);
+                let duration = rng.gen_range(self.min_duration..=max_d);
+                Job::new(i, width, duration)
+            })
+            .collect()
+    }
+
+    /// Generate a complete (reservation-free) instance.
+    pub fn instance(&self, seed: u64) -> ResaInstance {
+        ResaInstance::new(self.machines, self.generate(seed), Vec::new())
+            .expect("generated jobs always fit the cluster")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_ranges() {
+        let w = UniformWorkload {
+            machines: 16,
+            jobs: 200,
+            min_width: 2,
+            max_width: 8,
+            min_duration: 5,
+            max_duration: 10,
+        };
+        let jobs = w.generate(1);
+        assert_eq!(jobs.len(), 200);
+        assert!(jobs.iter().all(|j| (2..=8).contains(&j.width)));
+        assert!(jobs.iter().all(|j| (5..=10).contains(&j.duration.ticks())));
+        // Dense ids.
+        assert!(jobs.iter().enumerate().all(|(i, j)| j.id == JobId(i)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = UniformWorkload::for_cluster(32, 50);
+        assert_eq!(w.generate(7), w.generate(7));
+        assert_ne!(w.generate(7), w.generate(8));
+    }
+
+    #[test]
+    fn instance_is_valid() {
+        let w = UniformWorkload::for_cluster(8, 30);
+        let inst = w.instance(3);
+        assert_eq!(inst.n_jobs(), 30);
+        assert_eq!(inst.machines(), 8);
+        assert_eq!(inst.n_reservations(), 0);
+    }
+
+    #[test]
+    fn degenerate_ranges_are_clamped() {
+        let w = UniformWorkload {
+            machines: 4,
+            jobs: 10,
+            min_width: 3,
+            max_width: 100, // clamped to machines
+            min_duration: 7,
+            max_duration: 7,
+        };
+        let jobs = w.generate(0);
+        assert!(jobs.iter().all(|j| j.width >= 3 && j.width <= 4));
+        assert!(jobs.iter().all(|j| j.duration == Dur(7)));
+    }
+}

@@ -1,0 +1,100 @@
+//! On-line operation of a reservation-aware batch scheduler.
+//!
+//! Jobs arrive over time (they are only visible to the scheduler after their
+//! submission date); the discrete-event simulator replays the workload under
+//! FCFS, EASY back-filling and the greedy LSRC-like policy, with a standing
+//! block of α-restricted reservations. The run also demonstrates the
+//! batch-doubling wrapper of §2.1 and round-trips the workload through the
+//! SWF-style trace format.
+//!
+//! Run with: `cargo run --release --example online_simulation`
+
+use resa_repro::prelude::*;
+
+fn main() {
+    let machines = 64u32;
+    let n_jobs = 150usize;
+    let seed = 11;
+
+    // Generate an arriving workload and persist it as a trace, as a production
+    // deployment would.
+    let jobs = FeitelsonWorkload::for_cluster(machines, n_jobs)
+        .with_arrivals(6)
+        .generate(seed);
+    let trace_text = write_trace(&jobs, machines);
+    println!(
+        "Synthetic SWF-style trace: {} lines, first job arrives at t={}, last at t={}",
+        trace_text.lines().count(),
+        jobs.first().unwrap().release,
+        jobs.last().unwrap().release
+    );
+    // Round-trip through the codec (what a real deployment would read back).
+    let parsed = parse_trace(&trace_text).expect("our own traces always parse");
+    assert_eq!(parsed, jobs);
+
+    // Reservations: the cluster policy caps them at (1−α)m with α = 1/2.
+    let instance = AlphaReservations {
+        machines,
+        alpha: Alpha::HALF,
+        count: 5,
+        horizon: 3_000,
+        max_duration: 300,
+    }
+    .instance(parsed, seed);
+
+    let sim = Simulator::new(instance.clone());
+    println!(
+        "\nSimulating {} jobs on {} machines with {} reservations\n",
+        instance.n_jobs(),
+        machines,
+        instance.n_reservations()
+    );
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "policy", "C_max", "mean wait", "max wait", "bounded sld", "util"
+    );
+    let fcfs = sim.run(&FcfsPolicy);
+    let easy = sim.run(&EasyPolicy);
+    let greedy = sim.run(&GreedyPolicy);
+    for (name, result) in [
+        ("FCFS", &fcfs),
+        ("EASY backfilling", &easy),
+        ("greedy (LSRC)", &greedy),
+    ] {
+        assert!(result.schedule.is_valid(&instance));
+        let m = &result.metrics;
+        println!(
+            "{:<22} {:>8} {:>12.1} {:>12} {:>12.2} {:>10.3}",
+            name,
+            m.makespan.ticks(),
+            m.mean_wait,
+            m.max_wait,
+            m.mean_bounded_slowdown,
+            m.utilization
+        );
+    }
+
+    // The batch-doubling wrapper around off-line LSRC (§2.1): an off-line
+    // algorithm used on-line with a factor-2 loss on the makespan.
+    let batched = BatchScheduler::new(Lsrc::new()).schedule(&instance);
+    assert!(batched.is_valid(&instance));
+    let batch_metrics = SimMetrics::from_schedule(&instance, &batched);
+    let offline = Lsrc::new().schedule(&instance);
+    println!(
+        "{:<22} {:>8} {:>12.1} {:>12} {:>12.2} {:>10.3}",
+        "batch(LSRC) wrapper",
+        batch_metrics.makespan.ticks(),
+        batch_metrics.mean_wait,
+        batch_metrics.max_wait,
+        batch_metrics.mean_bounded_slowdown,
+        batch_metrics.utilization
+    );
+    println!(
+        "\nClairvoyant off-line LSRC on the same instance: C_max = {}",
+        offline.makespan(&instance)
+    );
+    println!(
+        "Batch wrapper / off-line ratio: {:.3} (the doubling argument guarantees ≤ 2·ρ)",
+        batch_metrics.makespan.ticks() as f64 / offline.makespan(&instance).ticks() as f64
+    );
+}

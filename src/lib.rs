@@ -1,0 +1,45 @@
+//! # resa-repro
+//!
+//! Umbrella crate of the reproduction of *"Analysis of Scheduling Algorithms
+//! with Reservations"* (Eyraud-Dubois, Mounié, Trystram — IPDPS 2007).
+//!
+//! It re-exports the public surface of every crate of the workspace so the
+//! runnable examples (`examples/*.rs`) and the cross-crate integration tests
+//! (`tests/*.rs`) can use a single import:
+//!
+//! ```
+//! use resa_repro::prelude::*;
+//!
+//! let instance = ResaInstanceBuilder::new(8)
+//!     .job(4, 10u64)
+//!     .job(8, 2u64)
+//!     .reservation(6, 4u64, 3u64)
+//!     .build()
+//!     .unwrap();
+//! let schedule = Lsrc::new().schedule(&instance);
+//! assert!(schedule.is_valid(&instance));
+//! ```
+//!
+//! See the individual crates for the real documentation:
+//! [`resa_core`], [`resa_algos`], [`resa_exact`], [`resa_workloads`],
+//! [`resa_sim`], [`resa_analysis`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use resa_algos;
+pub use resa_analysis;
+pub use resa_core;
+pub use resa_exact;
+pub use resa_sim;
+pub use resa_workloads;
+
+/// Everything, re-exported flat.
+pub mod prelude {
+    pub use resa_algos::prelude::*;
+    pub use resa_analysis::prelude::*;
+    pub use resa_core::prelude::*;
+    pub use resa_exact::prelude::*;
+    pub use resa_sim::prelude::*;
+    pub use resa_workloads::prelude::*;
+}
