@@ -26,15 +26,14 @@ impl ConservativeBackfilling {
     pub fn new() -> Self {
         ConservativeBackfilling
     }
-}
 
-impl Scheduler for ConservativeBackfilling {
-    fn name(&self) -> String {
-        "conservative-backfilling".to_string()
-    }
-
-    fn schedule(&self, instance: &ResaInstance) -> Schedule {
-        let mut profile = instance.profile();
+    /// Run conservative backfilling against an explicit availability
+    /// substrate (naive profile or indexed timeline).
+    pub fn schedule_with<C: CapacityQuery>(
+        &self,
+        instance: &ResaInstance,
+        mut profile: C,
+    ) -> Schedule {
         let mut schedule = Schedule::new();
         for job in instance.jobs() {
             let start = profile
@@ -46,6 +45,16 @@ impl Scheduler for ConservativeBackfilling {
             schedule.place(job.id, start);
         }
         schedule
+    }
+}
+
+impl Scheduler for ConservativeBackfilling {
+    fn name(&self) -> String {
+        "conservative-backfilling".to_string()
+    }
+
+    fn schedule(&self, instance: &ResaInstance) -> Schedule {
+        self.schedule_with(instance, instance.timeline())
     }
 }
 
@@ -64,18 +73,19 @@ impl EasyBackfilling {
     pub fn new() -> Self {
         EasyBackfilling
     }
-}
 
-impl Scheduler for EasyBackfilling {
-    fn name(&self) -> String {
-        "EASY-backfilling".to_string()
-    }
-
-    fn schedule(&self, instance: &ResaInstance) -> Schedule {
+    /// Run EASY backfilling against an explicit availability substrate
+    /// (naive profile or indexed timeline).
+    pub fn schedule_with<C: CapacityQuery>(
+        &self,
+        instance: &ResaInstance,
+        mut profile: C,
+    ) -> Schedule {
         let jobs = instance.jobs();
-        let mut profile = instance.profile();
         let mut schedule = Schedule::new();
-        let mut queue: Vec<JobId> = jobs.iter().map(|j| j.id).collect();
+        // Hold jobs directly: the event loop below re-examines the queue at
+        // every decision point, so per-candidate lookups must be O(1).
+        let mut queue: Vec<&Job> = jobs.iter().collect();
         if queue.is_empty() {
             return schedule;
         }
@@ -85,15 +95,13 @@ impl Scheduler for EasyBackfilling {
 
         while !queue.is_empty() {
             // 1. Start the head of the queue (and successive heads) while they fit.
-            while let Some(&head_id) = queue.first() {
-                let head = instance.job(head_id).expect("ids come from the instance");
-                if head.release <= now
-                    && profile.min_capacity_in(now, head.duration) >= head.width
+            while let Some(&head) = queue.first() {
+                if head.release <= now && profile.min_capacity_in(now, head.duration) >= head.width
                 {
                     profile
                         .reserve(now, head.duration, head.width)
                         .expect("capacity just checked");
-                    schedule.place(head_id, now);
+                    schedule.place(head.id, now);
                     completions.insert(now + head.duration);
                     queue.remove(0);
                 } else {
@@ -105,8 +113,7 @@ impl Scheduler for EasyBackfilling {
             }
             // 2. The head does not fit now: compute its shadow start on a
             //    snapshot of the current profile.
-            let head_id = queue[0];
-            let head = instance.job(head_id).expect("ids come from the instance");
+            let head = queue[0];
             let shadow = profile
                 .earliest_fit(head.width, head.duration, now.max(head.release))
                 .expect("feasible instances always admit a fit");
@@ -114,10 +121,9 @@ impl Scheduler for EasyBackfilling {
             //    the shadow start of the head job.
             let mut i = 1;
             while i < queue.len() {
-                let id = queue[i];
-                let job = instance.job(id).expect("ids come from the instance");
-                let fits_now = job.release <= now
-                    && profile.min_capacity_in(now, job.duration) >= job.width;
+                let job = queue[i];
+                let fits_now =
+                    job.release <= now && profile.min_capacity_in(now, job.duration) >= job.width;
                 if fits_now {
                     // Tentatively reserve and re-check the head's shadow time.
                     profile
@@ -127,7 +133,7 @@ impl Scheduler for EasyBackfilling {
                         .earliest_fit(head.width, head.duration, now.max(head.release))
                         .expect("feasible instances always admit a fit");
                     if new_shadow <= shadow {
-                        schedule.place(id, now);
+                        schedule.place(job.id, now);
                         completions.insert(now + job.duration);
                         queue.remove(i);
                         continue; // same index now holds the next job
@@ -149,18 +155,29 @@ impl Scheduler for EasyBackfilling {
                 .next()
                 .copied();
             let next_profile_change = profile.next_change_after(now);
-            let candidates = [next_completion, next_release, next_profile_change, Some(shadow)];
-            let next = candidates
-                .into_iter()
-                .flatten()
-                .filter(|&t| t > now)
-                .min();
+            let candidates = [
+                next_completion,
+                next_release,
+                next_profile_change,
+                Some(shadow),
+            ];
+            let next = candidates.into_iter().flatten().filter(|&t| t > now).min();
             match next {
                 Some(t) => now = t,
                 None => now = shadow.max(now + Dur::ONE),
             }
         }
         schedule
+    }
+}
+
+impl Scheduler for EasyBackfilling {
+    fn name(&self) -> String {
+        "EASY-backfilling".to_string()
+    }
+
+    fn schedule(&self, instance: &ResaInstance) -> Schedule {
+        self.schedule_with(instance, instance.timeline())
     }
 }
 
@@ -205,9 +222,16 @@ mod tests {
         let s = EasyBackfilling::new().schedule(&inst);
         assert!(s.is_valid(&inst));
         assert_eq!(s.start_of(JobId(0)), Some(Time(0)));
-        assert_eq!(s.start_of(JobId(2)), Some(Time(0)), "harmless backfill allowed");
+        assert_eq!(
+            s.start_of(JobId(2)),
+            Some(Time(0)),
+            "harmless backfill allowed"
+        );
         assert_eq!(s.start_of(JobId(1)), Some(Time(4)), "head not delayed");
-        assert!(s.start_of(JobId(3)).unwrap() >= Time(4), "delaying backfill refused");
+        assert!(
+            s.start_of(JobId(3)).unwrap() >= Time(4),
+            "delaying backfill refused"
+        );
     }
 
     #[test]
@@ -231,7 +255,11 @@ mod tests {
         let mut makespans = Vec::new();
         for s in &schedulers {
             let sched = s.schedule(&inst);
-            assert!(sched.is_valid(&inst), "{} produced invalid schedule", s.name());
+            assert!(
+                sched.is_valid(&inst),
+                "{} produced invalid schedule",
+                s.name()
+            );
             assert_eq!(sched.len(), inst.n_jobs());
             makespans.push(sched.makespan(&inst));
         }

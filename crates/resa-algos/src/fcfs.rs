@@ -19,15 +19,14 @@ impl Fcfs {
     pub fn new() -> Self {
         Fcfs
     }
-}
 
-impl Scheduler for Fcfs {
-    fn name(&self) -> String {
-        "FCFS".to_string()
-    }
-
-    fn schedule(&self, instance: &ResaInstance) -> Schedule {
-        let mut profile = instance.profile();
+    /// Run FCFS against an explicit availability substrate (naive profile or
+    /// indexed timeline); the schedule is identical either way.
+    pub fn schedule_with<C: CapacityQuery>(
+        &self,
+        instance: &ResaInstance,
+        mut profile: C,
+    ) -> Schedule {
         let mut schedule = Schedule::new();
         // No job may start before the start time of any earlier-submitted job.
         let mut frontier = Time::ZERO;
@@ -43,6 +42,16 @@ impl Scheduler for Fcfs {
             frontier = start;
         }
         schedule
+    }
+}
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> String {
+        "FCFS".to_string()
+    }
+
+    fn schedule(&self, instance: &ResaInstance) -> Schedule {
+        self.schedule_with(instance, instance.timeline())
     }
 }
 

@@ -21,6 +21,13 @@
 //! Every algorithm implements [`traits::Scheduler`] and always returns a
 //! feasible schedule for a valid instance.
 //!
+//! Every scheduler is generic over the availability substrate through
+//! `resa_core::capacity::CapacityQuery`: `Scheduler::schedule` runs on the
+//! segment-tree `AvailabilityTimeline` (`O(log B)` queries), while the
+//! per-scheduler `schedule_with` methods also accept the naive
+//! `ResourceProfile` — the produced schedules are identical either way
+//! (property-tested below), only the complexity differs.
+//!
 //! ```
 //! use resa_algos::prelude::*;
 //! use resa_core::prelude::*;
@@ -37,6 +44,11 @@
 //! assert!(lsrc.is_valid(&instance));
 //! let fcfs = Fcfs::new().schedule(&instance);
 //! assert!(fcfs.is_valid(&instance));
+//! // Naive profile and indexed timeline backends agree schedule-for-schedule.
+//! assert_eq!(
+//!     Lsrc::new().schedule_with(&instance, instance.profile()),
+//!     Lsrc::new().schedule_with(&instance, instance.timeline()),
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
@@ -75,9 +87,9 @@ pub fn all_schedulers() -> Vec<Box<dyn traits::Scheduler>> {
         Box::new(list_scheduling::Lsrc::with_order(priority::ListOrder::Lpt)),
         Box::new(shelf::ShelfScheduler::nfdh()),
         Box::new(shelf::ShelfScheduler::ffdh()),
-        Box::new(local_search::LocalSearch::new(list_scheduling::Lsrc::with_order(
-            priority::ListOrder::Lpt,
-        ))),
+        Box::new(local_search::LocalSearch::new(
+            list_scheduling::Lsrc::with_order(priority::ListOrder::Lpt),
+        )),
     ]
 }
 
@@ -128,6 +140,43 @@ mod proptests {
             let sched = s.schedule(&inst);
             prop_assert!(sched.is_valid(&inst));
             prop_assert!(sched.makespan(&inst) >= lower_bound(&inst).unwrap());
+        }
+
+        /// Every scheduler produces the *identical* schedule whether it runs
+        /// on the naive `ResourceProfile` or on the segment-tree
+        /// `AvailabilityTimeline` — the substrate is a pure performance
+        /// choice, never a behavioural one.
+        #[test]
+        fn schedulers_identical_through_either_backend(inst in arb_instance()) {
+            for order in ListOrder::DETERMINISTIC {
+                let lsrc = Lsrc::with_order(order);
+                prop_assert_eq!(
+                    lsrc.schedule_with(&inst, inst.profile()),
+                    lsrc.schedule_with(&inst, inst.timeline()),
+                    "LSRC({}) diverged between backends", order
+                );
+            }
+            let fcfs = Fcfs::new();
+            prop_assert_eq!(
+                fcfs.schedule_with(&inst, inst.profile()),
+                fcfs.schedule_with(&inst, inst.timeline())
+            );
+            let cons = ConservativeBackfilling::new();
+            prop_assert_eq!(
+                cons.schedule_with(&inst, inst.profile()),
+                cons.schedule_with(&inst, inst.timeline())
+            );
+            let easy = EasyBackfilling::new();
+            prop_assert_eq!(
+                easy.schedule_with(&inst, inst.profile()),
+                easy.schedule_with(&inst, inst.timeline())
+            );
+            for shelf in [ShelfScheduler::nfdh(), ShelfScheduler::ffdh()] {
+                prop_assert_eq!(
+                    shelf.schedule_with(&inst, inst.profile()),
+                    shelf.schedule_with(&inst, inst.timeline())
+                );
+            }
         }
 
         /// Without reservations, LSRC satisfies Graham's bound relative to the

@@ -42,13 +42,28 @@ impl Lsrc {
     /// processors only.
     pub fn schedule_clamped(&self, instance: &ResaInstance, cap: u32) -> Schedule {
         let profile = instance.profile().clamped(cap);
-        self.schedule_on_profile(instance, profile)
+        self.schedule_with(instance, AvailabilityTimeline::from(&profile))
     }
 
-    fn schedule_on_profile(&self, instance: &ResaInstance, mut profile: ResourceProfile) -> Schedule {
+    /// Run LSRC against an explicit availability substrate. The substrate may
+    /// be the naive [`ResourceProfile`] or the indexed
+    /// [`AvailabilityTimeline`]; the produced schedule is identical either
+    /// way (property-tested), only the query complexity differs.
+    pub fn schedule_with<C: CapacityQuery>(
+        &self,
+        instance: &ResaInstance,
+        mut profile: C,
+    ) -> Schedule {
         let jobs = instance.jobs();
         let list = self.order.arrange(jobs);
-        let mut remaining: Vec<JobId> = list;
+        let mut remaining: Vec<&Job> = list
+            .iter()
+            .map(|&id| {
+                instance
+                    .job(id)
+                    .expect("arranged ids come from the instance")
+            })
+            .collect();
         let mut schedule = Schedule::new();
         if remaining.is_empty() {
             return schedule;
@@ -68,15 +83,13 @@ impl Lsrc {
                 progressed = false;
                 let mut i = 0;
                 while i < remaining.len() {
-                    let id = remaining[i];
-                    let job = instance.job(id).expect("job ids come from the instance");
-                    if job.release <= now
-                        && profile.min_capacity_in(now, job.duration) >= job.width
+                    let job = remaining[i];
+                    if job.release <= now && profile.min_capacity_in(now, job.duration) >= job.width
                     {
                         profile
                             .reserve(now, job.duration, job.width)
                             .expect("capacity was just checked");
-                        schedule.place(id, now);
+                        schedule.place(job.id, now);
                         completions.insert(now + job.duration);
                         remaining.remove(i);
                         progressed = true;
@@ -89,12 +102,10 @@ impl Lsrc {
                 break;
             }
             // Advance the clock to the next event strictly after `now`.
-            let next_completion = completions.range((
-                std::ops::Bound::Excluded(now),
-                std::ops::Bound::Unbounded,
-            ))
-            .next()
-            .copied();
+            let next_completion = completions
+                .range((std::ops::Bound::Excluded(now), std::ops::Bound::Unbounded))
+                .next()
+                .copied();
             let next_release = releases
                 .range((std::ops::Bound::Excluded(now), std::ops::Bound::Unbounded))
                 .next()
@@ -112,16 +123,15 @@ impl Lsrc {
                     // have scheduled it — unless a job is wider than the tail
                     // capacity, which cannot happen on a validated instance.
                     // Defensive fallback: place jobs sequentially.
-                    let ids: Vec<JobId> = std::mem::take(&mut remaining);
-                    for id in ids {
-                        let job = instance.job(id).expect("job ids come from the instance");
+                    let tail: Vec<&Job> = std::mem::take(&mut remaining);
+                    for job in tail {
                         let start = profile
                             .earliest_fit(job.width, job.duration, now)
                             .expect("feasible instances always admit a fit");
                         profile
                             .reserve(start, job.duration, job.width)
                             .expect("earliest_fit guarantees capacity");
-                        schedule.place(id, start);
+                        schedule.place(job.id, start);
                     }
                 }
             }
@@ -142,7 +152,7 @@ impl Scheduler for Lsrc {
     }
 
     fn schedule(&self, instance: &ResaInstance) -> Schedule {
-        self.schedule_on_profile(instance, instance.profile())
+        self.schedule_with(instance, instance.timeline())
     }
 }
 

@@ -83,7 +83,9 @@ fn improve_once(instance: &ResaInstance, schedule: &Schedule) -> Option<Schedule
         .placements()
         .iter()
         .max_by_key(|p| {
-            let j = instance.job(p.job).expect("schedules reference instance jobs");
+            let j = instance
+                .job(p.job)
+                .expect("schedules reference instance jobs");
             (p.start + j.duration, p.start)
         })
         .map(|p| p.job)?;
@@ -98,8 +100,8 @@ fn improve_once(instance: &ResaInstance, schedule: &Schedule) -> Option<Schedule
     let mut ids: Vec<JobId> = Vec::with_capacity(order.len() + 1);
     ids.push(critical);
     ids.extend(order.into_iter().map(|(_, id)| id));
-    // Conservative earliest-fit rebuild.
-    let mut profile = instance.profile();
+    // Conservative earliest-fit rebuild on the indexed timeline.
+    let mut profile = instance.timeline();
     let mut rebuilt = Schedule::new();
     for id in ids {
         let job = instance.job(id).expect("schedules reference instance jobs");
@@ -189,7 +191,11 @@ mod tests {
 
     #[test]
     fn zero_rounds_is_the_base_schedule() {
-        let inst = ResaInstanceBuilder::new(4).job(2, 3u64).job(2, 5u64).build().unwrap();
+        let inst = ResaInstanceBuilder::new(4)
+            .job(2, 3u64)
+            .job(2, 5u64)
+            .build()
+            .unwrap();
         let base = Lsrc::new();
         let wrapped = LocalSearch::with_rounds(base, 0);
         assert_eq!(

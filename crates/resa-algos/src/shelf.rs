@@ -59,12 +59,8 @@ impl ShelfScheduler {
         let mut shelves: Vec<Shelf> = Vec::new();
         for job in jobs {
             let target = match self.rule {
-                ShelfRule::NextFit => shelves
-                    .last_mut()
-                    .filter(|s| s.used_width + job.width <= m),
-                ShelfRule::FirstFit => shelves
-                    .iter_mut()
-                    .find(|s| s.used_width + job.width <= m),
+                ShelfRule::NextFit => shelves.last_mut().filter(|s| s.used_width + job.width <= m),
+                ShelfRule::FirstFit => shelves.iter_mut().find(|s| s.used_width + job.width <= m),
             };
             match target {
                 Some(shelf) => {
@@ -83,19 +79,15 @@ impl ShelfScheduler {
         }
         shelves
     }
-}
 
-impl Scheduler for ShelfScheduler {
-    fn name(&self) -> String {
-        match self.rule {
-            ShelfRule::NextFit => "shelf-NFDH".to_string(),
-            ShelfRule::FirstFit => "shelf-FFDH".to_string(),
-        }
-    }
-
-    fn schedule(&self, instance: &ResaInstance) -> Schedule {
+    /// Place the shelves against an explicit availability substrate (naive
+    /// profile or indexed timeline).
+    pub fn schedule_with<C: CapacityQuery>(
+        &self,
+        instance: &ResaInstance,
+        mut profile: C,
+    ) -> Schedule {
         let shelves = self.build_shelves(instance);
-        let mut profile = instance.profile();
         let mut schedule = Schedule::new();
         let mut earliest = instance.max_release();
         for shelf in shelves {
@@ -115,6 +107,19 @@ impl Scheduler for ShelfScheduler {
             earliest = start;
         }
         schedule
+    }
+}
+
+impl Scheduler for ShelfScheduler {
+    fn name(&self) -> String {
+        match self.rule {
+            ShelfRule::NextFit => "shelf-NFDH".to_string(),
+            ShelfRule::FirstFit => "shelf-FFDH".to_string(),
+        }
+    }
+
+    fn schedule(&self, instance: &ResaInstance) -> Schedule {
+        self.schedule_with(instance, instance.timeline())
     }
 }
 

@@ -107,7 +107,8 @@ pub fn nonincreasing_to_rigid(
         jobs.push(Job::new(id, width, duration));
         surrogate_ids.push(id);
     }
-    let instance = RigidInstance::new(m_prime, jobs).map_err(|_| TransformError::NoMachinesAtHorizon)?;
+    let instance =
+        RigidInstance::new(m_prime, jobs).map_err(|_| TransformError::NoMachinesAtHorizon)?;
     Ok(RigidTransform {
         instance,
         surrogate_ids,

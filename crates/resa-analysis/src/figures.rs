@@ -162,15 +162,13 @@ fn lsrc_with_explicit_order(instance: &ResaInstance, order: &[JobId]) -> Time {
     // run the stock LSRC(submission).
     let mut jobs = Vec::with_capacity(instance.n_jobs());
     for (new_id, &old_id) in order.iter().enumerate() {
-        let j = instance.job(old_id).expect("order references instance jobs");
+        let j = instance
+            .job(old_id)
+            .expect("order references instance jobs");
         jobs.push(Job::released_at(new_id, j.width, j.duration, j.release));
     }
-    let reordered = ResaInstance::new(
-        instance.machines(),
-        jobs,
-        instance.reservations().to_vec(),
-    )
-    .expect("reordering preserves validity");
+    let reordered = ResaInstance::new(instance.machines(), jobs, instance.reservations().to_vec())
+        .expect("reordering preserves validity");
     Lsrc::new().schedule(&reordered).makespan(&reordered)
 }
 
@@ -203,8 +201,8 @@ pub fn figure3_series(ks: &[u32]) -> Vec<Fig3Row> {
             let optimal = proposition2_optimal_schedule(k);
             debug_assert!(optimal.is_valid(&adv.instance));
             debug_assert_eq!(optimal.makespan(&adv.instance), adv.optimal_makespan);
-            let measured = lsrc.makespan(&adv.instance).ticks() as f64
-                / adv.optimal_makespan.ticks() as f64;
+            let measured =
+                lsrc.makespan(&adv.instance).ticks() as f64 / adv.optimal_makespan.ticks() as f64;
             Fig3Row {
                 k,
                 alpha,
@@ -297,7 +295,11 @@ mod tests {
         let rows = figure3_series(&[3, 4, 5, 6]);
         assert_eq!(rows.len(), 4);
         for row in &rows {
-            assert!((row.measured_ratio - row.predicted_ratio).abs() < 1e-9, "k = {}", row.k);
+            assert!(
+                (row.measured_ratio - row.predicted_ratio).abs() < 1e-9,
+                "k = {}",
+                row.k
+            );
         }
         // The k = 6 row is the printed Figure-3 picture: m = 180, 6 vs 31.
         let k6 = rows.iter().find(|r| r.k == 6).unwrap();

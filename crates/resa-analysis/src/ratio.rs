@@ -110,7 +110,11 @@ impl RatioHarness {
         reference_kind: ReferenceKind,
     ) -> RatioMeasurement {
         let schedule = scheduler.schedule(instance);
-        debug_assert!(schedule.is_valid(instance), "{} is broken", scheduler.name());
+        debug_assert!(
+            schedule.is_valid(instance),
+            "{} is broken",
+            scheduler.name()
+        );
         let makespan = schedule.makespan(instance);
         let ratio = if reference == Time::ZERO {
             1.0

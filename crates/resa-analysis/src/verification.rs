@@ -258,7 +258,10 @@ mod tests {
     fn violations_are_detected() {
         // A deliberately terrible (but feasible) schedule: everything
         // sequential at the far end.
-        let inst = ResaInstanceBuilder::new(4).jobs(4, 1, 1u64).build().unwrap();
+        let inst = ResaInstanceBuilder::new(4)
+            .jobs(4, 1, 1u64)
+            .build()
+            .unwrap();
         let mut schedule = Schedule::new();
         for (i, j) in inst.jobs().iter().enumerate() {
             schedule.place(j.id, Time(100 * (i as u64 + 1)));

@@ -25,11 +25,9 @@ fn bench_algorithms(c: &mut Criterion) {
         let inst = workload(128, n, Alpha::HALF);
         group.throughput(Throughput::Elements(n as u64));
         for scheduler in resa_algos::all_schedulers() {
-            group.bench_with_input(
-                BenchmarkId::new(scheduler.name(), n),
-                &inst,
-                |b, inst| b.iter(|| scheduler.makespan(inst)),
-            );
+            group.bench_with_input(BenchmarkId::new(scheduler.name(), n), &inst, |b, inst| {
+                b.iter(|| scheduler.makespan(inst))
+            });
         }
     }
     group.finish();
@@ -54,7 +52,7 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

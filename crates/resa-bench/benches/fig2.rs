@@ -21,13 +21,18 @@ fn bench_fig2(c: &mut Criterion) {
             b.iter(|| Lsrc::new().makespan(inst))
         });
         group.bench_with_input(BenchmarkId::new("transform", m), &inst, |b, inst| {
-            b.iter(|| nonincreasing_to_rigid(inst, Time(10_000)).unwrap().instance.n_jobs())
+            b.iter(|| {
+                nonincreasing_to_rigid(inst, Time(10_000))
+                    .unwrap()
+                    .instance
+                    .n_jobs()
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

@@ -7,12 +7,14 @@ fn bench_fig4(c: &mut Criterion) {
     c.bench_function("fig4_bounds_grid_1000", |b| {
         b.iter(|| {
             let rows = figure4_series(0.01, 1000);
-            rows.iter().map(|r| r.b1 + r.b2 + r.upper_bound).sum::<f64>()
+            rows.iter()
+                .map(|r| r.b1 + r.b2 + r.upper_bound)
+                .sum::<f64>()
         })
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

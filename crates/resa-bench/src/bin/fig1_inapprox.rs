@@ -13,7 +13,14 @@ fn main() {
     let mut table = Table::new(
         "E1 / Figure 1 — 3-PARTITION reduction (m = 1)",
         &[
-            "k", "B", "rho", "satisfiable", "OPT", "yes-makespan", "barrier end", "LSRC",
+            "k",
+            "B",
+            "rho",
+            "satisfiable",
+            "OPT",
+            "yes-makespan",
+            "barrier end",
+            "LSRC",
             "partition recovered",
         ],
     );

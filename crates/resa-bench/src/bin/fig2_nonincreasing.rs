@@ -11,8 +11,15 @@ fn main() {
     let mut table = Table::new(
         "E2 / Figure 2 — LSRC under non-increasing reservations vs the 2 - 1/m(C*) bound",
         &[
-            "m", "jobs", "m(C*)", "reference", "ref optimal", "LSRC", "LSRC (transformed)",
-            "ratio", "bound",
+            "m",
+            "jobs",
+            "m(C*)",
+            "reference",
+            "ref optimal",
+            "LSRC",
+            "LSRC (transformed)",
+            "ratio",
+            "bound",
         ],
     );
     for r in &rows {

@@ -12,7 +12,15 @@ fn main() {
     let rows = figure3_series(&[3, 4, 5, 6, 7, 8, 10, 12]);
     let mut table = Table::new(
         "E3 / Figure 3 — Proposition-2 adversarial instances (alpha = 2/k)",
-        &["k", "alpha", "m", "OPT", "LSRC", "measured ratio", "2/a - 1 + a/2"],
+        &[
+            "k",
+            "alpha",
+            "m",
+            "OPT",
+            "LSRC",
+            "measured ratio",
+            "2/a - 1 + a/2",
+        ],
     );
     for r in &rows {
         table.push_row(vec![
@@ -30,10 +38,16 @@ fn main() {
     // Draw the k = 6 case the way the paper does (Figure 3).
     let adv = proposition2_instance(6);
     let optimal = proposition2_optimal_schedule(6);
-    println!("Optimal schedule of the k = 6 instance (C*max = {}):", optimal.makespan(&adv.instance));
+    println!(
+        "Optimal schedule of the k = 6 instance (C*max = {}):",
+        optimal.makespan(&adv.instance)
+    );
     println!("{}", render_gantt(&adv.instance, &optimal, 1));
     use resa_algos::prelude::*;
     let lsrc = Lsrc::new().schedule(&adv.instance);
-    println!("LSRC schedule of the same instance (Cmax = {}):", lsrc.makespan(&adv.instance));
+    println!(
+        "LSRC schedule of the same instance (Cmax = {}):",
+        lsrc.makespan(&adv.instance)
+    );
     println!("{}", render_gantt(&adv.instance, &lsrc, 1));
 }

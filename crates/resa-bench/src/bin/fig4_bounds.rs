@@ -21,7 +21,9 @@ fn main() {
 
     // A crude ASCII rendition of the figure (bounds vs alpha, clipped at 10
     // like the paper's y-axis).
-    println!("ASCII plot (x: alpha in [0.05, 1], y: guarantee clipped at 10; U = 2/a, 1 = B1, 2 = B2)");
+    println!(
+        "ASCII plot (x: alpha in [0.05, 1], y: guarantee clipped at 10; U = 2/a, 1 = B1, 2 = B2)"
+    );
     let height = 20usize;
     for level in (0..=height).rev() {
         let y = level as f64 * 10.0 / height as f64;

@@ -4,12 +4,7 @@
 use resa_bench::{average_case_experiment, average_case_table};
 
 fn main() {
-    let rows = average_case_experiment(
-        &[32, 128],
-        &[(3, 10), (1, 2), (7, 10), (1, 1)],
-        120,
-        8,
-    );
+    let rows = average_case_experiment(&[32, 128], &[(3, 10), (1, 2), (7, 10), (1, 1)], 120, 8);
     let table = average_case_table(&rows);
     resa_bench::emit("table_average_case", &table, &rows);
     println!(

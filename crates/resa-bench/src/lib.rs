@@ -181,7 +181,14 @@ pub fn fcfs_table(rows: &[FcfsRow]) -> Table {
     let mut t = Table::new(
         "E6 / §2.2 — FCFS has no constant guarantee (head-of-line blocking family)",
         &[
-            "m", "rounds", "FCFS", "conservative", "EASY", "LSRC", "OPT (ub)", "FCFS/LSRC",
+            "m",
+            "rounds",
+            "FCFS",
+            "conservative",
+            "EASY",
+            "LSRC",
+            "OPT (ub)",
+            "FCFS/LSRC",
         ],
     );
     for r in rows {
@@ -198,6 +205,9 @@ pub fn fcfs_table(rows: &[FcfsRow]) -> Table {
     }
     t
 }
+
+/// Per-algorithm sample accumulator: `(name, [(cmax, cmax/lb, util)])`.
+type AlgoSamples = Vec<(String, Vec<(f64, f64, f64)>)>;
 
 /// One row of the average-case comparison (E7).
 #[derive(Debug, Clone, Serialize)]
@@ -234,7 +244,7 @@ pub fn average_case_experiment(
         .par_iter()
         .flat_map(|&(m, (num, denom))| {
             let alpha = Alpha::new(num, denom).expect("valid alpha parameters");
-            let mut per_algo: Vec<(String, Vec<(f64, f64, f64)>)> = resa_algos::all_schedulers()
+            let mut per_algo: AlgoSamples = resa_algos::all_schedulers()
                 .iter()
                 .map(|s| (s.name(), Vec::new()))
                 .collect();
@@ -414,7 +424,8 @@ pub fn online_batch_experiment(
     mean_interarrival: u64,
     seeds: u64,
 ) -> Vec<OnlineRow> {
-    let mut stats: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>)> = vec![
+    type PolicySamples = (String, Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut stats: Vec<PolicySamples> = vec![
         ("FCFS (online)".to_string(), vec![], vec![], vec![]),
         ("EASY (online)".to_string(), vec![], vec![], vec![]),
         ("greedy-LSRC (online)".to_string(), vec![], vec![], vec![]),
@@ -539,11 +550,18 @@ mod tests {
         let rows = online_batch_experiment(16, 15, 5, 2);
         assert_eq!(rows.len(), 4);
         for r in &rows {
-            assert!(r.mean_vs_offline.is_finite() && r.mean_vs_offline > 0.0, "{}", r.policy);
+            assert!(
+                r.mean_vs_offline.is_finite() && r.mean_vs_offline > 0.0,
+                "{}",
+                r.policy
+            );
         }
         // The on-line greedy policy is exactly the off-line LSRC (it never
         // uses future knowledge), so its normalized makespan is 1.
-        let greedy = rows.iter().find(|r| r.policy.starts_with("greedy")).unwrap();
+        let greedy = rows
+            .iter()
+            .find(|r| r.policy.starts_with("greedy"))
+            .unwrap();
         assert!((greedy.worst_vs_offline - 1.0).abs() < 1e-9);
         // The batch wrapper stays within twice the off-line guarantee
         // (2·ρ with ρ = 2 − 1/m < 2) of the clairvoyant off-line makespan.

@@ -1,0 +1,119 @@
+//! The [`CapacityQuery`] abstraction over availability substrates.
+//!
+//! Every scheduler of the workspace asks the same five questions of the
+//! cluster's availability timeline `m(t) = m − U(t)` (§2 of the paper):
+//! *how much capacity is there at `t`*, *what is the minimum over a window*,
+//! *where is the earliest window that fits a job*, *when does availability
+//! change next*, and *withdraw/return processors over a window*. This trait
+//! captures exactly that contract so algorithms can be written once and run
+//! against either backend:
+//!
+//! * [`crate::profile::ResourceProfile`] — the canonical normalized
+//!   breakpoint list; linear-scan queries, the reference implementation;
+//! * [`crate::timeline::AvailabilityTimeline`] — the segment-tree-indexed
+//!   timeline; `O(log B)` queries over `B` breakpoints, the production
+//!   backend.
+//!
+//! The two are interconvertible without loss (see
+//! [`crate::timeline::AvailabilityTimeline::to_profile`]) and the property
+//! tests in this crate assert query-for-query agreement between them.
+
+use crate::error::ProfileError;
+use crate::profile::ResourceProfile;
+use crate::time::{Dur, Time};
+
+/// Query/update interface over a piecewise-constant availability function.
+///
+/// Semantics mirror the documented behaviour of
+/// [`ResourceProfile`](crate::profile::ResourceProfile): windows are
+/// half-open `[start, start + dur)`, `reserve`/`release` are atomic (a failed
+/// call leaves the substrate untouched), and `earliest_fit` returns the first
+/// instant `t ≥ not_before` such that `width` processors are available
+/// throughout `[t, t + dur)`.
+pub trait CapacityQuery {
+    /// Total number of machines in the cluster (`m`).
+    fn base(&self) -> u32;
+
+    /// Capacity available at time `t`.
+    fn capacity_at(&self, t: Time) -> u32;
+
+    /// Minimum capacity over the half-open window `[start, start + dur)`;
+    /// the capacity at `start` when `dur` is zero.
+    fn min_capacity_in(&self, start: Time, dur: Dur) -> u32;
+
+    /// Earliest `t ≥ not_before` with at least `width` processors available
+    /// throughout `[t, t + dur)`, or `None` if no such time exists.
+    fn earliest_fit(&self, width: u32, dur: Dur, not_before: Time) -> Option<Time>;
+
+    /// The first instant strictly after `t` at which the capacity changes.
+    fn next_change_after(&self, t: Time) -> Option<Time>;
+
+    /// Withdraw `width` processors during `[start, start + dur)`.
+    fn reserve(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError>;
+
+    /// Return `width` processors during `[start, start + dur)`.
+    fn release(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError>;
+}
+
+impl CapacityQuery for ResourceProfile {
+    fn base(&self) -> u32 {
+        ResourceProfile::base(self)
+    }
+
+    fn capacity_at(&self, t: Time) -> u32 {
+        ResourceProfile::capacity_at(self, t)
+    }
+
+    fn min_capacity_in(&self, start: Time, dur: Dur) -> u32 {
+        ResourceProfile::min_capacity_in(self, start, dur)
+    }
+
+    fn earliest_fit(&self, width: u32, dur: Dur, not_before: Time) -> Option<Time> {
+        ResourceProfile::earliest_fit(self, width, dur, not_before)
+    }
+
+    fn next_change_after(&self, t: Time) -> Option<Time> {
+        ResourceProfile::next_change_after(self, t)
+    }
+
+    fn reserve(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError> {
+        ResourceProfile::reserve(self, start, dur, width)
+    }
+
+    fn release(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError> {
+        ResourceProfile::release(self, start, dur, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::AvailabilityTimeline;
+
+    fn exercise<C: CapacityQuery>(c: &mut C) -> Vec<u64> {
+        let mut log = vec![c.base() as u64, c.capacity_at(Time(3)) as u64];
+        log.push(c.min_capacity_in(Time(1), Dur(5)) as u64);
+        log.push(
+            c.earliest_fit(3, Dur(4), Time::ZERO)
+                .map_or(u64::MAX, Time::ticks),
+        );
+        c.reserve(Time(2), Dur(2), 1).unwrap();
+        log.push(c.capacity_at(Time(2)) as u64);
+        log.push(
+            c.next_change_after(Time::ZERO)
+                .map_or(u64::MAX, Time::ticks),
+        );
+        c.release(Time(2), Dur(2), 1).unwrap();
+        log.push(c.capacity_at(Time(2)) as u64);
+        log
+    }
+
+    /// Both implementors answer an interleaved query/update sequence
+    /// identically through the trait.
+    #[test]
+    fn backends_agree_through_the_trait() {
+        let mut profile = ResourceProfile::constant(4);
+        let mut timeline = AvailabilityTimeline::constant(4);
+        assert_eq!(exercise(&mut profile), exercise(&mut timeline));
+    }
+}

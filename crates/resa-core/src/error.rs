@@ -17,7 +17,11 @@ pub enum ModelError {
     /// A job has zero duration.
     ZeroDurationJob { job: usize },
     /// A job requests more processors than the cluster has.
-    JobTooWide { job: usize, width: u32, machines: u32 },
+    JobTooWide {
+        job: usize,
+        width: u32,
+        machines: u32,
+    },
     /// A reservation requests zero processors.
     ZeroWidthReservation { reservation: usize },
     /// A reservation has zero duration.
@@ -31,7 +35,11 @@ pub enum ModelError {
     /// The set of reservations is infeasible: at some instant they require
     /// more than the `m` machines of the cluster (violates the paper's
     /// feasibility requirement `∀t, U(t) ≤ m`).
-    InfeasibleReservations { at: Time, required: u32, machines: u32 },
+    InfeasibleReservations {
+        at: Time,
+        required: u32,
+        machines: u32,
+    },
     /// The instance violates the α-restriction it claims
     /// (`U(t) ≤ (1−α)m` and `q_i ≤ αm`).
     AlphaViolation { detail: String },
@@ -97,7 +105,11 @@ pub enum ScheduleError {
     /// The schedule mentions a job that the instance does not contain.
     UnknownJob { job: usize },
     /// A job starts before its release date.
-    StartsBeforeRelease { job: usize, start: Time, release: Time },
+    StartsBeforeRelease {
+        job: usize,
+        start: Time,
+        release: Time,
+    },
     /// At `at`, the running jobs require more processors than are available
     /// (cluster size minus reservations).
     CapacityExceeded {

@@ -116,7 +116,11 @@ mod tests {
 
     #[test]
     fn infeasible_schedule_is_reported() {
-        let inst = ResaInstanceBuilder::new(2).job(2, 2u64).job(2, 2u64).build().unwrap();
+        let inst = ResaInstanceBuilder::new(2)
+            .job(2, 2u64)
+            .job(2, 2u64)
+            .build()
+            .unwrap();
         let mut s = Schedule::new();
         s.place(JobId(0), Time(0));
         s.place(JobId(1), Time(0));

@@ -87,7 +87,7 @@ impl Alpha {
     /// Is `2/α` an integer? (the hypothesis of Proposition 2).
     #[inline]
     pub fn two_over_alpha_is_integer(self) -> bool {
-        (2 * self.denom) % self.num == 0
+        (2 * self.denom).is_multiple_of(self.num)
     }
 }
 
@@ -156,9 +156,13 @@ impl RigidInstance {
         self.jobs.iter().map(|j| j.width).max().unwrap_or(0)
     }
 
-    /// Look up a job by id.
+    /// Look up a job by id. O(1) for dense ids (id == position), with a
+    /// linear fallback otherwise.
     pub fn job(&self, id: JobId) -> Option<&Job> {
-        self.jobs.iter().find(|j| j.id == id)
+        match self.jobs.get(id.0) {
+            Some(j) if j.id == id => Some(j),
+            _ => self.jobs.iter().find(|j| j.id == id),
+        }
     }
 
     /// Promote this instance to a RESASCHEDULING instance with no reservation.
@@ -249,9 +253,14 @@ impl ResaInstance {
         self.reservations.len()
     }
 
-    /// Look up a job by id.
+    /// Look up a job by id. O(1) for the dense ids produced by
+    /// [`ResaInstanceBuilder`] (id == position), with a linear fallback for
+    /// instances built with arbitrary unique ids.
     pub fn job(&self, id: JobId) -> Option<&Job> {
-        self.jobs.iter().find(|j| j.id == id)
+        match self.jobs.get(id.0) {
+            Some(j) if j.id == id => Some(j),
+            _ => self.jobs.iter().find(|j| j.id == id),
+        }
     }
 
     /// Total work of the jobs `W(I) = Σ p_j·q_j` (reservations excluded).
@@ -286,6 +295,13 @@ impl ResaInstance {
     pub fn profile(&self) -> ResourceProfile {
         // Feasibility was checked at construction time.
         ResourceProfile::from_reservations(self.machines, &self.reservations)
+            .expect("instance invariant: reservations are feasible")
+    }
+
+    /// The availability profile as an indexed [`AvailabilityTimeline`] — the
+    /// fast [`crate::capacity::CapacityQuery`] backend the schedulers use.
+    pub fn timeline(&self) -> crate::timeline::AvailabilityTimeline {
+        crate::timeline::AvailabilityTimeline::from_reservations(self.machines, &self.reservations)
             .expect("instance invariant: reservations are feasible")
     }
 
@@ -414,7 +430,8 @@ impl ResaInstanceBuilder {
         release: impl Into<Time>,
     ) -> Self {
         let id = self.jobs.len();
-        self.jobs.push(Job::released_at(id, width, duration, release));
+        self.jobs
+            .push(Job::released_at(id, width, duration, release));
         self
     }
 
@@ -517,8 +534,11 @@ mod tests {
             ),
             Err(ModelError::DuplicateJobId { id: 0 })
         ));
-        let ok = RigidInstance::new(4, vec![Job::new(0usize, 2, 3u64), Job::new(1usize, 4, 1u64)])
-            .unwrap();
+        let ok = RigidInstance::new(
+            4,
+            vec![Job::new(0usize, 2, 3u64), Job::new(1usize, 4, 1u64)],
+        )
+        .unwrap();
         assert_eq!(ok.n_jobs(), 2);
         assert_eq!(ok.total_work(), 10);
         assert_eq!(ok.pmax(), Dur(3));

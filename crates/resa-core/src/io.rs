@@ -289,10 +289,12 @@ mod tests {
     fn rejects_model_violations() {
         // Job wider than the cluster.
         let err = parse_instance("machines 2\njob 5 1\n").unwrap_err();
-        assert!(matches!(err, ParseError::Invalid(ModelError::JobTooWide { .. })));
+        assert!(matches!(
+            err,
+            ParseError::Invalid(ModelError::JobTooWide { .. })
+        ));
         // Infeasible reservations.
-        let err =
-            parse_instance("machines 2\nreservation 2 5 0\nreservation 1 5 2\n").unwrap_err();
+        let err = parse_instance("machines 2\nreservation 2 5 0\nreservation 1 5 2\n").unwrap_err();
         assert!(matches!(
             err,
             ParseError::Invalid(ModelError::InfeasibleReservations { .. })

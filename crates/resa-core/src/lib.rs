@@ -14,9 +14,14 @@
 //! * [`instance::Alpha`] — the exact rational `α` of the α-restricted problem
 //!   of §4.2 (`U(t) ≤ (1−α)m`, `q_i ≤ αm`);
 //! * [`profile::ResourceProfile`] — the piecewise-constant availability
-//!   timeline `m(t) = m − U(t)`, with earliest-fit queries and
-//!   reserve/release updates (the substrate of every scheduler in
-//!   `resa-algos`);
+//!   function `m(t) = m − U(t)` as a normalized breakpoint list, with
+//!   linear-scan earliest-fit queries and reserve/release updates (the
+//!   canonical, reference representation);
+//! * [`timeline::AvailabilityTimeline`] — the same function indexed by a
+//!   segment tree: `O(log B)` range-min / earliest-fit / lazy reserve, the
+//!   backend every scheduler in `resa-algos` and `resa-sim` runs on;
+//! * [`capacity::CapacityQuery`] — the trait both implement, so every
+//!   algorithm is generic over the substrate;
 //! * [`schedule::Schedule`] — start-time assignments, feasibility validation,
 //!   makespan/utilization metrics and concrete processor assignments;
 //! * [`bounds`] — certified lower bounds on the optimal makespan.
@@ -52,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod capacity;
 pub mod error;
 pub mod gantt;
 pub mod instance;
@@ -61,10 +67,12 @@ pub mod profile;
 pub mod reservation;
 pub mod schedule;
 pub mod time;
+pub mod timeline;
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::bounds::{lower_bound, lower_bound_rigid};
+    pub use crate::capacity::CapacityQuery;
     pub use crate::error::{ModelError, ProfileError, ScheduleError};
     pub use crate::gantt::render_gantt;
     pub use crate::instance::{Alpha, ResaInstance, ResaInstanceBuilder, RigidInstance};
@@ -74,6 +82,7 @@ pub mod prelude {
     pub use crate::reservation::{Reservation, ReservationId};
     pub use crate::schedule::{Placement, ProcessorAssignment, Schedule};
     pub use crate::time::{Dur, Time};
+    pub use crate::timeline::AvailabilityTimeline;
 }
 
 #[cfg(test)]
@@ -163,6 +172,63 @@ mod proptests {
             prop_assert!(s.is_valid(&inst));
             let lb = lower_bound(&inst).unwrap();
             prop_assert!(s.makespan(&inst) >= lb);
+        }
+
+        /// The indexed timeline and the naive profile answer every read-only
+        /// query identically on reservation-induced availability functions.
+        #[test]
+        fn timeline_agrees_with_profile_on_queries(
+            inst in arb_instance(), t in 0u64..80, w in 1u32..=16, d in 1u64..=25
+        ) {
+            let p = inst.profile();
+            let tl = inst.timeline();
+            prop_assert_eq!(CapacityQuery::capacity_at(&tl, Time(t)), p.capacity_at(Time(t)));
+            prop_assert_eq!(
+                CapacityQuery::min_capacity_in(&tl, Time(t), Dur(d)),
+                p.min_capacity_in(Time(t), Dur(d))
+            );
+            prop_assert_eq!(
+                CapacityQuery::min_capacity_in(&tl, Time(t), Dur(0)),
+                p.min_capacity_in(Time(t), Dur(0))
+            );
+            prop_assert_eq!(
+                CapacityQuery::earliest_fit(&tl, w, Dur(d), Time(t)),
+                p.earliest_fit(w, Dur(d), Time(t))
+            );
+            prop_assert_eq!(
+                CapacityQuery::next_change_after(&tl, Time(t)),
+                p.next_change_after(Time(t))
+            );
+        }
+
+        /// Random interleaved reserve/release sequences keep the two backends
+        /// in lock-step: same errors, same resulting availability function,
+        /// and the conversion back to a profile stays lossless.
+        #[test]
+        fn timeline_agrees_with_profile_under_updates(
+            inst in arb_instance(),
+            ops in proptest::collection::vec((0u64..60, 1u64..=20, 1u32..=16, 0u32..=1), 1usize..=12)
+        ) {
+            let mut p = inst.profile();
+            let mut tl = inst.timeline();
+            prop_assert_eq!(tl.to_profile(), p.clone());
+            for (s, d, w, kind) in ops {
+                let (rp, rt) = if kind == 0 {
+                    (
+                        p.reserve(Time(s), Dur(d), w),
+                        CapacityQuery::reserve(&mut tl, Time(s), Dur(d), w),
+                    )
+                } else {
+                    (
+                        p.release(Time(s), Dur(d), w),
+                        CapacityQuery::release(&mut tl, Time(s), Dur(d), w),
+                    )
+                };
+                prop_assert_eq!(rp, rt);
+                prop_assert_eq!(tl.to_profile(), p.clone());
+            }
+            // Round-trip through the timeline is lossless at every point.
+            prop_assert_eq!(AvailabilityTimeline::from(&p).to_profile(), p.clone());
         }
 
         /// Processor assignment of a feasible schedule always verifies.

@@ -65,6 +65,24 @@ impl ResourceProfile {
         Ok(p)
     }
 
+    /// Build a profile from raw `(time, capacity)` breakpoints, normalizing
+    /// them (sorting, anchoring the first breakpoint at zero, merging equal
+    /// adjacent capacities). Used by
+    /// [`crate::timeline::AvailabilityTimeline::to_profile`] to collapse the
+    /// indexed timeline back into the canonical representation.
+    ///
+    /// # Panics
+    /// Panics in debug builds if a capacity exceeds `base`.
+    pub fn from_steps(base: u32, steps: Vec<(Time, u32)>) -> Self {
+        debug_assert!(steps.iter().all(|&(_, c)| c <= base));
+        let mut p = ResourceProfile { base, steps };
+        if p.steps.is_empty() {
+            p.steps.push((Time::ZERO, base));
+        }
+        p.normalize();
+        p
+    }
+
     /// Total number of machines in the cluster.
     #[inline]
     pub fn base(&self) -> u32 {
@@ -111,7 +129,11 @@ impl ResourceProfile {
 
     /// Minimum capacity over the whole (infinite) horizon.
     pub fn min_capacity(&self) -> u32 {
-        self.steps.iter().map(|&(_, c)| c).min().unwrap_or(self.base)
+        self.steps
+            .iter()
+            .map(|&(_, c)| c)
+            .min()
+            .unwrap_or(self.base)
     }
 
     /// Capacity after the last breakpoint (held forever).
@@ -370,11 +392,7 @@ impl ResourceProfile {
     pub fn clamped(&self, cap: u32) -> ResourceProfile {
         let mut p = ResourceProfile {
             base: self.base.min(cap),
-            steps: self
-                .steps
-                .iter()
-                .map(|&(t, c)| (t, c.min(cap)))
-                .collect(),
+            steps: self.steps.iter().map(|&(t, c)| (t, c.min(cap))).collect(),
         };
         p.normalize();
         p

@@ -321,9 +321,9 @@ impl ProcessorAssignment {
     ) -> Result<(), ScheduleError> {
         // widths
         for p in schedule.placements() {
-            let j = instance.job(p.job).ok_or(ScheduleError::UnknownJob {
-                job: p.job.0,
-            })?;
+            let j = instance
+                .job(p.job)
+                .ok_or(ScheduleError::UnknownJob { job: p.job.0 })?;
             let procs = self
                 .of_job(p.job)
                 .ok_or(ScheduleError::MissingJob { job: p.job.0 })?;

@@ -1,0 +1,673 @@
+//! The indexed availability timeline: a segment tree over the breakpoints of
+//! `m(t) = m − U(t)`.
+//!
+//! # Mapping back to the paper (§2)
+//!
+//! Section 2 of *"Analysis of Scheduling Algorithms with Reservations"*
+//! models the cluster as the piecewise-constant availability function
+//! `m(t) = m − U(t)`, where `U(t)` is the total width of the reservations
+//! active at `t` (the *reservation deficit*). Every algorithm the paper
+//! analyses is driven by three primitives over `m(t)`:
+//!
+//! * **range-minimum** — "do `q` processors stay free throughout
+//!   `[t, t + p)`?" is `min_{s ∈ [t, t+p)} m(s) ≥ q`; this is the feasibility
+//!   test of the list-scheduling event loop;
+//! * **earliest fit** — the first `t` at which that test succeeds, the core
+//!   of FCFS, conservative backfilling and the shadow-time computation of
+//!   EASY;
+//! * **reserve** — starting a job subtracts its width from `m(t)` over its
+//!   execution window, exactly like an extra reservation (the paper treats
+//!   running jobs and reservations uniformly through `U(t)`).
+//!
+//! [`crate::profile::ResourceProfile`] implements these primitives by
+//! binary search plus linear scans over a normalized breakpoint list —
+//! worst-case `O(B)` per query over `B` breakpoints (an `earliest_fit` from
+//! the present over a busy cluster walks every intervening breakpoint, and
+//! every `reserve` renormalizes the whole list).
+//! [`AvailabilityTimeline`] stores the same function in a segment tree
+//! indexed by breakpoint: each node carries the min and max capacity of its
+//! leaf range plus a lazy additive delta, so
+//!
+//! * `capacity_at` / `min_capacity_in` are single `O(log B)` descents;
+//! * `reserve` / `release` are lazy range-adds, `O(log B)` once the window
+//!   endpoints exist as breakpoints (inserting a missing endpoint rebuilds
+//!   the leaf array in `O(B)` — amortized across a scheduling run this
+//!   matches the naive profile's own `O(B)` insertion cost);
+//! * [`AvailabilityTimeline::earliest_fit`] replaces the naive forward scan
+//!   with tree descents: *find the first leaf below `width` in the window*
+//!   and *find the first leaf at least `width` after the violation* are both
+//!   `O(log B)`, and each loop iteration permanently skips one maximal
+//!   blocked region, so a query costs `O((1 + k) log B)` with `k` the number
+//!   of blocked regions actually crossed — `k = 0` for the common
+//!   fits-immediately case, against `O(B)` for the naive scan. (When a query
+//!   must cross a heavily fragmented prefix, `k` approaches `B` and the
+//!   naive resumable scan's `O(B + k)` is the better fit; see
+//!   `resa-bench/benches/timeline.rs` for the measured trade-off.)
+//!
+//! The timeline is *not* kept normalized (adjacent leaves may carry equal
+//! capacities after updates); normalization only happens when converting
+//! back to a [`ResourceProfile`], which makes the conversion lossless:
+//! `AvailabilityTimeline::from(&p).to_profile() == p` for every normalized
+//! profile `p`, and both backends answer every [`CapacityQuery`] identically
+//! (property-tested in this crate and schedule-for-schedule in
+//! `resa-algos`).
+
+use crate::capacity::CapacityQuery;
+use crate::error::ProfileError;
+use crate::profile::ResourceProfile;
+use crate::reservation::Reservation;
+use crate::time::{Dur, Time};
+use std::fmt;
+
+/// Segment-tree-indexed availability timeline; the fast backend of
+/// [`CapacityQuery`].
+#[derive(Debug, Clone)]
+pub struct AvailabilityTimeline {
+    /// Total number of machines in the cluster (`m`).
+    base: u32,
+    /// Breakpoint times, sorted, first entry always 0. Leaf `i` covers
+    /// `[times[i], times[i+1])`; the last leaf extends to infinity.
+    times: Vec<u64>,
+    /// Segment-tree nodes (1-indexed, `4 × leaves` slots). A node's stored
+    /// min/max include its own lazy delta but not its ancestors'; `lazy` is
+    /// the pending additive delta not yet applied to descendants. Packed in
+    /// one array so a node costs one cache line instead of three.
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Node {
+    min: i64,
+    max: i64,
+    lazy: i64,
+}
+
+impl PartialEq for AvailabilityTimeline {
+    /// Timelines compare by the function they represent, not by their
+    /// internal breakpoint decomposition.
+    fn eq(&self, other: &Self) -> bool {
+        self.to_profile() == other.to_profile()
+    }
+}
+
+impl Eq for AvailabilityTimeline {}
+
+impl AvailabilityTimeline {
+    /// A timeline with constant capacity `machines` (no reservations).
+    pub fn constant(machines: u32) -> Self {
+        Self::from_parts(machines, vec![0], vec![machines])
+    }
+
+    /// Build the timeline induced by a set of reservations on `machines`
+    /// processors. Returns the time and deficit of the first violation if the
+    /// reservations are infeasible, mirroring
+    /// [`ResourceProfile::from_reservations`].
+    pub fn from_reservations(
+        machines: u32,
+        reservations: &[Reservation],
+    ) -> Result<Self, (Time, u32)> {
+        ResourceProfile::from_reservations(machines, reservations).map(|p| Self::from_profile(&p))
+    }
+
+    /// Index a normalized profile. Lossless: [`Self::to_profile`] returns an
+    /// equal profile.
+    pub fn from_profile(profile: &ResourceProfile) -> Self {
+        let times: Vec<u64> = profile.steps().iter().map(|&(t, _)| t.ticks()).collect();
+        let caps: Vec<u32> = profile.steps().iter().map(|&(_, c)| c).collect();
+        Self::from_parts(profile.base(), times, caps)
+    }
+
+    /// Collapse the timeline back into the canonical normalized
+    /// representation.
+    pub fn to_profile(&self) -> ResourceProfile {
+        let caps = self.leaf_caps();
+        let steps: Vec<(Time, u32)> = self
+            .times
+            .iter()
+            .zip(caps)
+            .map(|(&t, c)| (Time(t), c))
+            .collect();
+        ResourceProfile::from_steps(self.base, steps)
+    }
+
+    /// Total number of machines in the cluster.
+    #[inline]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of breakpoints currently indexed (`B`). Unlike the normalized
+    /// profile this may count segments with equal adjacent capacities.
+    #[inline]
+    pub fn breakpoints(&self) -> usize {
+        self.times.len()
+    }
+
+    fn from_parts(base: u32, times: Vec<u64>, caps: Vec<u32>) -> Self {
+        debug_assert!(!times.is_empty() && times[0] == 0);
+        debug_assert!(times.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(times.len(), caps.len());
+        let n = times.len();
+        let mut tl = AvailabilityTimeline {
+            base,
+            times,
+            nodes: vec![Node::default(); 4 * n],
+        };
+        tl.build(1, 0, n - 1, &caps);
+        tl
+    }
+
+    fn build(&mut self, node: usize, lo: usize, hi: usize, caps: &[u32]) {
+        self.nodes[node].lazy = 0;
+        if lo == hi {
+            self.nodes[node].min = caps[lo] as i64;
+            self.nodes[node].max = caps[lo] as i64;
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        self.build(2 * node, lo, mid, caps);
+        self.build(2 * node + 1, mid + 1, hi, caps);
+        self.pull(node);
+    }
+
+    fn pull(&mut self, node: usize) {
+        self.nodes[node].min = self.nodes[2 * node].min.min(self.nodes[2 * node + 1].min);
+        self.nodes[node].max = self.nodes[2 * node].max.max(self.nodes[2 * node + 1].max);
+    }
+
+    /// Leaf index covering time `t`.
+    fn leaf_of(&self, t: Time) -> usize {
+        // times[0] == 0 and t >= 0, so the partition point is >= 1.
+        self.times.partition_point(|&bt| bt <= t.ticks()) - 1
+    }
+
+    /// Last leaf index whose segment starts strictly before `end`.
+    fn last_leaf_before(&self, end: u64) -> usize {
+        self.times.partition_point(|&bt| bt < end) - 1
+    }
+
+    /// Inclusive leaf range covered by the half-open window `[start, end)`;
+    /// degenerates to the single leaf of `start` for empty windows.
+    fn window_leaves(&self, start: Time, end: u64) -> (usize, usize) {
+        let l = self.leaf_of(start);
+        let r = if end > start.ticks() {
+            self.last_leaf_before(end)
+        } else {
+            l
+        };
+        (l, r)
+    }
+
+    // -- read-only tree descents (lazy deltas accumulate along the path) ----
+
+    fn query_min(&self, node: usize, lo: usize, hi: usize, l: usize, r: usize, acc: i64) -> i64 {
+        if r < lo || hi < l {
+            return i64::MAX;
+        }
+        if l <= lo && hi <= r {
+            return self.nodes[node].min + acc;
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.query_min(2 * node, lo, mid, l, r, acc)
+            .min(self.query_min(2 * node + 1, mid + 1, hi, l, r, acc))
+    }
+
+    fn query_max(&self, node: usize, lo: usize, hi: usize, l: usize, r: usize, acc: i64) -> i64 {
+        if r < lo || hi < l {
+            return i64::MIN;
+        }
+        if l <= lo && hi <= r {
+            return self.nodes[node].max + acc;
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.query_max(2 * node, lo, mid, l, r, acc)
+            .max(self.query_max(2 * node + 1, mid + 1, hi, l, r, acc))
+    }
+
+    /// First leaf in the inclusive `window` with capacity `< width`, if any.
+    fn first_below(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        window: (usize, usize),
+        width: i64,
+        acc: i64,
+    ) -> Option<usize> {
+        let (l, r) = window;
+        if r < lo || hi < l || self.nodes[node].min + acc >= width {
+            return None;
+        }
+        if lo == hi {
+            return Some(lo);
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.first_below(2 * node, lo, mid, window, width, acc)
+            .or_else(|| self.first_below(2 * node + 1, mid + 1, hi, window, width, acc))
+    }
+
+    /// First leaf with index `≥ from` and capacity `≥ width`, if any.
+    fn first_at_least(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        from: usize,
+        width: i64,
+        acc: i64,
+    ) -> Option<usize> {
+        if hi < from || self.nodes[node].max + acc < width {
+            return None;
+        }
+        if lo == hi {
+            return Some(lo);
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.first_at_least(2 * node, lo, mid, from, width, acc)
+            .or_else(|| self.first_at_least(2 * node + 1, mid + 1, hi, from, width, acc))
+    }
+
+    /// First leaf with index `≥ from` whose capacity differs from `cap`.
+    fn first_differing(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        from: usize,
+        cap: i64,
+        acc: i64,
+    ) -> Option<usize> {
+        if hi < from || (self.nodes[node].min + acc == cap && self.nodes[node].max + acc == cap) {
+            return None;
+        }
+        if lo == hi {
+            return Some(lo);
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.first_differing(2 * node, lo, mid, from, cap, acc)
+            .or_else(|| self.first_differing(2 * node + 1, mid + 1, hi, from, cap, acc))
+    }
+
+    // -- range update -------------------------------------------------------
+
+    fn range_add(&mut self, node: usize, lo: usize, hi: usize, l: usize, r: usize, delta: i64) {
+        if r < lo || hi < l {
+            return;
+        }
+        if l <= lo && hi <= r {
+            self.nodes[node].min += delta;
+            self.nodes[node].max += delta;
+            self.nodes[node].lazy += delta;
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        self.range_add(2 * node, lo, mid, l, r, delta);
+        self.range_add(2 * node + 1, mid + 1, hi, l, r, delta);
+        self.nodes[node].min =
+            self.nodes[2 * node].min.min(self.nodes[2 * node + 1].min) + self.nodes[node].lazy;
+        self.nodes[node].max =
+            self.nodes[2 * node].max.max(self.nodes[2 * node + 1].max) + self.nodes[node].lazy;
+    }
+
+    /// Materialize the capacity of every leaf (applying pending deltas).
+    fn leaf_caps(&self) -> Vec<u32> {
+        let n = self.times.len();
+        let mut caps = vec![0u32; n];
+        self.collect(1, 0, n - 1, 0, &mut caps);
+        caps
+    }
+
+    fn collect(&self, node: usize, lo: usize, hi: usize, acc: i64, caps: &mut [u32]) {
+        if lo == hi {
+            let v = self.nodes[node].min + acc;
+            debug_assert!((0..=self.base as i64).contains(&v));
+            caps[lo] = v as u32;
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.collect(2 * node, lo, mid, acc, caps);
+        self.collect(2 * node + 1, mid + 1, hi, acc, caps);
+    }
+
+    /// Ensure both window endpoints start a leaf, splitting (and rebuilding
+    /// the tree once) for whichever of them falls inside a leaf. `O(log B)`
+    /// when both breakpoints already exist, `O(B)` otherwise — the node
+    /// buffers are reused (grown geometrically) and `build` resets the lazy
+    /// slots it visits, so an insertion costs two passes over the tree and no
+    /// allocation in the steady state.
+    fn ensure_breakpoints(&mut self, a: u64, b: u64) {
+        let missing = |times: &[u64], t: u64| times.binary_search(&t).is_err();
+        let need_a = missing(&self.times, a);
+        let need_b = missing(&self.times, b);
+        if !need_a && !need_b {
+            return;
+        }
+        let mut caps = self.leaf_caps();
+        for t in [a, b] {
+            let idx = self.times.partition_point(|&bt| bt <= t);
+            if idx > 0 && self.times[idx - 1] == t {
+                continue;
+            }
+            // The new leaf inherits the capacity of the leaf it splits.
+            caps.insert(idx, caps[idx - 1]);
+            self.times.insert(idx, t);
+        }
+        let n = self.times.len();
+        if self.nodes.len() < 4 * n {
+            let target = 4 * n.next_power_of_two();
+            self.nodes.resize(target, Node::default());
+        }
+        self.build(1, 0, n - 1, &caps);
+    }
+
+    fn n(&self) -> usize {
+        self.times.len()
+    }
+}
+
+impl CapacityQuery for AvailabilityTimeline {
+    fn base(&self) -> u32 {
+        self.base
+    }
+
+    fn capacity_at(&self, t: Time) -> u32 {
+        let leaf = self.leaf_of(t);
+        self.query_min(1, 0, self.n() - 1, leaf, leaf, 0) as u32
+    }
+
+    fn min_capacity_in(&self, start: Time, dur: Dur) -> u32 {
+        if dur.is_zero() {
+            return self.capacity_at(start);
+        }
+        let end = start.ticks().saturating_add(dur.ticks());
+        let (l, r) = self.window_leaves(start, end);
+        self.query_min(1, 0, self.n() - 1, l, r, 0) as u32
+    }
+
+    fn earliest_fit(&self, width: u32, dur: Dur, not_before: Time) -> Option<Time> {
+        if width == 0 {
+            return Some(not_before);
+        }
+        if width > self.base {
+            return None;
+        }
+        let n = self.n();
+        let w = width as i64;
+        let mut t = not_before;
+        loop {
+            let end = t.ticks().saturating_add(dur.ticks());
+            let (l, r) = self.window_leaves(t, end);
+            match self.first_below(1, 0, n - 1, (l, r), w, 0) {
+                None => return Some(t),
+                Some(violation) => {
+                    let next = self.first_at_least(1, 0, n - 1, violation + 1, w, 0)?;
+                    t = t.max(Time(self.times[next]));
+                }
+            }
+        }
+    }
+
+    fn next_change_after(&self, t: Time) -> Option<Time> {
+        let cap = self.capacity_at(t) as i64;
+        let from = self.leaf_of(t) + 1;
+        if from >= self.n() {
+            return None;
+        }
+        self.first_differing(1, 0, self.n() - 1, from, cap, 0)
+            .map(|leaf| Time(self.times[leaf]))
+    }
+
+    fn reserve(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError> {
+        if dur.is_zero() {
+            return Err(ProfileError::EmptyWindow);
+        }
+        if width == 0 {
+            return Ok(());
+        }
+        let end = start.ticks().saturating_add(dur.ticks());
+        let (l, r) = self.window_leaves(start, end);
+        let n = self.n();
+        let min = self.query_min(1, 0, n - 1, l, r, 0);
+        if min < width as i64 {
+            // Locate the first violating instant, mirroring the profile's
+            // error reporting.
+            let leaf = self
+                .first_below(1, 0, n - 1, (l, r), width as i64, 0)
+                .expect("min < width implies a violating leaf");
+            let at = if leaf == l {
+                start
+            } else {
+                Time(self.times[leaf])
+            };
+            return Err(ProfileError::InsufficientCapacity {
+                at,
+                requested: width,
+                available: min as u32,
+            });
+        }
+        self.ensure_breakpoints(start.ticks(), end);
+        let (l, r) = self.window_leaves(start, end);
+        let n = self.n();
+        self.range_add(1, 0, n - 1, l, r, -(width as i64));
+        Ok(())
+    }
+
+    fn release(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError> {
+        if dur.is_zero() {
+            return Err(ProfileError::EmptyWindow);
+        }
+        if width == 0 {
+            return Ok(());
+        }
+        let end = start.ticks().saturating_add(dur.ticks());
+        let (l, r) = self.window_leaves(start, end);
+        let n = self.n();
+        let max = self.query_max(1, 0, n - 1, l, r, 0);
+        if max + width as i64 > self.base as i64 {
+            return Err(ProfileError::ReleaseAboveBase {
+                at: start,
+                capacity: (max + width as i64) as u32,
+                base: self.base,
+            });
+        }
+        self.ensure_breakpoints(start.ticks(), end);
+        let (l, r) = self.window_leaves(start, end);
+        let n = self.n();
+        self.range_add(1, 0, n - 1, l, r, width as i64);
+        Ok(())
+    }
+}
+
+impl From<&ResourceProfile> for AvailabilityTimeline {
+    fn from(profile: &ResourceProfile) -> Self {
+        AvailabilityTimeline::from_profile(profile)
+    }
+}
+
+impl From<&AvailabilityTimeline> for ResourceProfile {
+    fn from(timeline: &AvailabilityTimeline) -> Self {
+        timeline.to_profile()
+    }
+}
+
+impl fmt::Display for AvailabilityTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "timeline[{} leaves] ≙ {}",
+            self.breakpoints(),
+            self.to_profile()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: usize, width: u32, dur: u64, start: u64) -> Reservation {
+        Reservation::new(id, width, dur, start)
+    }
+
+    #[test]
+    fn constant_timeline() {
+        let tl = AvailabilityTimeline::constant(8);
+        assert_eq!(tl.base(), 8);
+        assert_eq!(tl.capacity_at(Time(0)), 8);
+        assert_eq!(tl.capacity_at(Time(1_000_000)), 8);
+        assert_eq!(tl.min_capacity_in(Time(5), Dur(100)), 8);
+    }
+
+    #[test]
+    fn from_reservations_matches_profile() {
+        let rs = [r(0, 4, 5, 2), r(1, 2, 2, 8)];
+        let p = ResourceProfile::from_reservations(10, &rs).unwrap();
+        let tl = AvailabilityTimeline::from_reservations(10, &rs).unwrap();
+        for t in 0..15 {
+            assert_eq!(tl.capacity_at(Time(t)), p.capacity_at(Time(t)), "t={t}");
+        }
+        assert_eq!(tl.to_profile(), p);
+    }
+
+    #[test]
+    fn infeasible_reservations_same_error() {
+        let rs = [r(0, 3, 5, 0), r(1, 2, 5, 2)];
+        assert_eq!(
+            AvailabilityTimeline::from_reservations(4, &rs).unwrap_err(),
+            ResourceProfile::from_reservations(4, &rs).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn conversion_is_lossless() {
+        let p = ResourceProfile::from_reservations(10, &[r(0, 4, 5, 2), r(1, 9, 3, 20)]).unwrap();
+        let tl = AvailabilityTimeline::from(&p);
+        assert_eq!(ResourceProfile::from(&tl), p);
+    }
+
+    #[test]
+    fn earliest_fit_simple() {
+        let tl = AvailabilityTimeline::from_reservations(10, &[r(0, 8, 4, 2)]).unwrap();
+        assert_eq!(tl.earliest_fit(4, Dur(3), Time(0)), Some(Time(6)));
+        assert_eq!(tl.earliest_fit(2, Dur(3), Time(0)), Some(Time(0)));
+        assert_eq!(tl.earliest_fit(4, Dur(2), Time(0)), Some(Time(0)));
+        assert_eq!(tl.earliest_fit(2, Dur(1), Time(5)), Some(Time(5)));
+        assert_eq!(tl.earliest_fit(4, Dur(3), Time(3)), Some(Time(6)));
+        assert_eq!(tl.earliest_fit(11, Dur(1), Time(0)), None);
+        assert_eq!(tl.earliest_fit(0, Dur(3), Time(7)), Some(Time(7)));
+    }
+
+    #[test]
+    fn earliest_fit_multiple_holes() {
+        let tl = AvailabilityTimeline::from_reservations(
+            6,
+            &[r(0, 4, 2, 2), r(1, 4, 2, 6), r(2, 5, 2, 10)],
+        )
+        .unwrap();
+        assert_eq!(tl.earliest_fit(3, Dur(3), Time(0)), Some(Time(12)));
+        assert_eq!(tl.earliest_fit(3, Dur(2), Time(0)), Some(Time(0)));
+        assert_eq!(tl.earliest_fit(3, Dur(2), Time(1)), Some(Time(4)));
+    }
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut tl = AvailabilityTimeline::constant(8);
+        let original = tl.clone();
+        tl.reserve(Time(3), Dur(4), 5).unwrap();
+        assert_eq!(tl.capacity_at(Time(3)), 3);
+        assert_eq!(tl.capacity_at(Time(6)), 3);
+        assert_eq!(tl.capacity_at(Time(7)), 8);
+        tl.release(Time(3), Dur(4), 5).unwrap();
+        assert_eq!(tl, original);
+    }
+
+    #[test]
+    fn reserve_insufficient_is_atomic_and_matches_profile_error() {
+        let rs = [r(0, 6, 4, 2)];
+        let mut tl = AvailabilityTimeline::from_reservations(8, &rs).unwrap();
+        let mut p = ResourceProfile::from_reservations(8, &rs).unwrap();
+        let before = tl.to_profile();
+        let e_tl = CapacityQuery::reserve(&mut tl, Time(0), Dur(4), 4).unwrap_err();
+        let e_p = p.reserve(Time(0), Dur(4), 4).unwrap_err();
+        assert_eq!(e_tl, e_p);
+        assert_eq!(tl.to_profile(), before, "failed reserve must not modify");
+    }
+
+    #[test]
+    fn release_above_base_rejected() {
+        let mut tl = AvailabilityTimeline::constant(8);
+        let err = CapacityQuery::release(&mut tl, Time(0), Dur(1), 1).unwrap_err();
+        assert!(matches!(err, ProfileError::ReleaseAboveBase { .. }));
+    }
+
+    #[test]
+    fn zero_duration_and_zero_width() {
+        let mut tl = AvailabilityTimeline::constant(8);
+        assert_eq!(
+            CapacityQuery::reserve(&mut tl, Time(0), Dur(0), 1).unwrap_err(),
+            ProfileError::EmptyWindow
+        );
+        CapacityQuery::reserve(&mut tl, Time(0), Dur(5), 0).unwrap();
+        assert_eq!(tl.capacity_at(Time(0)), 8);
+        assert_eq!(tl.min_capacity_in(Time(3), Dur(0)), 8);
+    }
+
+    #[test]
+    fn next_change_after_matches_profile() {
+        let rs = [r(0, 4, 5, 2)];
+        let p = ResourceProfile::from_reservations(10, &rs).unwrap();
+        let tl = AvailabilityTimeline::from_reservations(10, &rs).unwrap();
+        for t in 0..10 {
+            assert_eq!(
+                CapacityQuery::next_change_after(&tl, Time(t)),
+                p.next_change_after(Time(t)),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_change_skips_equal_capacity_splits() {
+        // Reserving and releasing leaves split leaves with equal capacities;
+        // next_change_after must still report only true changes.
+        let mut tl = AvailabilityTimeline::constant(8);
+        tl.reserve(Time(2), Dur(2), 3).unwrap();
+        tl.reserve(Time(4), Dur(2), 3).unwrap();
+        // Capacity: 8 on [0,2), 5 on [2,6), 8 after — with a silent split at 4.
+        assert_eq!(
+            CapacityQuery::next_change_after(&tl, Time(2)),
+            Some(Time(6))
+        );
+        assert_eq!(CapacityQuery::next_change_after(&tl, Time(6)), None);
+    }
+
+    #[test]
+    fn interleaved_updates_match_profile() {
+        let mut tl = AvailabilityTimeline::constant(16);
+        let mut p = ResourceProfile::constant(16);
+        let script: &[(u64, u64, u32)] =
+            &[(0, 5, 4), (3, 9, 6), (5, 2, 3), (12, 30, 10), (1, 2, 2)];
+        for &(s, d, w) in script {
+            CapacityQuery::reserve(&mut tl, Time(s), Dur(d), w).unwrap();
+            p.reserve(Time(s), Dur(d), w).unwrap();
+            assert_eq!(tl.to_profile(), p);
+        }
+        for &(s, d, w) in script.iter().rev() {
+            CapacityQuery::release(&mut tl, Time(s), Dur(d), w).unwrap();
+            p.release(Time(s), Dur(d), w).unwrap();
+            assert_eq!(tl.to_profile(), p);
+        }
+    }
+
+    #[test]
+    fn display_mentions_profile() {
+        let tl = AvailabilityTimeline::constant(4);
+        assert!(tl.to_string().contains("m=4"));
+    }
+}

@@ -123,11 +123,7 @@ fn greedy_incumbent(instance: &ResaInstance) -> (Time, Schedule) {
     let mut order: Vec<usize> = (0..instance.n_jobs()).collect();
     order.sort_by_key(|&i| {
         let j = &instance.jobs()[i];
-        (
-            std::cmp::Reverse(j.duration),
-            std::cmp::Reverse(j.width),
-            i,
-        )
+        (std::cmp::Reverse(j.duration), std::cmp::Reverse(j.width), i)
     });
     let mut profile = instance.profile();
     let mut schedule = Schedule::new();
@@ -245,9 +241,7 @@ fn dfs(
         // Undo.
         placed[i] = false;
         let placements = partial.placements().to_vec();
-        *partial = Schedule::from_placements(
-            placements[..placements.len() - 1].to_vec(),
-        );
+        *partial = Schedule::from_placements(placements[..placements.len() - 1].to_vec());
         if ctx.budget_exhausted {
             return;
         }
@@ -363,7 +357,10 @@ mod tests {
     #[test]
     fn matches_lower_bound_when_tight() {
         // Perfect packing: 4 unit jobs of width 2 on 4 machines → 2 ticks.
-        let inst = ResaInstanceBuilder::new(4).jobs(4, 2, 1u64).build().unwrap();
+        let inst = ResaInstanceBuilder::new(4)
+            .jobs(4, 2, 1u64)
+            .build()
+            .unwrap();
         let r = ExactSolver::new().solve(&inst);
         assert_eq!(r.makespan, Time(2));
         assert_eq!(r.makespan, resa_core::bounds::lower_bound(&inst).unwrap());

@@ -20,7 +20,7 @@ use resa_core::prelude::*;
 /// Decide PARTITION: can `items` be split into two subsets of equal sum?
 pub fn partition_exists(items: &[u64]) -> bool {
     let total: u64 = items.iter().sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return false;
     }
     best_split(items).0 == total / 2

@@ -61,11 +61,7 @@ pub fn three_partition_to_resa(tp: &ThreePartition, rho: u64) -> ThreePartitionR
     let mut reservations = Vec::with_capacity(k);
     for j in 1..=ku {
         let start = j * (b + 1) - 1;
-        let duration = if j == ku {
-            rho * ku * (b + 1) + 1
-        } else {
-            1
-        };
+        let duration = if j == ku { rho * ku * (b + 1) + 1 } else { 1 };
         reservations.push(Reservation::new((j - 1) as usize, 1, duration, start));
     }
     let instance = ResaInstance::new(1, jobs, reservations)
@@ -119,20 +115,12 @@ pub fn extract_partition(
 /// reservation of the whole machine starting at `c` and lasting
 /// `rho · c + 1`. Any schedule of ratio ≤ ρ on the resulting instance must
 /// finish by `c` — i.e. decide whether the rigid instance has makespan ≤ `c`.
-pub fn rigid_to_single_reservation(
-    rigid: &RigidInstance,
-    c: Time,
-    rho: u64,
-) -> ResaInstance {
+pub fn rigid_to_single_reservation(rigid: &RigidInstance, c: Time, rho: u64) -> ResaInstance {
     assert!(rho >= 1, "the approximation ratio is at least 1");
     assert!(c > Time::ZERO, "the target makespan must be positive");
     let reservation = Reservation::new(0usize, rigid.machines(), Dur(rho * c.ticks() + 1), c);
-    ResaInstance::new(
-        rigid.machines(),
-        rigid.jobs().to_vec(),
-        vec![reservation],
-    )
-    .expect("a single full-width reservation is always feasible")
+    ResaInstance::new(rigid.machines(), rigid.jobs().to_vec(), vec![reservation])
+        .expect("a single full-width reservation is always feasible")
 }
 
 #[cfg(test)]

@@ -54,7 +54,7 @@ impl ThreePartition {
     /// Build an instance, checking that `items.len() = 3k`, all items are
     /// positive and `Σ items = k·target`.
     pub fn new(items: Vec<u64>, target: u64) -> Result<Self, ThreePartitionError> {
-        if items.is_empty() || items.len() % 3 != 0 {
+        if items.is_empty() || !items.len().is_multiple_of(3) {
             return Err(ThreePartitionError::WrongItemCount { count: items.len() });
         }
         if let Some(index) = items.iter().position(|&x| x == 0) {
@@ -257,7 +257,10 @@ mod tests {
         ));
         assert!(matches!(
             ThreePartition::new(vec![1, 2, 3], 7),
-            Err(ThreePartitionError::WrongTotal { total: 6, expected: 7 })
+            Err(ThreePartitionError::WrongTotal {
+                total: 6,
+                expected: 7
+            })
         ));
         assert!(matches!(
             ThreePartition::new(vec![0, 3, 3], 6),

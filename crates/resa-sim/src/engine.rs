@@ -51,12 +51,17 @@ impl Simulator {
         for job in instance.jobs() {
             events.push(job.release, Event::JobArrival(job.id));
         }
-        let mut profile = instance.profile();
-        for &(t, _) in instance.profile().steps() {
+        // Run against the indexed availability timeline; reservations made as
+        // jobs start keep it in sync with the naive profile semantics. Build
+        // the reservation profile once and derive both the availability
+        // events and the timeline from it.
+        let reservation_profile = instance.profile();
+        for &(t, _) in reservation_profile.steps() {
             if t > Time::ZERO {
                 events.push(t, Event::AvailabilityChange);
             }
         }
+        let mut profile = AvailabilityTimeline::from(&reservation_profile);
         let mut waiting: Vec<JobId> = Vec::new(); // arrival order
         let mut arrived: HashSet<JobId> = HashSet::new();
         let mut schedule = Schedule::new();
@@ -209,10 +214,7 @@ mod tests {
         let sim = Simulator::new(inst.clone());
         let online = sim.run(&GreedyPolicy);
         let offline = Lsrc::new().schedule(&inst);
-        assert_eq!(
-            online.schedule.makespan(&inst),
-            offline.makespan(&inst)
-        );
+        assert_eq!(online.schedule.makespan(&inst), offline.makespan(&inst));
     }
 
     #[test]

@@ -102,7 +102,11 @@ mod tests {
 
     #[test]
     fn waiting_and_slowdown() {
-        let inst = ResaInstanceBuilder::new(1).job(1, 2u64).job(1, 20u64).build().unwrap();
+        let inst = ResaInstanceBuilder::new(1)
+            .job(1, 2u64)
+            .job(1, 20u64)
+            .build()
+            .unwrap();
         let mut s = Schedule::new();
         s.place(JobId(1), Time(0));
         s.place(JobId(0), Time(20));

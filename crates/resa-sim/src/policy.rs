@@ -17,6 +17,12 @@
 use resa_core::prelude::*;
 
 /// The scheduling decision interface used by the simulation engine.
+///
+/// `decide` is generic over the availability substrate: the engine hands the
+/// policy the indexed [`AvailabilityTimeline`], while tests may pass the
+/// naive [`ResourceProfile`] — both answer identically through
+/// [`CapacityQuery`]. Policies that tentatively reserve clone the substrate,
+/// hence the `Clone` bound.
 pub trait OnlinePolicy {
     /// Human-readable name for reports.
     fn name(&self) -> String;
@@ -24,7 +30,8 @@ pub trait OnlinePolicy {
     /// Return the ids of the waiting jobs to start at `now`, in the order in
     /// which they should be started. `queue` is in arrival order; `profile`
     /// already excludes running jobs and reservations.
-    fn decide(&self, now: Time, queue: &[Job], profile: &ResourceProfile) -> Vec<JobId>;
+    fn decide<C: CapacityQuery + Clone>(&self, now: Time, queue: &[Job], profile: &C)
+        -> Vec<JobId>;
 }
 
 /// Strict FCFS: start the head of the queue while it fits, never look past
@@ -37,7 +44,12 @@ impl OnlinePolicy for FcfsPolicy {
         "FCFS".to_string()
     }
 
-    fn decide(&self, now: Time, queue: &[Job], profile: &ResourceProfile) -> Vec<JobId> {
+    fn decide<C: CapacityQuery + Clone>(
+        &self,
+        now: Time,
+        queue: &[Job],
+        profile: &C,
+    ) -> Vec<JobId> {
         let mut profile = profile.clone();
         let mut started = Vec::new();
         for job in queue {
@@ -64,7 +76,12 @@ impl OnlinePolicy for GreedyPolicy {
         "greedy-LSRC".to_string()
     }
 
-    fn decide(&self, now: Time, queue: &[Job], profile: &ResourceProfile) -> Vec<JobId> {
+    fn decide<C: CapacityQuery + Clone>(
+        &self,
+        now: Time,
+        queue: &[Job],
+        profile: &C,
+    ) -> Vec<JobId> {
         let mut profile = profile.clone();
         let mut started = Vec::new();
         for job in queue {
@@ -90,7 +107,12 @@ impl OnlinePolicy for EasyPolicy {
         "EASY".to_string()
     }
 
-    fn decide(&self, now: Time, queue: &[Job], profile: &ResourceProfile) -> Vec<JobId> {
+    fn decide<C: CapacityQuery + Clone>(
+        &self,
+        now: Time,
+        queue: &[Job],
+        profile: &C,
+    ) -> Vec<JobId> {
         let mut profile = profile.clone();
         let mut started = Vec::new();
         let mut idx = 0;

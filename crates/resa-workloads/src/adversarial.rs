@@ -71,15 +71,12 @@ pub fn proposition2_instance(k: u32) -> AdversarialInstance {
     // Reservation: starts at time k (scaled 1), width (1−α)m = k(k−1)(k−2),
     // duration 2k/α = k² (scaled 2/α = k).
     let reservation = Reservation::new(0usize, k * (k - 1) * (k - 2), ku * ku, ku);
-    let instance =
-        ResaInstance::new(m, jobs, vec![reservation]).expect("construction is feasible");
+    let instance = ResaInstance::new(m, jobs, vec![reservation]).expect("construction is feasible");
     AdversarialInstance {
         instance,
         optimal_makespan: Time(ku),
         expected_makespan: Time(1 + ku * (ku - 1)),
-        description: format!(
-            "Proposition 2 instance for alpha = 2/{k} (m = {m}, scaled by {k})"
-        ),
+        description: format!("Proposition 2 instance for alpha = 2/{k} (m = {m}, scaled by {k})"),
     }
 }
 
@@ -241,7 +238,11 @@ mod tests {
             let adv = graham_tight_instance(m);
             let sched = Lsrc::new().schedule(&adv.instance);
             assert!(sched.is_valid(&adv.instance));
-            assert_eq!(sched.makespan(&adv.instance), adv.expected_makespan, "m = {m}");
+            assert_eq!(
+                sched.makespan(&adv.instance),
+                adv.expected_makespan,
+                "m = {m}"
+            );
             assert_eq!(lower_bound(&adv.instance), Some(adv.optimal_makespan));
             let ratio = adv.expected_ratio();
             assert!((ratio - (2.0 - 1.0 / m as f64)).abs() < 1e-9);

@@ -67,8 +67,7 @@ impl LublinWorkload {
 
     /// Largest width the model will generate.
     pub fn max_width(&self) -> u32 {
-        (((self.machines as f64) * self.max_width_fraction).floor() as u32)
-            .clamp(1, self.machines)
+        (((self.machines as f64) * self.max_width_fraction).floor() as u32).clamp(1, self.machines)
     }
 
     /// Generate the jobs deterministically from `seed`.

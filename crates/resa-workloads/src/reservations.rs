@@ -93,7 +93,9 @@ impl NonIncreasingReservations {
     /// reservation starts at time 0 with a random width and duration, so the
     /// unavailability can only decrease over time.
     pub fn generate(&self, seed: u64) -> Vec<Reservation> {
-        let cap = self.max_initial_unavailable.min(self.machines.saturating_sub(1));
+        let cap = self
+            .max_initial_unavailable
+            .min(self.machines.saturating_sub(1));
         if cap == 0 || self.steps == 0 {
             return Vec::new();
         }
@@ -104,7 +106,9 @@ impl NonIncreasingReservations {
             if remaining == 0 {
                 break;
             }
-            let width = rng.gen_range(1..=remaining.div_ceil(2).max(1)).min(remaining);
+            let width = rng
+                .gen_range(1..=remaining.div_ceil(2).max(1))
+                .min(remaining);
             let duration = rng.gen_range(1..=self.max_duration.max(1));
             out.push(Reservation::new(i, width, duration, 0u64));
             remaining -= width;

@@ -35,7 +35,10 @@ impl std::fmt::Display for SwfError {
                 write!(f, "line {line}: expected at least 4 fields")
             }
             SwfError::BadField { line, field } => {
-                write!(f, "line {line}: field '{field}' is not a non-negative integer")
+                write!(
+                    f,
+                    "line {line}: field '{field}' is not a non-negative integer"
+                )
             }
             SwfError::DegenerateJob { line } => {
                 write!(f, "line {line}: job has zero processors or zero runtime")
@@ -165,7 +168,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(SwfError::MissingFields { line: 3 }.to_string().contains("3"));
+        assert!(SwfError::MissingFields { line: 3 }
+            .to_string()
+            .contains("3"));
         assert!(SwfError::BadField {
             line: 1,
             field: "processors"

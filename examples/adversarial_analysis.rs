@@ -66,7 +66,10 @@ fn proposition2_instance_walkthrough() {
 
 fn graham_tightness() {
     println!("=== Theorem 2: Graham's bound 2 − 1/m and its tightness ===\n");
-    println!("{:>4} {:>10} {:>10} {:>10} {:>10}", "m", "OPT", "LSRC", "ratio", "2 - 1/m");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10}",
+        "m", "OPT", "LSRC", "ratio", "2 - 1/m"
+    );
     for m in [2u32, 4, 8, 16] {
         let adv = graham_tight_instance(m);
         let lsrc = Lsrc::new().schedule(&adv.instance);

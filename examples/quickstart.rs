@@ -29,16 +29,19 @@ fn main() {
 
     // Which α-restriction does this instance satisfy?
     match instance.max_alpha() {
-        Some(alpha) => println!(
-            "α-restricted for α ≤ {alpha} (jobs ≤ α·m, reservations ≤ (1−α)·m)"
-        ),
+        Some(alpha) => {
+            println!("α-restricted for α ≤ {alpha} (jobs ≤ α·m, reservations ≤ (1−α)·m)")
+        }
         None => println!("no α ∈ (0,1] makes this instance α-restricted"),
     }
 
     // Schedule with LSRC — the list-scheduling algorithm analysed by the paper.
     let scheduler = Lsrc::new();
     let schedule = scheduler.schedule(&instance);
-    assert!(schedule.is_valid(&instance), "LSRC always returns feasible schedules");
+    assert!(
+        schedule.is_valid(&instance),
+        "LSRC always returns feasible schedules"
+    );
 
     let cmax = schedule.makespan(&instance);
     let lb = lower_bound(&instance).expect("finite lower bound");

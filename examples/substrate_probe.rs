@@ -1,0 +1,96 @@
+//! Micro-probe of substrate primitive costs on a dense availability function
+//! (run with --release; used to guide the timeline's internal layout).
+
+use resa_repro::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    // Build a dense function: 20k breakpoints via 10k reservations on a slot grid.
+    let mut b = ResaInstanceBuilder::new(512);
+    for i in 0..10_000u64 {
+        b = b.reservation(1 + (i % 200) as u32, 50u64, i * 100);
+    }
+    let inst = b.build().unwrap();
+    let profile = inst.profile();
+    let timeline = inst.timeline();
+    println!("breakpoints: {}", profile.steps().len());
+
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let queries: Vec<(u64, u64, u32)> = (0..100_000)
+        .map(|_| {
+            (
+                next() % 1_000_000,
+                1 + next() % 2_000,
+                1 + (next() % 256) as u32,
+            )
+        })
+        .collect();
+
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for &(s, d, _) in &queries {
+        acc += profile.min_capacity_in(Time(s), Dur(d)) as u64;
+    }
+    println!(
+        "naive    min_capacity_in: {:?}/q  (acc {acc})",
+        t.elapsed() / queries.len() as u32
+    );
+
+    let t = Instant::now();
+    let mut acc2 = 0u64;
+    for &(s, d, _) in &queries {
+        acc2 += CapacityQuery::min_capacity_in(&timeline, Time(s), Dur(d)) as u64;
+    }
+    println!(
+        "timeline min_capacity_in: {:?}/q  (acc {acc2})",
+        t.elapsed() / queries.len() as u32
+    );
+    assert_eq!(acc, acc2);
+
+    // Long windows (10% of horizon).
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for &(s, _, _) in &queries[..2000] {
+        acc += profile.min_capacity_in(Time(s), Dur(100_000)) as u64;
+    }
+    println!(
+        "naive    long-window: {:?}/q (acc {acc})",
+        t.elapsed() / 2000
+    );
+    let t = Instant::now();
+    let mut acc2 = 0u64;
+    for &(s, _, _) in &queries[..2000] {
+        acc2 += CapacityQuery::min_capacity_in(&timeline, Time(s), Dur(100_000)) as u64;
+    }
+    println!(
+        "timeline long-window: {:?}/q (acc {acc2})",
+        t.elapsed() / 2000
+    );
+    assert_eq!(acc, acc2);
+
+    // reserve/release cycles at existing breakpoints.
+    let mut p2 = profile.clone();
+    let t = Instant::now();
+    for i in 0..20_000u64 {
+        let s = (i % 9_000) * 100;
+        p2.reserve(Time(s), Dur(100), 1).unwrap();
+        p2.release(Time(s), Dur(100), 1).unwrap();
+    }
+    println!("naive    reserve+release: {:?}/cycle", t.elapsed() / 20_000);
+    let mut t2 = timeline.clone();
+    let t = Instant::now();
+    for i in 0..20_000u64 {
+        let s = (i % 9_000) * 100;
+        CapacityQuery::reserve(&mut t2, Time(s), Dur(100), 1).unwrap();
+        CapacityQuery::release(&mut t2, Time(s), Dur(100), 1).unwrap();
+    }
+    println!("timeline reserve+release: {:?}/cycle", t.elapsed() / 20_000);
+    black_box((p2, t2));
+}

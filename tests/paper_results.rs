@@ -117,8 +117,7 @@ fn r3_proposition2_family() {
         // LSRC with the submission order hits the predicted ratio.
         let lsrc = Lsrc::new().makespan(&adv.instance);
         let measured = lsrc.ticks() as f64 / adv.optimal_makespan.ticks() as f64;
-        let predicted =
-            resa_analysis::guarantees::proposition2_lower_bound(alpha.as_f64());
+        let predicted = resa_analysis::guarantees::proposition2_lower_bound(alpha.as_f64());
         assert!((measured - predicted).abs() < 1e-9, "k = {k}");
     }
 }

@@ -1,0 +1,319 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box` and the `criterion_group!` / `criterion_main!`
+//! macros — backed by a simple wall-clock harness: each benchmark is warmed
+//! up, then timed over `sample_size` samples whose iteration count is chosen
+//! so a sample lasts at least ~1 ms; the median per-iteration time is
+//! reported on stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Throughput annotation (recorded, displayed alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = run_bench(self, &mut f);
+        report(&id.name, None, &stats);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = run_bench(self.criterion, &mut f);
+        report(
+            &format!("{}/{}", self.name, id.name),
+            self.throughput,
+            &stats,
+        );
+    }
+
+    /// Benchmark a closure against a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let stats = run_bench(self.criterion, &mut |b: &mut Bencher| f(b, input));
+        report(
+            &format!("{}/{}", self.name, id.name),
+            self.throughput,
+            &stats,
+        );
+    }
+
+    /// Finish the group (prints a trailing newline).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Timing driver handed to every benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times and record the elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Stats {
+    median_ns: f64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(config: &Criterion, f: &mut F) -> Stats {
+    // Warm-up and calibration: find an iteration count lasting >= ~1 ms.
+    let mut iters = 1u64;
+    let warm_up_deadline = Instant::now() + config.warm_up_time;
+    let mut per_iter_ns = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos().max(1) as u64;
+        if ns >= 1_000_000 || Instant::now() >= warm_up_deadline {
+            break ns as f64 / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    if per_iter_ns <= 0.0 {
+        per_iter_ns = 1.0;
+    }
+    // Choose a per-sample iteration count so that all samples fit the budget.
+    let budget_ns = config.measurement_time.as_nanos() as f64;
+    let per_sample_ns = budget_ns / config.sample_size as f64;
+    let sample_iters = ((per_sample_ns / per_iter_ns).floor() as u64).max(1);
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    let deadline = Instant::now() + config.measurement_time.mul_f64(2.0);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / sample_iters as f64);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    Stats {
+        median_ns: samples[samples.len() / 2],
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, stats: &Stats) {
+    let time = format_ns(stats.median_ns);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (stats.median_ns / 1e9);
+            println!("{name:<60} time: {time:>12}   thrpt: {rate:.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (stats.median_ns / 1e9);
+            println!("{name:<60} time: {time:>12}   thrpt: {rate:.0} B/s");
+        }
+        None => println!("{name:<60} time: {time:>12}"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, target, ...)` or
+/// the long form with an explicit `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

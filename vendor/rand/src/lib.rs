@@ -1,0 +1,201 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses:
+//! `StdRng`, `SeedableRng::seed_from_u64`, `Rng::{gen_range, gen_bool}` over
+//! integer and float ranges, and `SliceRandom::shuffle`.
+//!
+//! The generator is SplitMix64: deterministic, seedable, statistically fine
+//! for workload generation and shuffling (not cryptographic — neither is the
+//! real `StdRng` contract relied upon here beyond per-seed determinism).
+//! `gen_range` draws integers by rejection-free modulo reduction; the modulo
+//! bias is below 2^-32 for every range used in this workspace.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of pseudo-random 64-bit words plus the convenience
+/// methods the workspace calls.
+pub trait Rng {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in the given range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+    {
+        let UniformRange { lo, hi_inclusive } = range.into();
+        T::sample(self, lo, hi_inclusive)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Seedable constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A half-open or inclusive uniform range, normalized to inclusive bounds.
+pub struct UniformRange<T> {
+    lo: T,
+    hi_inclusive: T,
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw a uniform sample in `[lo, hi]`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The predecessor of `v` (used to convert exclusive upper bounds).
+    fn prev(v: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range.
+                    return rng.next_u64() as $t;
+                }
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                lo.wrapping_add((wide % span) as $t)
+            }
+            fn prev(v: Self) -> Self {
+                v.checked_sub(1).expect("gen_range: empty exclusive range")
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+    fn prev(v: Self) -> Self {
+        // Half-open float ranges keep the upper bound: the unit sample is
+        // already in [0, 1).
+        v
+    }
+}
+
+impl<T: SampleUniform> From<Range<T>> for UniformRange<T> {
+    fn from(r: Range<T>) -> Self {
+        UniformRange {
+            lo: r.start,
+            hi_inclusive: T::prev(r.end),
+        }
+    }
+}
+
+impl<T: SampleUniform> From<RangeInclusive<T>> for UniformRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        let (lo, hi) = r.into_inner();
+        UniformRange {
+            lo,
+            hi_inclusive: hi,
+        }
+    }
+}
+
+/// Namespace mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                // Avoid the all-zero fixed point and decorrelate small seeds.
+                state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Namespace mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..=9);
+            assert!((3..=9).contains(&v));
+            let v = rng.gen_range(5u64..8);
+            assert!((5..8).contains(&v));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

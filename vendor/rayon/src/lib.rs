@@ -1,0 +1,29 @@
+//! Offline stand-in for `rayon`: `par_iter()` returns the ordinary sequential
+//! iterator, so all combinators and `collect()` keep working with identical
+//! results (rayon is a pure performance layer here — the experiment harness
+//! does not rely on parallel side effects).
+
+/// Mirror of `rayon::prelude`.
+pub mod prelude {
+    /// `par_iter()` for slices (and anything that derefs to a slice).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type (sequential in this stand-in).
+        type Iter;
+        /// Iterate "in parallel" (sequentially here).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` facade without depending on `syn`/`quote` (which are not
+//! available offline): the item is parsed directly from the raw
+//! [`TokenStream`] and the impl is emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * structs with named fields (serialized as objects);
+//! * tuple structs with one field (serialized transparently, like serde's
+//!   newtype structs; `#[serde(transparent)]` is accepted and has the same
+//!   meaning);
+//! * tuple structs with several fields (serialized as arrays);
+//! * enums with unit variants and one-field tuple variants (externally
+//!   tagged, like serde's default representation).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(serialize_impl(&item))
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit(deserialize_impl(&item))
+}
+
+fn emit(source: String) -> TokenStream {
+    source
+        .parse()
+        .expect("serde_derive generated invalid Rust; this is a bug in the vendored derive")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// Number of unnamed payload fields (0 = unit variant).
+    arity: usize,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored) does not support generic types: {name}");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde_derive: unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Split a field/variant list on commas at angle-bracket depth zero.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extract the field names of a named-struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut last_ident: Option<String> = None;
+            for tt in &chunk {
+                match tt {
+                    TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    _ => {}
+                }
+            }
+            last_ident.expect("serde_derive: field without a name")
+        })
+        .collect()
+}
+
+/// Extract the variants of an enum body.
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut name: Option<String> = None;
+            let mut arity = 0usize;
+            let mut iter = chunk.into_iter().peekable();
+            while let Some(tt) = iter.next() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next(); // attribute bracket group
+                    }
+                    TokenTree::Ident(id) => {
+                        name = Some(id.to_string());
+                        match iter.peek() {
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                arity = split_top_level(g.stream()).len();
+                            }
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                panic!(
+                                    "serde_derive (vendored): struct variants are not \
+                                     supported ({enum_name})"
+                                );
+                            }
+                            _ => {}
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            Variant {
+                name: name.expect("serde_derive: variant without a name"),
+                arity,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match v.arity {
+                        0 => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                        ),
+                        1 => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                        ),
+                        n => {
+                            let binders: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+                            let values: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                                 (\"{vname}\".to_string(), \
+                                 ::serde::Value::Array(vec![{}]))]),\n",
+                                binders.join(", "),
+                                values.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let builders: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::custom(\
+                         \"missing field {f} in {name}\"))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "if value.as_object().is_none() {{\n\
+                 return Err(::serde::DeError::custom(\"expected object for {name}\"));\n}}\n\
+                 Ok({name} {{\n{builders}}})"
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_array()\
+                 .ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                 return Err(::serde::DeError::custom(\"wrong arity for {name}\"));\n}}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),\n", v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|v| v.arity > 0)
+                .map(|v| {
+                    let vname = &v.name;
+                    if v.arity == 1 {
+                        format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?)),\n"
+                        )
+                    } else {
+                        let n = v.arity;
+                        let elems: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{vname}\" => {{\n\
+                             let items = payload.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected array payload\"))?;\n\
+                             if items.len() != {n} {{\n\
+                             return Err(::serde::DeError::custom(\"wrong arity\"));\n}}\n\
+                             Ok({name}::{vname}({}))\n}}\n",
+                            elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::DeError::custom(\
+                 format!(\"unknown variant {{other}} of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, payload) = &fields[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {{\n\
+                 {payload_arms}\
+                 other => Err(::serde::DeError::custom(\
+                 format!(\"unknown variant {{other}} of {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::custom(\"expected variant of {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
