@@ -7,7 +7,10 @@
 //!   previously scheduled task").
 //! * [`EasyBackfilling`] — the EASY (aggressive) variant: only the job at the
 //!   head of the queue holds a guaranteed start time; a later job may jump the
-//!   queue if starting it now does not delay that guaranteed start.
+//!   queue if starting it now does not delay that guaranteed start. Admission
+//!   is decided by O(log B) scalar checks against the spare-capacity API;
+//!   [`EasyBackfillingReference`] keeps the classical probing formulation as
+//!   the (property-tested) equivalence oracle and bench baseline.
 //!
 //! The paper notes that the *most* aggressive variant — any job may delay any
 //! other as long as it starts earlier — is exactly LSRC
@@ -58,6 +61,15 @@ impl Scheduler for ConservativeBackfilling {
     }
 }
 
+/// Counters exposed by [`EasyBackfilling::schedule_with_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EasyStats {
+    /// Decision points taken (clock instants at which the queue was scanned).
+    pub decision_points: u64,
+    /// Jobs started by jumping the queue (not as the head).
+    pub backfills: u64,
+}
+
 /// EASY (aggressive) backfilling.
 ///
 /// Event-driven formulation: at every decision point the head of the waiting
@@ -65,6 +77,21 @@ impl Scheduler for ConservativeBackfilling {
 /// time at which it will fit given the jobs currently running and the
 /// reservations) is computed, and any other queued job is allowed to start now
 /// provided doing so does not push the head job past its shadow time.
+///
+/// This implementation admits backfill candidates with O(log B) scalar
+/// checks against the spare-capacity API instead of the classical tentative
+/// *reserve → recompute shadow → release* round trip (kept as
+/// [`EasyBackfillingReference`], which is property-tested to produce
+/// identical schedules). Once per decision point it computes the head's
+/// shadow time and the spare ("extra") capacity left over the head's shadow
+/// window; a candidate that finishes before the shadow, or that is narrower
+/// than the spare capacity, is admitted without any further query, and the
+/// remaining cases need exactly one more range-minimum. The candidate delays
+/// the head iff its execution overlaps the head's shadow window
+/// `[shadow, shadow + p_head)` with less than `q_head + q_cand` processors
+/// free there — reserving it can only push the shadow *later*, so "the
+/// shadow does not move" and "the head still fits at the shadow" are the
+/// same condition.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EasyBackfilling;
 
@@ -76,6 +103,155 @@ impl EasyBackfilling {
 
     /// Run EASY backfilling against an explicit availability substrate
     /// (naive profile or indexed timeline).
+    pub fn schedule_with<C: CapacityQuery>(&self, instance: &ResaInstance, profile: C) -> Schedule {
+        self.schedule_with_stats(instance, profile).0
+    }
+
+    /// [`Self::schedule_with`] plus decision-loop counters, used by the
+    /// regression tests and the decision-point bench.
+    pub fn schedule_with_stats<C: CapacityQuery>(
+        &self,
+        instance: &ResaInstance,
+        mut profile: C,
+    ) -> (Schedule, EasyStats) {
+        let jobs = instance.jobs();
+        let mut schedule = Schedule::new();
+        let mut stats = EasyStats::default();
+        let n = jobs.len();
+        if n == 0 {
+            return (schedule, stats);
+        }
+        // Arrival-order queue with O(1) removal; job i sits at index i.
+        let mut queue = WaitList::with_capacity(n);
+        for i in 0..n {
+            queue.push_back(i);
+        }
+        // Sorted distinct release instants with a monotone cursor: every
+        // release still ahead of the clock belongs to a job still queued
+        // (jobs cannot start before their release), so this is exactly the
+        // set of future arrival events.
+        let mut releases: Vec<Time> = jobs.iter().map(|j| j.release).collect();
+        releases.sort_unstable();
+        releases.dedup();
+        let mut rel_cursor = 0usize;
+        let mut now = releases[0];
+
+        loop {
+            stats.decision_points += 1;
+            // 1. Start the head of the queue (and successive heads) while
+            //    they fit.
+            while let Some(h) = queue.front() {
+                let head = &jobs[h];
+                if head.release <= now && profile.min_capacity_in(now, head.duration) >= head.width
+                {
+                    profile
+                        .reserve(now, head.duration, head.width)
+                        .expect("capacity just checked");
+                    schedule.place(head.id, now);
+                    queue.remove(h);
+                } else {
+                    break;
+                }
+            }
+            let Some(h) = queue.front() else { break };
+            let head = jobs[h];
+            // 2. The head does not fit now: its shadow time and the spare
+            //    capacity over its shadow window, once per decision point.
+            let shadow = profile
+                .earliest_fit(head.width, head.duration, now.max(head.release))
+                .expect("feasible instances always admit a fit");
+            let mut guard = ShadowGuard::new(shadow, head.width, head.duration, |s, d| {
+                profile.spare_capacity_until(s, s.saturating_add(d))
+            });
+            // Capacity free at this very instant: an O(1) pre-filter for the
+            // fits-now test (min over the window can only be lower).
+            let mut free_now = profile.capacity_at(now);
+            // Whether a released candidate remains queued after the pass —
+            // only then can a capacity change before the shadow matter.
+            let mut released_candidate_left = false;
+            // 3. Backfill with scalar checks; accepted candidates are
+            //    reserved directly (acceptance is decided before mutating, so
+            //    nothing is ever rolled back).
+            let mut cursor = queue.next_of(h);
+            while let Some(i) = cursor {
+                cursor = queue.next_of(i);
+                let job = jobs[i];
+                if job.release > now {
+                    continue;
+                }
+                if job.width > free_now || profile.min_capacity_in(now, job.duration) < job.width {
+                    released_candidate_left = true;
+                    continue;
+                }
+                let no_delay = guard.admits(now, job.width, job.duration, |s, d| {
+                    profile.min_capacity_in(s, d)
+                });
+                if !no_delay {
+                    released_candidate_left = true;
+                    continue;
+                }
+                profile
+                    .reserve(now, job.duration, job.width)
+                    .expect("capacity just checked");
+                schedule.place(job.id, now);
+                queue.remove(i);
+                stats.backfills += 1;
+                free_now -= job.width;
+                guard.on_admit(now, job.duration, |s, d| profile.min_capacity_in(s, d));
+            }
+            // 4. Jump to the next actionable instant. The head cannot start
+            //    before its shadow and new candidates appear only at release
+            //    instants; capacity changes in between matter only while a
+            //    released candidate is still waiting (a refused candidate can
+            //    start to fit only where the availability function rises).
+            while rel_cursor < releases.len() && releases[rel_cursor] <= now {
+                rel_cursor += 1;
+            }
+            let mut next = shadow;
+            if let Some(&r) = releases.get(rel_cursor) {
+                next = next.min(r);
+            }
+            if released_candidate_left {
+                if let Some(c) = profile.next_change_after(now) {
+                    next = next.min(c);
+                }
+            }
+            debug_assert!(next > now, "the decision clock must advance");
+            now = next;
+        }
+        (schedule, stats)
+    }
+}
+
+impl Scheduler for EasyBackfilling {
+    fn name(&self) -> String {
+        "EASY-backfilling".to_string()
+    }
+
+    fn schedule(&self, instance: &ResaInstance) -> Schedule {
+        self.schedule_with(instance, instance.timeline())
+    }
+}
+
+/// The classical probing formulation of EASY backfilling, kept verbatim as
+/// the equivalence oracle for [`EasyBackfilling`] and as the baseline of the
+/// decision-point bench.
+///
+/// Per candidate it performs a tentative `reserve`, recomputes the head's
+/// shadow with a full `earliest_fit`, and `release`s on refusal — three
+/// substrate mutations/queries where the optimized loop needs at most one
+/// range-minimum — and it wakes at every completion and profile breakpoint
+/// even when no queued job could possibly start there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EasyBackfillingReference;
+
+impl EasyBackfillingReference {
+    /// Create the reference EASY backfilling scheduler.
+    pub fn new() -> Self {
+        EasyBackfillingReference
+    }
+
+    /// Run the reference formulation against an explicit substrate.
     pub fn schedule_with<C: CapacityQuery>(
         &self,
         instance: &ResaInstance,
@@ -83,8 +259,6 @@ impl EasyBackfilling {
     ) -> Schedule {
         let jobs = instance.jobs();
         let mut schedule = Schedule::new();
-        // Hold jobs directly: the event loop below re-examines the queue at
-        // every decision point, so per-candidate lookups must be O(1).
         let mut queue: Vec<&Job> = jobs.iter().collect();
         if queue.is_empty() {
             return schedule;
@@ -145,7 +319,7 @@ impl EasyBackfilling {
                 }
                 i += 1;
             }
-            // 4. Advance the clock.
+            // 4. Advance the clock, one event at a time.
             let next_completion = completions
                 .range((std::ops::Bound::Excluded(now), std::ops::Bound::Unbounded))
                 .next()
@@ -171,9 +345,9 @@ impl EasyBackfilling {
     }
 }
 
-impl Scheduler for EasyBackfilling {
+impl Scheduler for EasyBackfillingReference {
     fn name(&self) -> String {
-        "EASY-backfilling".to_string()
+        "EASY-backfilling-reference".to_string()
     }
 
     fn schedule(&self, instance: &ResaInstance) -> Schedule {
@@ -301,6 +475,68 @@ mod tests {
         assert_eq!(s.start_of(JobId(1)), Some(Time(0)));
     }
 
+    /// Regression for the clock-advance fallback: a lone head blocked behind
+    /// a comb of reservations used to wake at every one of the ~100
+    /// intervening profile breakpoints (stepping event by event, each with a
+    /// full queue re-scan); with no released candidate waiting, the loop must
+    /// jump straight from the first decision point to the shadow time.
+    #[test]
+    fn lone_blocked_head_jumps_to_its_shadow() {
+        // Width-1 reservations at [2i, 2i+1) for i < 50: a 4-wide job of
+        // length 2 first fits at t = 99 (gaps before are 1 tick long).
+        let mut b = ResaInstanceBuilder::new(4).job(4, 2u64);
+        for i in 0..50u64 {
+            b = b.reservation(1, 1u64, 2 * i);
+        }
+        let inst = b.build().unwrap();
+        let (schedule, stats) = EasyBackfilling::new().schedule_with_stats(&inst, inst.timeline());
+        assert_eq!(schedule.start_of(JobId(0)), Some(Time(99)));
+        assert_eq!(
+            stats.decision_points, 2,
+            "one decision point to compute the shadow, one to start the head"
+        );
+        // Schedule-identical with the event-by-event reference.
+        assert_eq!(
+            schedule,
+            EasyBackfillingReference::new().schedule_with(&inst, inst.timeline())
+        );
+    }
+
+    /// With a released candidate still waiting, the optimized loop must keep
+    /// waking at capacity changes (that is where a refused candidate can
+    /// start to fit) — and still match the reference schedule-for-schedule.
+    #[test]
+    fn waiting_candidate_keeps_capacity_change_wakeups() {
+        // Head (4 wide) blocked until the staircase clears; a 2-wide
+        // candidate of length 3 only starts fitting at t = 4 (a capacity
+        // rise), strictly between decision-relevant release instants.
+        let inst = ResaInstanceBuilder::new(4)
+            .job(4, 2u64) // head, blocked
+            .job(2, 3u64) // candidate, fits from t = 4
+            .reservation(3, 4u64, 0u64) // cap 1 on [0, 4)
+            .reservation(1, 6u64, 4u64) // cap 3 on [4, 10)
+            .reservation(1, 2u64, 10u64) // cap 3 on [10, 12)
+            .build()
+            .unwrap();
+        let easy = EasyBackfilling::new().schedule_with(&inst, inst.timeline());
+        let reference = EasyBackfillingReference::new().schedule_with(&inst, inst.timeline());
+        assert_eq!(easy, reference);
+        assert_eq!(
+            easy.start_of(JobId(1)),
+            Some(Time(4)),
+            "backfilled at the rise"
+        );
+    }
+
+    #[test]
+    fn reference_and_optimized_agree_on_fixture() {
+        let inst = blocked_head_instance();
+        assert_eq!(
+            EasyBackfilling::new().schedule(&inst),
+            EasyBackfillingReference::new().schedule(&inst)
+        );
+    }
+
     #[test]
     fn names() {
         assert_eq!(
@@ -308,5 +544,9 @@ mod tests {
             "conservative-backfilling"
         );
         assert_eq!(EasyBackfilling::new().name(), "EASY-backfilling");
+        assert_eq!(
+            EasyBackfillingReference::new().name(),
+            "EASY-backfilling-reference"
+        );
     }
 }

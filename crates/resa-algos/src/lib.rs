@@ -66,7 +66,9 @@ pub mod transform;
 
 /// Convenient glob import of every scheduler and the [`traits::Scheduler`] trait.
 pub mod prelude {
-    pub use crate::backfilling::{ConservativeBackfilling, EasyBackfilling};
+    pub use crate::backfilling::{
+        ConservativeBackfilling, EasyBackfilling, EasyBackfillingReference, EasyStats,
+    };
     pub use crate::fcfs::Fcfs;
     pub use crate::list_scheduling::Lsrc;
     pub use crate::local_search::LocalSearch;
@@ -117,8 +119,48 @@ mod proptests {
         })
     }
 
+    /// Like [`arb_instance`] but with release dates, so the EASY event loop
+    /// exercises the release-driven decision points too.
+    fn arb_released_instance() -> impl Strategy<Value = ResaInstance> {
+        (2u32..=12, 1usize..=12, 0usize..=3).prop_flat_map(|(m, n_jobs, n_res)| {
+            let jobs = proptest::collection::vec((1u32..=m, 1u64..=15, 0u64..=25), n_jobs);
+            let reservations = proptest::collection::vec((1u32..=m, 1u64..=8), n_res);
+            (Just(m), jobs, reservations).prop_map(|(m, jobs, reservations)| {
+                let mut b = ResaInstanceBuilder::new(m);
+                for (w, p, r) in jobs {
+                    b = b.job_released_at(w, p, r);
+                }
+                for (i, (w, p)) in reservations.into_iter().enumerate() {
+                    b = b.reservation(w, p, (i as u64) * 9);
+                }
+                b.build().expect("constructed instances are feasible")
+            })
+        })
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The spare-capacity EASY loop produces the *identical* schedule to
+        /// the classical probing reference, on random instances with
+        /// reservations and release dates, through either substrate.
+        #[test]
+        fn easy_matches_probing_reference(inst in arb_released_instance()) {
+            let optimized = EasyBackfilling::new();
+            let reference = EasyBackfillingReference::new();
+            let via_timeline = optimized.schedule_with(&inst, inst.timeline());
+            prop_assert_eq!(
+                via_timeline.clone(),
+                reference.schedule_with(&inst, inst.timeline()),
+                "optimized EASY diverged from the probing reference (timeline)"
+            );
+            prop_assert_eq!(
+                optimized.schedule_with(&inst, inst.profile()),
+                reference.schedule_with(&inst, inst.profile()),
+                "optimized EASY diverged from the probing reference (profile)"
+            );
+            prop_assert!(via_timeline.is_valid(&inst));
+        }
 
         /// Every scheduler produces a feasible, complete schedule whose
         /// makespan is at least the certified lower bound.

@@ -49,16 +49,23 @@ pub struct Fig1Row {
 /// Build the Figure-1 series: for each `k`, one satisfiable instance (from the
 /// generator) and the hard-coded unsatisfiable witness for contrast.
 pub fn figure1_series(ks: &[usize], target: u64, rho: u64, seed: u64) -> Vec<Fig1Row> {
-    let mut rows = Vec::new();
-    for &k in ks {
-        let tp = satisfiable_instance(k, target, seed + k as u64);
-        rows.push(figure1_row(&tp, rho));
-    }
-    // One unsatisfiable instance: three 5s cannot be split across two bins of 9.
-    if let Ok(tp) = ThreePartition::new(vec![1, 1, 1, 5, 5, 5], 9) {
-        rows.push(figure1_row(&tp, rho));
-    }
-    rows
+    crate::runner::ExperimentRunner::sequential().figure1(ks, target, rho, seed)
+}
+
+/// One satisfiable Figure-1 cell: reduce a generated 3-PARTITION instance for
+/// `k` groups and solve it. Self-contained per `(k, seed)`, so the parallel
+/// runner can fan the cells out.
+pub(crate) fn figure1_cell(k: usize, target: u64, rho: u64, seed: u64) -> Fig1Row {
+    let tp = satisfiable_instance(k, target, seed + k as u64);
+    figure1_row(&tp, rho)
+}
+
+/// The hard-coded unsatisfiable Figure-1 witness (three 5s cannot be split
+/// across two bins of 9), appended after the satisfiable cells.
+pub(crate) fn figure1_witness(rho: u64) -> Option<Fig1Row> {
+    ThreePartition::new(vec![1, 1, 1, 5, 5, 5], 9)
+        .ok()
+        .map(|tp| figure1_row(&tp, rho))
 }
 
 fn figure1_row(tp: &ThreePartition, rho: u64) -> Fig1Row {
@@ -110,49 +117,51 @@ pub fn figure2_series(
     jobs_per_instance: usize,
     seeds: &[u64],
 ) -> Vec<Fig2Row> {
+    crate::runner::ExperimentRunner::sequential().figure2(machines_list, jobs_per_instance, seeds)
+}
+
+/// One Figure-2 cell: a random non-increasing staircase instance for
+/// `(machines, seed)`, measured against the Proposition-1 bound. The RNG
+/// stream is derived from the cell's own seed, so cells are order- and
+/// thread-independent.
+pub(crate) fn figure2_cell(m: u32, jobs_per_instance: usize, seed: u64) -> Fig2Row {
     let harness = RatioHarness::new();
-    let mut rows = Vec::new();
-    for &m in machines_list {
-        for &seed in seeds {
-            let workload = UniformWorkload::for_cluster(m, jobs_per_instance);
-            let staircase = NonIncreasingReservations {
-                machines: m,
-                steps: 3,
-                max_initial_unavailable: m / 2,
-                max_duration: 40,
-            };
-            let inst = staircase.instance(workload.generate(seed), seed);
-            let (reference, kind) = harness.reference(&inst);
-            let available = inst.profile().capacity_at(reference);
-            let lsrc = Lsrc::new().schedule(&inst);
-            // The Proposition-1 transformation, truncated at the reference.
-            let lsrc_transformed = nonincreasing_to_rigid(&inst, reference)
-                .ok()
-                .map(|tr| {
-                    let rigid_resa = tr.instance.clone().into_resa();
-                    // Surrogates at the head of the list = submission order of
-                    // the transformed instance with surrogates re-inserted
-                    // first; we emulate it by scheduling the surrogate jobs
-                    // first through a custom instance ordering.
-                    let order = head_list_order(&tr);
-                    lsrc_with_explicit_order(&rigid_resa, &order)
-                })
-                .unwrap_or_else(|| lsrc.makespan(&inst));
-            let ratio = lsrc.makespan(&inst).ticks() as f64 / reference.ticks().max(1) as f64;
-            rows.push(Fig2Row {
-                machines: m,
-                jobs: jobs_per_instance,
-                available_at_reference: available,
-                reference: reference.ticks(),
-                reference_is_optimal: kind == ReferenceKind::Optimal,
-                lsrc: lsrc.makespan(&inst).ticks(),
-                lsrc_transformed: lsrc_transformed.ticks(),
-                ratio,
-                bound: guarantees::nonincreasing_bound(available.max(1)),
-            });
-        }
+    let workload = UniformWorkload::for_cluster(m, jobs_per_instance);
+    let staircase = NonIncreasingReservations {
+        machines: m,
+        steps: 3,
+        max_initial_unavailable: m / 2,
+        max_duration: 40,
+    };
+    let inst = staircase.instance(workload.generate(seed), seed);
+    let (reference, kind) = harness.reference(&inst);
+    let available = inst.profile().capacity_at(reference);
+    let lsrc = Lsrc::new().schedule(&inst);
+    // The Proposition-1 transformation, truncated at the reference.
+    let lsrc_transformed = nonincreasing_to_rigid(&inst, reference)
+        .ok()
+        .map(|tr| {
+            let rigid_resa = tr.instance.clone().into_resa();
+            // Surrogates at the head of the list = submission order of
+            // the transformed instance with surrogates re-inserted
+            // first; we emulate it by scheduling the surrogate jobs
+            // first through a custom instance ordering.
+            let order = head_list_order(&tr);
+            lsrc_with_explicit_order(&rigid_resa, &order)
+        })
+        .unwrap_or_else(|| lsrc.makespan(&inst));
+    let ratio = lsrc.makespan(&inst).ticks() as f64 / reference.ticks().max(1) as f64;
+    Fig2Row {
+        machines: m,
+        jobs: jobs_per_instance,
+        available_at_reference: available,
+        reference: reference.ticks(),
+        reference_is_optimal: kind == ReferenceKind::Optimal,
+        lsrc: lsrc.makespan(&inst).ticks(),
+        lsrc_transformed: lsrc_transformed.ticks(),
+        ratio,
+        bound: guarantees::nonincreasing_bound(available.max(1)),
     }
-    rows
 }
 
 /// Run LSRC with an explicit job-id list order (used by the Figure-2
@@ -193,27 +202,28 @@ pub struct Fig3Row {
 
 /// Build the Figure-3 series for the given values of `k ≥ 3`.
 pub fn figure3_series(ks: &[u32]) -> Vec<Fig3Row> {
-    ks.iter()
-        .map(|&k| {
-            let adv = proposition2_instance(k);
-            let alpha = proposition2_alpha(k).as_f64();
-            let lsrc = Lsrc::new().schedule(&adv.instance);
-            let optimal = proposition2_optimal_schedule(k);
-            debug_assert!(optimal.is_valid(&adv.instance));
-            debug_assert_eq!(optimal.makespan(&adv.instance), adv.optimal_makespan);
-            let measured =
-                lsrc.makespan(&adv.instance).ticks() as f64 / adv.optimal_makespan.ticks() as f64;
-            Fig3Row {
-                k,
-                alpha,
-                machines: adv.instance.machines(),
-                optimal: adv.optimal_makespan.ticks(),
-                lsrc: lsrc.makespan(&adv.instance).ticks(),
-                measured_ratio: measured,
-                predicted_ratio: guarantees::proposition2_lower_bound(alpha),
-            }
-        })
-        .collect()
+    crate::runner::ExperimentRunner::sequential().figure3(ks)
+}
+
+/// One Figure-3 cell: the Proposition-2 adversarial instance for `k`.
+pub(crate) fn figure3_cell(k: u32) -> Fig3Row {
+    let adv = proposition2_instance(k);
+    let alpha = proposition2_alpha(k).as_f64();
+    let lsrc = Lsrc::new().schedule(&adv.instance);
+    let optimal = proposition2_optimal_schedule(k);
+    debug_assert!(optimal.is_valid(&adv.instance));
+    debug_assert_eq!(optimal.makespan(&adv.instance), adv.optimal_makespan);
+    let measured =
+        lsrc.makespan(&adv.instance).ticks() as f64 / adv.optimal_makespan.ticks() as f64;
+    Fig3Row {
+        k,
+        alpha,
+        machines: adv.instance.machines(),
+        optimal: adv.optimal_makespan.ticks(),
+        lsrc: lsrc.makespan(&adv.instance).ticks(),
+        measured_ratio: measured,
+        predicted_ratio: guarantees::proposition2_lower_bound(alpha),
+    }
 }
 
 /// One row of the Figure-4 series.

@@ -29,6 +29,7 @@ pub mod figures;
 pub mod guarantees;
 pub mod ratio;
 pub mod report;
+pub mod runner;
 pub mod statistics;
 pub mod verification;
 
@@ -44,6 +45,7 @@ pub mod prelude {
     };
     pub use crate::ratio::{RatioHarness, RatioMeasurement, ReferenceKind};
     pub use crate::report::{fmt_f64, to_json, Table};
+    pub use crate::runner::{stream_seed, ExperimentRunner};
     pub use crate::statistics::{geometric_mean, percentile_sorted, Summary};
     pub use crate::verification::{classify, verify_schedule, GuaranteeReport, InstanceClass};
 }

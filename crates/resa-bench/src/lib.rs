@@ -342,13 +342,25 @@ pub fn priority_ablation_experiment(
     seeds: u64,
     alpha: (u64, u64),
 ) -> Vec<PriorityRow> {
+    priority_ablation_experiment_with(ExperimentRunner::parallel(), machines, jobs, seeds, alpha)
+}
+
+/// [`priority_ablation_experiment`] with an explicit [`ExperimentRunner`]
+/// (sequential or parallel — identical rows either way: each seed is one
+/// self-contained cell and the aggregation folds the cells in seed order).
+pub fn priority_ablation_experiment_with(
+    runner: ExperimentRunner,
+    machines: u32,
+    jobs: usize,
+    seeds: u64,
+    alpha: (u64, u64),
+) -> Vec<PriorityRow> {
     let alpha = Alpha::new(alpha.0, alpha.1).expect("valid alpha");
     let orders = ListOrder::DETERMINISTIC;
-    let mut stats: Vec<(String, Vec<f64>, Vec<f64>)> = orders
-        .iter()
-        .map(|o| (o.to_string(), Vec::new(), Vec::new()))
-        .collect();
-    for seed in 0..seeds {
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    // One cell per seed: that instance's per-order samples
+    // `(ratio to lower bound, ratio to LSRC(submission))`.
+    let cells: Vec<Vec<(f64, f64)>> = runner.map_seeds(&seed_list, |seed| {
         let jobs_vec = FeitelsonWorkload::for_cluster(machines, jobs).generate(seed);
         let inst = AlphaReservations {
             machines,
@@ -363,21 +375,24 @@ pub fn priority_ablation_experiment(
             .ticks()
             .max(1) as f64;
         let submission = Lsrc::new().makespan(&inst).ticks() as f64;
-        for (i, &order) in orders.iter().enumerate() {
-            let cmax = Lsrc::with_order(order).makespan(&inst).ticks() as f64;
-            stats[i].1.push(cmax / lb);
-            stats[i].2.push(cmax / submission);
-        }
-    }
-    stats
-        .into_iter()
-        .map(|(order, to_lb, to_sub)| {
-            let n = to_lb.len() as f64;
+        orders
+            .iter()
+            .map(|&order| {
+                let cmax = Lsrc::with_order(order).makespan(&inst).ticks() as f64;
+                (cmax / lb, cmax / submission)
+            })
+            .collect()
+    });
+    orders
+        .iter()
+        .enumerate()
+        .map(|(i, order)| {
+            let n = cells.len() as f64;
             PriorityRow {
-                order,
-                mean_ratio_to_lb: to_lb.iter().sum::<f64>() / n,
-                worst_ratio_to_lb: to_lb.iter().copied().fold(0.0, f64::max),
-                mean_vs_submission: to_sub.iter().sum::<f64>() / n,
+                order: order.to_string(),
+                mean_ratio_to_lb: cells.iter().map(|c| c[i].0).sum::<f64>() / n,
+                worst_ratio_to_lb: cells.iter().map(|c| c[i].0).fold(0.0, f64::max),
+                mean_vs_submission: cells.iter().map(|c| c[i].1).sum::<f64>() / n,
             }
         })
         .collect()
@@ -424,14 +439,36 @@ pub fn online_batch_experiment(
     mean_interarrival: u64,
     seeds: u64,
 ) -> Vec<OnlineRow> {
-    type PolicySamples = (String, Vec<f64>, Vec<f64>, Vec<f64>);
-    let mut stats: Vec<PolicySamples> = vec![
-        ("FCFS (online)".to_string(), vec![], vec![], vec![]),
-        ("EASY (online)".to_string(), vec![], vec![], vec![]),
-        ("greedy-LSRC (online)".to_string(), vec![], vec![], vec![]),
-        ("batch(LSRC) wrapper".to_string(), vec![], vec![], vec![]),
-    ];
-    for seed in 0..seeds {
+    online_batch_experiment_with(
+        ExperimentRunner::parallel(),
+        machines,
+        jobs,
+        mean_interarrival,
+        seeds,
+    )
+}
+
+/// Names of the four policies/wrappers measured by the E9 experiment.
+const ONLINE_POLICIES: [&str; 4] = [
+    "FCFS (online)",
+    "EASY (online)",
+    "greedy-LSRC (online)",
+    "batch(LSRC) wrapper",
+];
+
+/// [`online_batch_experiment`] with an explicit [`ExperimentRunner`]: every
+/// seed is one self-contained simulation cell (its own instance, its own RNG
+/// stream), so the parallel and sequential runners produce identical rows.
+pub fn online_batch_experiment_with(
+    runner: ExperimentRunner,
+    machines: u32,
+    jobs: usize,
+    mean_interarrival: u64,
+    seeds: u64,
+) -> Vec<OnlineRow> {
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    // Per seed, per policy: (makespan, makespan / offline, mean wait).
+    let cells: Vec<[(f64, f64, f64); 4]> = runner.map_seeds(&seed_list, |seed| {
         let inst = FeitelsonWorkload::for_cluster(machines, jobs)
             .with_arrivals(mean_interarrival)
             .instance(seed);
@@ -439,34 +476,32 @@ pub fn online_batch_experiment(
         // (still respecting release dates).
         let offline = Lsrc::new().schedule(&inst).makespan(&inst).ticks().max(1) as f64;
         let sim = Simulator::new(inst.clone());
-        let runs: Vec<(usize, SimMetrics)> = vec![
-            (0, sim.run(&FcfsPolicy).metrics),
-            (1, sim.run(&EasyPolicy).metrics),
-            (2, sim.run(&GreedyPolicy).metrics),
-        ];
-        for (idx, m) in runs {
-            stats[idx].1.push(m.makespan.ticks() as f64);
-            stats[idx].2.push(m.makespan.ticks() as f64 / offline);
-            stats[idx].3.push(m.mean_wait);
-        }
         let batched = BatchScheduler::new(Lsrc::new()).schedule(&inst);
-        let batch_metrics = SimMetrics::from_schedule(&inst, &batched);
-        stats[3].1.push(batch_metrics.makespan.ticks() as f64);
-        stats[3]
-            .2
-            .push(batch_metrics.makespan.ticks() as f64 / offline);
-        stats[3].3.push(batch_metrics.mean_wait);
-    }
-    stats
-        .into_iter()
-        .map(|(policy, cmax, vs, wait)| {
-            let n = cmax.len() as f64;
+        let sample = |m: &SimMetrics| {
+            (
+                m.makespan.ticks() as f64,
+                m.makespan.ticks() as f64 / offline,
+                m.mean_wait,
+            )
+        };
+        [
+            sample(&sim.run(&FcfsPolicy).metrics),
+            sample(&sim.run(&EasyPolicy).metrics),
+            sample(&sim.run(&GreedyPolicy).metrics),
+            sample(&SimMetrics::from_schedule(&inst, &batched)),
+        ]
+    });
+    ONLINE_POLICIES
+        .iter()
+        .enumerate()
+        .map(|(i, policy)| {
+            let n = cells.len() as f64;
             OnlineRow {
-                policy,
-                mean_makespan: cmax.iter().sum::<f64>() / n,
-                mean_vs_offline: vs.iter().sum::<f64>() / n,
-                worst_vs_offline: vs.iter().copied().fold(0.0, f64::max),
-                mean_wait: wait.iter().sum::<f64>() / n,
+                policy: policy.to_string(),
+                mean_makespan: cells.iter().map(|c| c[i].0).sum::<f64>() / n,
+                mean_vs_offline: cells.iter().map(|c| c[i].1).sum::<f64>() / n,
+                worst_vs_offline: cells.iter().map(|c| c[i].1).fold(0.0, f64::max),
+                mean_wait: cells.iter().map(|c| c[i].2).sum::<f64>() / n,
             }
         })
         .collect()

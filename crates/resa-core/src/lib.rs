@@ -68,11 +68,12 @@ pub mod reservation;
 pub mod schedule;
 pub mod time;
 pub mod timeline;
+pub mod waitlist;
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::bounds::{lower_bound, lower_bound_rigid};
-    pub use crate::capacity::CapacityQuery;
+    pub use crate::capacity::{CapacityQuery, ShadowGuard, WindowProfile};
     pub use crate::error::{ModelError, ProfileError, ScheduleError};
     pub use crate::gantt::render_gantt;
     pub use crate::instance::{Alpha, ResaInstance, ResaInstanceBuilder, RigidInstance};
@@ -83,6 +84,7 @@ pub mod prelude {
     pub use crate::schedule::{Placement, ProcessorAssignment, Schedule};
     pub use crate::time::{Dur, Time};
     pub use crate::timeline::AvailabilityTimeline;
+    pub use crate::waitlist::WaitList;
 }
 
 #[cfg(test)]
@@ -229,6 +231,47 @@ mod proptests {
             }
             // Round-trip through the timeline is lossless at every point.
             prop_assert_eq!(AvailabilityTimeline::from(&p).to_profile(), p.clone());
+        }
+
+        /// The spare-capacity window API answers identically through both
+        /// backends on random windows, after random mutations: the scalar
+        /// `spare_capacity_until` and the materialized `capacity_profile_in`
+        /// step function (which must also agree pointwise with
+        /// `capacity_at`).
+        #[test]
+        fn spare_capacity_queries_agree(
+            inst in arb_instance(),
+            ops in proptest::collection::vec((0u64..60, 1u64..=20, 1u32..=4), 0usize..=6),
+            s in 0u64..=80, len in 0u64..=40,
+        ) {
+            let mut p = inst.profile();
+            let mut tl = inst.timeline();
+            for (os, od, ow) in ops {
+                let _ = p.reserve(Time(os), Dur(od), ow);
+                let _ = CapacityQuery::reserve(&mut tl, Time(os), Dur(od), ow);
+            }
+            let e = s + len;
+            prop_assert_eq!(
+                p.spare_capacity_until(Time(s), Time(e)),
+                tl.spare_capacity_until(Time(s), Time(e))
+            );
+            let mut wp = Vec::new();
+            let mut wt = Vec::new();
+            CapacityQuery::capacity_profile_in(&p, Time(s), Time(e), &mut wp);
+            tl.capacity_profile_in(Time(s), Time(e), &mut wt);
+            prop_assert_eq!(&wp, &wt);
+            for t in s..e {
+                let cap = wp[wp.partition_point(|&(bt, _)| bt <= Time(t)) - 1].1;
+                prop_assert_eq!(cap, p.capacity_at(Time(t)), "t = {}", t);
+            }
+            // The WindowProfile view built on either backend answers window
+            // minima exactly like the substrate.
+            let mut view = WindowProfile::new();
+            view.refill(&tl, Time(s), Time(e));
+            for t in s..e {
+                let d = Dur(e - t);
+                prop_assert_eq!(view.min_in(Time(t), d), Some(p.min_capacity_in(Time(t), d)));
+            }
         }
 
         /// Processor assignment of a feasible schedule always verifies.

@@ -314,6 +314,36 @@ impl AvailabilityTimeline {
             self.nodes[2 * node].max.max(self.nodes[2 * node + 1].max) + self.nodes[node].lazy;
     }
 
+    /// Append the `(leaf start, capacity)` pairs of the inclusive leaf range
+    /// `[l, r]` to `out`, merging runs of equal capacity — a single descent
+    /// touching `O(log B + k)` nodes for `k` emitted leaves.
+    fn collect_range(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        window: (usize, usize),
+        acc: i64,
+        out: &mut Vec<(Time, u32)>,
+    ) {
+        let (l, r) = window;
+        if r < lo || hi < l {
+            return;
+        }
+        if lo == hi {
+            let v = (self.nodes[node].min + acc) as u32;
+            match out.last() {
+                Some(&(_, cap)) if cap == v => {}
+                _ => out.push((Time(self.times[lo]), v)),
+            }
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.collect_range(2 * node, lo, mid, window, acc, out);
+        self.collect_range(2 * node + 1, mid + 1, hi, window, acc, out);
+    }
+
     /// Materialize the capacity of every leaf (applying pending deltas).
     fn leaf_caps(&self) -> Vec<u32> {
         let n = self.times.len();
@@ -421,6 +451,19 @@ impl CapacityQuery for AvailabilityTimeline {
         }
         self.first_differing(1, 0, self.n() - 1, from, cap, 0)
             .map(|leaf| Time(self.times[leaf]))
+    }
+
+    fn capacity_profile_in(&self, start: Time, end: Time, out: &mut Vec<(Time, u32)>) {
+        out.clear();
+        if end <= start {
+            return;
+        }
+        let (l, r) = self.window_leaves(start, end.ticks());
+        self.collect_range(1, 0, self.n() - 1, (l, r), 0, out);
+        if let Some(first) = out.first_mut() {
+            // The first covered leaf may begin before the window.
+            first.0 = first.0.max(start);
+        }
     }
 
     fn reserve(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError> {

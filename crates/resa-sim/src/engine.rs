@@ -12,9 +12,9 @@
 
 use crate::event::{Event, EventQueue};
 use crate::metrics::SimMetrics;
-use crate::policy::OnlinePolicy;
+use crate::policy::{DecisionScratch, OnlinePolicy, WaitingJobs};
 use resa_core::prelude::*;
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 /// Result of one simulated run.
 #[derive(Debug, Clone)]
@@ -45,12 +45,26 @@ impl Simulator {
     }
 
     /// Run the simulation to completion under `policy`.
+    ///
+    /// The event loop is allocation-free on the steady path: the waiting set
+    /// is an indexed [`WaitList`] (O(1) insert/remove, no per-event
+    /// `Vec<Job>` clone), same-instant events are drained straight off the
+    /// heap (its ordering already yields arrivals in submission order, so no
+    /// per-instant batch buffer or sort is needed), the policy reads a
+    /// borrowed [`WaitingJobs`] view and writes decisions into a reused
+    /// buffer, and its tentative state lives in a reused
+    /// [`DecisionScratch`].
     pub fn run<P: OnlinePolicy>(&self, policy: &P) -> SimResult {
         let instance = &self.instance;
+        let jobs = instance.jobs();
         let mut events = EventQueue::new();
-        for job in instance.jobs() {
+        for job in jobs {
             events.push(job.release, Event::JobArrival(job.id));
         }
+        // Position of each job in `jobs`, keyed by id (ids normally equal
+        // positions; the map keeps arbitrary ids correct). Built once.
+        let pos_of: HashMap<JobId, usize> =
+            jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
         // Run against the indexed availability timeline; reservations made as
         // jobs start keep it in sync with the naive profile semantics. Build
         // the reservation profile once and derive both the availability
@@ -62,51 +76,48 @@ impl Simulator {
             }
         }
         let mut profile = AvailabilityTimeline::from(&reservation_profile);
-        let mut waiting: Vec<JobId> = Vec::new(); // arrival order
-        let mut arrived: HashSet<JobId> = HashSet::new();
+        let mut waiting = WaitList::with_capacity(jobs.len());
         let mut schedule = Schedule::new();
         let mut decisions = 0u64;
+        let mut scratch = DecisionScratch::default();
+        let mut to_start: Vec<JobId> = Vec::new();
 
         while let Some(first) = events.pop() {
             let now = first.at;
-            // Drain every event at this instant.
-            let mut batch = vec![first];
-            while events.peek_time() == Some(now) {
-                batch.push(events.pop().expect("peeked"));
-            }
-            // Completions and availability changes only matter through the
-            // profile, which is already up to date (job reservations were made
-            // when the jobs started). Arrivals at the same instant join the
-            // queue in submission (id) order so runs are deterministic.
-            let mut new_arrivals: Vec<JobId> = batch
-                .iter()
-                .filter_map(|te| match te.event {
-                    Event::JobArrival(id) => Some(id),
-                    _ => None,
-                })
-                .collect();
-            new_arrivals.sort();
-            for id in new_arrivals {
-                if arrived.insert(id) {
-                    waiting.push(id);
+            // Drain every event at this instant. Completions and
+            // availability changes only matter through the profile, which is
+            // already up to date (job reservations were made when the jobs
+            // started); arrivals pop in submission (id) order by the heap's
+            // tie-break and join the waiting set directly.
+            let mut event = Some(first.event);
+            while let Some(e) = event {
+                if let Event::JobArrival(id) = e {
+                    waiting.push_back(pos_of[&id]);
                 }
+                event =
+                    (events.peek_time() == Some(now)).then(|| events.pop().expect("peeked").event);
             }
             if waiting.is_empty() {
                 continue;
             }
-            // Consult the policy.
+            // Consult the policy on a borrowed view of the waiting set.
             decisions += 1;
-            let queue: Vec<Job> = waiting
-                .iter()
-                .map(|&id| *instance.job(id).expect("waiting jobs exist"))
-                .collect();
-            let to_start = policy.decide(now, &queue, &profile);
-            for id in to_start {
-                let Some(pos) = waiting.iter().position(|&w| w == id) else {
-                    // Policies must only start waiting jobs; ignore others.
+            policy.decide(
+                now,
+                &WaitingJobs::new(jobs, &waiting),
+                &profile,
+                &mut scratch,
+                &mut to_start,
+            );
+            for &id in &to_start {
+                let Some(&pos) = pos_of.get(&id) else {
                     continue;
                 };
-                let job = instance.job(id).expect("waiting jobs exist");
+                if !waiting.contains(pos) {
+                    // Policies must only start waiting jobs; ignore others.
+                    continue;
+                }
+                let job = &jobs[pos];
                 if profile.min_capacity_in(now, job.duration) < job.width {
                     // Defensive: refuse infeasible starts instead of
                     // corrupting the run.

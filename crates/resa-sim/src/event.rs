@@ -27,10 +27,14 @@ pub struct TimedEvent {
 impl Ord for TimedEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: reverse on time for earliest-first.
+        // Within an instant and kind, lower job ids pop first, so same-time
+        // arrivals join the waiting queue in submission order straight off
+        // the heap — no per-instant batch-and-sort needed.
         other
             .at
             .cmp(&self.at)
             .then_with(|| event_rank(&other.event).cmp(&event_rank(&self.event)))
+            .then_with(|| event_id(&other.event).cmp(&event_id(&self.event)))
     }
 }
 
@@ -48,6 +52,15 @@ fn event_rank(e: &Event) -> u8 {
         Event::JobCompletion(_) => 0,
         Event::AvailabilityChange => 1,
         Event::JobArrival(_) => 2,
+    }
+}
+
+/// Secondary tie-break within one instant and kind: the job id (0 for
+/// availability changes, which carry none).
+fn event_id(e: &Event) -> usize {
+    match e {
+        Event::JobCompletion(id) | Event::JobArrival(id) => id.0,
+        Event::AvailabilityChange => 0,
     }
 }
 
@@ -126,5 +139,20 @@ mod tests {
         let q = EventQueue::default();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn same_instant_arrivals_pop_in_id_order() {
+        let mut q = EventQueue::new();
+        for id in [4usize, 1, 3, 0, 2] {
+            q.push(Time(7), Event::JobArrival(JobId(id)));
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|te| match te.event {
+                Event::JobArrival(id) => id.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 }

@@ -39,13 +39,17 @@ pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod policy;
+pub mod reference;
 pub mod trace;
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::engine::{SimResult, Simulator};
     pub use crate::metrics::SimMetrics;
-    pub use crate::policy::{EasyPolicy, FcfsPolicy, GreedyPolicy, OnlinePolicy};
+    pub use crate::policy::{
+        DecisionScratch, EasyPolicy, FcfsPolicy, GreedyPolicy, OnlinePolicy, WaitingJobs,
+    };
+    pub use crate::reference::{simulate_reference, ReferencePolicy};
     pub use crate::trace::{JobRecord, RunTrace};
 }
 
@@ -85,6 +89,23 @@ mod proptests {
                 prop_assert!(result.schedule.is_valid(&inst));
                 prop_assert_eq!(result.schedule.len(), inst.n_jobs());
                 prop_assert!(result.metrics.makespan >= lower_bound(&inst).unwrap_or(Time::ZERO));
+            }
+        }
+
+        /// The zero-alloc engine + window-based policies replay exactly the
+        /// previous-generation clone-based path: identical schedules and
+        /// identical decision-point counts for all three policies.
+        #[test]
+        fn optimized_engine_matches_reference_path(inst in arb_online_instance()) {
+            let sim = Simulator::new(inst.clone());
+            for (kind, res) in [
+                (ReferencePolicy::Fcfs, sim.run(&FcfsPolicy)),
+                (ReferencePolicy::Easy, sim.run(&EasyPolicy)),
+                (ReferencePolicy::Greedy, sim.run(&GreedyPolicy)),
+            ] {
+                let reference = simulate_reference(&inst, kind);
+                prop_assert_eq!(&reference.schedule, &res.schedule, "{} diverged", kind.name());
+                prop_assert_eq!(reference.decisions, res.decisions);
             }
         }
 

@@ -1,0 +1,219 @@
+//! The previous-generation simulation path, kept verbatim.
+//!
+//! [`simulate_reference`] reproduces the engine and policies as they were
+//! before the zero-alloc rewrite: the event loop clones the waiting queue
+//! into a fresh `Vec<Job>` at every decision point, removes started jobs
+//! with `O(n)` `Vec::remove`, batches same-instant events through a
+//! temporary buffer, and the policies clone the whole availability substrate
+//! to probe tentative starts (EASY additionally re-derives the head's shadow
+//! with a full `earliest_fit` per candidate).
+//!
+//! It exists for two reasons:
+//!
+//! * **equivalence oracle** — the property tests in this crate assert that
+//!   the optimized engine/policies produce identical schedules;
+//! * **bench baseline** — `resa-bench`'s `decision_points` bench measures
+//!   the end-to-end speedup of the optimized path against this one.
+
+use crate::engine::SimResult;
+use crate::event::{Event, EventQueue};
+use crate::metrics::SimMetrics;
+use resa_core::prelude::*;
+use std::collections::HashSet;
+
+/// Which classical policy to replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReferencePolicy {
+    /// Strict FCFS.
+    Fcfs,
+    /// EASY backfilling (probing formulation).
+    Easy,
+    /// Greedy LSRC-like.
+    Greedy,
+}
+
+impl ReferencePolicy {
+    /// Display name, matching the optimized policies' names.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReferencePolicy::Fcfs => "FCFS",
+            ReferencePolicy::Easy => "EASY",
+            ReferencePolicy::Greedy => "greedy-LSRC",
+        }
+    }
+}
+
+/// One decision of the clone-based policies: which waiting jobs start `now`.
+fn decide(
+    policy: ReferencePolicy,
+    now: Time,
+    queue: &[Job],
+    profile: &AvailabilityTimeline,
+) -> Vec<JobId> {
+    let mut profile = profile.clone();
+    let mut started = Vec::new();
+    match policy {
+        ReferencePolicy::Fcfs => {
+            for job in queue {
+                if profile.min_capacity_in(now, job.duration) >= job.width {
+                    profile
+                        .reserve(now, job.duration, job.width)
+                        .expect("capacity just checked");
+                    started.push(job.id);
+                } else {
+                    break;
+                }
+            }
+        }
+        ReferencePolicy::Greedy => {
+            for job in queue {
+                if profile.min_capacity_in(now, job.duration) >= job.width {
+                    profile
+                        .reserve(now, job.duration, job.width)
+                        .expect("capacity just checked");
+                    started.push(job.id);
+                }
+            }
+        }
+        ReferencePolicy::Easy => {
+            let mut idx = 0;
+            while idx < queue.len() {
+                let job = &queue[idx];
+                if profile.min_capacity_in(now, job.duration) >= job.width {
+                    profile
+                        .reserve(now, job.duration, job.width)
+                        .expect("capacity just checked");
+                    started.push(job.id);
+                    idx += 1;
+                } else {
+                    break;
+                }
+            }
+            if idx < queue.len() {
+                let head = &queue[idx];
+                let shadow = profile
+                    .earliest_fit(head.width, head.duration, now)
+                    .expect("feasible instances always admit a fit");
+                for job in &queue[idx + 1..] {
+                    if profile.min_capacity_in(now, job.duration) >= job.width {
+                        profile
+                            .reserve(now, job.duration, job.width)
+                            .expect("capacity just checked");
+                        let new_shadow = profile
+                            .earliest_fit(head.width, head.duration, now)
+                            .expect("feasible instances always admit a fit");
+                        if new_shadow <= shadow {
+                            started.push(job.id);
+                        } else {
+                            profile
+                                .release(now, job.duration, job.width)
+                                .expect("undoing our own reservation");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    started
+}
+
+/// Run the previous-generation event loop to completion under `policy`.
+pub fn simulate_reference(instance: &ResaInstance, policy: ReferencePolicy) -> SimResult {
+    let mut events = EventQueue::new();
+    for job in instance.jobs() {
+        events.push(job.release, Event::JobArrival(job.id));
+    }
+    let reservation_profile = instance.profile();
+    for &(t, _) in reservation_profile.steps() {
+        if t > Time::ZERO {
+            events.push(t, Event::AvailabilityChange);
+        }
+    }
+    let mut profile = AvailabilityTimeline::from(&reservation_profile);
+    let mut waiting: Vec<JobId> = Vec::new(); // arrival order
+    let mut arrived: HashSet<JobId> = HashSet::new();
+    let mut schedule = Schedule::new();
+    let mut decisions = 0u64;
+
+    while let Some(first) = events.pop() {
+        let now = first.at;
+        // Drain every event at this instant through a temporary batch.
+        let mut batch = vec![first];
+        while events.peek_time() == Some(now) {
+            batch.push(events.pop().expect("peeked"));
+        }
+        let mut new_arrivals: Vec<JobId> = batch
+            .iter()
+            .filter_map(|te| match te.event {
+                Event::JobArrival(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        new_arrivals.sort();
+        for id in new_arrivals {
+            if arrived.insert(id) {
+                waiting.push(id);
+            }
+        }
+        if waiting.is_empty() {
+            continue;
+        }
+        decisions += 1;
+        let queue: Vec<Job> = waiting
+            .iter()
+            .map(|&id| *instance.job(id).expect("waiting jobs exist"))
+            .collect();
+        let to_start = decide(policy, now, &queue, &profile);
+        for id in to_start {
+            let Some(pos) = waiting.iter().position(|&w| w == id) else {
+                continue;
+            };
+            let job = instance.job(id).expect("waiting jobs exist");
+            if profile.min_capacity_in(now, job.duration) < job.width {
+                continue;
+            }
+            profile
+                .reserve(now, job.duration, job.width)
+                .expect("capacity just checked");
+            schedule.place(id, now);
+            events.push(now + job.duration, Event::JobCompletion(id));
+            waiting.remove(pos);
+        }
+    }
+    debug_assert_eq!(schedule.len(), instance.n_jobs(), "every job must run");
+    let metrics = SimMetrics::from_schedule(instance, &schedule);
+    SimResult {
+        schedule,
+        metrics,
+        decisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use resa_core::instance::ResaInstanceBuilder;
+
+    #[test]
+    fn reference_matches_optimized_on_fixture() {
+        let inst = ResaInstanceBuilder::new(4)
+            .job(3, 4u64)
+            .job_released_at(4, 2u64, 1u64)
+            .job_released_at(1, 3u64, 1u64)
+            .job_released_at(2, 2u64, 6u64)
+            .reservation(2, 3u64, 8u64)
+            .build()
+            .unwrap();
+        let sim = Simulator::new(inst.clone());
+        for (kind, res) in [
+            (ReferencePolicy::Fcfs, sim.run(&FcfsPolicy)),
+            (ReferencePolicy::Easy, sim.run(&EasyPolicy)),
+            (ReferencePolicy::Greedy, sim.run(&GreedyPolicy)),
+        ] {
+            let reference = simulate_reference(&inst, kind);
+            assert_eq!(reference.schedule, res.schedule, "{}", kind.name());
+            assert_eq!(reference.decisions, res.decisions, "{}", kind.name());
+        }
+    }
+}

@@ -1,29 +1,199 @@
-//! Offline stand-in for `rayon`: `par_iter()` returns the ordinary sequential
-//! iterator, so all combinators and `collect()` keep working with identical
-//! results (rayon is a pure performance layer here — the experiment harness
-//! does not rely on parallel side effects).
+//! Offline stand-in for `rayon`, now with real data parallelism.
+//!
+//! The original stand-in degraded `par_iter()` to a sequential iterator.
+//! This version executes `map`/`flat_map` + `collect` pipelines on scoped OS
+//! threads (`std::thread::scope`): the input slice is split into one
+//! contiguous chunk per available core, each chunk is mapped on its own
+//! thread, and the per-chunk outputs are concatenated in input order — so
+//! results are bit-identical to the sequential run (callers must still keep
+//! their work items independent and their RNG streams per-item, exactly as
+//! with real rayon).
+//!
+//! Only the combinator surface the workspace uses is provided:
+//! `par_iter().map(f).collect::<Vec<_>>()` and
+//! `par_iter().flat_map(f).collect::<Vec<_>>()`. On a single-core host (or
+//! for tiny inputs) everything runs inline on the calling thread with zero
+//! spawn overhead.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads to use for `len` items.
+fn threads_for(len: usize) -> usize {
+    let cores = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Split `items` into one contiguous chunk per worker, run `f` over each
+/// chunk on its own scoped thread, and return the per-chunk outputs in input
+/// order. `f` maps a whole chunk at once, so adapters produce one `Vec` per
+/// worker, not one per item.
+fn parallel_chunks<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data [T]) -> Vec<R> + Sync,
+{
+    let k = threads_for(items.len());
+    if k <= 1 {
+        return vec![f(items)];
+    }
+    let chunk_len = items.len().div_ceil(k);
+    let mut outputs: Vec<Vec<R>> = Vec::with_capacity(k);
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || f(chunk)))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk_output) => outputs.push(chunk_output),
+                // Propagate the worker's own panic payload so callers (and
+                // test harnesses) see the original assertion, not a generic
+                // join-failure message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    outputs
+}
+
+/// A pending parallel iteration over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map every item through `f` (executed in parallel at `collect` time).
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Map every item to an iterable and flatten (in input order).
+    pub fn flat_map<I, F>(self, f: F) -> ParFlatMap<'data, T, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'data T) -> I + Sync,
+    {
+        ParFlatMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A `par_iter().map(f)` pipeline, awaiting `collect`.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Execute the pipeline and collect the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = &self.f;
+        parallel_chunks(self.items, &|chunk: &'data [T]| {
+            chunk.iter().map(f).collect()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// A `par_iter().flat_map(f)` pipeline, awaiting `collect`.
+pub struct ParFlatMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, I, F> ParFlatMap<'data, T, F>
+where
+    T: Sync,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(&'data T) -> I + Sync,
+{
+    /// Execute the pipeline and collect the flattened results in input order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        let f = &self.f;
+        parallel_chunks(self.items, &|chunk: &'data [T]| {
+            chunk.iter().flat_map(f).collect()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
 
 /// Mirror of `rayon::prelude`.
 pub mod prelude {
-    /// `par_iter()` for slices (and anything that derefs to a slice).
-    pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type (sequential in this stand-in).
-        type Iter;
-        /// Iterate "in parallel" (sequentially here).
-        fn par_iter(&'data self) -> Self::Iter;
+    pub use crate::{IntoParallelRefIterator, ParIter};
+}
+
+/// `par_iter()` for slices (and anything that derefs to a slice).
+pub trait IntoParallelRefIterator<'data> {
+    /// The item type.
+    type Item: Sync + 'data;
+    /// Start a parallel iteration.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
+    #[test]
+    fn flat_map_collect_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = items.par_iter().flat_map(|&x| vec![x, x + 1]).collect();
+        let expected: Vec<u64> = (0..100).flat_map(|x| [x, x + 1]).collect();
+        assert_eq!(out, expected);
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
     }
 }
