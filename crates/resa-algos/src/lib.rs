@@ -71,7 +71,7 @@ pub mod prelude {
     };
     pub use crate::fcfs::Fcfs;
     pub use crate::list_scheduling::Lsrc;
-    pub use crate::local_search::LocalSearch;
+    pub use crate::local_search::{LocalMove, LocalSearch, LocalSearchReference};
     pub use crate::online::BatchScheduler;
     pub use crate::priority::ListOrder;
     pub use crate::shelf::ShelfScheduler;
@@ -217,6 +217,34 @@ mod proptests {
                 prop_assert_eq!(
                     shelf.schedule_with(&inst, inst.profile()),
                     shelf.schedule_with(&inst, inst.timeline())
+                );
+            }
+        }
+
+        /// The incremental local search (persistent transactional timeline,
+        /// delta moves, incremental makespan) accepts the *identical* move
+        /// sequence and returns the *identical* schedule as the retained
+        /// copy-on-probe reference, on random instances with reservations
+        /// and release dates, across neighborhood widths.
+        #[test]
+        fn local_search_matches_reference_move_for_move(inst in arb_released_instance()) {
+            for (rounds, top_k) in [(16usize, 1usize), (16, 4), (8, 8)] {
+                let fast = LocalSearch::with_neighborhood(Lsrc::new(), rounds, top_k);
+                let slow = LocalSearchReference::with_neighborhood(Lsrc::new(), rounds, top_k);
+                let (fast_schedule, fast_moves) = fast.schedule_with_moves(&inst);
+                let (slow_schedule, slow_moves) = slow.schedule_with_moves(&inst);
+                prop_assert_eq!(
+                    &fast_moves, &slow_moves,
+                    "move sequences diverged (rounds={}, top_k={})", rounds, top_k
+                );
+                prop_assert_eq!(
+                    &fast_schedule, &slow_schedule,
+                    "schedules diverged (rounds={}, top_k={})", rounds, top_k
+                );
+                prop_assert!(fast_schedule.is_valid(&inst));
+                prop_assert!(
+                    fast_schedule.makespan(&inst) <= Lsrc::new().makespan(&inst),
+                    "local search must never hurt"
                 );
             }
         }

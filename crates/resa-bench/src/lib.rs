@@ -321,6 +321,11 @@ pub fn average_case_table(rows: &[AverageCaseRow]) -> Table {
     t
 }
 
+/// Node budget of the per-cell exact-solver throughput probe in the E8/E9
+/// sweeps: large enough for a stable nodes/sec estimate, small enough to
+/// stay a negligible fraction of a cell.
+const EXACT_PROBE_BUDGET: u64 = 20_000;
+
 /// One row of the priority-order ablation (E8).
 #[derive(Debug, Clone, Serialize)]
 pub struct PriorityRow {
@@ -332,6 +337,14 @@ pub struct PriorityRow {
     pub worst_ratio_to_lb: f64,
     /// Mean makespan ratio relative to LSRC(submission) on the same instance.
     pub mean_vs_submission: f64,
+    /// Exact-solver throughput: one budget-bounded probe on the sweep's
+    /// first instance, run sequentially *outside* the parallel fan-out so
+    /// the wall-clock rate is not diluted by core contention and does not
+    /// depend on the runner mode. Identical across the orders of a sweep
+    /// (the probe is order-independent).
+    pub exact_nodes_per_sec: f64,
+    /// Deepest branch-and-bound level the probe reached.
+    pub exact_peak_depth: usize,
 }
 
 /// E8: ablation of the list order used by LSRC (the improvement direction the
@@ -358,18 +371,21 @@ pub fn priority_ablation_experiment_with(
     let alpha = Alpha::new(alpha.0, alpha.1).expect("valid alpha");
     let orders = ListOrder::DETERMINISTIC;
     let seed_list: Vec<u64> = (0..seeds).collect();
-    // One cell per seed: that instance's per-order samples
-    // `(ratio to lower bound, ratio to LSRC(submission))`.
-    let cells: Vec<Vec<(f64, f64)>> = runner.map_seeds(&seed_list, |seed| {
+    let make_instance = |seed: u64| {
         let jobs_vec = FeitelsonWorkload::for_cluster(machines, jobs).generate(seed);
-        let inst = AlphaReservations {
+        AlphaReservations {
             machines,
             alpha,
             count: 4,
             horizon: 2000,
             max_duration: 300,
         }
-        .instance(jobs_vec, seed);
+        .instance(jobs_vec, seed)
+    };
+    // One cell per seed: that instance's per-order samples
+    // `(ratio to lower bound, ratio to LSRC(submission))`.
+    let cells: Vec<Vec<(f64, f64)>> = runner.map_seeds(&seed_list, |seed| {
+        let inst = make_instance(seed);
         let lb = lower_bound(&inst)
             .expect("finite lower bound")
             .ticks()
@@ -383,17 +399,28 @@ pub fn priority_ablation_experiment_with(
             })
             .collect()
     });
+    // Exact throughput probe: sequential and outside the fan-out, so the
+    // wall-clock nodes/sec is measured solo (see the row field docs).
+    let probe = seed_list.first().map(|&seed| {
+        RatioHarness {
+            exact_node_budget: EXACT_PROBE_BUDGET,
+            ..RatioHarness::default()
+        }
+        .probe_exact(&make_instance(seed))
+    });
+    let exact_nodes_per_sec = probe.map_or(0.0, |p| p.nodes_per_sec);
+    let exact_peak_depth = probe.map_or(0, |p| p.peak_depth);
+    let n = cells.len() as f64;
     orders
         .iter()
         .enumerate()
-        .map(|(i, order)| {
-            let n = cells.len() as f64;
-            PriorityRow {
-                order: order.to_string(),
-                mean_ratio_to_lb: cells.iter().map(|c| c[i].0).sum::<f64>() / n,
-                worst_ratio_to_lb: cells.iter().map(|c| c[i].0).fold(0.0, f64::max),
-                mean_vs_submission: cells.iter().map(|c| c[i].1).sum::<f64>() / n,
-            }
+        .map(|(i, order)| PriorityRow {
+            order: order.to_string(),
+            mean_ratio_to_lb: cells.iter().map(|c| c[i].0).sum::<f64>() / n,
+            worst_ratio_to_lb: cells.iter().map(|c| c[i].0).fold(0.0, f64::max),
+            mean_vs_submission: cells.iter().map(|c| c[i].1).sum::<f64>() / n,
+            exact_nodes_per_sec,
+            exact_peak_depth,
         })
         .collect()
 }
@@ -402,7 +429,14 @@ pub fn priority_ablation_experiment_with(
 pub fn priority_table(rows: &[PriorityRow]) -> Table {
     let mut t = Table::new(
         "E8 — LSRC list-order ablation (conclusion of the paper)",
-        &["order", "mean Cmax/LB", "worst Cmax/LB", "vs submission"],
+        &[
+            "order",
+            "mean Cmax/LB",
+            "worst Cmax/LB",
+            "vs submission",
+            "exact nodes/s",
+            "exact depth",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -410,6 +444,8 @@ pub fn priority_table(rows: &[PriorityRow]) -> Table {
             fmt_f64(r.mean_ratio_to_lb),
             fmt_f64(r.worst_ratio_to_lb),
             fmt_f64(r.mean_vs_submission),
+            format!("{:.0}", r.exact_nodes_per_sec),
+            r.exact_peak_depth.to_string(),
         ]);
     }
     t
@@ -428,6 +464,14 @@ pub struct OnlineRow {
     pub worst_vs_offline: f64,
     /// Mean waiting time.
     pub mean_wait: f64,
+    /// Exact-solver throughput: one budget-bounded probe on the sweep's
+    /// first instance, run sequentially *outside* the parallel fan-out so
+    /// the wall-clock rate is not diluted by core contention and does not
+    /// depend on the runner mode. Identical across the policies of a sweep
+    /// (the probe is policy-independent).
+    pub exact_nodes_per_sec: f64,
+    /// Deepest branch-and-bound level the probe reached.
+    pub exact_peak_depth: usize,
 }
 
 /// E9: on-line policies and the batch-doubling wrapper against the clairvoyant
@@ -467,11 +511,14 @@ pub fn online_batch_experiment_with(
     seeds: u64,
 ) -> Vec<OnlineRow> {
     let seed_list: Vec<u64> = (0..seeds).collect();
+    let make_instance = |seed: u64| {
+        FeitelsonWorkload::for_cluster(machines, jobs)
+            .with_arrivals(mean_interarrival)
+            .instance(seed)
+    };
     // Per seed, per policy: (makespan, makespan / offline, mean wait).
     let cells: Vec<[(f64, f64, f64); 4]> = runner.map_seeds(&seed_list, |seed| {
-        let inst = FeitelsonWorkload::for_cluster(machines, jobs)
-            .with_arrivals(mean_interarrival)
-            .instance(seed);
+        let inst = make_instance(seed);
         // Clairvoyant off-line reference: LSRC that knows all jobs in advance
         // (still respecting release dates).
         let offline = Lsrc::new().schedule(&inst).makespan(&inst).ticks().max(1) as f64;
@@ -491,18 +538,29 @@ pub fn online_batch_experiment_with(
             sample(&SimMetrics::from_schedule(&inst, &batched)),
         ]
     });
+    // Exact throughput probe: sequential and outside the fan-out, so the
+    // wall-clock nodes/sec is measured solo (see the row field docs).
+    let probe = seed_list.first().map(|&seed| {
+        RatioHarness {
+            exact_node_budget: EXACT_PROBE_BUDGET,
+            ..RatioHarness::default()
+        }
+        .probe_exact(&make_instance(seed))
+    });
+    let exact_nodes_per_sec = probe.map_or(0.0, |p| p.nodes_per_sec);
+    let exact_peak_depth = probe.map_or(0, |p| p.peak_depth);
+    let n = cells.len() as f64;
     ONLINE_POLICIES
         .iter()
         .enumerate()
-        .map(|(i, policy)| {
-            let n = cells.len() as f64;
-            OnlineRow {
-                policy: policy.to_string(),
-                mean_makespan: cells.iter().map(|c| c[i].0).sum::<f64>() / n,
-                mean_vs_offline: cells.iter().map(|c| c[i].1).sum::<f64>() / n,
-                worst_vs_offline: cells.iter().map(|c| c[i].1).fold(0.0, f64::max),
-                mean_wait: cells.iter().map(|c| c[i].2).sum::<f64>() / n,
-            }
+        .map(|(i, policy)| OnlineRow {
+            policy: policy.to_string(),
+            mean_makespan: cells.iter().map(|c| c[i].0).sum::<f64>() / n,
+            mean_vs_offline: cells.iter().map(|c| c[i].1).sum::<f64>() / n,
+            worst_vs_offline: cells.iter().map(|c| c[i].1).fold(0.0, f64::max),
+            mean_wait: cells.iter().map(|c| c[i].2).sum::<f64>() / n,
+            exact_nodes_per_sec,
+            exact_peak_depth,
         })
         .collect()
 }
@@ -517,6 +575,8 @@ pub fn online_table(rows: &[OnlineRow]) -> Table {
             "mean vs offline",
             "worst vs offline",
             "mean wait",
+            "exact nodes/s",
+            "exact depth",
         ],
     );
     for r in rows {
@@ -526,6 +586,8 @@ pub fn online_table(rows: &[OnlineRow]) -> Table {
             fmt_f64(r.mean_vs_offline),
             fmt_f64(r.worst_vs_offline),
             fmt_f64(r.mean_wait),
+            format!("{:.0}", r.exact_nodes_per_sec),
+            r.exact_peak_depth.to_string(),
         ]);
     }
     t
@@ -577,6 +639,9 @@ mod tests {
         assert_eq!(rows.len(), ListOrder::DETERMINISTIC.len());
         let submission = rows.iter().find(|r| r.order == "submission").unwrap();
         assert!((submission.mean_vs_submission - 1.0).abs() < 1e-9);
+        // The exact-solver throughput probe is visible in every row.
+        assert!(rows.iter().all(|r| r.exact_nodes_per_sec > 0.0));
+        assert!(rows.iter().all(|r| r.exact_peak_depth <= 10));
         assert!(!priority_table(&rows).is_empty());
     }
 
@@ -602,6 +667,7 @@ mod tests {
         // (2·ρ with ρ = 2 − 1/m < 2) of the clairvoyant off-line makespan.
         let batch = rows.iter().find(|r| r.policy.starts_with("batch")).unwrap();
         assert!(batch.worst_vs_offline <= 4.0 + 1e-9);
+        assert!(rows.iter().all(|r| r.exact_nodes_per_sec > 0.0));
         assert!(!online_table(&rows).is_empty());
     }
 }

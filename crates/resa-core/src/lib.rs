@@ -83,7 +83,7 @@ pub mod prelude {
     pub use crate::reservation::{Reservation, ReservationId};
     pub use crate::schedule::{Placement, ProcessorAssignment, Schedule};
     pub use crate::time::{Dur, Time};
-    pub use crate::timeline::AvailabilityTimeline;
+    pub use crate::timeline::{AvailabilityTimeline, TxnMark};
     pub use crate::waitlist::WaitList;
 }
 
@@ -272,6 +272,124 @@ mod proptests {
                 let d = Dur(e - t);
                 prop_assert_eq!(view.min_in(Time(t), d), Some(p.min_capacity_in(Time(t), d)));
             }
+        }
+
+        /// (a) Any interleaving of reserve / release / checkpoint / rollback
+        /// / commit leaves the timeline query-identical to a naive
+        /// `ResourceProfile` that replays the same history: mutations are
+        /// applied to both, a rollback rewinds the profile to a snapshot
+        /// taken at the matching checkpoint. Marks are resolved in random
+        /// stack order, so nesting is exercised too.
+        #[test]
+        fn transactional_timeline_matches_replayed_profile(
+            inst in arb_instance(),
+            ops in proptest::collection::vec(
+                (0u32..=4, 0u64..60, 1u64..=20, 1u32..=8), 1usize..=24
+            ),
+        ) {
+            let mut tl = inst.timeline();
+            let mut p = inst.profile();
+            // Outstanding checkpoints with the profile snapshot each took.
+            let mut stack: Vec<(TxnMark, ResourceProfile)> = Vec::new();
+            for (kind, s, d, w) in ops {
+                match kind {
+                    0 => {
+                        let (rt, rp) = (
+                            CapacityQuery::reserve(&mut tl, Time(s), Dur(d), w),
+                            p.reserve(Time(s), Dur(d), w),
+                        );
+                        prop_assert_eq!(rt, rp);
+                    }
+                    1 => {
+                        let (rt, rp) = (
+                            CapacityQuery::release(&mut tl, Time(s), Dur(d), w),
+                            p.release(Time(s), Dur(d), w),
+                        );
+                        prop_assert_eq!(rt, rp);
+                    }
+                    2 => stack.push((tl.checkpoint(), p.clone())),
+                    3 => {
+                        // Roll back to a random outstanding mark (possibly
+                        // skipping inner ones — they are consumed with it).
+                        if !stack.is_empty() {
+                            let at = (s as usize) % stack.len();
+                            let (mark, snapshot) = stack[at].clone();
+                            stack.truncate(at);
+                            tl.rollback_to(mark);
+                            p = snapshot;
+                        }
+                    }
+                    _ => {
+                        if !stack.is_empty() {
+                            let at = (s as usize) % stack.len();
+                            let (mark, _) = stack[at].clone();
+                            stack.truncate(at);
+                            tl.commit(mark);
+                        }
+                    }
+                }
+                prop_assert_eq!(tl.to_profile(), p.clone());
+            }
+            // Unwind whatever is still open, innermost first.
+            while let Some((mark, snapshot)) = stack.pop() {
+                tl.rollback_to(mark);
+                p = snapshot;
+                prop_assert_eq!(tl.to_profile(), p.clone());
+            }
+            prop_assert!(!tl.in_transaction());
+        }
+
+        /// (b) Rollback after a random batch of reserves restores every
+        /// breakpoint of the availability function exactly — value-for-value
+        /// at every pre-existing breakpoint and as a whole normalized
+        /// profile — and the area query agrees with the naive profile
+        /// throughout.
+        #[test]
+        fn rollback_restores_every_breakpoint(
+            inst in arb_instance(),
+            batch in proptest::collection::vec((0u64..60, 1u64..=20, 1u32..=4), 1usize..=10),
+            probe in 0u64..2000,
+        ) {
+            let probe = probe as u128;
+            let mut tl = inst.timeline();
+            let before = tl.to_profile();
+            let mark = tl.checkpoint();
+            for (s, d, w) in batch {
+                let _ = CapacityQuery::reserve(&mut tl, Time(s), Dur(d), w);
+            }
+            prop_assert_eq!(
+                tl.earliest_time_with_area(probe),
+                tl.to_profile().earliest_time_with_area(probe)
+            );
+            tl.rollback_to(mark);
+            let after = tl.to_profile();
+            for &(t, cap) in before.steps() {
+                prop_assert_eq!(after.capacity_at(t), cap, "breakpoint at {}", t);
+            }
+            prop_assert_eq!(
+                tl.earliest_time_with_area(probe),
+                before.earliest_time_with_area(probe)
+            );
+            prop_assert_eq!(after, before);
+        }
+
+        /// (c) The bulk `from_placements` builder produces the same
+        /// availability function as sequential reserves of the same
+        /// placements.
+        #[test]
+        fn from_placements_equals_sequential_reserves(inst in arb_instance()) {
+            // A feasible schedule: sequential earliest-fit tail.
+            let mut sequential = inst.timeline();
+            let mut s = Schedule::new();
+            let mut t = Time::ZERO;
+            for j in inst.jobs() {
+                let start = sequential.earliest_fit(j.width, j.duration, t).unwrap();
+                CapacityQuery::reserve(&mut sequential, start, j.duration, j.width).unwrap();
+                s.place(j.id, start);
+                t = start + j.duration;
+            }
+            let bulk = AvailabilityTimeline::from_placements(&inst, s.placements()).unwrap();
+            prop_assert_eq!(bulk.to_profile(), sequential.to_profile());
         }
 
         /// Processor assignment of a feasible schedule always verifies.

@@ -47,6 +47,13 @@ impl Schedule {
         self.placements.push(Placement { job, start });
     }
 
+    /// Remove and return the most recently recorded placement — the `O(1)`
+    /// inverse of [`Schedule::place`], used by speculative searches that
+    /// place/unplace jobs along a DFS path instead of cloning the schedule.
+    pub fn pop(&mut self) -> Option<Placement> {
+        self.placements.pop()
+    }
+
     /// All placements, in insertion order (which for list algorithms is the
     /// order in which jobs were started).
     pub fn placements(&self) -> &[Placement] {

@@ -51,12 +51,43 @@
 //! profile `p`, and both backends answer every [`CapacityQuery`] identically
 //! (property-tested in this crate and schedule-for-schedule in
 //! `resa-algos`).
+//!
+//! # Speculative scheduling: the transactional layer (§ conclusion)
+//!
+//! The paper's local-search discussion (and any branch-and-bound
+//! certification of its guarantees) is built on *speculation*: try a
+//! placement, evaluate the makespan, undo it. On a copy-on-probe substrate
+//! every speculative step costs a full clone (`O(B)`); the transactional
+//! layer makes the undo cost proportional to what the speculation actually
+//! touched instead:
+//!
+//! * [`AvailabilityTimeline::checkpoint`] returns a [`TxnMark`] — an `O(1)`
+//!   position in an undo log; nested marks follow stack discipline;
+//! * every `reserve` / `release` executed while a mark is outstanding
+//!   appends its inverse to the log;
+//! * [`AvailabilityTimeline::rollback_to`] replays the inverses back to the
+//!   mark — `O(ops since the mark · log B)`, *not* `O(B)`;
+//! * [`AvailabilityTimeline::commit`] accepts the speculation; when the last
+//!   outstanding mark commits, the log is dropped so committed steady-state
+//!   operation stays zero-overhead.
+//!
+//! Rollback restores the represented availability *function* exactly (the
+//! breakpoints a speculative reserve split stay split — harmless, since the
+//! timeline is not kept normalized; property tests in `resa-core` replay
+//! every interleaving against a naive [`ResourceProfile`]). Bulk
+//! construction from a complete schedule goes through
+//! [`AvailabilityTimeline::from_placements`], which sweeps all reservation
+//! and placement events once (`O(B log B)`) instead of `n` sequential
+//! `reserve` calls (`O(n · B)`) — the right entry point whenever a whole
+//! schedule is (re)indexed, e.g. at the start of a local-search run.
 
 use crate::capacity::CapacityQuery;
 use crate::error::ProfileError;
 use crate::profile::ResourceProfile;
 use crate::reservation::Reservation;
+use crate::schedule::Placement;
 use crate::time::{Dur, Time};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Segment-tree-indexed availability timeline; the fast backend of
@@ -69,10 +100,21 @@ pub struct AvailabilityTimeline {
     /// `[times[i], times[i+1])`; the last leaf extends to infinity.
     times: Vec<u64>,
     /// Segment-tree nodes (1-indexed, `4 × leaves` slots). A node's stored
-    /// min/max include its own lazy delta but not its ancestors'; `lazy` is
-    /// the pending additive delta not yet applied to descendants. Packed in
-    /// one array so a node costs one cache line instead of three.
+    /// min/max/area include its own lazy delta but not its ancestors';
+    /// `lazy` is the pending additive delta not yet applied to descendants.
+    /// Packed in one array so a node costs one cache line instead of four.
     nodes: Vec<Node>,
+    /// Inverse operations of every `reserve`/`release` executed while a
+    /// transaction mark is outstanding; empty in steady-state committed
+    /// operation.
+    undo: Vec<UndoOp>,
+    /// The outstanding [`TxnMark`]s — `(undo-log length, generation)` —
+    /// innermost last.
+    marks: Vec<(usize, u64)>,
+    /// Monotone counter stamped into every issued mark, so a resolved mark
+    /// can never alias a live one that happens to share its stack position
+    /// and log length.
+    mark_gen: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -80,6 +122,34 @@ struct Node {
     min: i64,
     max: i64,
     lazy: i64,
+    /// Free area (capacity × duration) over the *finite* leaves of the
+    /// node's range — the open-ended last leaf contributes zero and is
+    /// handled analytically by [`AvailabilityTimeline::earliest_time_with_area`].
+    area: i128,
+}
+
+/// One logged capacity update: `delta` was range-added over `[start, end)`.
+#[derive(Debug, Clone, Copy)]
+struct UndoOp {
+    start: u64,
+    end: u64,
+    delta: i64,
+}
+
+/// An `O(1)` checkpoint of the timeline's transaction state, created by
+/// [`AvailabilityTimeline::checkpoint`] and consumed by
+/// [`AvailabilityTimeline::rollback_to`] or
+/// [`AvailabilityTimeline::commit`]. Marks nest with stack discipline: the
+/// innermost outstanding mark must be resolved first (rolling back or
+/// committing an outer mark implicitly resolves the marks nested inside it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnMark {
+    /// Position of this mark in the mark stack.
+    depth: usize,
+    /// Undo-log length when the mark was taken.
+    undo_len: usize,
+    /// Issue generation (see `AvailabilityTimeline::mark_gen`).
+    gen: u64,
 }
 
 impl PartialEq for AvailabilityTimeline {
@@ -152,6 +222,9 @@ impl AvailabilityTimeline {
             base,
             times,
             nodes: vec![Node::default(); 4 * n],
+            undo: Vec::new(),
+            marks: Vec::new(),
+            mark_gen: 0,
         };
         tl.build(1, 0, n - 1, &caps);
         tl
@@ -162,6 +235,7 @@ impl AvailabilityTimeline {
         if lo == hi {
             self.nodes[node].min = caps[lo] as i64;
             self.nodes[node].max = caps[lo] as i64;
+            self.nodes[node].area = caps[lo] as i128 * self.finite_span(lo, lo);
             return;
         }
         let mid = (lo + hi) / 2;
@@ -173,6 +247,15 @@ impl AvailabilityTimeline {
     fn pull(&mut self, node: usize) {
         self.nodes[node].min = self.nodes[2 * node].min.min(self.nodes[2 * node + 1].min);
         self.nodes[node].max = self.nodes[2 * node].max.max(self.nodes[2 * node + 1].max);
+        self.nodes[node].area = self.nodes[2 * node].area + self.nodes[2 * node + 1].area;
+    }
+
+    /// Total duration of the *finite* leaves in the inclusive range
+    /// `[lo, hi]` (the open-ended last leaf contributes zero).
+    #[inline]
+    fn finite_span(&self, lo: usize, hi: usize) -> i128 {
+        let end = (hi + 1).min(self.times.len() - 1);
+        (self.times[end] - self.times[lo]) as i128
     }
 
     /// Leaf index covering time `t`.
@@ -303,6 +386,7 @@ impl AvailabilityTimeline {
             self.nodes[node].min += delta;
             self.nodes[node].max += delta;
             self.nodes[node].lazy += delta;
+            self.nodes[node].area += delta as i128 * self.finite_span(lo, hi);
             return;
         }
         let mid = (lo + hi) / 2;
@@ -312,6 +396,9 @@ impl AvailabilityTimeline {
             self.nodes[2 * node].min.min(self.nodes[2 * node + 1].min) + self.nodes[node].lazy;
         self.nodes[node].max =
             self.nodes[2 * node].max.max(self.nodes[2 * node + 1].max) + self.nodes[node].lazy;
+        self.nodes[node].area = self.nodes[2 * node].area
+            + self.nodes[2 * node + 1].area
+            + self.nodes[node].lazy as i128 * self.finite_span(lo, hi);
     }
 
     /// Append the `(leaf start, capacity)` pairs of the inclusive leaf range
@@ -398,6 +485,207 @@ impl AvailabilityTimeline {
 
     fn n(&self) -> usize {
         self.times.len()
+    }
+
+    // -- transactional layer ------------------------------------------------
+
+    /// Open a transaction: every subsequent successful `reserve`/`release`
+    /// is logged until the returned mark is resolved by
+    /// [`Self::rollback_to`] or [`Self::commit`]. Marks nest (stack
+    /// discipline); resolving an outer mark implicitly resolves the marks
+    /// nested inside it. `O(1)`.
+    pub fn checkpoint(&mut self) -> TxnMark {
+        self.mark_gen += 1;
+        let mark = TxnMark {
+            depth: self.marks.len(),
+            undo_len: self.undo.len(),
+            gen: self.mark_gen,
+        };
+        self.marks.push((mark.undo_len, mark.gen));
+        mark
+    }
+
+    /// Undo every `reserve`/`release` executed since `mark` was taken,
+    /// restoring the represented availability function exactly (breakpoints
+    /// split by the undone operations stay split — harmless, the timeline is
+    /// not kept normalized). Consumes `mark` and every mark nested inside
+    /// it. Costs `O(ops since the mark · log B)`, independent of `B` when
+    /// the speculation touched nothing.
+    ///
+    /// # Panics
+    /// Panics if `mark` is not outstanding on this timeline (already
+    /// resolved, resolved out of stack order, or from another timeline).
+    pub fn rollback_to(&mut self, mark: TxnMark) {
+        self.validate_mark(mark);
+        while self.undo.len() > mark.undo_len {
+            let op = self.undo.pop().expect("guarded by the length check");
+            let (l, r) = self.window_leaves(Time(op.start), op.end);
+            let n = self.n();
+            self.range_add(1, 0, n - 1, l, r, -op.delta);
+        }
+        self.marks.truncate(mark.depth);
+    }
+
+    /// Accept everything executed since `mark` was taken. Consumes `mark`
+    /// and every mark nested inside it; when the last outstanding mark
+    /// commits the undo log is dropped, so committed steady-state operation
+    /// carries no logging overhead.
+    ///
+    /// # Panics
+    /// Panics if `mark` is not outstanding on this timeline (see
+    /// [`Self::rollback_to`]).
+    pub fn commit(&mut self, mark: TxnMark) {
+        self.validate_mark(mark);
+        self.marks.truncate(mark.depth);
+        if self.marks.is_empty() {
+            self.undo.clear();
+        }
+    }
+
+    /// Whether a transaction mark is currently outstanding.
+    #[inline]
+    pub fn in_transaction(&self) -> bool {
+        !self.marks.is_empty()
+    }
+
+    fn validate_mark(&self, mark: TxnMark) {
+        assert!(
+            self.marks.get(mark.depth) == Some(&(mark.undo_len, mark.gen)),
+            "TxnMark not outstanding: already resolved, resolved out of stack order, \
+             or issued by another timeline"
+        );
+    }
+
+    /// Record the inverse of a just-applied range update when a transaction
+    /// is open.
+    #[inline]
+    fn log_update(&mut self, start: Time, end: u64, delta: i64) {
+        if !self.marks.is_empty() {
+            self.undo.push(UndoOp {
+                start: start.ticks(),
+                end,
+                delta,
+            });
+        }
+    }
+
+    // -- bulk construction --------------------------------------------------
+
+    /// Build the availability left by `instance`'s reservations *and* a set
+    /// of job placements in one event sweep: `O(B log B)` over
+    /// `B = 2·(n' + |placements|)` events, against `O(n · B)` for `n`
+    /// sequential [`CapacityQuery::reserve`] calls on an incrementally
+    /// grown tree. This is the right entry point whenever a whole schedule
+    /// is (re)indexed at once — e.g. when the local search re-anchors its
+    /// persistent timeline on an accepted rebuild.
+    ///
+    /// Fails with [`ProfileError::InsufficientCapacity`] at the first
+    /// instant where the placements (plus reservations) exceed the cluster,
+    /// with `requested` the total width demanded there and `available` the
+    /// cluster size.
+    ///
+    /// # Panics
+    /// Panics if a placement references a job the instance does not contain.
+    pub fn from_placements(
+        instance: &crate::instance::ResaInstance,
+        placements: &[Placement],
+    ) -> Result<Self, ProfileError> {
+        let machines = instance.machines();
+        // One indexed lookup per placement, not a per-placement linear scan.
+        let by_id: HashMap<crate::job::JobId, &crate::job::Job> =
+            instance.jobs().iter().map(|j| (j.id, j)).collect();
+        let mut events: Vec<(u64, i64)> =
+            Vec::with_capacity(2 * (placements.len() + instance.n_reservations()));
+        for r in instance.reservations() {
+            events.push((r.start.ticks(), r.width as i64));
+            events.push((r.end().ticks(), -(r.width as i64)));
+        }
+        for p in placements {
+            let job = by_id
+                .get(&p.job)
+                .expect("placements reference instance jobs");
+            let end = p.start.ticks().saturating_add(job.duration.ticks());
+            events.push((p.start.ticks(), job.width as i64));
+            events.push((end, -(job.width as i64)));
+        }
+        events.sort_unstable();
+        let mut times: Vec<u64> = vec![0];
+        let mut caps: Vec<u32> = vec![machines];
+        let mut usage: i64 = 0;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            let mut delta = 0i64;
+            while i < events.len() && events[i].0 == t {
+                delta += events[i].1;
+                i += 1;
+            }
+            if delta == 0 {
+                continue;
+            }
+            usage += delta;
+            let cap = machines as i64 - usage;
+            if cap < 0 {
+                return Err(ProfileError::InsufficientCapacity {
+                    at: Time(t),
+                    requested: u32::try_from(usage).unwrap_or(u32::MAX),
+                    available: machines,
+                });
+            }
+            if t == 0 {
+                caps[0] = cap as u32;
+            } else {
+                times.push(t);
+                caps.push(cap as u32);
+            }
+        }
+        Ok(Self::from_parts(machines, times, caps))
+    }
+
+    // -- area queries -------------------------------------------------------
+
+    /// Smallest time `T` such that the free area available in `[0, T)` is
+    /// at least `area`; `None` if the demand can never be met (final
+    /// capacity zero with demand remaining). Mirrors
+    /// [`ResourceProfile::earliest_time_with_area`] answer-for-answer
+    /// (property-tested), but runs as one `O(log B)` descent over the
+    /// area-augmented tree instead of a linear sweep — the branch-and-bound
+    /// area lower bound calls this at every search node.
+    pub fn earliest_time_with_area(&self, area: u128) -> Option<Time> {
+        if area == 0 {
+            return Some(Time::ZERO);
+        }
+        self.area_descent(1, 0, self.n() - 1, 0, area)
+    }
+
+    fn area_descent(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        acc: i64,
+        remaining: u128,
+    ) -> Option<Time> {
+        if lo == hi {
+            let cap = self.nodes[node].min + acc;
+            debug_assert!(cap >= 0);
+            if cap == 0 {
+                // Only reachable on the open-ended last leaf (a finite leaf
+                // is entered only when it holds the remaining demand).
+                return None;
+            }
+            let extra = remaining.div_ceil(cap as u128);
+            return Some(Time(self.times[lo].saturating_add(extra as u64)));
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        let left = self.nodes[2 * node].area + acc as i128 * self.finite_span(lo, mid);
+        debug_assert!(left >= 0);
+        if left as u128 >= remaining {
+            self.area_descent(2 * node, lo, mid, acc, remaining)
+        } else {
+            self.area_descent(2 * node + 1, mid + 1, hi, acc, remaining - left as u128)
+        }
     }
 }
 
@@ -498,6 +786,7 @@ impl CapacityQuery for AvailabilityTimeline {
         let (l, r) = self.window_leaves(start, end);
         let n = self.n();
         self.range_add(1, 0, n - 1, l, r, -(width as i64));
+        self.log_update(start, end, -(width as i64));
         Ok(())
     }
 
@@ -523,6 +812,7 @@ impl CapacityQuery for AvailabilityTimeline {
         let (l, r) = self.window_leaves(start, end);
         let n = self.n();
         self.range_add(1, 0, n - 1, l, r, width as i64);
+        self.log_update(start, end, width as i64);
         Ok(())
     }
 }
@@ -712,5 +1002,194 @@ mod tests {
     fn display_mentions_profile() {
         let tl = AvailabilityTimeline::constant(4);
         assert!(tl.to_string().contains("m=4"));
+    }
+
+    #[test]
+    fn rollback_undoes_reserves_and_releases() {
+        let mut tl = AvailabilityTimeline::from_reservations(8, &[r(0, 3, 4, 2)]).unwrap();
+        let before = tl.to_profile();
+        let mark = tl.checkpoint();
+        tl.reserve(Time(0), Dur(10), 2).unwrap();
+        tl.release(Time(3), Dur(2), 3).unwrap();
+        tl.reserve(Time(20), Dur(5), 8).unwrap();
+        assert_ne!(tl.to_profile(), before);
+        tl.rollback_to(mark);
+        assert_eq!(tl.to_profile(), before);
+        assert!(!tl.in_transaction());
+    }
+
+    #[test]
+    fn commit_keeps_changes_and_clears_the_log() {
+        let mut tl = AvailabilityTimeline::constant(8);
+        let mark = tl.checkpoint();
+        tl.reserve(Time(1), Dur(4), 3).unwrap();
+        tl.commit(mark);
+        assert!(!tl.in_transaction());
+        assert_eq!(tl.capacity_at(Time(2)), 5);
+        assert!(tl.undo.is_empty(), "commit of the last mark drops the log");
+    }
+
+    #[test]
+    fn nested_marks_roll_back_independently() {
+        let mut tl = AvailabilityTimeline::constant(8);
+        let outer = tl.checkpoint();
+        tl.reserve(Time(0), Dur(5), 2).unwrap();
+        let inner = tl.checkpoint();
+        tl.reserve(Time(0), Dur(5), 4).unwrap();
+        assert_eq!(tl.capacity_at(Time(0)), 2);
+        tl.rollback_to(inner);
+        assert_eq!(tl.capacity_at(Time(0)), 6, "inner speculation undone");
+        tl.rollback_to(outer);
+        assert_eq!(tl.capacity_at(Time(0)), 8, "outer speculation undone");
+    }
+
+    #[test]
+    fn outer_rollback_consumes_committed_inner_marks() {
+        let mut tl = AvailabilityTimeline::constant(8);
+        let outer = tl.checkpoint();
+        let inner = tl.checkpoint();
+        tl.reserve(Time(0), Dur(5), 4).unwrap();
+        tl.commit(inner);
+        assert_eq!(tl.capacity_at(Time(0)), 4);
+        // The outer mark can still undo work committed by the inner one.
+        tl.rollback_to(outer);
+        assert_eq!(tl.capacity_at(Time(0)), 8);
+        assert!(tl.undo.is_empty());
+    }
+
+    #[test]
+    fn failed_reserve_logs_nothing() {
+        let mut tl = AvailabilityTimeline::constant(4);
+        let mark = tl.checkpoint();
+        assert!(CapacityQuery::reserve(&mut tl, Time(0), Dur(2), 5).is_err());
+        assert!(tl.undo.is_empty());
+        tl.rollback_to(mark);
+        assert_eq!(tl.capacity_at(Time(0)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not outstanding")]
+    fn stale_mark_panics() {
+        let mut tl = AvailabilityTimeline::constant(4);
+        let mark = tl.checkpoint();
+        tl.commit(mark);
+        tl.rollback_to(mark);
+    }
+
+    #[test]
+    #[should_panic(expected = "not outstanding")]
+    fn stale_mark_cannot_alias_a_live_one() {
+        // A resolved mark whose stack position and log length coincide with
+        // a live mark must still be rejected (generation counter).
+        let mut tl = AvailabilityTimeline::constant(4);
+        let stale = tl.checkpoint();
+        tl.reserve(Time(0), Dur(2), 1).unwrap();
+        tl.rollback_to(stale);
+        let _live = tl.checkpoint(); // same depth, same undo length
+        tl.rollback_to(stale);
+    }
+
+    #[test]
+    fn from_placements_matches_sequential_reserves() {
+        use crate::instance::ResaInstanceBuilder;
+        let inst = ResaInstanceBuilder::new(8)
+            .job(4, 10u64)
+            .job(2, 5u64)
+            .job_released_at(8, 2u64, 20u64)
+            .reservation(6, 4u64, 3u64)
+            .build()
+            .unwrap();
+        let placements = vec![
+            Placement {
+                job: crate::job::JobId(1),
+                start: Time(0),
+            },
+            Placement {
+                job: crate::job::JobId(0),
+                start: Time(7),
+            },
+            Placement {
+                job: crate::job::JobId(2),
+                start: Time(20),
+            },
+        ];
+        let bulk = AvailabilityTimeline::from_placements(&inst, &placements).unwrap();
+        let mut sequential = inst.timeline();
+        for p in &placements {
+            let j = inst.job(p.job).unwrap();
+            sequential.reserve(p.start, j.duration, j.width).unwrap();
+        }
+        assert_eq!(bulk.to_profile(), sequential.to_profile());
+    }
+
+    #[test]
+    fn from_placements_rejects_overcommitment() {
+        use crate::instance::ResaInstanceBuilder;
+        let inst = ResaInstanceBuilder::new(4)
+            .job(3, 5u64)
+            .job(3, 5u64)
+            .build()
+            .unwrap();
+        let placements = vec![
+            Placement {
+                job: crate::job::JobId(0),
+                start: Time(0),
+            },
+            Placement {
+                job: crate::job::JobId(1),
+                start: Time(2),
+            },
+        ];
+        let err = AvailabilityTimeline::from_placements(&inst, &placements).unwrap_err();
+        assert_eq!(
+            err,
+            ProfileError::InsufficientCapacity {
+                at: Time(2),
+                requested: 6,
+                available: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn earliest_time_with_area_matches_profile() {
+        let rs = [r(0, 4, 5, 2), r(1, 9, 3, 20)];
+        let p = ResourceProfile::from_reservations(10, &rs).unwrap();
+        let tl = AvailabilityTimeline::from(&p);
+        for area in 0..400u128 {
+            assert_eq!(
+                tl.earliest_time_with_area(area),
+                p.earliest_time_with_area(area),
+                "area={area}"
+            );
+        }
+    }
+
+    #[test]
+    fn earliest_time_with_area_none_when_tail_is_full() {
+        // Final capacity zero: demand beyond the finite area is unmeetable.
+        let p = ResourceProfile::from_steps(4, vec![(Time(0), 4), (Time(5), 0)]);
+        let tl = AvailabilityTimeline::from(&p);
+        assert_eq!(tl.earliest_time_with_area(20), Some(Time(5)));
+        assert_eq!(tl.earliest_time_with_area(21), None);
+        assert_eq!(p.earliest_time_with_area(21), None);
+    }
+
+    #[test]
+    fn area_tracking_survives_updates_and_rollbacks() {
+        let mut tl = AvailabilityTimeline::constant(8);
+        let mut p = ResourceProfile::constant(8);
+        tl.reserve(Time(2), Dur(3), 5).unwrap();
+        p.reserve(Time(2), Dur(3), 5).unwrap();
+        let mark = tl.checkpoint();
+        tl.reserve(Time(4), Dur(6), 3).unwrap();
+        tl.rollback_to(mark);
+        for area in 0..200u128 {
+            assert_eq!(
+                tl.earliest_time_with_area(area),
+                p.earliest_time_with_area(area),
+                "area={area}"
+            );
+        }
     }
 }

@@ -17,8 +17,23 @@
 //!   always inserted first);
 //! * an optional node budget, after which the best schedule found so far is
 //!   returned and flagged as possibly sub-optimal.
+//!
+//! # Clone-free speculation
+//!
+//! [`ExactSolver::solve`] explores the tree on **one shared transactional
+//! [`AvailabilityTimeline`]**: each branch is `checkpoint` → `reserve` →
+//! recurse → `rollback_to`, so the per-node cost is proportional to the
+//! touched breakpoints (`O(log B)` plus the undo of one reserve) instead of
+//! the `O(B)` profile clone per node the previous generation paid. The
+//! partial schedule is likewise unwound with [`Schedule::pop`] instead of
+//! being re-cloned. The previous clone-per-node formulation is retained as
+//! [`ExactSolver::solve_reference`]; property tests in this crate prove the
+//! two expand the *same number of nodes to the same peak depth* and return
+//! the same result (node-for-node equivalence), and
+//! `resa-bench/benches/search.rs` asserts the ≥ 3x nodes/sec speedup.
 
 use resa_core::prelude::*;
+use std::time::Instant;
 
 /// Result of an exact (or budget-truncated) solve.
 #[derive(Debug, Clone)]
@@ -32,6 +47,12 @@ pub struct ExactResult {
     pub optimal: bool,
     /// Number of search nodes expanded.
     pub nodes: u64,
+    /// Search throughput: nodes expanded per second of wall-clock solve
+    /// time (0.0 when no node was expanded).
+    pub nodes_per_sec: f64,
+    /// Deepest DFS level reached (number of jobs placed along the deepest
+    /// explored branch).
+    pub peak_depth: usize,
 }
 
 /// Branch-and-bound solver.
@@ -57,6 +78,7 @@ struct SearchCtx<'a> {
     budget_exhausted: bool,
     best_makespan: Time,
     best_schedule: Schedule,
+    peak_depth: usize,
 }
 
 impl ExactSolver {
@@ -70,31 +92,41 @@ impl ExactSolver {
         ExactSolver { max_nodes }
     }
 
-    /// Solve `instance` to optimality (or to the node budget).
+    /// Solve `instance` to optimality (or to the node budget) on the shared
+    /// transactional timeline (clone-free speculation).
     pub fn solve(&self, instance: &ResaInstance) -> ExactResult {
-        // Greedy incumbent: earliest-fit insertion in LPT order.
-        let (inc_makespan, inc_schedule) = greedy_incumbent(instance);
-        let mut ctx = SearchCtx {
-            instance,
-            max_nodes: self.max_nodes,
-            nodes: 0,
-            budget_exhausted: false,
-            best_makespan: inc_makespan,
-            best_schedule: inc_schedule,
-        };
-        // Global lower bound: if the incumbent already matches it, we are done.
-        let global_lb = resa_core::bounds::lower_bound(instance).unwrap_or(Time::ZERO);
-        if ctx.best_makespan > global_lb {
-            let mut order: Vec<usize> = (0..instance.n_jobs()).collect();
-            // Branch on long/wide jobs first: they constrain the schedule most.
-            order.sort_by_key(|&i| {
-                let j = &instance.jobs()[i];
-                (std::cmp::Reverse(j.work()), std::cmp::Reverse(j.width), i)
-            });
+        let started = Instant::now();
+        let (mut ctx, global_lb, order) = self.prepare(instance);
+        if let Some(order) = order {
+            let mut placed = vec![false; instance.n_jobs()];
+            let mut partial = Schedule::new();
+            let mut timeline = instance.timeline();
+            dfs(
+                &mut ctx,
+                &order,
+                &mut placed,
+                &mut partial,
+                &mut timeline,
+                Time::ZERO,
+                global_lb,
+                0,
+            );
+        }
+        finish(ctx, started)
+    }
+
+    /// The previous-generation search — a fresh [`ResourceProfile`] clone at
+    /// every node, schedule undo by re-cloning the placement list — retained
+    /// as the equivalence oracle and bench baseline. Expands the same nodes
+    /// in the same order as [`ExactSolver::solve`].
+    pub fn solve_reference(&self, instance: &ResaInstance) -> ExactResult {
+        let started = Instant::now();
+        let (mut ctx, global_lb, order) = self.prepare(instance);
+        if let Some(order) = order {
             let mut placed = vec![false; instance.n_jobs()];
             let mut partial = Schedule::new();
             let profile = instance.profile();
-            dfs(
+            dfs_reference(
                 &mut ctx,
                 &order,
                 &mut placed,
@@ -102,19 +134,57 @@ impl ExactSolver {
                 profile,
                 Time::ZERO,
                 global_lb,
+                0,
             );
         }
-        ExactResult {
-            makespan: ctx.best_makespan,
-            schedule: ctx.best_schedule,
-            optimal: !ctx.budget_exhausted,
-            nodes: ctx.nodes,
+        finish(ctx, started)
+    }
+
+    /// Shared setup: greedy incumbent, the global lower bound (with an early
+    /// exit when the incumbent already matches it), and the branching order
+    /// (long/wide jobs first).
+    fn prepare<'a>(&self, instance: &'a ResaInstance) -> (SearchCtx<'a>, Time, Option<Vec<usize>>) {
+        let (inc_makespan, inc_schedule) = greedy_incumbent(instance);
+        let ctx = SearchCtx {
+            instance,
+            max_nodes: self.max_nodes,
+            nodes: 0,
+            budget_exhausted: false,
+            best_makespan: inc_makespan,
+            best_schedule: inc_schedule,
+            peak_depth: 0,
+        };
+        let global_lb = resa_core::bounds::lower_bound(instance).unwrap_or(Time::ZERO);
+        if ctx.best_makespan <= global_lb {
+            return (ctx, global_lb, None);
         }
+        let mut order: Vec<usize> = (0..instance.n_jobs()).collect();
+        order.sort_by_key(|&i| {
+            let j = &instance.jobs()[i];
+            (std::cmp::Reverse(j.work()), std::cmp::Reverse(j.width), i)
+        });
+        (ctx, global_lb, Some(order))
     }
 
     /// Optimal makespan only (convenience).
     pub fn optimal_makespan(&self, instance: &ResaInstance) -> Time {
         self.solve(instance).makespan
+    }
+}
+
+fn finish(ctx: SearchCtx<'_>, started: Instant) -> ExactResult {
+    let secs = started.elapsed().as_secs_f64();
+    ExactResult {
+        makespan: ctx.best_makespan,
+        schedule: ctx.best_schedule,
+        optimal: !ctx.budget_exhausted,
+        nodes: ctx.nodes,
+        nodes_per_sec: if secs > 0.0 {
+            ctx.nodes as f64 / secs
+        } else {
+            0.0
+        },
+        peak_depth: ctx.peak_depth,
     }
 }
 
@@ -142,22 +212,47 @@ fn greedy_incumbent(instance: &ResaInstance) -> (Time, Schedule) {
     (cmax, schedule)
 }
 
+/// Node entry bookkeeping shared by both DFS variants: budget check and node
+/// / depth accounting. Returns `false` when the search must stop.
+fn enter_node(ctx: &mut SearchCtx<'_>, depth: usize, global_lb: Time) -> bool {
+    if ctx.budget_exhausted || ctx.best_makespan == global_lb {
+        return false;
+    }
+    ctx.nodes += 1;
+    ctx.peak_depth = ctx.peak_depth.max(depth);
+    if ctx.nodes > ctx.max_nodes {
+        ctx.budget_exhausted = true;
+        return false;
+    }
+    true
+}
+
+/// Whether an identical unplaced job appears before position `pos` in the
+/// branching order (symmetry breaking: only the first may branch).
+fn symmetric_earlier(ctx: &SearchCtx<'_>, order: &[usize], placed: &[bool], pos: usize) -> bool {
+    let job = &ctx.instance.jobs()[order[pos]];
+    order[..pos].iter().any(|&k| {
+        !placed[k] && {
+            let other = &ctx.instance.jobs()[k];
+            other.width == job.width
+                && other.duration == job.duration
+                && other.release == job.release
+        }
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn dfs(
     ctx: &mut SearchCtx<'_>,
     order: &[usize],
     placed: &mut Vec<bool>,
     partial: &mut Schedule,
-    profile: ResourceProfile,
+    timeline: &mut AvailabilityTimeline,
     partial_cmax: Time,
     global_lb: Time,
+    depth: usize,
 ) {
-    if ctx.budget_exhausted || ctx.best_makespan == global_lb {
-        return;
-    }
-    ctx.nodes += 1;
-    if ctx.nodes > ctx.max_nodes {
-        ctx.budget_exhausted = true;
+    if !enter_node(ctx, depth, global_lb) {
         return;
     }
     let n = ctx.instance.n_jobs();
@@ -176,14 +271,15 @@ fn dfs(
     for (i, job) in ctx.instance.jobs().iter().enumerate() {
         if !placed[i] {
             remaining_work += job.work();
-            if let Some(s) = profile.earliest_fit(job.width, job.duration, job.release) {
+            if let Some(s) = timeline.earliest_fit(job.width, job.duration, job.release) {
                 per_job_lb = per_job_lb.max(s + job.duration);
             }
         }
     }
-    // The profile already excludes the placed jobs, so the remaining work just
-    // has to fit somewhere in it (holes before the current makespan included).
-    let area_lb = profile
+    // The timeline already excludes the placed jobs, so the remaining work
+    // just has to fit somewhere in it (holes before the current makespan
+    // included).
+    let area_lb = timeline
         .earliest_time_with_area(remaining_work)
         .unwrap_or(Time::ZERO);
     let node_lb = partial_cmax.max(per_job_lb).max(area_lb);
@@ -193,24 +289,11 @@ fn dfs(
     // Branch: choose the next unplaced job (symmetry: identical jobs only in
     // id order).
     for (pos, &i) in order.iter().enumerate() {
-        if placed[i] {
+        if placed[i] || symmetric_earlier(ctx, order, placed, pos) {
             continue;
         }
         let job = &ctx.instance.jobs()[i];
-        // Symmetry breaking: skip if an identical unplaced job appears earlier
-        // in the branching order.
-        let symmetric_earlier = order[..pos].iter().any(|&k| {
-            !placed[k] && {
-                let other = &ctx.instance.jobs()[k];
-                other.width == job.width
-                    && other.duration == job.duration
-                    && other.release == job.release
-            }
-        });
-        if symmetric_earlier {
-            continue;
-        }
-        let start = match profile.earliest_fit(job.width, job.duration, job.release) {
+        let start = match timeline.earliest_fit(job.width, job.duration, job.release) {
             Some(s) => s,
             None => continue,
         };
@@ -223,8 +306,10 @@ fn dfs(
             // node. Here we only skip this particular placement.
             continue;
         }
-        let mut next_profile = profile.clone();
-        next_profile
+        // Clone-free speculation: reserve on the shared timeline, recurse,
+        // roll the undo log back to the checkpoint.
+        let mark = timeline.checkpoint();
+        timeline
             .reserve(start, job.duration, job.width)
             .expect("earliest_fit guarantees capacity");
         placed[i] = true;
@@ -234,11 +319,91 @@ fn dfs(
             order,
             placed,
             partial,
+            timeline,
+            partial_cmax.max(completion),
+            global_lb,
+            depth + 1,
+        );
+        placed[i] = false;
+        partial.pop();
+        timeline.rollback_to(mark);
+        if ctx.budget_exhausted {
+            return;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_reference(
+    ctx: &mut SearchCtx<'_>,
+    order: &[usize],
+    placed: &mut Vec<bool>,
+    partial: &mut Schedule,
+    profile: ResourceProfile,
+    partial_cmax: Time,
+    global_lb: Time,
+    depth: usize,
+) {
+    if !enter_node(ctx, depth, global_lb) {
+        return;
+    }
+    let n = ctx.instance.n_jobs();
+    if partial.len() == n {
+        if partial_cmax < ctx.best_makespan {
+            ctx.best_makespan = partial_cmax;
+            ctx.best_schedule = partial.clone();
+        }
+        return;
+    }
+    let mut remaining_work: u128 = 0;
+    let mut per_job_lb = Time::ZERO;
+    for (i, job) in ctx.instance.jobs().iter().enumerate() {
+        if !placed[i] {
+            remaining_work += job.work();
+            if let Some(s) = profile.earliest_fit(job.width, job.duration, job.release) {
+                per_job_lb = per_job_lb.max(s + job.duration);
+            }
+        }
+    }
+    let area_lb = profile
+        .earliest_time_with_area(remaining_work)
+        .unwrap_or(Time::ZERO);
+    let node_lb = partial_cmax.max(per_job_lb).max(area_lb);
+    if node_lb >= ctx.best_makespan {
+        return;
+    }
+    for (pos, &i) in order.iter().enumerate() {
+        if placed[i] || symmetric_earlier(ctx, order, placed, pos) {
+            continue;
+        }
+        let job = &ctx.instance.jobs()[i];
+        let start = match profile.earliest_fit(job.width, job.duration, job.release) {
+            Some(s) => s,
+            None => continue,
+        };
+        let completion = start + job.duration;
+        if completion >= ctx.best_makespan {
+            continue;
+        }
+        // Copy-on-probe: clone the whole profile for the child node.
+        let mut next_profile = profile.clone();
+        next_profile
+            .reserve(start, job.duration, job.width)
+            .expect("earliest_fit guarantees capacity");
+        placed[i] = true;
+        partial.place(job.id, start);
+        dfs_reference(
+            ctx,
+            order,
+            placed,
+            partial,
             next_profile,
             partial_cmax.max(completion),
             global_lb,
+            depth + 1,
         );
-        // Undo.
+        // Undo by re-cloning the placement list (the previous generation's
+        // cost model, kept verbatim for the baseline).
         placed[i] = false;
         let placements = partial.placements().to_vec();
         *partial = Schedule::from_placements(placements[..placements.len() - 1].to_vec());
@@ -372,5 +537,47 @@ mod tests {
         let r = ExactSolver::new().solve(&inst);
         assert_eq!(r.makespan, Time::ZERO);
         assert!(r.optimal);
+        assert_eq!(r.peak_depth, 0);
+    }
+
+    #[test]
+    fn reference_expands_identical_nodes() {
+        let inst = ResaInstanceBuilder::new(4)
+            .job(3, 2u64)
+            .job(2, 2u64)
+            .job(1, 2u64)
+            .job(2, 4u64)
+            .job(1, 5u64)
+            .reservation(2, 3u64, 2u64)
+            .build()
+            .unwrap();
+        let fast = ExactSolver::new().solve(&inst);
+        let slow = ExactSolver::new().solve_reference(&inst);
+        assert_eq!(fast.makespan, slow.makespan);
+        assert_eq!(fast.schedule, slow.schedule);
+        assert_eq!(fast.nodes, slow.nodes);
+        assert_eq!(fast.peak_depth, slow.peak_depth);
+        assert_eq!(fast.optimal, slow.optimal);
+        assert!(fast.nodes > 0 && fast.peak_depth > 0);
+    }
+
+    #[test]
+    fn throughput_is_reported() {
+        // The reservation forces a real search (the greedy incumbent neither
+        // matches the lower bound nor survives unbeaten), so nodes are
+        // expanded and throughput is measurable.
+        let inst = ResaInstanceBuilder::new(4)
+            .job(3, 2u64)
+            .job(2, 2u64)
+            .job(1, 2u64)
+            .job(2, 4u64)
+            .job(1, 5u64)
+            .reservation(2, 3u64, 2u64)
+            .build()
+            .unwrap();
+        let r = ExactSolver::new().solve(&inst);
+        assert!(r.nodes > 0);
+        assert!(r.nodes_per_sec > 0.0);
+        assert!(r.peak_depth <= inst.n_jobs());
     }
 }

@@ -97,6 +97,28 @@ mod proptests {
             }
         }
 
+        /// Node-for-node equivalence: the clone-free transactional search
+        /// expands exactly the same number of nodes to the same peak depth
+        /// and returns the same schedule as the retained clone-per-node
+        /// reference, on random instances with reservations — under both
+        /// an unlimited and a tight node budget.
+        #[test]
+        fn transactional_search_matches_reference_node_for_node(
+            inst in arb_small_instance(),
+            budget in 1u64..200,
+        ) {
+            for solver in [ExactSolver::new(), ExactSolver::with_node_budget(budget)] {
+                let fast = solver.solve(&inst);
+                let slow = solver.solve_reference(&inst);
+                prop_assert_eq!(fast.makespan, slow.makespan);
+                prop_assert_eq!(&fast.schedule, &slow.schedule);
+                prop_assert_eq!(fast.nodes, slow.nodes);
+                prop_assert_eq!(fast.peak_depth, slow.peak_depth);
+                prop_assert_eq!(fast.optimal, slow.optimal);
+                prop_assert!(fast.schedule.is_valid(&inst));
+            }
+        }
+
         /// On reservation-free instances LSRC respects Graham's bound w.r.t.
         /// the true optimum: C_LSRC ≤ (2 − 1/m)·C*.
         #[test]
