@@ -1,46 +1,10 @@
 //! E1 / Figure 1 + Theorem 1: the 3-PARTITION reduction.
 //!
-//! For each instance, the optimal schedule of the reduced RESASCHEDULING
-//! instance packs the jobs exactly into the gaps between the reservations
-//! (yes-instances) or is forced past the huge blocking reservation
-//! (no-instances). Any polynomial algorithm with a finite ratio would
-//! therefore decide 3-PARTITION.
+//! Thin shim over [`resa_bench::experiments::fig1_report`] — the same
+//! pipeline the `resa figure 1` subcommand runs.
 
-use resa_analysis::prelude::*;
+use resa_bench::experiments::{emit_report, fig1_report, ExperimentOptions};
 
 fn main() {
-    let rows = figure1_series(&[2, 3, 4], 12, 2, 42);
-    let mut table = Table::new(
-        "E1 / Figure 1 — 3-PARTITION reduction (m = 1)",
-        &[
-            "k",
-            "B",
-            "rho",
-            "satisfiable",
-            "OPT",
-            "yes-makespan",
-            "barrier end",
-            "LSRC",
-            "partition recovered",
-        ],
-    );
-    for r in &rows {
-        table.push_row(vec![
-            r.k.to_string(),
-            r.target.to_string(),
-            r.rho.to_string(),
-            r.satisfiable.to_string(),
-            r.optimal.to_string(),
-            r.yes_makespan.to_string(),
-            r.barrier_end.to_string(),
-            r.lsrc.to_string(),
-            r.partition_recovered.to_string(),
-        ]);
-    }
-    resa_bench::emit("fig1_inapprox", &table, &rows);
-    println!(
-        "Reading: on satisfiable instances OPT = yes-makespan and the optimal schedule is a\n\
-         3-PARTITION witness; on the unsatisfiable instance every schedule overshoots the barrier,\n\
-         so a finite-ratio approximation would decide 3-PARTITION (Theorem 1)."
-    );
+    emit_report(&fig1_report(&ExperimentOptions::default()));
 }

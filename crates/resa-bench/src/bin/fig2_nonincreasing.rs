@@ -1,44 +1,10 @@
 //! E2 / Figure 2 + Proposition 1: non-increasing reservations.
 //!
-//! LSRC on random non-increasing staircases stays within the
-//! `2 − 1/m(C*_max)` guarantee, and the Proposition-1 transformation
-//! (reservations → head-of-list rigid tasks) yields the same LSRC makespan.
+//! Thin shim over [`resa_bench::experiments::fig2_report`] — the same
+//! pipeline the `resa figure 2` subcommand runs.
 
-use resa_analysis::prelude::*;
+use resa_bench::experiments::{emit_report, fig2_report, ExperimentOptions};
 
 fn main() {
-    let rows = figure2_series(&[8, 16, 32], 10, &[1, 2, 3, 4, 5]);
-    let mut table = Table::new(
-        "E2 / Figure 2 — LSRC under non-increasing reservations vs the 2 - 1/m(C*) bound",
-        &[
-            "m",
-            "jobs",
-            "m(C*)",
-            "reference",
-            "ref optimal",
-            "LSRC",
-            "LSRC (transformed)",
-            "ratio",
-            "bound",
-        ],
-    );
-    for r in &rows {
-        table.push_row(vec![
-            r.machines.to_string(),
-            r.jobs.to_string(),
-            r.available_at_reference.to_string(),
-            r.reference.to_string(),
-            r.reference_is_optimal.to_string(),
-            r.lsrc.to_string(),
-            r.lsrc_transformed.to_string(),
-            fmt_f64(r.ratio),
-            fmt_f64(r.bound),
-        ]);
-    }
-    resa_bench::emit("fig2_nonincreasing", &table, &rows);
-    let violations = rows
-        .iter()
-        .filter(|r| r.reference_is_optimal && r.ratio > r.bound + 1e-9)
-        .count();
-    println!("Proposition-1 bound violations (against exact optima): {violations} (expected 0)");
+    emit_report(&fig2_report(&ExperimentOptions::default()));
 }

@@ -1,53 +1,10 @@
 //! E3 / Figure 3 + Proposition 2: the adversarial α-restricted instance.
 //!
-//! Reproduces the printed picture (k = 6, α = 1/3, m = 180: OPT = 6 vs
-//! LSRC = 31) and sweeps k to show the measured ratio matching
-//! `2/α − 1 + α/2` exactly.
+//! Thin shim over [`resa_bench::experiments::fig3_report`] — the same
+//! pipeline the `resa figure 3` subcommand runs.
 
-use resa_analysis::prelude::*;
-use resa_core::prelude::*;
-use resa_workloads::prelude::*;
+use resa_bench::experiments::{emit_report, fig3_report, ExperimentOptions};
 
 fn main() {
-    let rows = figure3_series(&[3, 4, 5, 6, 7, 8, 10, 12]);
-    let mut table = Table::new(
-        "E3 / Figure 3 — Proposition-2 adversarial instances (alpha = 2/k)",
-        &[
-            "k",
-            "alpha",
-            "m",
-            "OPT",
-            "LSRC",
-            "measured ratio",
-            "2/a - 1 + a/2",
-        ],
-    );
-    for r in &rows {
-        table.push_row(vec![
-            r.k.to_string(),
-            fmt_f64(r.alpha),
-            r.machines.to_string(),
-            r.optimal.to_string(),
-            r.lsrc.to_string(),
-            fmt_f64(r.measured_ratio),
-            fmt_f64(r.predicted_ratio),
-        ]);
-    }
-    resa_bench::emit("fig3_adversarial", &table, &rows);
-
-    // Draw the k = 6 case the way the paper does (Figure 3).
-    let adv = proposition2_instance(6);
-    let optimal = proposition2_optimal_schedule(6);
-    println!(
-        "Optimal schedule of the k = 6 instance (C*max = {}):",
-        optimal.makespan(&adv.instance)
-    );
-    println!("{}", render_gantt(&adv.instance, &optimal, 1));
-    use resa_algos::prelude::*;
-    let lsrc = Lsrc::new().schedule(&adv.instance);
-    println!(
-        "LSRC schedule of the same instance (Cmax = {}):",
-        lsrc.makespan(&adv.instance)
-    );
-    println!("{}", render_gantt(&adv.instance, &lsrc, 1));
+    emit_report(&fig3_report(&ExperimentOptions::default()));
 }

@@ -1,47 +1,11 @@
 //! E4 / Figure 4: upper and lower bounds on the guarantee of LSRC for
 //! α-RESASCHEDULING as functions of α.
+//!
+//! Thin shim over [`resa_bench::experiments::fig4_report`] — the same
+//! pipeline the `resa figure 4` subcommand runs.
 
-use resa_analysis::prelude::*;
+use resa_bench::experiments::{emit_report, fig4_report, ExperimentOptions};
 
 fn main() {
-    let rows = figure4_series(0.05, 40);
-    let mut table = Table::new(
-        "E4 / Figure 4 — performance bounds for LSRC as a function of alpha",
-        &["alpha", "upper bound 2/a", "B1", "B2"],
-    );
-    for r in &rows {
-        table.push_row(vec![
-            fmt_f64(r.alpha),
-            fmt_f64(r.upper_bound),
-            fmt_f64(r.b1),
-            fmt_f64(r.b2),
-        ]);
-    }
-    resa_bench::emit("fig4_bounds", &table, &rows);
-
-    // A crude ASCII rendition of the figure (bounds vs alpha, clipped at 10
-    // like the paper's y-axis).
-    println!(
-        "ASCII plot (x: alpha in [0.05, 1], y: guarantee clipped at 10; U = 2/a, 1 = B1, 2 = B2)"
-    );
-    let height = 20usize;
-    for level in (0..=height).rev() {
-        let y = level as f64 * 10.0 / height as f64;
-        let mut line = format!("{y:5.1} |");
-        for r in &rows {
-            let cell = if (r.upper_bound.min(10.0) - y).abs() < 0.25 {
-                'U'
-            } else if (r.b1.min(10.0) - y).abs() < 0.25 {
-                '1'
-            } else if (r.b2.min(10.0) - y).abs() < 0.25 {
-                '2'
-            } else {
-                ' '
-            };
-            line.push(cell);
-        }
-        println!("{line}");
-    }
-    println!("      +{}", "-".repeat(rows.len()));
-    println!("       alpha = 0.05 .. 1.0");
+    emit_report(&fig4_report(&ExperimentOptions::default()));
 }

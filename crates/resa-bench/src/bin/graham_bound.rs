@@ -1,13 +1,10 @@
 //! E5 / Theorem 2: Graham's bound for list scheduling without reservations.
+//!
+//! Thin shim over [`resa_bench::experiments::graham_report`] — the same
+//! pipeline the `resa graham` subcommand runs.
 
-use resa_bench::{graham_experiment, graham_table};
+use resa_bench::experiments::{emit_report, graham_report, ExperimentOptions};
 
 fn main() {
-    let rows = graham_experiment(&[2, 4, 8, 16, 32], 30, 9);
-    let table = graham_table(&rows);
-    resa_bench::emit("graham_bound", &table, &rows);
-    println!(
-        "Reading: worst measured ratios stay below 2 - 1/m; the tightness family reaches the\n\
-         bound exactly, so Theorem 2 is tight."
-    );
+    emit_report(&graham_report(&ExperimentOptions::default()));
 }

@@ -1,14 +1,11 @@
 //! E7: average-case comparison of all schedulers under α-restricted
 //! reservations.
+//!
+//! Thin shim over [`resa_bench::experiments::average_case_report`] — the
+//! same pipeline the `resa table average` subcommand runs.
 
-use resa_bench::{average_case_experiment, average_case_table};
+use resa_bench::experiments::{average_case_report, emit_report, ExperimentOptions};
 
 fn main() {
-    let rows = average_case_experiment(&[32, 128], &[(3, 10), (1, 2), (7, 10), (1, 1)], 120, 8);
-    let table = average_case_table(&rows);
-    resa_bench::emit("table_average_case", &table, &rows);
-    println!(
-        "Reading: average-case ratios sit far below the worst-case guarantees of the paper;\n\
-         LSRC and EASY dominate FCFS, and tighter alpha (more reservation mass) degrades everyone."
-    );
+    emit_report(&average_case_report(&ExperimentOptions::default()));
 }

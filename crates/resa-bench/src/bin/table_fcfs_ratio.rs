@@ -1,13 +1,10 @@
 //! E6: FCFS has no constant performance guarantee.
+//!
+//! Thin shim over [`resa_bench::experiments::fcfs_report`] — the same
+//! pipeline the `resa table fcfs` subcommand runs.
 
-use resa_bench::{fcfs_ratio_experiment, fcfs_table};
+use resa_bench::experiments::{emit_report, fcfs_report, ExperimentOptions};
 
 fn main() {
-    let rows = fcfs_ratio_experiment(&[8, 16, 32, 64], 200);
-    let table = fcfs_table(&rows);
-    resa_bench::emit("table_fcfs_ratio", &table, &rows);
-    println!(
-        "Reading: the FCFS/LSRC ratio grows roughly like m/2 (the number of rounds), while\n\
-         conservative and EASY backfilling recover part of the loss and LSRC stays near OPT."
-    );
+    emit_report(&fcfs_report(&ExperimentOptions::default()));
 }

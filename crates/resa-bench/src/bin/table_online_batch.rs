@@ -1,13 +1,10 @@
 //! E9: on-line policies and the batch-doubling wrapper (§2.1).
+//!
+//! Thin shim over [`resa_bench::experiments::online_report`] — the same
+//! pipeline the `resa table online` subcommand runs.
 
-use resa_bench::{online_batch_experiment, online_table};
+use resa_bench::experiments::{emit_report, online_report, ExperimentOptions};
 
 fn main() {
-    let rows = online_batch_experiment(64, 200, 8, 6);
-    let table = online_table(&rows);
-    resa_bench::emit("table_online_batch", &table, &rows);
-    println!(
-        "Reading: the batch-doubling wrapper stays well within twice the clairvoyant off-line\n\
-         makespan, the empirical face of the doubling argument recalled in §2.1."
-    );
+    emit_report(&online_report(&ExperimentOptions::default()));
 }

@@ -1,13 +1,10 @@
 //! E8: ablation of the LSRC list order (the paper's suggested improvement).
+//!
+//! Thin shim over [`resa_bench::experiments::priority_report`] — the same
+//! pipeline the `resa table priority` subcommand runs.
 
-use resa_bench::{priority_ablation_experiment, priority_table};
+use resa_bench::experiments::{emit_report, priority_report, ExperimentOptions};
 
 fn main() {
-    let rows = priority_ablation_experiment(64, 150, 10, (1, 2));
-    let table = priority_table(&rows);
-    resa_bench::emit("table_priority_ablation", &table, &rows);
-    println!(
-        "Reading: LPT (decreasing durations) is the strongest simple order on average, which is\n\
-         exactly the refinement the paper's conclusion proposes to analyse."
-    );
+    emit_report(&priority_report(&ExperimentOptions::default()));
 }

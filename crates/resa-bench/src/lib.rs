@@ -15,12 +15,16 @@
 //!   are caught.
 //!
 //! The functions in this library build the tables; binaries and benches only
-//! print or time them.
+//! print or time them. The [`experiments`] module packages each of the nine
+//! figure/table pipelines as a self-contained [`experiments::ExperimentReport`]
+//! builder — the binaries here and the `resa` CLI (`crates/resa-cli`) are both
+//! thin shims over it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rayon::prelude::*;
+pub mod experiments;
+
 use resa_algos::prelude::*;
 use resa_analysis::prelude::*;
 use resa_core::prelude::*;
@@ -32,12 +36,20 @@ use serde::Serialize;
 /// persist the JSON payload (set `RESA_RESULTS_DIR=results` to write
 /// `results/<name>.json`).
 pub fn emit<T: Serialize>(name: &str, table: &Table, payload: &T) {
+    print_and_persist(name, table, &to_json(payload));
+}
+
+/// The one print-and-persist protocol shared by [`emit`] and
+/// [`experiments::emit_report`], so the legacy binaries and the `resa` CLI
+/// can never drift apart: aligned text table, markdown table, then the JSON
+/// payload under `RESA_RESULTS_DIR` when set.
+pub(crate) fn print_and_persist(name: &str, table: &Table, json: &str) {
     println!("{}", table.to_text());
     println!("{}", table.to_markdown());
     if let Ok(dir) = std::env::var("RESA_RESULTS_DIR") {
         let path = std::path::Path::new(&dir).join(format!("{name}.json"));
         if std::fs::create_dir_all(&dir).is_ok() {
-            match std::fs::write(&path, to_json(payload)) {
+            match std::fs::write(&path, json) {
                 Ok(()) => println!("[saved {}]", path.display()),
                 Err(e) => eprintln!("[could not save {}: {e}]", path.display()),
             }
@@ -67,36 +79,54 @@ pub struct GrahamRow {
 /// E5: empirical verification of Theorem 2 (Graham's bound) — random rigid
 /// workloads plus the tightness family, swept over cluster sizes.
 pub fn graham_experiment(machines_list: &[u32], seeds_per_m: u64, jobs: usize) -> Vec<GrahamRow> {
-    machines_list
-        .par_iter()
-        .map(|&m| {
-            let harness = RatioHarness::new();
-            let mut worst: f64 = 1.0;
-            let mut sum = 0.0;
-            let mut exact = 0usize;
-            for seed in 0..seeds_per_m {
-                let inst = UniformWorkload::for_cluster(m, jobs).instance(seed);
-                let measurement = harness.measure(&Lsrc::new(), &inst);
-                worst = worst.max(measurement.ratio);
-                sum += measurement.ratio;
-                if measurement.reference_kind == ReferenceKind::Optimal {
-                    exact += 1;
-                }
+    graham_experiment_seeded(
+        ExperimentRunner::parallel(),
+        machines_list,
+        seeds_per_m,
+        jobs,
+        0,
+    )
+}
+
+/// [`graham_experiment`] with an explicit [`ExperimentRunner`] and base
+/// seed: machine `m`, repetition `i` draws its workload from seed
+/// `base_seed + i`; rows are identical in either runner mode (one cell per
+/// machine size).
+pub fn graham_experiment_seeded(
+    runner: ExperimentRunner,
+    machines_list: &[u32],
+    seeds_per_m: u64,
+    jobs: usize,
+    base_seed: u64,
+) -> Vec<GrahamRow> {
+    runner.map(machines_list, |&m| {
+        let harness = RatioHarness::new();
+        let mut worst: f64 = 1.0;
+        let mut sum = 0.0;
+        let mut exact = 0usize;
+        for s in 0..seeds_per_m {
+            let seed = base_seed + s;
+            let inst = UniformWorkload::for_cluster(m, jobs).instance(seed);
+            let measurement = harness.measure(&Lsrc::new(), &inst);
+            worst = worst.max(measurement.ratio);
+            sum += measurement.ratio;
+            if measurement.reference_kind == ReferenceKind::Optimal {
+                exact += 1;
             }
-            let adv = graham_tight_instance(m);
-            let tight = Lsrc::new().makespan(&adv.instance).ticks() as f64
-                / adv.optimal_makespan.ticks() as f64;
-            GrahamRow {
-                machines: m,
-                instances: seeds_per_m as usize,
-                worst_ratio: worst,
-                mean_ratio: sum / seeds_per_m as f64,
-                tight_family_ratio: tight,
-                bound: graham_bound(m),
-                exact_fraction: exact as f64 / seeds_per_m as f64,
-            }
-        })
-        .collect()
+        }
+        let adv = graham_tight_instance(m);
+        let tight = Lsrc::new().makespan(&adv.instance).ticks() as f64
+            / adv.optimal_makespan.ticks() as f64;
+        GrahamRow {
+            machines: m,
+            instances: seeds_per_m as usize,
+            worst_ratio: worst,
+            mean_ratio: sum / seeds_per_m as f64,
+            tight_family_ratio: tight,
+            bound: graham_bound(m),
+            exact_fraction: exact as f64 / seeds_per_m as f64,
+        }
+    })
 }
 
 /// Render the Graham experiment as a [`Table`].
@@ -236,61 +266,82 @@ pub fn average_case_experiment(
     jobs: usize,
     seeds: u64,
 ) -> Vec<AverageCaseRow> {
+    average_case_experiment_seeded(
+        ExperimentRunner::parallel(),
+        machines_list,
+        alphas,
+        jobs,
+        seeds,
+        0,
+    )
+}
+
+/// [`average_case_experiment`] with an explicit [`ExperimentRunner`] and
+/// base seed: repetition `i` of every `(machines, α)` cell draws its
+/// workload from seed `base_seed + i`; rows are identical in either runner
+/// mode (one cell per `(machines, α)` pair, folded in pair order).
+pub fn average_case_experiment_seeded(
+    runner: ExperimentRunner,
+    machines_list: &[u32],
+    alphas: &[(u64, u64)],
+    jobs: usize,
+    seeds: u64,
+    base_seed: u64,
+) -> Vec<AverageCaseRow> {
     let combos: Vec<(u32, (u64, u64))> = machines_list
         .iter()
         .flat_map(|&m| alphas.iter().map(move |&a| (m, a)))
         .collect();
-    combos
-        .par_iter()
-        .flat_map(|&(m, (num, denom))| {
-            let alpha = Alpha::new(num, denom).expect("valid alpha parameters");
-            let mut per_algo: AlgoSamples = resa_algos::all_schedulers()
-                .iter()
-                .map(|s| (s.name(), Vec::new()))
-                .collect();
-            for seed in 0..seeds {
-                let workload = FeitelsonWorkload::for_cluster(m, jobs);
-                let jobs_vec = workload.generate(seed);
-                let inst = if alpha == Alpha::ONE {
-                    ResaInstance::new(m, jobs_vec, Vec::new()).expect("valid")
-                } else {
-                    AlphaReservations {
-                        machines: m,
-                        alpha,
-                        count: 4,
-                        horizon: 2000,
-                        max_duration: 300,
-                    }
-                    .instance(jobs_vec, seed)
-                };
-                let lb = lower_bound(&inst)
-                    .expect("finite lower bound")
-                    .ticks()
-                    .max(1) as f64;
-                for (i, s) in resa_algos::all_schedulers().iter().enumerate() {
-                    let sched = s.schedule(&inst);
-                    let cmax = sched.makespan(&inst).ticks() as f64;
-                    let util = sched.utilization(&inst);
-                    per_algo[i].1.push((cmax, cmax / lb, util));
+    let cells: Vec<Vec<AverageCaseRow>> = runner.map(&combos, |&(m, (num, denom))| {
+        let alpha = Alpha::new(num, denom).expect("valid alpha parameters");
+        let mut per_algo: AlgoSamples = resa_algos::all_schedulers()
+            .iter()
+            .map(|s| (s.name(), Vec::new()))
+            .collect();
+        for s in 0..seeds {
+            let seed = base_seed + s;
+            let workload = FeitelsonWorkload::for_cluster(m, jobs);
+            let jobs_vec = workload.generate(seed);
+            let inst = if alpha == Alpha::ONE {
+                ResaInstance::new(m, jobs_vec, Vec::new()).expect("valid")
+            } else {
+                AlphaReservations {
+                    machines: m,
+                    alpha,
+                    count: 4,
+                    horizon: 2000,
+                    max_duration: 300,
                 }
+                .instance(jobs_vec, seed)
+            };
+            let lb = lower_bound(&inst)
+                .expect("finite lower bound")
+                .ticks()
+                .max(1) as f64;
+            for (i, s) in resa_algos::all_schedulers().iter().enumerate() {
+                let sched = s.schedule(&inst);
+                let cmax = sched.makespan(&inst).ticks() as f64;
+                let util = sched.utilization(&inst);
+                per_algo[i].1.push((cmax, cmax / lb, util));
             }
-            per_algo
-                .into_iter()
-                .map(|(name, samples)| {
-                    let n = samples.len() as f64;
-                    AverageCaseRow {
-                        machines: m,
-                        alpha: alpha.as_f64(),
-                        algorithm: name,
-                        mean_makespan: samples.iter().map(|s| s.0).sum::<f64>() / n,
-                        mean_ratio_to_lb: samples.iter().map(|s| s.1).sum::<f64>() / n,
-                        worst_ratio_to_lb: samples.iter().map(|s| s.1).fold(0.0, f64::max),
-                        mean_utilization: samples.iter().map(|s| s.2).sum::<f64>() / n,
-                    }
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect()
+        }
+        per_algo
+            .into_iter()
+            .map(|(name, samples)| {
+                let n = samples.len() as f64;
+                AverageCaseRow {
+                    machines: m,
+                    alpha: alpha.as_f64(),
+                    algorithm: name,
+                    mean_makespan: samples.iter().map(|s| s.0).sum::<f64>() / n,
+                    mean_ratio_to_lb: samples.iter().map(|s| s.1).sum::<f64>() / n,
+                    worst_ratio_to_lb: samples.iter().map(|s| s.1).fold(0.0, f64::max),
+                    mean_utilization: samples.iter().map(|s| s.2).sum::<f64>() / n,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    cells.into_iter().flatten().collect()
 }
 
 /// Render the average-case experiment as a [`Table`].
@@ -368,9 +419,22 @@ pub fn priority_ablation_experiment_with(
     seeds: u64,
     alpha: (u64, u64),
 ) -> Vec<PriorityRow> {
+    priority_ablation_experiment_seeded(runner, machines, jobs, seeds, alpha, 0)
+}
+
+/// [`priority_ablation_experiment_with`] with an explicit base seed:
+/// repetition `i` draws its instance from seed `base_seed + i`.
+pub fn priority_ablation_experiment_seeded(
+    runner: ExperimentRunner,
+    machines: u32,
+    jobs: usize,
+    seeds: u64,
+    alpha: (u64, u64),
+    base_seed: u64,
+) -> Vec<PriorityRow> {
     let alpha = Alpha::new(alpha.0, alpha.1).expect("valid alpha");
     let orders = ListOrder::DETERMINISTIC;
-    let seed_list: Vec<u64> = (0..seeds).collect();
+    let seed_list: Vec<u64> = (base_seed..base_seed + seeds).collect();
     let make_instance = |seed: u64| {
         let jobs_vec = FeitelsonWorkload::for_cluster(machines, jobs).generate(seed);
         AlphaReservations {
@@ -510,7 +574,20 @@ pub fn online_batch_experiment_with(
     mean_interarrival: u64,
     seeds: u64,
 ) -> Vec<OnlineRow> {
-    let seed_list: Vec<u64> = (0..seeds).collect();
+    online_batch_experiment_seeded(runner, machines, jobs, mean_interarrival, seeds, 0)
+}
+
+/// [`online_batch_experiment_with`] with an explicit base seed: repetition
+/// `i` draws its instance from seed `base_seed + i`.
+pub fn online_batch_experiment_seeded(
+    runner: ExperimentRunner,
+    machines: u32,
+    jobs: usize,
+    mean_interarrival: u64,
+    seeds: u64,
+    base_seed: u64,
+) -> Vec<OnlineRow> {
+    let seed_list: Vec<u64> = (base_seed..base_seed + seeds).collect();
     let make_instance = |seed: u64| {
         FeitelsonWorkload::for_cluster(machines, jobs)
             .with_arrivals(mean_interarrival)

@@ -1,0 +1,29 @@
+//! The `resa` binary: parse the arguments, run the subcommand in-process
+//! through [`resa_cli::run`], and map the result onto the documented exit
+//! codes (0 = ran clean, 1 = usage/I/O error, 2 = paper-guarantee violated).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match resa_cli::run(&arg_refs) {
+        Ok(outcome) => {
+            print!("{}", outcome.stdout);
+            if outcome.violations > 0 {
+                eprintln!(
+                    "resa: {} paper-guarantee violation(s) — see the report above",
+                    outcome.violations
+                );
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("resa: {e}");
+            eprintln!("run `resa help` for usage");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! # resa-cli
+//!
+//! The unified `resa` command line of the reproduction of *"Analysis of
+//! Scheduling Algorithms with Reservations"* (IPDPS 2007): one binary that
+//! reproduces every figure and table of the paper, replays Standard Workload
+//! Format traces through the on-line simulator, and drives declarative
+//! experiment sweeps across the parallel runner.
+//!
+//! ```text
+//! resa figure <1|2|3|4>         reproduce one of the paper's figures
+//! resa table <fcfs|average|online|priority>
+//!                               reproduce one of the extension tables (E6-E9)
+//! resa graham                   the Theorem-2 Graham-bound experiment (E5)
+//! resa replay <trace.swf>       replay an SWF trace (policies, reservation
+//!                               overlays, warm-up truncation)
+//! resa sweep <spec.json>        run a declarative experiment sweep
+//! ```
+//!
+//! Every subcommand accepts `--seed <n>`, `--threads <n>`, `--quick` and
+//! `--format json|csv|table`; `--out <file>` additionally persists the
+//! rendered output. The process exit code distinguishes *ran* (0) from
+//! *paper-guarantee violated* (2) from *usage or I/O error* (1), so the CLI
+//! doubles as an acceptance harness in CI.
+//!
+//! The library face exists so integration tests (and other tools) can run
+//! commands in-process and capture the output:
+//!
+//! ```
+//! // Figure 4 is the closed-form bound chart: cheap and deterministic.
+//! let outcome = resa_cli::run(&["figure", "4", "--quick", "--format", "csv"]).unwrap();
+//! assert!(outcome.stdout.starts_with("alpha,"));
+//! assert_eq!(outcome.violations, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_cmds;
+pub mod opts;
+pub mod replay;
+pub mod sweep;
+
+use opts::CommonOpts;
+
+/// The result of a successfully executed subcommand.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Everything the command would print on stdout.
+    pub stdout: String,
+    /// Number of conclusive paper-guarantee violations detected while
+    /// running (0 means every reproduced bound held; the binary maps any
+    /// non-zero count to exit code 2).
+    pub violations: usize,
+}
+
+/// Errors a subcommand can fail with (mapped to exit code 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The arguments do not form a valid invocation.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+    /// An input file (trace, reservation file, sweep spec) failed to parse.
+    Parse(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io { path, message } => write!(f, "{path}: {message}"),
+            CliError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The top-level help text.
+pub const HELP: &str = "\
+resa — reproduction driver for 'Analysis of Scheduling Algorithms with Reservations' (IPDPS 2007)
+
+USAGE:
+    resa <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    figure <1|2|3|4>     reproduce Figure 1 (3-PARTITION), 2 (non-increasing),
+                         3 (Prop.-2 adversary) or 4 (bound curves)
+    table <name>         reproduce an extension table: fcfs (E6), average (E7),
+                         online (E9) or priority (E8)
+    graham               the Theorem-2 Graham-bound experiment (E5)
+    replay <trace.swf>   replay an SWF trace end to end (see `resa replay --help`)
+    sweep <spec.json>    run a declarative experiment sweep (see `resa sweep --help`)
+    help                 print this message
+
+COMMON OPTIONS (every subcommand):
+    --seed <n>           base seed offset for randomized sweeps        [default: 0]
+    --threads <n>        worker threads (1 = sequential)               [default: all cores]
+    --format <fmt>       output format: table | json | csv             [default: table]
+    --quick              shrink the experiment to a few cells (CI smokes)
+    --out <file>         also write the rendered output to <file>
+
+EXIT CODES:
+    0  the command ran and every reproduced paper guarantee held
+    1  usage, I/O or parse error
+    2  the command ran but a paper guarantee was conclusively violated
+";
+
+/// Execute one `resa` invocation given its arguments (without the program
+/// name). Returns the rendered stdout and the violation count; the binary
+/// wrapper turns those into the documented exit codes.
+pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
+    let (sub, rest) = match args.split_first() {
+        None => return Err(CliError::Usage("missing subcommand".into())),
+        Some((s, rest)) => (*s, rest),
+    };
+    match sub {
+        "figure" => {
+            let (which, opts) = split_positional(rest, "figure expects a number 1..4")?;
+            bench_cmds::figure(which, &opts)
+        }
+        "table" => {
+            let (which, opts) =
+                split_positional(rest, "table expects fcfs|average|online|priority")?;
+            bench_cmds::table(which, &opts)
+        }
+        "graham" => {
+            let opts = CommonOpts::parse(rest, &mut |flag, _| {
+                Err(CliError::Usage(format!("unknown option '{flag}'")))
+            })?;
+            bench_cmds::graham(&opts)
+        }
+        "replay" => replay::run(rest),
+        "sweep" => sweep::run(rest),
+        "help" | "--help" | "-h" => Ok(Outcome {
+            stdout: HELP.to_string(),
+            violations: 0,
+        }),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand '{other}' (try `resa help`)"
+        ))),
+    }
+}
+
+/// Split one leading positional argument off `rest`, then parse the common
+/// options from what remains.
+fn split_positional<'a>(
+    rest: &[&'a str],
+    missing: &str,
+) -> Result<(&'a str, CommonOpts), CliError> {
+    let (pos, tail) = match rest.split_first() {
+        Some((p, tail)) if !p.starts_with("--") => (*p, tail),
+        _ => return Err(CliError::Usage(missing.into())),
+    };
+    let opts = CommonOpts::parse(tail, &mut |flag, _| {
+        Err(CliError::Usage(format!("unknown option '{flag}'")))
+    })?;
+    Ok((pos, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_usage_errors() {
+        assert!(run(&["help"]).unwrap().stdout.contains("SUBCOMMANDS"));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["figure"]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["figure", "9"]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["table", "nope"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["figure", "4", "--format", "yaml"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn figure4_runs_in_every_format() {
+        for fmt in ["table", "json", "csv"] {
+            let out = run(&["figure", "4", "--quick", "--format", fmt]).unwrap();
+            assert_eq!(out.violations, 0, "{fmt}");
+            assert!(!out.stdout.is_empty());
+        }
+    }
+
+    #[test]
+    fn graham_quick_runs_sequentially() {
+        let out = run(&["graham", "--quick", "--threads", "1", "--format", "csv"]).unwrap();
+        assert_eq!(out.violations, 0);
+        assert!(out.stdout.starts_with("m,"));
+    }
+}

@@ -1,0 +1,624 @@
+//! `resa replay` — end-to-end SWF trace replay.
+//!
+//! The pipeline the paper motivates but never shows: a production trace in
+//! the Standard Workload Format is parsed (`resa_workloads::swf`), optionally
+//! truncated past a warm-up horizon, decorated with a reservation overlay
+//! (α-restricted, non-increasing, or loaded from an instance file), and
+//! replayed — either through the on-line [`Simulator`] under a decision
+//! policy, or through an off-line scheduler on a chosen availability
+//! substrate. The resulting schedule is validated and checked against every
+//! paper guarantee that applies to the instance class; a conclusive
+//! violation flips the process exit code to 2.
+
+use crate::opts::{CommonOpts, OutputFormat};
+use crate::{CliError, Outcome};
+use resa_algos::prelude::*;
+use resa_analysis::prelude::*;
+use resa_core::prelude::*;
+use resa_sim::prelude::*;
+use resa_workloads::prelude::*;
+use serde::Serialize;
+
+/// Help text for `resa replay --help`.
+pub const REPLAY_HELP: &str = "\
+resa replay — replay a Standard Workload Format trace end to end
+
+USAGE:
+    resa replay <trace.swf> [OPTIONS]
+
+OPTIONS:
+    --machines <m>        cluster size (default: the trace's MaxProcs header,
+                          else the widest job)
+    --policy <name>       how to schedule the trace                [default: easy]
+                            on-line (event simulator): fcfs | easy | greedy
+                            off-line (whole trace known): offline:lsrc |
+                            offline:lsrc-lpt | offline:fcfs |
+                            offline:conservative | offline:easy
+    --reservations <spec> reservation overlay                      [default: none]
+                            alpha:<a>[:count[:horizon[:maxdur]]]   e.g. alpha:0.5
+                              (jobs wider than a*m are narrowed to a*m, as the
+                              alpha-restricted model requires; the report's
+                              'clamped jobs' field counts them)
+                            nonincreasing[:steps[:maxinit[:maxdur]]]
+                            file:<path>  (reservations of a textual instance file)
+    --warmup <t>          drop jobs submitted before <t> and shift the kept
+                          submissions down by <t>
+    --substrate <s>       availability backend: timeline | profile [default: timeline]
+                          (off-line: which CapacityQuery backend; on-line:
+                          timeline = optimized engine, profile = the
+                          clone-based reference engine — results are identical,
+                          which is exactly what the golden tests assert)
+
+plus the common options: --seed --threads --format --quick --out
+";
+
+/// Which availability substrate / engine generation to replay through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Substrate {
+    /// The indexed segment-tree timeline (optimized engine).
+    Timeline,
+    /// The naive breakpoint-list profile (off-line) or the clone-based
+    /// reference engine (on-line).
+    Profile,
+}
+
+impl Substrate {
+    fn name(self) -> &'static str {
+        match self {
+            Substrate::Timeline => "timeline",
+            Substrate::Profile => "profile",
+        }
+    }
+}
+
+/// The scheduling policy applied to the replayed trace (shared with the
+/// sweep driver, whose `policies` list uses the same names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PolicyArg {
+    /// An on-line simulator policy.
+    Online(ReferencePolicy),
+    /// An off-line scheduler run with full knowledge of the trace.
+    Offline(OfflineKind),
+}
+
+/// The off-line schedulers `--policy offline:<name>` can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OfflineKind {
+    Lsrc,
+    LsrcLpt,
+    Fcfs,
+    Conservative,
+    Easy,
+}
+
+impl PolicyArg {
+    pub(crate) fn parse(name: &str) -> Result<Self, CliError> {
+        Ok(match name {
+            "fcfs" => PolicyArg::Online(ReferencePolicy::Fcfs),
+            "easy" => PolicyArg::Online(ReferencePolicy::Easy),
+            "greedy" => PolicyArg::Online(ReferencePolicy::Greedy),
+            "offline:lsrc" => PolicyArg::Offline(OfflineKind::Lsrc),
+            "offline:lsrc-lpt" => PolicyArg::Offline(OfflineKind::LsrcLpt),
+            "offline:fcfs" => PolicyArg::Offline(OfflineKind::Fcfs),
+            "offline:conservative" => PolicyArg::Offline(OfflineKind::Conservative),
+            "offline:easy" => PolicyArg::Offline(OfflineKind::Easy),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown policy '{other}' (see `resa replay --help`)"
+                )))
+            }
+        })
+    }
+
+    /// The name in `--policy` input form, so report fields round-trip back
+    /// into the CLI (and match the sweep rows' `policy` column).
+    fn name(self) -> String {
+        match self {
+            PolicyArg::Online(ReferencePolicy::Fcfs) => "fcfs".to_string(),
+            PolicyArg::Online(ReferencePolicy::Easy) => "easy".to_string(),
+            PolicyArg::Online(ReferencePolicy::Greedy) => "greedy".to_string(),
+            PolicyArg::Offline(k) => format!(
+                "offline:{}",
+                match k {
+                    OfflineKind::Lsrc => "lsrc",
+                    OfflineKind::LsrcLpt => "lsrc-lpt",
+                    OfflineKind::Fcfs => "fcfs",
+                    OfflineKind::Conservative => "conservative",
+                    OfflineKind::Easy => "easy",
+                }
+            ),
+        }
+    }
+}
+
+/// A reservation overlay, parsed but not yet generated (defaults that
+/// depend on the trace — horizon, cluster size — are filled in later).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ReservationArg {
+    /// No reservations.
+    None,
+    /// Random α-restricted reservations (§4.2).
+    Alpha {
+        /// The α restriction.
+        alpha: Alpha,
+        /// How many reservations (default 4).
+        count: Option<usize>,
+        /// Placement horizon (default scaled to the trace).
+        horizon: Option<u64>,
+        /// Longest reservation (default 300).
+        max_duration: Option<u64>,
+    },
+    /// A random non-increasing staircase (§4.1).
+    NonIncreasing {
+        /// Staircase steps (default 4).
+        steps: Option<usize>,
+        /// Peak unavailability (default m/2).
+        max_initial: Option<u32>,
+        /// Longest step (default scaled to the trace).
+        max_duration: Option<u64>,
+    },
+    /// Reservations taken from a textual instance file.
+    File(String),
+}
+
+/// Parse an α value written as a fraction (`1/2`) or a decimal (`0.5`).
+pub(crate) fn parse_alpha(text: &str) -> Result<Alpha, CliError> {
+    let bad = || CliError::Usage(format!("invalid alpha '{text}' (use e.g. 0.5 or 1/2)"));
+    let (num, denom) = if let Some((n, d)) = text.split_once('/') {
+        (
+            n.parse::<u64>().map_err(|_| bad())?,
+            d.parse::<u64>().map_err(|_| bad())?,
+        )
+    } else if let Some((int, frac)) = text.split_once('.') {
+        let int: u64 = if int.is_empty() {
+            0
+        } else {
+            int.parse().map_err(|_| bad())?
+        };
+        if frac.is_empty() || frac.len() > 9 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(bad());
+        }
+        let scale = 10u64.pow(frac.len() as u32);
+        (int * scale + frac.parse::<u64>().map_err(|_| bad())?, scale)
+    } else {
+        (text.parse::<u64>().map_err(|_| bad())?, 1)
+    };
+    Alpha::new(num, denom).ok_or_else(bad)
+}
+
+impl ReservationArg {
+    fn parse(spec: &str) -> Result<Self, CliError> {
+        let mut parts = spec.split(':');
+        let family = parts.next().unwrap_or_default();
+        let rest: Vec<&str> = parts.collect();
+        let num = |idx: usize, name: &str| -> Result<Option<u64>, CliError> {
+            rest.get(idx)
+                .map(|s| {
+                    s.parse::<u64>().map_err(|_| {
+                        CliError::Usage(format!("reservation spec: '{name}' must be an integer"))
+                    })
+                })
+                .transpose()
+        };
+        Ok(match family {
+            "none" => ReservationArg::None,
+            "alpha" => {
+                let alpha = parse_alpha(rest.first().ok_or_else(|| {
+                    CliError::Usage("alpha spec needs a value, e.g. alpha:0.5".into())
+                })?)?;
+                ReservationArg::Alpha {
+                    alpha,
+                    count: num(1, "count")?.map(|v| v as usize),
+                    horizon: num(2, "horizon")?,
+                    max_duration: num(3, "maxdur")?,
+                }
+            }
+            "nonincreasing" => ReservationArg::NonIncreasing {
+                steps: num(0, "steps")?.map(|v| v as usize),
+                max_initial: num(1, "maxinit")?.map(|v| v as u32),
+                max_duration: num(2, "maxdur")?,
+            },
+            "file" => {
+                if rest.is_empty() {
+                    return Err(CliError::Usage(
+                        "file spec needs a path, e.g. file:reservations.txt".into(),
+                    ));
+                }
+                ReservationArg::File(rest.join(":"))
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown reservation family '{other}' (alpha|nonincreasing|file|none)"
+                )))
+            }
+        })
+    }
+}
+
+/// Everything `resa replay` reports; serialized verbatim in `--format json`.
+#[derive(Debug, Clone, Serialize)]
+struct ReplayReport {
+    trace: String,
+    machines: u32,
+    jobs: usize,
+    dropped_by_warmup: usize,
+    clamped_jobs: usize,
+    reservations: usize,
+    policy: String,
+    substrate: String,
+    schedule_valid: bool,
+    decisions: u64,
+    metrics: SimMetrics,
+    guarantees: GuaranteeReport,
+}
+
+/// `resa replay <trace.swf> [options]`.
+pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
+    if args.first() == Some(&"--help") {
+        return Ok(Outcome {
+            stdout: REPLAY_HELP.to_string(),
+            violations: 0,
+        });
+    }
+    let (trace_path, rest) = match args.split_first() {
+        Some((p, rest)) if !p.starts_with("--") => (*p, rest),
+        _ => return Err(CliError::Usage("replay expects a trace path".into())),
+    };
+    let mut machines_arg: Option<u32> = None;
+    let mut policy = PolicyArg::Online(ReferencePolicy::Easy);
+    let mut reservations = ReservationArg::None;
+    let mut warmup: u64 = 0;
+    let mut substrate = Substrate::Timeline;
+    let opts = CommonOpts::parse(rest, &mut |flag, value| {
+        let take = |name: &str| -> Result<&str, CliError> {
+            value.ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+        };
+        match flag {
+            "--machines" => {
+                machines_arg = Some(take("--machines")?.parse().map_err(|_| {
+                    CliError::Usage("--machines expects a positive integer".into())
+                })?);
+                Ok(1)
+            }
+            "--policy" => {
+                policy = PolicyArg::parse(take("--policy")?)?;
+                Ok(1)
+            }
+            "--reservations" => {
+                reservations = ReservationArg::parse(take("--reservations")?)?;
+                Ok(1)
+            }
+            "--warmup" => {
+                warmup = take("--warmup")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--warmup expects an integer".into()))?;
+                Ok(1)
+            }
+            "--substrate" => {
+                substrate = match take("--substrate")? {
+                    "timeline" => Substrate::Timeline,
+                    "profile" => Substrate::Profile,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown substrate '{other}' (timeline|profile)"
+                        )))
+                    }
+                };
+                Ok(1)
+            }
+            other => Err(CliError::Usage(format!(
+                "unknown option '{other}' (see `resa replay --help`)"
+            ))),
+        }
+    })?;
+    opts.runner(); // export the thread cap before any parallel work
+
+    // 1. Ingest the trace.
+    let text = std::fs::read_to_string(trace_path).map_err(|e| CliError::Io {
+        path: trace_path.to_string(),
+        message: e.to_string(),
+    })?;
+    let parsed = resa_workloads::swf::parse_trace_full(&text, machines_arg)
+        .map_err(|e| CliError::Parse(format!("{trace_path}: {e}")))?;
+    let machines = machines_arg
+        .or(parsed.max_procs)
+        .or_else(|| parsed.jobs.iter().map(|j| j.width).max())
+        .ok_or_else(|| CliError::Parse(format!("{trace_path}: trace has no jobs")))?;
+
+    // 2. Warm-up truncation: drop the ramp-up prefix, shift time to 0.
+    let total = parsed.jobs.len();
+    let mut jobs: Vec<Job> = parsed
+        .jobs
+        .into_iter()
+        .filter(|j| j.release.ticks() >= warmup)
+        .collect();
+    for (id, job) in jobs.iter_mut().enumerate() {
+        *job = Job::released_at(
+            id,
+            job.width,
+            job.duration.ticks(),
+            job.release.ticks() - warmup,
+        );
+    }
+    let dropped = total - jobs.len();
+
+    // 3. Reservation overlay.
+    let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
+    let (instance, clamped_jobs) =
+        build_instance(machines, jobs, &reservations, max_release, opts.seed)?;
+
+    // 4. Replay.
+    let (schedule, decisions) = match (policy, substrate) {
+        (_, Substrate::Timeline) => run_policy(policy, &instance),
+        (PolicyArg::Online(kind), Substrate::Profile) => {
+            let result = simulate_reference(&instance, kind);
+            (result.schedule, result.decisions)
+        }
+        (PolicyArg::Offline(kind), Substrate::Profile) => {
+            (offline_schedule(kind, &instance, instance.profile()), 0)
+        }
+    };
+
+    // 5. Validate and check the paper's guarantees.
+    let schedule_valid = schedule.is_valid(&instance);
+    let metrics = SimMetrics::from_schedule(&instance, &schedule);
+    let guarantees = verify_schedule(&RatioHarness::new(), &instance, &schedule);
+    let violations =
+        usize::from(guarantees.has_conclusive_violation()) + usize::from(!schedule_valid);
+
+    let report = ReplayReport {
+        trace: trace_path.to_string(),
+        machines,
+        jobs: instance.n_jobs(),
+        dropped_by_warmup: dropped,
+        clamped_jobs,
+        reservations: instance.n_reservations(),
+        policy: policy.name(),
+        substrate: substrate.name().to_string(),
+        schedule_valid,
+        decisions,
+        metrics,
+        guarantees,
+    };
+    render(&report, &opts, violations)
+}
+
+/// Run a policy on an instance through the default (timeline) substrate,
+/// returning the schedule and the decision-point count (0 for off-line
+/// schedulers). This is the sweep driver's per-cell engine.
+pub(crate) fn run_policy(policy: PolicyArg, instance: &ResaInstance) -> (Schedule, u64) {
+    match policy {
+        PolicyArg::Online(kind) => {
+            let sim = Simulator::new(instance.clone());
+            let result = match kind {
+                ReferencePolicy::Fcfs => sim.run(&FcfsPolicy),
+                ReferencePolicy::Easy => sim.run(&EasyPolicy),
+                ReferencePolicy::Greedy => sim.run(&GreedyPolicy),
+            };
+            (result.schedule, result.decisions)
+        }
+        PolicyArg::Offline(kind) => (offline_schedule(kind, instance, instance.timeline()), 0),
+    }
+}
+
+/// Apply the reservation overlay and build the final instance. The second
+/// component counts the jobs whose width the α-restriction narrowed to
+/// `α·m` (the §4.2 model requires `q_i ≤ αm`, so an α overlay modifies the
+/// workload — the count makes that visible in every report).
+pub(crate) fn build_instance(
+    machines: u32,
+    jobs: Vec<Job>,
+    reservations: &ReservationArg,
+    max_release: u64,
+    seed: u64,
+) -> Result<(ResaInstance, usize), CliError> {
+    let model = |e: ModelError| CliError::Parse(format!("instance construction failed: {e}"));
+    match reservations {
+        ReservationArg::None => ResaInstance::new(machines, jobs, Vec::new())
+            .map(|i| (i, 0))
+            .map_err(model),
+        ReservationArg::Alpha {
+            alpha,
+            count,
+            horizon,
+            max_duration,
+        } => {
+            let generator = AlphaReservations {
+                machines,
+                alpha: *alpha,
+                count: count.unwrap_or(4),
+                horizon: horizon.unwrap_or_else(|| (2 * max_release).max(2000)),
+                max_duration: max_duration.unwrap_or(300),
+            };
+            // `instance` clamps job widths to α·m, as the α-restricted model
+            // of §4.2 requires; count the jobs it narrows.
+            let width_cap = alpha.max_job_width(machines).max(1);
+            let clamped = jobs.iter().filter(|j| j.width > width_cap).count();
+            Ok((generator.instance(jobs, seed), clamped))
+        }
+        ReservationArg::NonIncreasing {
+            steps,
+            max_initial,
+            max_duration,
+        } => {
+            let generator = NonIncreasingReservations {
+                machines,
+                steps: steps.unwrap_or(4),
+                max_initial_unavailable: max_initial.unwrap_or(machines / 2),
+                max_duration: max_duration.unwrap_or_else(|| (max_release / 2).max(100)),
+            };
+            Ok((generator.instance(jobs, seed), 0))
+        }
+        ReservationArg::File(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+            let donor = resa_core::io::parse_instance(&text)
+                .map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
+            ResaInstance::new(machines, jobs, donor.reservations().to_vec())
+                .map(|i| (i, 0))
+                .map_err(model)
+        }
+    }
+}
+
+/// Run one off-line scheduler on a concrete availability substrate.
+fn offline_schedule<C: CapacityQuery>(
+    kind: OfflineKind,
+    instance: &ResaInstance,
+    substrate: C,
+) -> Schedule {
+    match kind {
+        OfflineKind::Lsrc => Lsrc::new().schedule_with(instance, substrate),
+        OfflineKind::LsrcLpt => Lsrc::with_order(ListOrder::Lpt).schedule_with(instance, substrate),
+        OfflineKind::Fcfs => Fcfs::new().schedule_with(instance, substrate),
+        OfflineKind::Conservative => {
+            ConservativeBackfilling::new().schedule_with(instance, substrate)
+        }
+        OfflineKind::Easy => EasyBackfilling::new().schedule_with(instance, substrate),
+    }
+}
+
+/// Render a replay report in the requested format.
+fn render(
+    report: &ReplayReport,
+    opts: &CommonOpts,
+    violations: usize,
+) -> Result<Outcome, CliError> {
+    let table = report_table(report);
+    let rendered = match opts.format {
+        OutputFormat::Json => format!("{}\n", to_json(report)),
+        OutputFormat::Csv => table.to_csv(),
+        OutputFormat::Table => {
+            let mut out = table.to_text();
+            out.push('\n');
+            for check in &report.guarantees.checks {
+                out.push_str(&format!(
+                    "{} [{}]: measured {} vs bound {} -> {}\n",
+                    check.bound_name,
+                    if check.conclusive {
+                        "conclusive"
+                    } else {
+                        "informational"
+                    },
+                    fmt_f64(check.measured_ratio),
+                    fmt_f64(check.bound),
+                    if check.satisfied { "ok" } else { "VIOLATED" }
+                ));
+            }
+            out.push_str(&format!(
+                "paper-guarantee violations: {violations} {}\n",
+                if violations == 0 {
+                    "(all bounds held)"
+                } else {
+                    "(REPRODUCTION BROKEN)"
+                }
+            ));
+            out
+        }
+    };
+    let mut stdout = rendered.clone();
+    if let Some(note) = opts.persist(&rendered)? {
+        stdout.push_str(&note);
+        stdout.push('\n');
+    }
+    Ok(Outcome { stdout, violations })
+}
+
+/// The replay summary as a two-column table.
+fn report_table(report: &ReplayReport) -> Table {
+    let mut t = Table::new(
+        format!(
+            "replay {} — {} on {} ({} machines)",
+            report.trace, report.policy, report.substrate, report.machines
+        ),
+        &["metric", "value"],
+    );
+    let mut push = |k: &str, v: String| t.push_row(vec![k.to_string(), v]);
+    push("jobs", report.jobs.to_string());
+    push("dropped by warm-up", report.dropped_by_warmup.to_string());
+    push("clamped jobs (alpha)", report.clamped_jobs.to_string());
+    push("reservations", report.reservations.to_string());
+    push("schedule valid", report.schedule_valid.to_string());
+    push("decision points", report.decisions.to_string());
+    push("makespan", report.metrics.makespan.ticks().to_string());
+    push("mean wait", fmt_f64(report.metrics.mean_wait));
+    push("max wait", report.metrics.max_wait.to_string());
+    push("mean flow", fmt_f64(report.metrics.mean_flow));
+    push(
+        "mean bounded slowdown",
+        fmt_f64(report.metrics.mean_bounded_slowdown),
+    );
+    push("utilization", fmt_f64(report.metrics.utilization));
+    push("instance class", format!("{:?}", report.guarantees.class));
+    push(
+        "reference makespan",
+        report.guarantees.reference.to_string(),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_parsing_accepts_fractions_and_decimals() {
+        assert_eq!(parse_alpha("1/2").unwrap(), Alpha::new(1, 2).unwrap());
+        assert_eq!(parse_alpha("0.5").unwrap(), Alpha::new(5, 10).unwrap());
+        assert_eq!(parse_alpha("1").unwrap(), Alpha::ONE);
+        assert!(parse_alpha("x").is_err());
+        assert!(parse_alpha("3/2").is_err());
+        assert!(parse_alpha("0.").is_err());
+    }
+
+    #[test]
+    fn reservation_spec_parsing() {
+        assert_eq!(ReservationArg::parse("none").unwrap(), ReservationArg::None);
+        assert_eq!(
+            ReservationArg::parse("alpha:0.5:2:100:10").unwrap(),
+            ReservationArg::Alpha {
+                alpha: Alpha::new(5, 10).unwrap(),
+                count: Some(2),
+                horizon: Some(100),
+                max_duration: Some(10),
+            }
+        );
+        assert_eq!(
+            ReservationArg::parse("nonincreasing").unwrap(),
+            ReservationArg::NonIncreasing {
+                steps: None,
+                max_initial: None,
+                max_duration: None,
+            }
+        );
+        assert_eq!(
+            ReservationArg::parse("file:a/b.txt").unwrap(),
+            ReservationArg::File("a/b.txt".into())
+        );
+        assert!(ReservationArg::parse("alpha").is_err());
+        assert!(ReservationArg::parse("martian").is_err());
+    }
+
+    #[test]
+    fn policy_parsing_roundtrips() {
+        for name in [
+            "fcfs",
+            "easy",
+            "greedy",
+            "offline:lsrc",
+            "offline:lsrc-lpt",
+            "offline:fcfs",
+            "offline:conservative",
+            "offline:easy",
+        ] {
+            // Every policy name round-trips: parse(name).name() == name, so
+            // report fields can be fed back into --policy (and match the
+            // sweep rows' policy column).
+            let p = PolicyArg::parse(name).unwrap();
+            assert_eq!(p.name(), name);
+        }
+        assert!(PolicyArg::parse("sjf").is_err());
+    }
+}

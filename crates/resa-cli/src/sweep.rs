@@ -1,0 +1,453 @@
+//! `resa sweep` — declarative experiment sweeps.
+//!
+//! A sweep spec is a JSON file describing a cross product *workload model ×
+//! cluster size × policy × reservation family × seeds*. Every cell of the
+//! product is self-contained (its own instance, its own RNG stream), so the
+//! whole sweep fans out through the parallel
+//! [`ExperimentRunner`] and still
+//! produces rows that are identical to a sequential run.
+//!
+//! ```json
+//! {
+//!   "name": "alpha-half-easy",
+//!   "machines": [16, 32],
+//!   "jobs": 40,
+//!   "seeds": 4,
+//!   "workload": "feitelson",
+//!   "arrivals": 5,
+//!   "policies": ["easy", "offline:lsrc"],
+//!   "reservations": { "family": "alpha", "alpha": "1/2" }
+//! }
+//! ```
+//!
+//! `workload` is `uniform`, `feitelson` (default) or `lublin`; `arrivals`
+//! (mean interarrival) is optional — without it all jobs are released at 0.
+//! `policies` accepts the same names as `resa replay --policy`.
+//! `reservations` is optional; `family` is `alpha` (fields `alpha`, `count`,
+//! `horizon`, `max_duration`) or `nonincreasing` (fields `steps`,
+//! `max_initial`, `max_duration`).
+
+use crate::opts::{CommonOpts, OutputFormat};
+use crate::replay::{parse_alpha, PolicyArg, ReservationArg};
+use crate::{CliError, Outcome};
+use resa_analysis::prelude::*;
+use resa_core::prelude::*;
+use resa_workloads::prelude::*;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Help text for `resa sweep --help`.
+pub const SWEEP_HELP: &str = "\
+resa sweep — run a declarative experiment sweep
+
+USAGE:
+    resa sweep <spec.json> [OPTIONS]
+
+The spec is a JSON object:
+    name          string (optional)       label for the report
+    machines      [int, ...]              cluster sizes to sweep
+    jobs          int                     jobs per generated instance
+    seeds         int                     repetitions per cell
+    workload      uniform|feitelson|lublin  (optional, default feitelson)
+    arrivals      int (optional)          mean interarrival; omit for release-at-0
+    policies      [name, ...]             resa replay policy names
+    reservations  object (optional)       { family: alpha|nonincreasing, ... }
+
+Every (machines x policy x seed) cell is an independent simulation; cells run
+in parallel unless --threads 1. Rows aggregate the seeds per (machines,
+policy) pair and report ratios against the certified lower bound.
+
+plus the common options: --seed --threads --format --quick --out
+";
+
+/// A parsed sweep specification.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Label used in the report title.
+    pub name: String,
+    /// Cluster sizes to sweep.
+    pub machines: Vec<u32>,
+    /// Jobs per generated instance.
+    pub jobs: usize,
+    /// Repetitions per cell.
+    pub seeds: u64,
+    /// Workload model: `uniform`, `feitelson` or `lublin`.
+    pub workload: String,
+    /// Mean interarrival of on-line releases (`None` = all jobs at 0).
+    pub arrivals: Option<u64>,
+    /// Policies, by `resa replay --policy` name.
+    pub policies: Vec<String>,
+    /// Optional reservation overlay.
+    pub reservations: Option<ReservationSpec>,
+}
+
+/// The `reservations` object of a sweep spec.
+#[derive(Debug, Clone)]
+pub struct ReservationSpec {
+    /// `alpha` or `nonincreasing`.
+    pub family: String,
+    /// α as `"1/2"` or `"0.5"` (alpha family).
+    pub alpha: Option<String>,
+    /// Number of reservations (alpha family).
+    pub count: Option<usize>,
+    /// Placement horizon (alpha family).
+    pub horizon: Option<u64>,
+    /// Longest reservation.
+    pub max_duration: Option<u64>,
+    /// Staircase steps (nonincreasing family).
+    pub steps: Option<usize>,
+    /// Peak unavailability (nonincreasing family).
+    pub max_initial: Option<u32>,
+}
+
+fn get_field<T: Deserialize>(value: &Value, name: &str) -> Result<Option<T>, DeError> {
+    match value.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => T::from_value(v)
+            .map(Some)
+            .map_err(|e| DeError::custom(format!("field '{name}': {e}"))),
+    }
+}
+
+fn require<T>(field: Option<T>, name: &str) -> Result<T, DeError> {
+    field.ok_or_else(|| DeError::custom(format!("missing required field '{name}'")))
+}
+
+impl Deserialize for SweepSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_object().is_none() {
+            return Err(DeError::custom("sweep spec must be a JSON object"));
+        }
+        Ok(SweepSpec {
+            name: get_field(value, "name")?.unwrap_or_else(|| "sweep".to_string()),
+            machines: require(get_field(value, "machines")?, "machines")?,
+            jobs: require(get_field(value, "jobs")?, "jobs")?,
+            seeds: require(get_field(value, "seeds")?, "seeds")?,
+            workload: get_field(value, "workload")?.unwrap_or_else(|| "feitelson".to_string()),
+            arrivals: get_field(value, "arrivals")?,
+            policies: require(get_field(value, "policies")?, "policies")?,
+            reservations: get_field(value, "reservations")?,
+        })
+    }
+}
+
+impl Deserialize for ReservationSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_object().is_none() {
+            return Err(DeError::custom("'reservations' must be a JSON object"));
+        }
+        Ok(ReservationSpec {
+            family: require(get_field(value, "family")?, "reservations.family")?,
+            alpha: get_field(value, "alpha")?,
+            count: get_field(value, "count")?,
+            horizon: get_field(value, "horizon")?,
+            max_duration: get_field(value, "max_duration")?,
+            steps: get_field(value, "steps")?,
+            max_initial: get_field(value, "max_initial")?,
+        })
+    }
+}
+
+impl ReservationSpec {
+    fn to_arg(&self) -> Result<ReservationArg, CliError> {
+        match self.family.as_str() {
+            "alpha" => {
+                let alpha_text = self.alpha.as_deref().ok_or_else(|| {
+                    CliError::Parse("reservations.family 'alpha' needs an 'alpha' field".into())
+                })?;
+                Ok(ReservationArg::Alpha {
+                    alpha: parse_alpha(alpha_text)?,
+                    count: self.count,
+                    horizon: self.horizon,
+                    max_duration: self.max_duration,
+                })
+            }
+            "nonincreasing" => Ok(ReservationArg::NonIncreasing {
+                steps: self.steps,
+                max_initial: self.max_initial,
+                max_duration: self.max_duration,
+            }),
+            other => Err(CliError::Parse(format!(
+                "unknown reservation family '{other}' (alpha|nonincreasing)"
+            ))),
+        }
+    }
+}
+
+/// One aggregated sweep row (per machines × policy pair).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Cluster size of the cells behind this row.
+    pub machines: u32,
+    /// Policy name.
+    pub policy: String,
+    /// Number of seeds aggregated.
+    pub cells: usize,
+    /// Mean makespan over the seeds.
+    pub mean_makespan: f64,
+    /// Mean makespan / certified lower bound.
+    pub mean_ratio_to_lb: f64,
+    /// Worst makespan / certified lower bound.
+    pub worst_ratio_to_lb: f64,
+    /// Mean waiting time.
+    pub mean_wait: f64,
+    /// Mean utilization.
+    pub mean_utilization: f64,
+}
+
+/// `resa sweep <spec.json> [options]`.
+pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
+    if args.first() == Some(&"--help") {
+        return Ok(Outcome {
+            stdout: SWEEP_HELP.to_string(),
+            violations: 0,
+        });
+    }
+    let (spec_path, rest) = match args.split_first() {
+        Some((p, rest)) if !p.starts_with("--") => (*p, rest),
+        _ => return Err(CliError::Usage("sweep expects a spec path".into())),
+    };
+    let opts = CommonOpts::parse(rest, &mut |flag, _| {
+        Err(CliError::Usage(format!(
+            "unknown option '{flag}' (see `resa sweep --help`)"
+        )))
+    })?;
+    let text = std::fs::read_to_string(spec_path).map_err(|e| CliError::Io {
+        path: spec_path.to_string(),
+        message: e.to_string(),
+    })?;
+    let spec: SweepSpec =
+        serde_json::from_str(&text).map_err(|e| CliError::Parse(format!("{spec_path}: {e}")))?;
+    let (rows, violations) = execute(&spec, &opts)?;
+    render(&spec, &rows, violations, &opts)
+}
+
+/// Run the cross product and aggregate it into rows. Returns the rows and
+/// the number of sanity violations (a schedule beating the certified lower
+/// bound or failing validation — both impossible unless something is
+/// broken).
+pub fn execute(spec: &SweepSpec, opts: &CommonOpts) -> Result<(Vec<SweepRow>, usize), CliError> {
+    if spec.machines.is_empty() || spec.policies.is_empty() || spec.seeds == 0 {
+        return Err(CliError::Parse(
+            "sweep spec needs at least one machine size, one policy and one seed".into(),
+        ));
+    }
+    if !matches!(spec.workload.as_str(), "uniform" | "feitelson" | "lublin") {
+        return Err(CliError::Parse(format!(
+            "unknown workload '{}' (uniform|feitelson|lublin)",
+            spec.workload
+        )));
+    }
+    let reservation_arg = match &spec.reservations {
+        None => ReservationArg::None,
+        Some(r) => r.to_arg()?,
+    };
+    let policies: Vec<(String, PolicyArg)> = spec
+        .policies
+        .iter()
+        .map(|name| PolicyArg::parse(name).map(|p| (name.clone(), p)))
+        .collect::<Result<_, _>>()?;
+    let runner = opts.runner();
+
+    // The flat cell list: (machines, policy index, seed).
+    let cells: Vec<(u32, usize, u64)> = spec
+        .machines
+        .iter()
+        .flat_map(|&m| {
+            let n_policies = policies.len();
+            (0..n_policies).flat_map(move |p| (0..spec.seeds).map(move |s| (m, p, s)))
+        })
+        .collect();
+
+    // One sample per cell: (makespan, ratio to lb, mean wait, utilization,
+    // violation flag).
+    let samples: Vec<(f64, f64, f64, f64, bool)> = runner.map(&cells, |&(m, p, s)| {
+        let seed = opts.seed + s;
+        let jobs = generate_jobs(&spec.workload, m, spec.jobs, spec.arrivals, seed);
+        let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
+        let (instance, _clamped) =
+            crate::replay::build_instance(m, jobs, &reservation_arg, max_release, seed)
+                .expect("sweep instances are feasible by construction");
+        let lb = lower_bound(&instance).unwrap_or(Time::ZERO).ticks().max(1) as f64;
+        let (schedule, _) = crate::replay::run_policy(policies[p].1, &instance);
+        let metrics = resa_sim::prelude::SimMetrics::from_schedule(&instance, &schedule);
+        let makespan = metrics.makespan.ticks() as f64;
+        let violation = !schedule.is_valid(&instance) || makespan < lb - 1e-9;
+        (
+            makespan,
+            makespan / lb,
+            metrics.mean_wait,
+            metrics.utilization,
+            violation,
+        )
+    });
+
+    // Aggregate the seeds per (machines, policy), preserving spec order.
+    let mut rows = Vec::new();
+    let mut violations = 0usize;
+    let per_pair = spec.seeds as usize;
+    for (pair_idx, chunk) in samples.chunks(per_pair).enumerate() {
+        let (m, p, _) = cells[pair_idx * per_pair];
+        let n = chunk.len() as f64;
+        violations += chunk.iter().filter(|c| c.4).count();
+        rows.push(SweepRow {
+            machines: m,
+            policy: policies[p].0.clone(),
+            cells: chunk.len(),
+            mean_makespan: chunk.iter().map(|c| c.0).sum::<f64>() / n,
+            mean_ratio_to_lb: chunk.iter().map(|c| c.1).sum::<f64>() / n,
+            worst_ratio_to_lb: chunk.iter().map(|c| c.1).fold(0.0, f64::max),
+            mean_wait: chunk.iter().map(|c| c.2).sum::<f64>() / n,
+            mean_utilization: chunk.iter().map(|c| c.3).sum::<f64>() / n,
+        });
+    }
+    Ok((rows, violations))
+}
+
+/// Generate one cell's job list.
+fn generate_jobs(
+    workload: &str,
+    machines: u32,
+    jobs: usize,
+    arrivals: Option<u64>,
+    seed: u64,
+) -> Vec<Job> {
+    match workload {
+        "uniform" => UniformWorkload::for_cluster(machines, jobs).generate(seed),
+        "lublin" => {
+            let mut w = LublinWorkload::for_cluster(machines, jobs);
+            if let Some(a) = arrivals {
+                w = w.with_arrivals(a);
+            }
+            w.generate(seed)
+        }
+        _ => {
+            let mut w = FeitelsonWorkload::for_cluster(machines, jobs);
+            if let Some(a) = arrivals {
+                w = w.with_arrivals(a);
+            }
+            w.generate(seed)
+        }
+    }
+}
+
+/// Render the aggregated rows.
+fn render(
+    spec: &SweepSpec,
+    rows: &[SweepRow],
+    violations: usize,
+    opts: &CommonOpts,
+) -> Result<Outcome, CliError> {
+    let mut table = Table::new(
+        format!(
+            "sweep '{}' — {} on {:?} machines, {} seeds per cell",
+            spec.name, spec.workload, spec.machines, spec.seeds
+        ),
+        &[
+            "m",
+            "policy",
+            "cells",
+            "mean Cmax",
+            "mean Cmax/LB",
+            "worst Cmax/LB",
+            "mean wait",
+            "mean util",
+        ],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.machines.to_string(),
+            r.policy.clone(),
+            r.cells.to_string(),
+            fmt_f64(r.mean_makespan),
+            fmt_f64(r.mean_ratio_to_lb),
+            fmt_f64(r.worst_ratio_to_lb),
+            fmt_f64(r.mean_wait),
+            fmt_f64(r.mean_utilization),
+        ]);
+    }
+    let rendered = match opts.format {
+        OutputFormat::Json => format!("{}\n", to_json(&rows.to_vec())),
+        OutputFormat::Csv => table.to_csv(),
+        OutputFormat::Table => {
+            let mut out = table.to_text();
+            out.push_str(&format!(
+                "\nsanity violations: {violations} {}\n",
+                if violations == 0 {
+                    "(all schedules feasible and above the certified lower bound)"
+                } else {
+                    "(REPRODUCTION BROKEN)"
+                }
+            ));
+            out
+        }
+    };
+    let mut stdout = rendered.clone();
+    if let Some(note) = opts.persist(&rendered)? {
+        stdout.push_str(&note);
+        stdout.push('\n');
+    }
+    Ok(Outcome { stdout, violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"{
+        "name": "unit",
+        "machines": [8],
+        "jobs": 6,
+        "seeds": 2,
+        "workload": "feitelson",
+        "arrivals": 4,
+        "policies": ["easy", "offline:lsrc"],
+        "reservations": { "family": "alpha", "alpha": "1/2", "count": 2, "horizon": 200, "max_duration": 40 }
+    }"#;
+
+    #[test]
+    fn spec_parses_with_optional_fields_missing() {
+        let spec: SweepSpec = serde_json::from_str(SPEC).unwrap();
+        assert_eq!(spec.machines, vec![8]);
+        assert_eq!(spec.policies.len(), 2);
+        assert!(spec.reservations.is_some());
+
+        let minimal: SweepSpec = serde_json::from_str(
+            r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"]}"#,
+        )
+        .unwrap();
+        assert_eq!(minimal.name, "sweep");
+        assert_eq!(minimal.workload, "feitelson");
+        assert!(minimal.arrivals.is_none());
+        assert!(minimal.reservations.is_none());
+
+        assert!(serde_json::from_str::<SweepSpec>(r#"{"jobs": 3}"#).is_err());
+    }
+
+    #[test]
+    fn execute_produces_one_row_per_machine_policy_pair() {
+        let spec: SweepSpec = serde_json::from_str(SPEC).unwrap();
+        let (rows, violations) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(violations, 0);
+        for r in &rows {
+            assert_eq!(r.cells, 2);
+            assert!(r.mean_ratio_to_lb >= 1.0 - 1e-9);
+            assert!(r.mean_utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn execute_is_runner_deterministic() {
+        let spec: SweepSpec = serde_json::from_str(SPEC).unwrap();
+        let par = execute(&spec, &CommonOpts::default()).unwrap();
+        let seq = execute(
+            &spec,
+            &CommonOpts {
+                threads: Some(1),
+                ..CommonOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(to_json(&par.0.to_vec()), to_json(&seq.0.to_vec()));
+    }
+}

@@ -25,7 +25,7 @@ use crate::time::{Dur, Time};
 /// Query/update interface over a piecewise-constant availability function.
 ///
 /// Semantics mirror the documented behaviour of
-/// [`ResourceProfile`](crate::profile::ResourceProfile): windows are
+/// [`ResourceProfile`]: windows are
 /// half-open `[start, start + dur)`, `reserve`/`release` are atomic (a failed
 /// call leaves the substrate untouched), and `earliest_fit` returns the first
 /// instant `t ≥ not_before` such that `width` processors are available

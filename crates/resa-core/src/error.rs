@@ -1,9 +1,5 @@
 //! Error types shared across the model substrate.
 
-// Variant fields are named after the model quantities they carry; the variant
-// doc comments describe them.
-#![allow(missing_docs)]
-
 use crate::time::Time;
 use std::fmt;
 
@@ -13,38 +9,65 @@ pub enum ModelError {
     /// The cluster must contain at least one machine.
     NoMachines,
     /// A job requests zero processors.
-    ZeroWidthJob { job: usize },
+    ZeroWidthJob {
+        /// Index of the offending job.
+        job: usize,
+    },
     /// A job has zero duration.
-    ZeroDurationJob { job: usize },
+    ZeroDurationJob {
+        /// Index of the offending job.
+        job: usize,
+    },
     /// A job requests more processors than the cluster has.
     JobTooWide {
+        /// Index of the offending job.
         job: usize,
+        /// Processors the job requests.
         width: u32,
+        /// Processors the cluster has.
         machines: u32,
     },
     /// A reservation requests zero processors.
-    ZeroWidthReservation { reservation: usize },
+    ZeroWidthReservation {
+        /// Index of the offending reservation.
+        reservation: usize,
+    },
     /// A reservation has zero duration.
-    ZeroDurationReservation { reservation: usize },
+    ZeroDurationReservation {
+        /// Index of the offending reservation.
+        reservation: usize,
+    },
     /// A reservation requests more processors than the cluster has.
     ReservationTooWide {
+        /// Index of the offending reservation.
         reservation: usize,
+        /// Processors the reservation requests.
         width: u32,
+        /// Processors the cluster has.
         machines: u32,
     },
     /// The set of reservations is infeasible: at some instant they require
     /// more than the `m` machines of the cluster (violates the paper's
     /// feasibility requirement `∀t, U(t) ≤ m`).
     InfeasibleReservations {
+        /// First instant at which the reservations overflow the cluster.
         at: Time,
+        /// Processors the overlapping reservations require there.
         required: u32,
+        /// Processors the cluster has.
         machines: u32,
     },
     /// The instance violates the α-restriction it claims
     /// (`U(t) ≤ (1−α)m` and `q_i ≤ αm`).
-    AlphaViolation { detail: String },
+    AlphaViolation {
+        /// Human-readable description of the violated inequality.
+        detail: String,
+    },
     /// Duplicate job identifier.
-    DuplicateJobId { id: usize },
+    DuplicateJobId {
+        /// The identifier that appears more than once.
+        id: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -99,28 +122,55 @@ impl std::error::Error for ModelError {}
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
     /// A job appears more than once in the schedule.
-    DuplicateJob { job: usize },
+    DuplicateJob {
+        /// Identifier of the duplicated job.
+        job: usize,
+    },
     /// A job of the instance is missing from the schedule.
-    MissingJob { job: usize },
+    MissingJob {
+        /// Identifier of the missing job.
+        job: usize,
+    },
     /// The schedule mentions a job that the instance does not contain.
-    UnknownJob { job: usize },
+    UnknownJob {
+        /// The unknown identifier.
+        job: usize,
+    },
     /// A job starts before its release date.
     StartsBeforeRelease {
+        /// Identifier of the offending job.
         job: usize,
+        /// Its scheduled start.
         start: Time,
+        /// Its release date.
         release: Time,
     },
     /// At `at`, the running jobs require more processors than are available
     /// (cluster size minus reservations).
     CapacityExceeded {
+        /// First instant at which the schedule overflows the capacity.
         at: Time,
+        /// Processors the concurrently running jobs require there.
         required: u32,
+        /// Processors actually available there.
         available: u32,
     },
     /// The processor assignment gives a job a wrong number of processors.
-    WrongAssignmentWidth { job: usize, expected: u32, got: u32 },
+    WrongAssignmentWidth {
+        /// Identifier of the offending job.
+        job: usize,
+        /// Processors the job requires.
+        expected: u32,
+        /// Processors the assignment granted.
+        got: u32,
+    },
     /// Two concurrent jobs (or a job and a reservation) share a processor.
-    ProcessorConflict { processor: u32, at: Time },
+    ProcessorConflict {
+        /// The doubly-used processor.
+        processor: u32,
+        /// The instant of the conflict.
+        at: Time,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -167,12 +217,22 @@ impl std::error::Error for ScheduleError {}
 pub enum ProfileError {
     /// A reservation attempt exceeded the capacity available in its window.
     InsufficientCapacity {
+        /// First instant in the window where the capacity falls short.
         at: Time,
+        /// Processors the reservation requested.
         requested: u32,
+        /// Processors available there.
         available: u32,
     },
     /// A release attempt exceeded the original base capacity.
-    ReleaseAboveBase { at: Time, capacity: u32, base: u32 },
+    ReleaseAboveBase {
+        /// Instant at which the release would overflow.
+        at: Time,
+        /// Capacity the release would produce.
+        capacity: u32,
+        /// The profile's base capacity `m`.
+        base: u32,
+    },
     /// The requested window is empty (zero duration).
     EmptyWindow,
 }

@@ -298,7 +298,8 @@ impl ResaInstance {
             .expect("instance invariant: reservations are feasible")
     }
 
-    /// The availability profile as an indexed [`AvailabilityTimeline`] — the
+    /// The availability profile as an indexed
+    /// [`AvailabilityTimeline`](crate::timeline::AvailabilityTimeline) — the
     /// fast [`crate::capacity::CapacityQuery`] backend the schedulers use.
     pub fn timeline(&self) -> crate::timeline::AvailabilityTimeline {
         crate::timeline::AvailabilityTimeline::from_reservations(self.machines, &self.reservations)

@@ -20,22 +20,37 @@ use crate::job::Job;
 use crate::reservation::Reservation;
 use std::fmt::Write as _;
 
-#[allow(missing_docs)] // variant fields are self-describing positions/quantities
 /// Errors raised while parsing the textual instance format.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// A line starts with an unknown directive.
-    UnknownDirective { line: usize, directive: String },
+    UnknownDirective {
+        /// 1-based line number of the unknown directive.
+        line: usize,
+        /// The directive as written.
+        directive: String,
+    },
     /// A directive has the wrong number of arguments.
     WrongArity {
+        /// 1-based line number of the malformed directive.
         line: usize,
+        /// The directive concerned.
         directive: &'static str,
+        /// The argument shape it expects.
         expected: &'static str,
     },
     /// An argument is not a non-negative integer.
-    BadNumber { line: usize, argument: String },
+    BadNumber {
+        /// 1-based line number of the malformed argument.
+        line: usize,
+        /// The argument as written.
+        argument: String,
+    },
     /// The `machines` directive is missing or appears after jobs/reservations.
-    MachinesNotFirst { line: usize },
+    MachinesNotFirst {
+        /// 1-based line number where the parser gave up.
+        line: usize,
+    },
     /// The parsed instance fails model validation.
     Invalid(ModelError),
 }

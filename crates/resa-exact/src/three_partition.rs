@@ -22,16 +22,26 @@ pub struct ThreePartition {
 /// A solution: `k` disjoint groups of three item indices, each summing to `B`.
 pub type Partition = Vec<[usize; 3]>;
 
-#[allow(missing_docs)] // variant fields are self-describing model quantities
 /// Errors raised when constructing a [`ThreePartition`] instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ThreePartitionError {
     /// The number of items is not a multiple of three (or zero).
-    WrongItemCount { count: usize },
+    WrongItemCount {
+        /// The offending item count.
+        count: usize,
+    },
     /// The total of the items is not `k·B` for the given target `B`.
-    WrongTotal { total: u64, expected: u64 },
+    WrongTotal {
+        /// Sum of the provided items.
+        total: u64,
+        /// The required sum `k·B`.
+        expected: u64,
+    },
     /// An item is zero (the classical formulation requires positive items).
-    ZeroItem { index: usize },
+    ZeroItem {
+        /// Index of the zero item.
+        index: usize,
+    },
 }
 
 impl fmt::Display for ThreePartitionError {

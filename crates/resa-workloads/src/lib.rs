@@ -48,7 +48,10 @@ pub mod prelude {
     pub use crate::feitelson::FeitelsonWorkload;
     pub use crate::lublin::LublinWorkload;
     pub use crate::reservations::{AlphaReservations, NonIncreasingReservations};
-    pub use crate::swf::{as_offline_instance, parse_trace, write_trace};
+    pub use crate::swf::{
+        as_offline_instance, parse_trace, parse_trace_for_cluster, parse_trace_full, write_trace,
+        SwfError, SwfTrace,
+    };
     pub use crate::uniform::UniformWorkload;
 }
 

@@ -16,16 +16,52 @@
 use resa_core::prelude::*;
 use std::fmt::Write as _;
 
-#[allow(missing_docs)] // variant fields are self-describing model quantities
 /// Errors raised while parsing a trace.
+///
+/// Every variant carries the 1-based line number of the offending record, so
+/// a malformed multi-megabyte archive trace points straight at the culprit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SwfError {
-    /// A line does not have the four required fields.
-    MissingFields { line: usize },
-    /// A field is not a valid non-negative integer.
-    BadField { line: usize, field: &'static str },
+    /// A record line does not have the four required fields (truncated line).
+    MissingFields {
+        /// 1-based line number of the truncated record.
+        line: usize,
+    },
+    /// A field is not a valid integer at all.
+    BadField {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Name of the malformed field.
+        field: &'static str,
+    },
+    /// A field parsed as a *negative* integer. Genuine SWF files use `-1`
+    /// as a "missing value" sentinel; the rigid model has no meaningful
+    /// interpretation for a negative runtime or width, so such records are
+    /// rejected explicitly instead of being folded into [`SwfError::BadField`].
+    NegativeField {
+        /// 1-based line number of the record carrying the negative value.
+        line: usize,
+        /// Name of the negative field.
+        field: &'static str,
+        /// The offending value.
+        value: i64,
+    },
     /// A job has zero processors or zero runtime (invalid in the rigid model).
-    DegenerateJob { line: usize },
+    DegenerateJob {
+        /// 1-based line number of the degenerate record.
+        line: usize,
+    },
+    /// A job requests more processors than the cluster has. Raised when the
+    /// caller provides a cluster size, or when the trace's own `MaxProcs`
+    /// header declares one.
+    WidthExceedsCluster {
+        /// 1-based line number of the oversized record.
+        line: usize,
+        /// Processors requested by the job.
+        width: u64,
+        /// Processors the cluster actually has.
+        machines: u32,
+    },
 }
 
 impl std::fmt::Display for SwfError {
@@ -35,13 +71,27 @@ impl std::fmt::Display for SwfError {
                 write!(f, "line {line}: expected at least 4 fields")
             }
             SwfError::BadField { line, field } => {
+                write!(f, "line {line}: field '{field}' is not an integer")
+            }
+            SwfError::NegativeField { line, field, value } => {
                 write!(
                     f,
-                    "line {line}: field '{field}' is not a non-negative integer"
+                    "line {line}: field '{field}' is negative ({value}); \
+                     the rigid model requires non-negative values"
                 )
             }
             SwfError::DegenerateJob { line } => {
                 write!(f, "line {line}: job has zero processors or zero runtime")
+            }
+            SwfError::WidthExceedsCluster {
+                line,
+                width,
+                machines,
+            } => {
+                write!(
+                    f,
+                    "line {line}: job requests {width} processors but the cluster has {machines}"
+                )
             }
         }
     }
@@ -49,15 +99,53 @@ impl std::fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
+/// A parsed trace: the jobs plus the metadata recovered from the header
+/// comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwfTrace {
+    /// Jobs in file order, re-numbered densely.
+    pub jobs: Vec<Job>,
+    /// The `; MaxProcs: <n>` header value, when present — the cluster size
+    /// the trace was recorded on.
+    pub max_procs: Option<u32>,
+}
+
 /// Parse a trace from its textual form. Job ids are re-numbered densely in
 /// file order (the original id is not preserved, matching how the simulator
 /// identifies jobs).
+///
+/// Negative runtimes/widths (the SWF "missing value" sentinel `-1`) are
+/// rejected with a line-numbered [`SwfError::NegativeField`], and if the
+/// trace carries a `; MaxProcs:` header, any job wider than it is rejected
+/// with [`SwfError::WidthExceedsCluster`]. Use [`parse_trace_for_cluster`]
+/// to enforce a specific cluster size instead.
 pub fn parse_trace(text: &str) -> Result<Vec<Job>, SwfError> {
+    parse_trace_full(text, None).map(|t| t.jobs)
+}
+
+/// [`parse_trace`] with an explicit cluster size: jobs wider than `machines`
+/// are rejected with a line-numbered [`SwfError::WidthExceedsCluster`]
+/// (overriding any `MaxProcs` header).
+pub fn parse_trace_for_cluster(text: &str, machines: u32) -> Result<Vec<Job>, SwfError> {
+    parse_trace_full(text, Some(machines)).map(|t| t.jobs)
+}
+
+/// The full parser behind [`parse_trace`] / [`parse_trace_for_cluster`]:
+/// returns the jobs *and* the header metadata. The width cap is `cluster`
+/// when given, else the `; MaxProcs:` header when present, else unlimited.
+pub fn parse_trace_full(text: &str, cluster: Option<u32>) -> Result<SwfTrace, SwfError> {
     let mut jobs = Vec::new();
+    let mut max_procs: Option<u32> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
         let trimmed = raw.trim();
         if trimmed.is_empty() || trimmed.starts_with(';') || trimmed.starts_with('#') {
+            // Recover the `MaxProcs` header the SWF standard puts in the
+            // comment preamble (`; MaxProcs: 128`).
+            let comment = trimmed.trim_start_matches([';', '#']).trim();
+            if let Some(rest) = comment.strip_prefix("MaxProcs:") {
+                max_procs = rest.trim().parse::<u32>().ok().or(max_procs);
+            }
             continue;
         }
         let fields: Vec<&str> = trimmed.split_whitespace().collect();
@@ -65,9 +153,14 @@ pub fn parse_trace(text: &str) -> Result<Vec<Job>, SwfError> {
             return Err(SwfError::MissingFields { line });
         }
         let parse = |idx: usize, name: &'static str| -> Result<u64, SwfError> {
-            fields[idx]
-                .parse::<u64>()
-                .map_err(|_| SwfError::BadField { line, field: name })
+            let value = fields[idx]
+                .parse::<i64>()
+                .map_err(|_| SwfError::BadField { line, field: name })?;
+            u64::try_from(value).map_err(|_| SwfError::NegativeField {
+                line,
+                field: name,
+                value,
+            })
         };
         let _orig_id = parse(0, "job_id")?;
         let submit = parse(1, "submit_time")?;
@@ -76,10 +169,25 @@ pub fn parse_trace(text: &str) -> Result<Vec<Job>, SwfError> {
         if run_time == 0 || procs == 0 {
             return Err(SwfError::DegenerateJob { line });
         }
+        let cap = cluster.or(max_procs);
+        if let Some(machines) = cap {
+            if procs > machines as u64 {
+                return Err(SwfError::WidthExceedsCluster {
+                    line,
+                    width: procs,
+                    machines,
+                });
+            }
+        }
+        let width = u32::try_from(procs).map_err(|_| SwfError::WidthExceedsCluster {
+            line,
+            width: procs,
+            machines: u32::MAX,
+        })?;
         let id = jobs.len();
-        jobs.push(Job::released_at(id, procs as u32, run_time, submit));
+        jobs.push(Job::released_at(id, width, run_time, submit));
     }
-    Ok(jobs)
+    Ok(SwfTrace { jobs, max_procs })
 }
 
 /// Serialize jobs to the textual trace form (with a header comment).
@@ -164,6 +272,79 @@ mod tests {
             parse_trace("1 0 0 5").unwrap_err(),
             SwfError::DegenerateJob { line: 1 }
         );
+    }
+
+    #[test]
+    fn rejects_negative_runtime_and_width() {
+        // `-1` is the SWF missing-value sentinel: rejected, with the line.
+        assert_eq!(
+            parse_trace("; header\n1 0 -1 4").unwrap_err(),
+            SwfError::NegativeField {
+                line: 2,
+                field: "run_time",
+                value: -1
+            }
+        );
+        assert_eq!(
+            parse_trace("1 0 5 -3").unwrap_err(),
+            SwfError::NegativeField {
+                line: 1,
+                field: "processors",
+                value: -3
+            }
+        );
+        assert_eq!(
+            parse_trace("1 -7 5 3").unwrap_err(),
+            SwfError::NegativeField {
+                line: 1,
+                field: "submit_time",
+                value: -7
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_line() {
+        // A record cut mid-line (e.g. an interrupted download).
+        assert_eq!(
+            parse_trace("1 0 5 2\n2 10 7").unwrap_err(),
+            SwfError::MissingFields { line: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_width_beyond_cluster() {
+        let text = "1 0 5 8\n2 3 5 64\n";
+        assert_eq!(
+            parse_trace_for_cluster(text, 32).unwrap_err(),
+            SwfError::WidthExceedsCluster {
+                line: 2,
+                width: 64,
+                machines: 32
+            }
+        );
+        // Within the cluster: both jobs parse.
+        assert_eq!(parse_trace_for_cluster(text, 64).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn maxprocs_header_caps_widths() {
+        let text = "; MaxProcs: 16\n1 0 5 8\n2 3 5 24\n";
+        let err = parse_trace(text).unwrap_err();
+        assert_eq!(
+            err,
+            SwfError::WidthExceedsCluster {
+                line: 3,
+                width: 24,
+                machines: 16
+            }
+        );
+        // An explicit cluster size overrides the header.
+        assert_eq!(parse_trace_for_cluster(text, 32).unwrap().len(), 2);
+        // The header is surfaced through the full parse.
+        let full = parse_trace_full("; MaxProcs: 16\n1 0 5 8\n", None).unwrap();
+        assert_eq!(full.max_procs, Some(16));
+        assert_eq!(full.jobs.len(), 1);
     }
 
     #[test]

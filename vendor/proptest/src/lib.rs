@@ -205,7 +205,7 @@ pub mod collection {
         VecStrategy { element, min, max }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         min: usize,

@@ -19,10 +19,20 @@ use std::num::NonZeroUsize;
 use std::thread;
 
 /// Number of worker threads to use for `len` items.
+///
+/// Like real rayon, the `RAYON_NUM_THREADS` environment variable caps the
+/// worker count (a positive integer; `1` forces fully sequential execution).
+/// Unset or unparsable values fall back to the available core count.
 fn threads_for(len: usize) -> usize {
-    let cores = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
     cores.min(len).max(1)
 }
 
