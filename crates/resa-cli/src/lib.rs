@@ -14,6 +14,8 @@
 //! resa replay <trace.swf>       replay an SWF trace (policies, reservation
 //!                               overlays, warm-up truncation)
 //! resa sweep <spec.json>        run a declarative experiment sweep
+//! resa serve                    resident scheduling service (line-delimited
+//!                               JSON over stdin/stdout, TCP or Unix socket)
 //! ```
 //!
 //! Every subcommand accepts `--seed <n>`, `--threads <n>`, `--quick` and
@@ -36,8 +38,10 @@
 #![warn(missing_docs)]
 
 pub mod bench_cmds;
+pub mod fields;
 pub mod opts;
 pub mod replay;
+pub mod serve;
 pub mod sweep;
 
 use opts::CommonOpts;
@@ -96,6 +100,8 @@ SUBCOMMANDS:
     graham               the Theorem-2 Graham-bound experiment (E5)
     replay <trace.swf>   replay an SWF trace end to end (see `resa replay --help`)
     sweep <spec.json>    run a declarative experiment sweep (see `resa sweep --help`)
+    serve                resident scheduling service over a line-delimited JSON
+                         protocol (see `resa serve --help`)
     help                 print this message
 
 COMMON OPTIONS (every subcommand):
@@ -137,6 +143,7 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
         }
         "replay" => replay::run(rest),
         "sweep" => sweep::run(rest),
+        "serve" => serve::run(rest),
         "help" | "--help" | "-h" => Ok(Outcome {
             stdout: HELP.to_string(),
             violations: 0,

@@ -250,6 +250,10 @@ struct ReplayReport {
     decisions: u64,
     metrics: SimMetrics,
     guarantees: GuaranteeReport,
+    /// Conclusive paper-guarantee violations plus validation failures — the
+    /// count the process maps to exit code 2, carried in the payload so the
+    /// JSON and CSV modes are as self-describing as the rendered table.
+    violations: usize,
 }
 
 /// `resa replay <trace.swf> [options]`.
@@ -342,10 +346,17 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     }
     let dropped = total - jobs.len();
 
-    // 3. Reservation overlay.
+    // 3. Reservation overlay (file overlays live on the same warmed-up
+    // clock as the truncated jobs — see `build_instance`).
     let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
-    let (instance, clamped_jobs) =
-        build_instance(machines, jobs, &reservations, max_release, opts.seed)?;
+    let (instance, clamped_jobs) = build_instance(
+        machines,
+        jobs,
+        &reservations,
+        max_release,
+        opts.seed,
+        warmup,
+    )?;
 
     // 4. Replay.
     let (schedule, decisions) = match (policy, substrate) {
@@ -379,8 +390,9 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
         decisions,
         metrics,
         guarantees,
+        violations,
     };
-    render(&report, &opts, violations)
+    render(&report, &opts)
 }
 
 /// Run a policy on an instance through the default (timeline) substrate,
@@ -405,12 +417,22 @@ pub(crate) fn run_policy(policy: PolicyArg, instance: &ResaInstance) -> (Schedul
 /// component counts the jobs whose width the α-restriction narrowed to
 /// `α·m` (the §4.2 model requires `q_i ≤ αm`, so an α overlay modifies the
 /// workload — the count makes that visible in every report).
+///
+/// `warmup` is the truncation horizon already applied to the jobs: file
+/// overlays carry absolute trace times and are shifted onto the same
+/// warmed-up clock, window for window — a reservation ending at or before
+/// the warm-up boundary is dropped (like a job released strictly before
+/// it), one straddling the boundary keeps its remaining window, and one
+/// starting exactly at the boundary starts at the new time 0 (like a job
+/// released exactly at the boundary). Generated overlays (alpha,
+/// nonincreasing) are already expressed on the warmed-up clock.
 pub(crate) fn build_instance(
     machines: u32,
     jobs: Vec<Job>,
     reservations: &ReservationArg,
     max_release: u64,
     seed: u64,
+    warmup: u64,
 ) -> Result<(ResaInstance, usize), CliError> {
     let model = |e: ModelError| CliError::Parse(format!("instance construction failed: {e}"));
     match reservations {
@@ -456,7 +478,23 @@ pub(crate) fn build_instance(
             })?;
             let donor = resa_core::io::parse_instance(&text)
                 .map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
-            ResaInstance::new(machines, jobs, donor.reservations().to_vec())
+            // Shift the donor windows onto the warmed-up clock, clipping the
+            // part consumed by the warm-up (half-open windows, so a window
+            // ending exactly at the boundary is gone and one starting
+            // exactly there is kept whole at the new time 0 — consistent
+            // with the job truncation above).
+            let shifted: Vec<Reservation> = donor
+                .reservations()
+                .iter()
+                .filter(|r| r.end().ticks() > warmup)
+                .enumerate()
+                .map(|(id, r)| {
+                    let start = r.start.ticks().max(warmup) - warmup;
+                    let end = r.end().ticks() - warmup;
+                    Reservation::new(id, r.width, end - start, start)
+                })
+                .collect();
+            ResaInstance::new(machines, jobs, shifted)
                 .map(|i| (i, 0))
                 .map_err(model)
         }
@@ -480,12 +518,12 @@ fn offline_schedule<C: CapacityQuery>(
     }
 }
 
-/// Render a replay report in the requested format.
-fn render(
-    report: &ReplayReport,
-    opts: &CommonOpts,
-    violations: usize,
-) -> Result<Outcome, CliError> {
+/// Render a replay report in the requested format. The violation count is
+/// part of the report itself, so every format — table, JSON, CSV — carries
+/// it and the returned [`Outcome`] (hence exit code 2) is identical across
+/// formats.
+fn render(report: &ReplayReport, opts: &CommonOpts) -> Result<Outcome, CliError> {
+    let violations = report.violations;
     let table = report_table(report);
     let rendered = match opts.format {
         OutputFormat::Json => format!("{}\n", to_json(report)),
@@ -541,6 +579,7 @@ fn report_table(report: &ReplayReport) -> Table {
     push("clamped jobs (alpha)", report.clamped_jobs.to_string());
     push("reservations", report.reservations.to_string());
     push("schedule valid", report.schedule_valid.to_string());
+    push("violations", report.violations.to_string());
     push("decision points", report.decisions.to_string());
     push("makespan", report.metrics.makespan.ticks().to_string());
     push("mean wait", fmt_f64(report.metrics.mean_wait));
@@ -599,6 +638,116 @@ mod tests {
         );
         assert!(ReservationArg::parse("alpha").is_err());
         assert!(ReservationArg::parse("martian").is_err());
+    }
+
+    /// A conclusive guarantee violation must flip the outcome (and hence
+    /// exit code 2) in *every* output format, not just the rendered table.
+    #[test]
+    fn violations_propagate_in_every_format() {
+        // A feasible but terrible schedule on a reservation-free instance:
+        // the Graham bound check is conclusive and violated.
+        let inst = ResaInstanceBuilder::new(4)
+            .jobs(4, 1, 1u64)
+            .build()
+            .unwrap();
+        let mut schedule = Schedule::new();
+        for (i, j) in inst.jobs().iter().enumerate() {
+            schedule.place(j.id, Time(100 * (i as u64 + 1)));
+        }
+        let guarantees = verify_schedule(&RatioHarness::new(), &inst, &schedule);
+        assert!(guarantees.has_conclusive_violation());
+        let violations = usize::from(guarantees.has_conclusive_violation());
+        let report = ReplayReport {
+            trace: "synthetic".into(),
+            machines: 4,
+            jobs: 4,
+            dropped_by_warmup: 0,
+            clamped_jobs: 0,
+            reservations: 0,
+            policy: "fcfs".into(),
+            substrate: "timeline".into(),
+            schedule_valid: true,
+            decisions: 0,
+            metrics: SimMetrics::from_schedule(&inst, &schedule),
+            guarantees,
+            violations,
+        };
+        for format in [OutputFormat::Table, OutputFormat::Json, OutputFormat::Csv] {
+            let opts = CommonOpts {
+                format,
+                ..CommonOpts::default()
+            };
+            let outcome = render(&report, &opts).unwrap();
+            assert_eq!(outcome.violations, 1, "{format:?} swallowed the violation");
+            assert!(
+                outcome.stdout.contains("violations"),
+                "{format:?} payload does not carry the count"
+            );
+        }
+    }
+
+    /// Warm-up truncation treats jobs and file-overlay reservations
+    /// consistently at the boundary: both live on half-open windows, both
+    /// are shifted onto the warmed-up clock.
+    #[test]
+    fn warmup_shifts_file_reservations_onto_the_truncated_clock() {
+        let dir = std::env::temp_dir().join("resa-replay-warmup-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("donor.txt");
+        // Donor reservations: one fully before the warm-up boundary (10),
+        // one ending exactly at it, one straddling it, one starting exactly
+        // at it, one entirely after it.
+        let donor = ResaInstanceBuilder::new(8)
+            .reservation(1, 5u64, 2u64) // [2, 7)   — gone
+            .reservation(2, 4u64, 6u64) // [6, 10)  — gone (half-open)
+            .reservation(3, 6u64, 8u64) // [8, 14)  — clipped to [0, 4)
+            .reservation(4, 3u64, 10u64) // [10, 13) — shifted to [0, 3)
+            .reservation(5, 2u64, 20u64) // [20, 22) — shifted to [10, 12)
+            .build()
+            .unwrap();
+        std::fs::write(&path, resa_core::io::write_instance(&donor)).unwrap();
+
+        let jobs = vec![Job::released_at(0usize, 1, 2u64, 12u64)];
+        let arg = ReservationArg::File(path.display().to_string());
+        let (inst, _) = build_instance(8, jobs, &arg, 2, 0, 10).unwrap();
+        let windows: Vec<(u64, u64, u32)> = inst
+            .reservations()
+            .iter()
+            .map(|r| (r.start.ticks(), r.end().ticks(), r.width))
+            .collect();
+        assert_eq!(windows, vec![(0, 4, 3), (0, 3, 4), (10, 12, 5)]);
+        // Without warm-up the donor windows pass through untouched.
+        let jobs = vec![Job::released_at(0usize, 1, 2u64, 12u64)];
+        let (inst, _) = build_instance(8, jobs, &arg, 2, 0, 0).unwrap();
+        assert_eq!(inst.n_reservations(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A job submitted exactly at the warm-up boundary is kept (shifted to
+    /// release 0), one submitted just before it is dropped.
+    #[test]
+    fn warmup_boundary_job_is_kept() {
+        let dir = std::env::temp_dir().join("resa-replay-warmup-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("boundary.swf");
+        // Fields: job_id submit_time run_time processors (see resa-workloads).
+        std::fs::write(&path, "; MaxProcs: 4\n1 9 5 2\n2 10 5 2\n3 11 5 2\n").unwrap();
+        let out = crate::run(&[
+            "replay",
+            path.to_str().unwrap(),
+            "--warmup",
+            "10",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(
+            out.stdout.contains("\"dropped_by_warmup\": 1"),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("\"jobs\": 2"), "{}", out.stdout);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,632 @@
+//! `resa serve` — the resident scheduling service.
+//!
+//! The on-line counterpart of `resa replay`: instead of replaying a complete
+//! trace, the process keeps a [`ScheduleService`] (a live
+//! `Simulator`-equivalent decision loop over a resident availability
+//! substrate) and answers a line-delimited JSON request protocol — over
+//! stdin/stdout by default, over a TCP or Unix socket with `--listen` /
+//! `--unix`, or against a checked-in script with `--script` (which is how
+//! the golden tests and the CI smoke drive it deterministically).
+//!
+//! One request per line, one JSON response per line:
+//!
+//! ```text
+//! {"op":"submit","width":2,"duration":10}        job arrival (optional "release")
+//! {"op":"reserve","width":2,"duration":6,"start":4}
+//! {"op":"cancel","reservation":0}
+//! {"op":"query","width":4,"duration":5}          speculative earliest-fit probe
+//! {"op":"advance","to":20}                       move virtual time
+//! {"op":"drain"}                                 run until every job completed
+//! {"op":"stats"}                                 aggregate counters
+//! {"op":"snapshot"}                              current schedule + metrics
+//! {"op":"shutdown"}                              end the session
+//! ```
+//!
+//! Unknown operations, unknown/misspelled fields (with a did-you-mean
+//! suggestion), missing fields and infeasible requests are answered with
+//! `{"ok":false,…}` without disturbing the resident state — rejected
+//! reservation requests roll back transactionally through the substrate's
+//! checkpoint marks. Blank lines and `#` comments are ignored, so request
+//! scripts can be annotated.
+
+use crate::fields::check_fields;
+use crate::opts::CommonOpts;
+use crate::replay::Substrate;
+use crate::{CliError, Outcome};
+use resa_core::capacity::Speculate;
+use resa_core::prelude::*;
+use resa_sim::prelude::*;
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, Write};
+
+/// Help text for `resa serve --help`.
+pub const SERVE_HELP: &str = "\
+resa serve — resident scheduling service over a line-delimited JSON protocol
+
+USAGE:
+    resa serve [OPTIONS]
+
+OPTIONS:
+    --machines <m>        cluster size                              [default: 16]
+    --policy <name>       on-line decision policy: fcfs|easy|greedy [default: easy]
+    --substrate <s>       availability backend: timeline | profile  [default: timeline]
+                          (timeline = indexed segment tree with checkpoint/rollback
+                          speculation; profile = the clone-based reference — responses
+                          are identical, which is what the golden tests assert)
+    --script <file>       read requests from <file> instead of stdin and print
+                          the transcript (one response line per request line)
+    --listen <addr>       serve a TCP socket (e.g. 127.0.0.1:7077), one session
+                          at a time against the same resident state
+    --unix <path>         serve a Unix domain socket at <path>
+
+REQUESTS (one JSON object per line; blank lines and # comments are ignored):
+    {\"op\":\"submit\",\"width\":W,\"duration\":D[,\"release\":T]}   job arrival
+    {\"op\":\"reserve\",\"width\":W,\"duration\":D,\"start\":T}     add a reservation
+    {\"op\":\"cancel\",\"reservation\":ID}                      cancel a reservation
+    {\"op\":\"query\",\"width\":W,\"duration\":D[,\"not_before\":T]} earliest-fit probe
+    {\"op\":\"advance\",\"to\":T}      move virtual time, draining completions
+    {\"op\":\"drain\"}                 run until every submitted job completed
+    {\"op\":\"stats\"}                 aggregate counters
+    {\"op\":\"snapshot\"}              current schedule + metrics (replay shapes)
+    {\"op\":\"shutdown\"}              end the session
+
+plus the common options: --seed --threads --format --quick --out
+(--out persists the --script transcript; the other common flags are accepted
+for CLI uniformity and do not affect the protocol)
+";
+
+/// One parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Request {
+    Submit {
+        width: u32,
+        duration: u64,
+        release: Option<u64>,
+    },
+    Reserve {
+        width: u32,
+        duration: u64,
+        start: u64,
+    },
+    Cancel {
+        reservation: usize,
+    },
+    Query {
+        width: u32,
+        duration: u64,
+        not_before: Option<u64>,
+    },
+    Advance {
+        to: u64,
+    },
+    Drain,
+    Stats,
+    Snapshot,
+    Shutdown,
+}
+
+/// Parse one request line. Errors are protocol-level strings (the session
+/// answers them with `{"ok":false,…}` and keeps serving).
+fn parse_request(line: &str) -> Result<Request, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    if value.as_object().is_none() {
+        return Err("request must be a JSON object".to_string());
+    }
+    let op: String = required(&value, "request", "op")?;
+    let ctx = format!("{op} request");
+    let strict = |allowed: &[&str]| -> Result<(), String> {
+        check_fields(&value, &ctx, allowed).map_err(|e| e.to_string())
+    };
+    match op.as_str() {
+        "submit" => {
+            strict(&["op", "width", "duration", "release"])?;
+            Ok(Request::Submit {
+                width: required(&value, &ctx, "width")?,
+                duration: required(&value, &ctx, "duration")?,
+                release: optional(&value, &ctx, "release")?,
+            })
+        }
+        "reserve" => {
+            strict(&["op", "width", "duration", "start"])?;
+            Ok(Request::Reserve {
+                width: required(&value, &ctx, "width")?,
+                duration: required(&value, &ctx, "duration")?,
+                start: required(&value, &ctx, "start")?,
+            })
+        }
+        "cancel" => {
+            strict(&["op", "reservation"])?;
+            Ok(Request::Cancel {
+                reservation: required(&value, &ctx, "reservation")?,
+            })
+        }
+        "query" => {
+            strict(&["op", "width", "duration", "not_before"])?;
+            Ok(Request::Query {
+                width: required(&value, &ctx, "width")?,
+                duration: required(&value, &ctx, "duration")?,
+                not_before: optional(&value, &ctx, "not_before")?,
+            })
+        }
+        "advance" => {
+            strict(&["op", "to"])?;
+            Ok(Request::Advance {
+                to: required(&value, &ctx, "to")?,
+            })
+        }
+        "drain" => strict(&["op"]).map(|()| Request::Drain),
+        "stats" => strict(&["op"]).map(|()| Request::Stats),
+        "snapshot" => strict(&["op"]).map(|()| Request::Snapshot),
+        "shutdown" => strict(&["op"]).map(|()| Request::Shutdown),
+        other => Err(format!(
+            "unknown op '{other}' (submit|reserve|cancel|query|advance|drain|stats|snapshot|shutdown)"
+        )),
+    }
+}
+
+fn required<T: Deserialize>(value: &Value, ctx: &str, name: &str) -> Result<T, String> {
+    optional(value, ctx, name)?.ok_or_else(|| format!("missing required field '{name}' in {ctx}"))
+}
+
+fn optional<T: Deserialize>(value: &Value, ctx: &str, name: &str) -> Result<Option<T>, String> {
+    match value.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => T::from_value(v)
+            .map(Some)
+            .map_err(|e| format!("field '{name}' in {ctx}: {e}")),
+    }
+}
+
+// -- responses --------------------------------------------------------------
+
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn render(value: &Value) -> String {
+    serde_json::to_string(value).expect("responses are serializable")
+}
+
+fn ok_response(op: &str, mut rest: Vec<(&str, Value)>) -> String {
+    let mut fields = vec![("ok", Value::Bool(true)), ("op", Value::Str(op.into()))];
+    fields.append(&mut rest);
+    render(&object(fields))
+}
+
+fn error_response(op: Option<&str>, message: &str) -> String {
+    let mut fields = vec![("ok", Value::Bool(false))];
+    if let Some(op) = op {
+        fields.push(("op", Value::Str(op.to_string())));
+    }
+    fields.push(("error", Value::Str(message.to_string())));
+    render(&object(fields))
+}
+
+fn placements_value(started: &[Placement]) -> Value {
+    Value::Array(
+        started
+            .iter()
+            .map(|p| {
+                object(vec![
+                    ("job", Value::UInt(p.job.0 as u64)),
+                    ("start", Value::UInt(p.start.ticks())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn completions_value(completed: &[(JobId, Time)]) -> Value {
+    Value::Array(
+        completed
+            .iter()
+            .map(|&(id, at)| {
+                object(vec![
+                    ("job", Value::UInt(id.0 as u64)),
+                    ("at", Value::UInt(at.ticks())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn effects_fields(effects: &Effects) -> Vec<(&'static str, Value)> {
+    vec![
+        ("started", placements_value(&effects.started)),
+        ("completed", completions_value(&effects.completed)),
+    ]
+}
+
+/// Execute one request against the resident service, producing the response
+/// line (without trailing newline) and whether the session should end.
+fn handle<C: CapacityQuery + Speculate>(
+    svc: &mut ScheduleService<C>,
+    line: &str,
+) -> (String, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (error_response(None, &e), false),
+    };
+    let response = match request {
+        Request::Submit {
+            width,
+            duration,
+            release,
+        } => match svc.submit(width, Dur(duration), release.map(Time)) {
+            Ok((id, fx)) => {
+                let mut fields = vec![("job", Value::UInt(id.0 as u64))];
+                fields.extend(effects_fields(&fx));
+                ok_response("submit", fields)
+            }
+            Err(e) => error_response(Some("submit"), &e.to_string()),
+        },
+        Request::Reserve {
+            width,
+            duration,
+            start,
+        } => match svc.reserve(width, Dur(duration), Time(start)) {
+            Ok((id, fx)) => {
+                let mut fields = vec![("reservation", Value::UInt(id as u64))];
+                fields.extend(effects_fields(&fx));
+                ok_response("reserve", fields)
+            }
+            Err(e) => error_response(Some("reserve"), &e.to_string()),
+        },
+        Request::Cancel { reservation } => match svc.cancel(reservation) {
+            Ok(fx) => {
+                let mut fields = vec![("reservation", Value::UInt(reservation as u64))];
+                fields.extend(effects_fields(&fx));
+                ok_response("cancel", fields)
+            }
+            Err(e) => error_response(Some("cancel"), &e.to_string()),
+        },
+        Request::Query {
+            width,
+            duration,
+            not_before,
+        } => match svc.query(width, Dur(duration), not_before.map(Time)) {
+            Ok(Some(start)) => ok_response(
+                "query",
+                vec![
+                    ("start", Value::UInt(start.ticks())),
+                    (
+                        "completion",
+                        Value::UInt(start.saturating_add(Dur(duration)).ticks()),
+                    ),
+                ],
+            ),
+            Ok(None) => ok_response("query", vec![("start", Value::Null)]),
+            Err(e) => error_response(Some("query"), &e.to_string()),
+        },
+        Request::Advance { to } => match svc.advance(Time(to)) {
+            Ok(fx) => {
+                let mut fields = vec![("now", Value::UInt(svc.now().ticks()))];
+                fields.extend(effects_fields(&fx));
+                ok_response("advance", fields)
+            }
+            Err(e) => error_response(Some("advance"), &e.to_string()),
+        },
+        Request::Drain => {
+            let fx = svc.drain();
+            let mut fields = vec![("now", Value::UInt(svc.now().ticks()))];
+            fields.extend(effects_fields(&fx));
+            ok_response("drain", fields)
+        }
+        Request::Stats => {
+            let s = svc.stats();
+            ok_response(
+                "stats",
+                vec![
+                    ("now", Value::UInt(s.now.ticks())),
+                    ("machines", Value::UInt(s.machines as u64)),
+                    ("policy", Value::Str(svc.policy().name().to_string())),
+                    ("submitted", Value::UInt(s.submitted as u64)),
+                    ("pending", Value::UInt(s.pending as u64)),
+                    ("waiting", Value::UInt(s.waiting as u64)),
+                    ("running", Value::UInt(s.running as u64)),
+                    ("completed", Value::UInt(s.completed as u64)),
+                    ("reservations", Value::UInt(s.reservations as u64)),
+                    ("decisions", Value::UInt(s.decisions)),
+                    ("makespan", Value::UInt(s.makespan.ticks())),
+                ],
+            )
+        }
+        Request::Snapshot => {
+            let (records, metrics) = svc.snapshot();
+            ok_response(
+                "snapshot",
+                vec![
+                    ("now", Value::UInt(svc.now().ticks())),
+                    ("machines", Value::UInt(svc.machines() as u64)),
+                    ("policy", Value::Str(svc.policy().name().to_string())),
+                    ("schedule", records.to_value()),
+                    ("metrics", metrics.to_value()),
+                ],
+            )
+        }
+        Request::Shutdown => return (ok_response("shutdown", Vec::new()), true),
+    };
+    (response, false)
+}
+
+/// Serve one session: read request lines from `reader`, write one response
+/// line per request to `writer` (flushed per line, so socket and pipe peers
+/// see answers immediately). Returns whether a `shutdown` request ended the
+/// session (as opposed to EOF).
+pub(crate) fn serve_session<C: CapacityQuery + Speculate>(
+    svc: &mut ScheduleService<C>,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (response, done) = handle(svc, trimmed);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if done {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Drive a whole request script in-process and return the transcript. This
+/// is the deterministic face the golden tests and the CI smoke use.
+pub fn run_script(
+    script: &str,
+    machines: u32,
+    policy: ReferencePolicy,
+    substrate: Substrate,
+) -> String {
+    let mut out = Vec::new();
+    match substrate {
+        Substrate::Timeline => {
+            let mut svc = ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
+            serve_session(&mut svc, script.as_bytes(), &mut out).expect("in-memory I/O");
+        }
+        Substrate::Profile => {
+            let mut svc = ScheduleService::new(policy, ResourceProfile::constant(machines));
+            serve_session(&mut svc, script.as_bytes(), &mut out).expect("in-memory I/O");
+        }
+    }
+    String::from_utf8(out).expect("responses are UTF-8")
+}
+
+/// How the session's bytes reach the service.
+enum Transport {
+    Stdio,
+    Script(String),
+    Tcp(String),
+    #[cfg(unix)]
+    Unix(String),
+}
+
+/// `resa serve [options]`.
+pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
+    if args.first() == Some(&"--help") {
+        return Ok(Outcome {
+            stdout: SERVE_HELP.to_string(),
+            violations: 0,
+        });
+    }
+    let mut machines: u32 = 16;
+    let mut policy = ReferencePolicy::Easy;
+    let mut substrate = Substrate::Timeline;
+    let mut transport = Transport::Stdio;
+    let opts = CommonOpts::parse(args, &mut |flag, value| {
+        let take = |name: &str| -> Result<&str, CliError> {
+            value.ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+        };
+        match flag {
+            "--machines" => {
+                machines = take("--machines")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--machines expects a positive integer".into()))?;
+                if machines == 0 {
+                    return Err(CliError::Usage("--machines must be at least 1".into()));
+                }
+                Ok(1)
+            }
+            "--policy" => {
+                policy = match take("--policy")? {
+                    "fcfs" => ReferencePolicy::Fcfs,
+                    "easy" => ReferencePolicy::Easy,
+                    "greedy" => ReferencePolicy::Greedy,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown policy '{other}' (fcfs|easy|greedy)"
+                        )))
+                    }
+                };
+                Ok(1)
+            }
+            "--substrate" => {
+                substrate = match take("--substrate")? {
+                    "timeline" => Substrate::Timeline,
+                    "profile" => Substrate::Profile,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown substrate '{other}' (timeline|profile)"
+                        )))
+                    }
+                };
+                Ok(1)
+            }
+            "--script" => {
+                transport = Transport::Script(take("--script")?.to_string());
+                Ok(1)
+            }
+            "--listen" => {
+                transport = Transport::Tcp(take("--listen")?.to_string());
+                Ok(1)
+            }
+            "--unix" => {
+                #[cfg(unix)]
+                {
+                    transport = Transport::Unix(take("--unix")?.to_string());
+                    Ok(1)
+                }
+                #[cfg(not(unix))]
+                Err(CliError::Usage(
+                    "--unix is only available on Unix platforms".into(),
+                ))
+            }
+            other => Err(CliError::Usage(format!(
+                "unknown option '{other}' (see `resa serve --help`)"
+            ))),
+        }
+    })?;
+    match transport {
+        Transport::Script(path) => {
+            let script = std::fs::read_to_string(&path).map_err(|e| CliError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            })?;
+            let transcript = run_script(&script, machines, policy, substrate);
+            let mut stdout = transcript.clone();
+            if let Some(note) = opts.persist(&transcript)? {
+                stdout.push_str(&note);
+                stdout.push('\n');
+            }
+            Ok(Outcome {
+                stdout,
+                violations: 0,
+            })
+        }
+        Transport::Stdio => {
+            serve_transport(machines, policy, substrate, |svc| {
+                let stdin = std::io::stdin();
+                let stdout = std::io::stdout();
+                let mut reader = stdin.lock();
+                let mut writer = stdout.lock();
+                svc.session(&mut reader, &mut writer).map(|_| true)
+            })?;
+            Ok(Outcome {
+                stdout: String::new(),
+                violations: 0,
+            })
+        }
+        Transport::Tcp(addr) => {
+            let listener = std::net::TcpListener::bind(&addr).map_err(|e| CliError::Io {
+                path: addr.clone(),
+                message: e.to_string(),
+            })?;
+            serve_transport(machines, policy, substrate, move |svc| {
+                accept_loop(svc, || {
+                    let (stream, _) = listener.accept()?;
+                    let reader = std::io::BufReader::new(stream.try_clone()?);
+                    Ok((Box::new(reader) as _, Box::new(stream) as _))
+                })
+            })?;
+            Ok(Outcome {
+                stdout: String::new(),
+                violations: 0,
+            })
+        }
+        #[cfg(unix)]
+        Transport::Unix(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener =
+                std::os::unix::net::UnixListener::bind(&path).map_err(|e| CliError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                })?;
+            serve_transport(machines, policy, substrate, move |svc| {
+                accept_loop(svc, || {
+                    let (stream, _) = listener.accept()?;
+                    let reader = std::io::BufReader::new(stream.try_clone()?);
+                    Ok((Box::new(reader) as _, Box::new(stream) as _))
+                })
+            })?;
+            Ok(Outcome {
+                stdout: String::new(),
+                violations: 0,
+            })
+        }
+    }
+}
+
+/// Accept sessions forever against one resident service. A client that
+/// drops mid-session (broken pipe, connection reset) ends only its own
+/// session — the resident state keeps serving the next connection; a
+/// failing `accept` (e.g. fd exhaustion) backs off briefly instead of
+/// spinning hot. Returns when a session issues `shutdown`.
+#[allow(clippy::type_complexity)]
+fn accept_loop(
+    svc: &mut dyn SessionHost,
+    mut accept: impl FnMut() -> std::io::Result<(Box<dyn BufRead>, Box<dyn Write>)>,
+) -> std::io::Result<bool> {
+    loop {
+        let (mut reader, mut writer) = match accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        // Err means the client dropped mid-session: end that session only.
+        if let Ok(true) = svc.session(&mut *reader, &mut *writer) {
+            return Ok(true);
+        }
+    }
+}
+
+/// Instantiate the resident service on the chosen substrate and hand it to
+/// the transport loop. Sessions (connections) share the one resident state;
+/// the loop ends when a session issues `shutdown`.
+fn serve_transport<F>(
+    machines: u32,
+    policy: ReferencePolicy,
+    substrate: Substrate,
+    drive: F,
+) -> Result<(), CliError>
+where
+    F: FnOnce(&mut dyn SessionHost) -> std::io::Result<bool>,
+{
+    let io_err = |e: std::io::Error| CliError::Io {
+        path: "<session>".to_string(),
+        message: e.to_string(),
+    };
+    match substrate {
+        Substrate::Timeline => {
+            let mut svc = ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
+            drive(&mut svc).map_err(io_err)?;
+        }
+        Substrate::Profile => {
+            let mut svc = ScheduleService::new(policy, ResourceProfile::constant(machines));
+            drive(&mut svc).map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// Object-safe face of the resident service for the transport loops, which
+/// only ever feed it whole sessions.
+pub(crate) trait SessionHost {
+    /// Serve one session from a boxed reader/writer pair.
+    fn session(
+        &mut self,
+        reader: &mut dyn BufRead,
+        writer: &mut dyn Write,
+    ) -> std::io::Result<bool>;
+}
+
+impl<C: CapacityQuery + Speculate> SessionHost for ScheduleService<C> {
+    fn session(
+        &mut self,
+        reader: &mut dyn BufRead,
+        writer: &mut dyn Write,
+    ) -> std::io::Result<bool> {
+        serve_session(self, reader, writer)
+    }
+}

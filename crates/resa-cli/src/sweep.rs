@@ -27,6 +27,7 @@
 //! `horizon`, `max_duration`) or `nonincreasing` (fields `steps`,
 //! `max_initial`, `max_duration`).
 
+use crate::fields::{anchor_line, check_fields};
 use crate::opts::{CommonOpts, OutputFormat};
 use crate::replay::{parse_alpha, PolicyArg, ReservationArg};
 use crate::{CliError, Outcome};
@@ -117,6 +118,23 @@ impl Deserialize for SweepSpec {
         if value.as_object().is_none() {
             return Err(DeError::custom("sweep spec must be a JSON object"));
         }
+        // Unknown/misspelled keys are errors, not silently dropped sections:
+        // a spec with `reservation` instead of `reservations` used to run a
+        // reservation-free sweep without a word.
+        check_fields(
+            value,
+            "sweep spec",
+            &[
+                "name",
+                "machines",
+                "jobs",
+                "seeds",
+                "workload",
+                "arrivals",
+                "policies",
+                "reservations",
+            ],
+        )?;
         Ok(SweepSpec {
             name: get_field(value, "name")?.unwrap_or_else(|| "sweep".to_string()),
             machines: require(get_field(value, "machines")?, "machines")?,
@@ -135,6 +153,19 @@ impl Deserialize for ReservationSpec {
         if value.as_object().is_none() {
             return Err(DeError::custom("'reservations' must be a JSON object"));
         }
+        check_fields(
+            value,
+            "the 'reservations' section",
+            &[
+                "family",
+                "alpha",
+                "count",
+                "horizon",
+                "max_duration",
+                "steps",
+                "max_initial",
+            ],
+        )?;
         Ok(ReservationSpec {
             family: require(get_field(value, "family")?, "reservations.family")?,
             alpha: get_field(value, "alpha")?,
@@ -215,8 +246,13 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
         path: spec_path.to_string(),
         message: e.to_string(),
     })?;
-    let spec: SweepSpec =
-        serde_json::from_str(&text).map_err(|e| CliError::Parse(format!("{spec_path}: {e}")))?;
+    let spec: SweepSpec = serde_json::from_str(&text).map_err(|e| {
+        // Anchor field-level errors to the offending line of the spec.
+        CliError::Parse(format!(
+            "{spec_path}: {}",
+            anchor_line(&text, &e.to_string())
+        ))
+    })?;
     let (rows, violations) = execute(&spec, &opts)?;
     render(&spec, &rows, violations, &opts)
 }
@@ -265,7 +301,7 @@ pub fn execute(spec: &SweepSpec, opts: &CommonOpts) -> Result<(Vec<SweepRow>, us
         let jobs = generate_jobs(&spec.workload, m, spec.jobs, spec.arrivals, seed);
         let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
         let (instance, _clamped) =
-            crate::replay::build_instance(m, jobs, &reservation_arg, max_release, seed)
+            crate::replay::build_instance(m, jobs, &reservation_arg, max_release, seed, 0)
                 .expect("sweep instances are feasible by construction");
         let lb = lower_bound(&instance).unwrap_or(Time::ZERO).ticks().max(1) as f64;
         let (schedule, _) = crate::replay::run_policy(policies[p].1, &instance);
@@ -421,6 +457,66 @@ mod tests {
         assert!(minimal.reservations.is_none());
 
         assert!(serde_json::from_str::<SweepSpec>(r#"{"jobs": 3}"#).is_err());
+    }
+
+    #[test]
+    fn unknown_top_level_field_is_rejected_with_suggestion() {
+        // `reservation` for `reservations` used to run a reservation-free
+        // sweep silently; now it is a hard parse error with a hint.
+        let err = serde_json::from_str::<SweepSpec>(
+            r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                "reservation": {"family": "alpha", "alpha": "1/2"}}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("unknown field 'reservation' in sweep spec"),
+            "{err}"
+        );
+        assert!(err.contains("did you mean 'reservations'?"), "{err}");
+        // Misspelled known sections are caught the same way.
+        let err = serde_json::from_str::<SweepSpec>(
+            r#"{"machines": [4], "jobs": 3, "seeds": 1, "polices": ["fcfs"]}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown field 'polices'"), "{err}");
+        assert!(err.contains("did you mean 'policies'?"), "{err}");
+    }
+
+    #[test]
+    fn unknown_reservation_field_is_rejected() {
+        let err = serde_json::from_str::<SweepSpec>(
+            r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                "reservations": {"family": "alpha", "alpha": "1/2", "maxdur": 10}}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("unknown field 'maxdur' in the 'reservations' section"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn spec_errors_are_line_anchored_through_the_cli() {
+        let dir = std::env::temp_dir().join("resa-sweep-strict-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_spec.json");
+        std::fs::write(
+            &path,
+            "{\n  \"machines\": [4],\n  \"jobs\": 3,\n  \"seeds\": 1,\n  \"policies\": [\"fcfs\"],\n  \"reservation\": {}\n}\n",
+        )
+        .unwrap();
+        let err = crate::run(&["sweep", path.to_str().unwrap()]).unwrap_err();
+        match err {
+            CliError::Parse(msg) => {
+                assert!(msg.contains("line 6:"), "{msg}");
+                assert!(msg.contains("unknown field 'reservation'"), "{msg}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

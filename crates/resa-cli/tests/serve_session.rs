@@ -1,0 +1,178 @@
+//! Golden session tests of `resa serve`.
+//!
+//! Three families of assertions:
+//!
+//! * **golden transcript** — the checked-in request script replayed through
+//!   the in-process service must reproduce `examples/serve_session.golden`
+//!   byte for byte (CI additionally pipes it through the release binary);
+//! * **substrate byte-stability** — the same session on `--substrate
+//!   timeline` and `--substrate profile` answers identically, the serve-side
+//!   face of the PR 1–3 equivalence properties;
+//! * **probe purity** — a `query` between two `snapshot`s leaves the
+//!   resident state untouched (snapshot-before == snapshot-after), end to
+//!   end through the protocol.
+
+use resa_cli::replay::Substrate;
+use resa_cli::serve::run_script;
+use resa_sim::prelude::ReferencePolicy;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root exists")
+}
+
+fn session_script() -> String {
+    std::fs::read_to_string(repo_root().join("examples/serve_session.jsonl"))
+        .expect("checked-in session script")
+}
+
+#[test]
+fn session_transcript_matches_the_golden_file() {
+    let golden = std::fs::read_to_string(repo_root().join("examples/serve_session.golden"))
+        .expect("checked-in golden transcript");
+    let transcript = run_script(
+        &session_script(),
+        8,
+        ReferencePolicy::Easy,
+        Substrate::Timeline,
+    );
+    assert_eq!(
+        transcript, golden,
+        "serve transcript drifted from the golden file"
+    );
+}
+
+#[test]
+fn session_transcript_is_byte_stable_across_substrates() {
+    let script = session_script();
+    for policy in [
+        ReferencePolicy::Fcfs,
+        ReferencePolicy::Easy,
+        ReferencePolicy::Greedy,
+    ] {
+        let timeline = run_script(&script, 8, policy, Substrate::Timeline);
+        let profile = run_script(&script, 8, policy, Substrate::Profile);
+        assert_eq!(
+            timeline,
+            profile,
+            "serve session diverged between substrates under {}",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn query_probe_is_pure_through_the_protocol() {
+    // snapshot → query → snapshot: the probe must not change the snapshot,
+    // the stats, or any later answer.
+    let script = "\
+{\"op\":\"reserve\",\"width\":3,\"duration\":10,\"start\":2}\n\
+{\"op\":\"submit\",\"width\":2,\"duration\":4}\n\
+{\"op\":\"snapshot\"}\n{\"op\":\"stats\"}\n\
+{\"op\":\"query\",\"width\":4,\"duration\":5}\n\
+{\"op\":\"snapshot\"}\n{\"op\":\"stats\"}\n";
+    for substrate in [Substrate::Timeline, Substrate::Profile] {
+        let transcript = run_script(script, 4, ReferencePolicy::Easy, substrate);
+        let lines: Vec<&str> = transcript.lines().collect();
+        assert_eq!(lines.len(), 7, "{transcript}");
+        assert_eq!(lines[2], lines[5], "query mutated the snapshot");
+        assert_eq!(lines[3], lines[6], "query mutated the stats");
+        assert!(lines[4].contains("\"start\":12"), "{}", lines[4]);
+    }
+}
+
+#[test]
+fn serve_cli_surface() {
+    // --help is served in-process; unknown flags and bad values are usage
+    // errors, mirroring the other subcommands.
+    let help = resa_cli::run(&["serve", "--help"]).unwrap();
+    assert!(help.stdout.contains("resident scheduling service"));
+    assert!(matches!(
+        resa_cli::run(&["serve", "--machines", "0", "--script", "x"]),
+        Err(resa_cli::CliError::Usage(_))
+    ));
+    assert!(matches!(
+        resa_cli::run(&["serve", "--policy", "sjf", "--script", "x"]),
+        Err(resa_cli::CliError::Usage(_))
+    ));
+    assert!(matches!(
+        resa_cli::run(&["serve", "--substrate", "vapor", "--script", "x"]),
+        Err(resa_cli::CliError::Usage(_))
+    ));
+    assert!(matches!(
+        resa_cli::run(&["serve", "--script", "/nonexistent/session.jsonl"]),
+        Err(resa_cli::CliError::Io { .. })
+    ));
+    // A script run through the public CLI face returns the transcript.
+    let script_path = repo_root().join("examples/serve_session.jsonl");
+    let script_path = script_path.display().to_string();
+    let out = resa_cli::run(&["serve", "--machines", "8", "--script", &script_path]).unwrap();
+    assert_eq!(out.violations, 0);
+    assert!(out.stdout.ends_with("{\"ok\":true,\"op\":\"shutdown\"}\n"));
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_binary_answers_over_a_unix_socket() {
+    use std::io::{BufRead, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+    use std::process::Command;
+    let sock = std::env::temp_dir().join(format!("resa-serve-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_resa"))
+        .args(["serve", "--machines", "4", "--unix", sock.to_str().unwrap()])
+        .spawn()
+        .expect("resa binary runs");
+    // Wait for the listener to come up.
+    let stream = (0..100)
+        .find_map(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            UnixStream::connect(&sock).ok()
+        })
+        .expect("service came up within 2s");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    writer
+        .write_all(b"{\"op\":\"submit\",\"width\":2,\"duration\":3}\n")
+        .unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"job\":0"), "{line}");
+    line.clear();
+    writer.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"op\":\"shutdown\""), "{line}");
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    let _ = std::fs::remove_file(&sock);
+}
+
+#[test]
+fn serve_binary_smoke_over_stdin() {
+    // Drive the real binary once over a pipe: stdin protocol, exit 0.
+    use std::io::Write as _;
+    use std::process::{Command, Stdio};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_resa"))
+        .args(["serve", "--machines", "4", "--policy", "fcfs"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("resa binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"op\":\"submit\",\"width\":2,\"duration\":3}\n{\"op\":\"shutdown\"}\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"op\":\"submit\",\"job\":0"), "{stdout}");
+    assert!(
+        stdout.ends_with("{\"ok\":true,\"op\":\"shutdown\"}\n"),
+        "{stdout}"
+    );
+}

@@ -170,6 +170,47 @@ impl ShadowGuard {
     }
 }
 
+/// Substrates that can run a *speculative* probe: mutate freely inside the
+/// closure, with the guarantee that every mutation is undone before the call
+/// returns.
+///
+/// This is the capability the `resa serve` query path (and any other
+/// what-if probe) needs from its availability substrate:
+///
+/// * [`crate::timeline::AvailabilityTimeline`] implements it through the
+///   transactional layer — `checkpoint` → probe → `rollback_to` — so the
+///   restore costs `O(ops · log B)`, proportional to what the probe actually
+///   touched;
+/// * [`ResourceProfile`] implements it by clone-and-restore (`O(B)`), the
+///   reference semantics the timeline's rollback is property-tested against.
+///
+/// The closure must leave no transaction marks of its own outstanding (on
+/// the timeline, marks taken inside the probe are consumed by the enclosing
+/// rollback, which is exactly the nested-mark stack discipline).
+pub trait Speculate: CapacityQuery {
+    /// Run `probe` with mutable access to the substrate and undo all of its
+    /// mutations before returning its result.
+    fn speculate<T>(&mut self, probe: impl FnOnce(&mut Self) -> T) -> T;
+}
+
+impl Speculate for ResourceProfile {
+    fn speculate<T>(&mut self, probe: impl FnOnce(&mut Self) -> T) -> T {
+        let saved = self.clone();
+        let out = probe(self);
+        *self = saved;
+        out
+    }
+}
+
+impl Speculate for crate::timeline::AvailabilityTimeline {
+    fn speculate<T>(&mut self, probe: impl FnOnce(&mut Self) -> T) -> T {
+        let mark = self.checkpoint();
+        let out = probe(self);
+        self.rollback_to(mark);
+        out
+    }
+}
+
 impl CapacityQuery for ResourceProfile {
     fn base(&self) -> u32 {
         ResourceProfile::base(self)
@@ -440,6 +481,43 @@ mod tests {
                 assert!(from_profile.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn speculate_restores_both_backends() {
+        fn exercise<C: Speculate + Clone + PartialEq + std::fmt::Debug>(c: &mut C) {
+            let before = c.clone();
+            let fit = c.speculate(|s| {
+                s.reserve(Time(2), Dur(5), 3).unwrap();
+                s.release(Time(4), Dur(1), 1).unwrap();
+                s.earliest_fit(4, Dur(3), Time::ZERO)
+            });
+            assert_eq!(&before, c, "speculation must leave no trace");
+            // The probe saw its own mutations.
+            assert_eq!(fit, Some(Time(7)));
+        }
+        let mut profile = ResourceProfile::constant(4);
+        let mut timeline = AvailabilityTimeline::constant(4);
+        exercise(&mut profile);
+        exercise(&mut timeline);
+        assert_eq!(timeline.to_profile(), profile);
+    }
+
+    #[test]
+    fn speculate_nests() {
+        let mut tl = AvailabilityTimeline::constant(8);
+        let min = tl.speculate(|s| {
+            s.reserve(Time(0), Dur(4), 2).unwrap();
+            let inner = s.speculate(|s2| {
+                s2.reserve(Time(0), Dur(4), 4).unwrap();
+                s2.min_capacity_in(Time(0), Dur(4))
+            });
+            assert_eq!(inner, 2);
+            s.min_capacity_in(Time(0), Dur(4))
+        });
+        assert_eq!(min, 6);
+        assert_eq!(tl.min_capacity_in(Time(0), Dur(4)), 8);
+        assert!(!tl.in_transaction());
     }
 
     #[test]

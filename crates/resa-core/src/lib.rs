@@ -73,7 +73,7 @@ pub mod waitlist;
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::bounds::{lower_bound, lower_bound_rigid};
-    pub use crate::capacity::{CapacityQuery, ShadowGuard, WindowProfile};
+    pub use crate::capacity::{CapacityQuery, ShadowGuard, Speculate, WindowProfile};
     pub use crate::error::{ModelError, ProfileError, ScheduleError};
     pub use crate::gantt::render_gantt;
     pub use crate::instance::{Alpha, ResaInstance, ResaInstanceBuilder, RigidInstance};
@@ -390,6 +390,70 @@ mod proptests {
             }
             let bulk = AvailabilityTimeline::from_placements(&inst, s.placements()).unwrap();
             prop_assert_eq!(bulk.to_profile(), sequential.to_profile());
+        }
+
+        /// Extreme horizons: the same reserve/release script executed near
+        /// time 0 and shifted to completion times near `i64::MAX` yields a
+        /// capacity function that is an exact translate — no overflow in the
+        /// lazy-delta `i64`s, the area `i128`s, or the window arithmetic.
+        #[test]
+        fn timeline_is_translation_invariant_at_extreme_horizons(
+            m in 2u32..=16,
+            ops in proptest::collection::vec((0u64..60, 1u64..=20, 1u32..=16, 0u32..=1), 1usize..=12),
+            probes in proptest::collection::vec((0u64..100, 1u64..=30, 1u32..=16), 1usize..=8),
+        ) {
+            let offset = i64::MAX as u64 - 200;
+            let mut near = AvailabilityTimeline::constant(m);
+            let mut far = AvailabilityTimeline::constant(m);
+            for (s, d, w, kind) in ops {
+                let (rn, rf) = if kind == 0 {
+                    (
+                        CapacityQuery::reserve(&mut near, Time(s), Dur(d), w),
+                        CapacityQuery::reserve(&mut far, Time(offset + s), Dur(d), w),
+                    )
+                } else {
+                    (
+                        CapacityQuery::release(&mut near, Time(s), Dur(d), w),
+                        CapacityQuery::release(&mut far, Time(offset + s), Dur(d), w),
+                    )
+                };
+                prop_assert_eq!(rn.is_ok(), rf.is_ok());
+            }
+            for (t, d, w) in probes {
+                prop_assert_eq!(
+                    CapacityQuery::capacity_at(&near, Time(t)),
+                    CapacityQuery::capacity_at(&far, Time(offset + t))
+                );
+                prop_assert_eq!(
+                    CapacityQuery::min_capacity_in(&near, Time(t), Dur(d)),
+                    CapacityQuery::min_capacity_in(&far, Time(offset + t), Dur(d))
+                );
+                prop_assert_eq!(
+                    CapacityQuery::earliest_fit(&near, w, Dur(d), Time(t)).map(|x| x.ticks()),
+                    CapacityQuery::earliest_fit(&far, w, Dur(d), Time(offset + t))
+                        .map(|x| x.ticks() - offset)
+                );
+            }
+        }
+
+        /// The transactional layer stays exact at extreme horizons: rollback
+        /// after reserves whose completion times sit near `i64::MAX` restores
+        /// the availability function bit for bit.
+        #[test]
+        fn rollback_is_exact_at_extreme_horizons(
+            m in 2u32..=16,
+            batch in proptest::collection::vec((0u64..150, 1u64..=40, 1u32..=8), 1usize..=10),
+        ) {
+            let offset = i64::MAX as u64 - 500;
+            let mut tl = AvailabilityTimeline::constant(m);
+            let _ = CapacityQuery::reserve(&mut tl, Time(offset), Dur(3), 1);
+            let before = tl.to_profile();
+            let mark = tl.checkpoint();
+            for (s, d, w) in batch {
+                let _ = CapacityQuery::reserve(&mut tl, Time(offset + s), Dur(d), w);
+            }
+            tl.rollback_to(mark);
+            prop_assert_eq!(tl.to_profile(), before);
         }
 
         /// Processor assignment of a feasible schedule always verifies.

@@ -611,20 +611,22 @@ impl AvailabilityTimeline {
         events.sort_unstable();
         let mut times: Vec<u64> = vec![0];
         let mut caps: Vec<u32> = vec![machines];
-        let mut usage: i64 = 0;
+        // i128 so even pathological event counts cannot overflow the running
+        // usage sum (each event contributes at most u32::MAX).
+        let mut usage: i128 = 0;
         let mut i = 0;
         while i < events.len() {
             let t = events[i].0;
-            let mut delta = 0i64;
+            let mut delta = 0i128;
             while i < events.len() && events[i].0 == t {
-                delta += events[i].1;
+                delta += events[i].1 as i128;
                 i += 1;
             }
             if delta == 0 {
                 continue;
             }
             usage += delta;
-            let cap = machines as i64 - usage;
+            let cap = machines as i128 - usage;
             if cap < 0 {
                 return Err(ProfileError::InsufficientCapacity {
                     at: Time(t),
@@ -632,6 +634,10 @@ impl AvailabilityTimeline {
                     available: machines,
                 });
             }
+            debug_assert!(
+                cap <= machines as i128,
+                "placement releases exceed reserves"
+            );
             if t == 0 {
                 caps[0] = cap as u32;
             } else {
@@ -674,13 +680,19 @@ impl AvailabilityTimeline {
                 // is entered only when it holds the remaining demand).
                 return None;
             }
+            // `extra` can exceed u64 for astronomic demands; saturate to the
+            // time horizon instead of silently truncating the u128.
             let extra = remaining.div_ceil(cap as u128);
-            return Some(Time(self.times[lo].saturating_add(extra as u64)));
+            let extra = u64::try_from(extra).unwrap_or(u64::MAX);
+            return Some(Time(self.times[lo].saturating_add(extra)));
         }
         let mid = (lo + hi) / 2;
         let acc = acc + self.nodes[node].lazy;
         let left = self.nodes[2 * node].area + acc as i128 * self.finite_span(lo, mid);
         debug_assert!(left >= 0);
+        // Clamp defensively: a (bug-induced) negative area must not wrap to a
+        // huge u128 and corrupt the descent in release builds.
+        let left = left.max(0);
         if left as u128 >= remaining {
             self.area_descent(2 * node, lo, mid, acc, remaining)
         } else {
@@ -1173,6 +1185,55 @@ mod tests {
         assert_eq!(tl.earliest_time_with_area(20), Some(Time(5)));
         assert_eq!(tl.earliest_time_with_area(21), None);
         assert_eq!(p.earliest_time_with_area(21), None);
+    }
+
+    /// Jobs completing near the end of representable time: reserves, range
+    /// queries and the transactional layer must not overflow the `i64`
+    /// arithmetic of the lazy deltas or the `i128` area augmentation.
+    #[test]
+    fn extreme_horizon_reserve_release_roundtrip() {
+        let far = i64::MAX as u64 - 100;
+        let mut tl = AvailabilityTimeline::constant(u32::MAX);
+        let original = tl.to_profile();
+        tl.reserve(Time(far), Dur(50), u32::MAX).unwrap();
+        assert_eq!(tl.capacity_at(Time(far)), 0);
+        assert_eq!(tl.capacity_at(Time(far + 50)), u32::MAX);
+        assert_eq!(tl.min_capacity_in(Time(0), Dur(u64::MAX)), 0);
+        let mark = tl.checkpoint();
+        tl.reserve(Time(10), Dur(far - 20), 7).unwrap();
+        assert_eq!(tl.capacity_at(Time(far - 11)), u32::MAX - 7);
+        tl.rollback_to(mark);
+        tl.release(Time(far), Dur(50), u32::MAX).unwrap();
+        assert_eq!(tl.to_profile(), original);
+    }
+
+    #[test]
+    fn extreme_horizon_earliest_fit_does_not_wrap() {
+        // Everything but the last 5 ticks of time is fully reserved.
+        let far = i64::MAX as u64;
+        let mut tl = AvailabilityTimeline::constant(4);
+        tl.reserve(Time(0), Dur(far), 4).unwrap();
+        assert_eq!(tl.earliest_fit(1, Dur(3), Time::ZERO), Some(Time(far)));
+        // A window whose end saturates past u64::MAX still terminates.
+        assert_eq!(
+            tl.earliest_fit(1, Dur(u64::MAX), Time::ZERO),
+            Some(Time(far))
+        );
+    }
+
+    #[test]
+    fn astronomic_area_demand_saturates_instead_of_truncating() {
+        // Final capacity 1: meeting `area` takes `area` extra ticks, which
+        // exceeds u64 for u128-sized demands. The answer must saturate at
+        // Time::MAX, not wrap around to a small time.
+        let p = ResourceProfile::from_steps(4, vec![(Time(0), 4), (Time(10), 1)]);
+        let tl = AvailabilityTimeline::from(&p);
+        assert_eq!(
+            tl.earliest_time_with_area(u64::MAX as u128 * 16),
+            Some(Time::MAX)
+        );
+        // Sanity: small demands are unaffected.
+        assert_eq!(tl.earliest_time_with_area(40), Some(Time(10)));
     }
 
     #[test]

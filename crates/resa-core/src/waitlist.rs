@@ -41,6 +41,18 @@ impl WaitList {
         }
     }
 
+    /// Grow the accepted index range to `0..capacity` (no-op if already that
+    /// large). Long-running callers (the `resa serve` waiting set, whose job
+    /// catalog grows with every submission) use this instead of rebuilding.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        assert!(capacity < NIL as usize, "WaitList capacity overflow");
+        if capacity > self.next.len() {
+            self.next.resize(capacity, NIL);
+            self.prev.resize(capacity, NIL);
+            self.present.resize(capacity, false);
+        }
+    }
+
     /// Number of present indices.
     pub fn len(&self) -> usize {
         self.len
@@ -178,6 +190,18 @@ mod tests {
         assert_eq!(l.iter().collect::<Vec<_>>(), vec![2, 1]);
         assert_eq!(l.next_of(2), Some(1));
         assert_eq!(l.next_of(1), None);
+    }
+
+    #[test]
+    fn ensure_capacity_grows_in_place() {
+        let mut l = WaitList::with_capacity(2);
+        l.push_back(1);
+        l.ensure_capacity(5);
+        l.push_back(4);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![1, 4]);
+        assert!(!l.contains(3));
+        l.ensure_capacity(3); // shrinking is a no-op
+        assert!(l.contains(4));
     }
 
     #[test]

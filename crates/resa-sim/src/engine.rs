@@ -44,6 +44,18 @@ impl Simulator {
         &self.instance
     }
 
+    /// Run under the optimized policy selected by `kind` (the shared
+    /// policy-name enum also used by the reference engine and `resa serve`).
+    pub fn run_reference_policy(&self, kind: crate::reference::ReferencePolicy) -> SimResult {
+        use crate::policy::{EasyPolicy, FcfsPolicy, GreedyPolicy};
+        use crate::reference::ReferencePolicy;
+        match kind {
+            ReferencePolicy::Fcfs => self.run(&FcfsPolicy),
+            ReferencePolicy::Easy => self.run(&EasyPolicy),
+            ReferencePolicy::Greedy => self.run(&GreedyPolicy),
+        }
+    }
+
     /// Run the simulation to completion under `policy`.
     ///
     /// The event loop is allocation-free on the steady path: the waiting set

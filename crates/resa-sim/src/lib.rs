@@ -13,7 +13,11 @@
 //! * [`engine::Simulator`] — the event loop, producing a feasible
 //!   [`resa_core::schedule::Schedule`] and per-run [`metrics::SimMetrics`];
 //! * [`trace::RunTrace`] — per-job lifecycle records (arrival, start,
-//!   completion, overtaking) for post-mortem analysis of a run.
+//!   completion, overtaking) for post-mortem analysis of a run;
+//! * [`service::ScheduleService`] — the *resident* incremental counterpart of
+//!   the batch engine: one live substrate, requests (submit / reserve /
+//!   cancel / query / advance) processed in arrival order — the library core
+//!   of `resa serve`.
 //!
 //! ```
 //! use resa_core::prelude::*;
@@ -40,6 +44,7 @@ pub mod event;
 pub mod metrics;
 pub mod policy;
 pub mod reference;
+pub mod service;
 pub mod trace;
 
 /// Convenient glob import.
@@ -50,6 +55,9 @@ pub mod prelude {
         DecisionScratch, EasyPolicy, FcfsPolicy, GreedyPolicy, OnlinePolicy, WaitingJobs,
     };
     pub use crate::reference::{simulate_reference, ReferencePolicy};
+    pub use crate::service::{
+        Effects, ScheduleService, ServiceError, ServiceReservation, ServiceStats,
+    };
     pub use crate::trace::{JobRecord, RunTrace};
 }
 

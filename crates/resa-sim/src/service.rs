@@ -1,0 +1,990 @@
+//! The resident scheduling service behind `resa serve`.
+//!
+//! The paper's model is inherently on-line (§2.1): jobs arrive over time and
+//! the scheduler answers earliest-fit queries against a changing availability
+//! profile `m(t)`. The batch [`crate::engine::Simulator`] replays a complete
+//! instance; [`ScheduleService`] is the *incremental* counterpart a
+//! long-running daemon needs — one availability substrate stays resident
+//! while requests arrive in adversarial order:
+//!
+//! * [`ScheduleService::submit`] — a job arrives (optionally with a future
+//!   release date) and is routed through the configured on-line policy;
+//! * [`ScheduleService::reserve`] / [`ScheduleService::cancel`] — advance
+//!   reservations join or leave the overlay; both are applied
+//!   *transactionally* through [`Speculate`]-compatible substrates, so a
+//!   rejected request rolls back without a trace;
+//! * [`ScheduleService::query`] — a speculative earliest-fit probe
+//!   (checkpoint → earliest-fit → tentative reserve → rollback) that never
+//!   mutates observable state;
+//! * [`ScheduleService::advance`] — virtual time moves forward, draining
+//!   completions and waking the policy at each event instant;
+//! * [`ScheduleService::stats`] / [`ScheduleService::snapshot`] — aggregate
+//!   counters and the current schedule in the shapes `resa replay` reports.
+//!
+//! # Replay equivalence
+//!
+//! The service makes scheduling decisions at exactly the instants the batch
+//! engine would: job arrivals, job completions, and the *normalized*
+//! availability breakpoints of the reservation overlay (equal-capacity
+//! boundaries produce no decision point, mirroring
+//! `ResourceProfile::from_reservations`). As a consequence, a session whose
+//! reservation overlay is fixed up front and then drained to completion
+//! produces bit-for-bit the schedule of [`crate::engine::Simulator`] run on
+//! the equivalent off-line instance — property-tested below on both
+//! substrates. This is the strongest cheap correctness oracle a resident
+//! scheduler can have: every latent state bug shows up as a divergence from
+//! the batch engine.
+
+use crate::metrics::SimMetrics;
+use crate::policy::{
+    DecisionScratch, EasyPolicy, FcfsPolicy, GreedyPolicy, OnlinePolicy, WaitingJobs,
+};
+use crate::reference::ReferencePolicy;
+use crate::trace::{JobRecord, RunTrace};
+use resa_core::capacity::Speculate;
+use resa_core::prelude::*;
+use std::collections::BTreeSet;
+
+/// Errors a service request can be rejected with. The service state is
+/// unchanged by a rejected request (transactional semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A width of zero or wider than the cluster.
+    BadWidth {
+        /// The requested width.
+        width: u32,
+        /// The cluster size.
+        machines: u32,
+    },
+    /// A zero duration.
+    ZeroDuration,
+    /// A release/start/advance instant before the current virtual time.
+    InThePast {
+        /// The requested instant.
+        at: Time,
+        /// The current virtual time.
+        now: Time,
+    },
+    /// A reservation that does not fit the availability left by running jobs
+    /// and earlier reservations.
+    ReservationRejected {
+        /// The underlying capacity error.
+        reason: String,
+    },
+    /// A reservation id that does not exist.
+    UnknownReservation {
+        /// The offending id.
+        id: usize,
+    },
+    /// A reservation that was already cancelled or has already ended.
+    ReservationInactive {
+        /// The offending id.
+        id: usize,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::BadWidth { width, machines } => {
+                write!(f, "width {width} outside 1..={machines}")
+            }
+            ServiceError::ZeroDuration => write!(f, "duration must be positive"),
+            ServiceError::InThePast { at, now } => {
+                write!(f, "{at} is in the past (virtual time is {now})")
+            }
+            ServiceError::ReservationRejected { reason } => {
+                write!(f, "reservation rejected: {reason}")
+            }
+            ServiceError::UnknownReservation { id } => write!(f, "unknown reservation {id}"),
+            ServiceError::ReservationInactive { id } => {
+                write!(f, "reservation {id} is cancelled or already over")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One reservation held by the service, with its live window. A cancelled
+/// reservation keeps the elapsed prefix `[start, cancelled_at)` (capacity it
+/// blocked in the past cannot be given back retroactively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceReservation {
+    /// Dense id handed out by [`ScheduleService::reserve`].
+    pub id: usize,
+    /// Processors withdrawn.
+    pub width: u32,
+    /// Start of the window.
+    pub start: Time,
+    /// Exclusive end of the *effective* window (truncated by cancellation).
+    pub end: Time,
+    /// Whether [`ScheduleService::cancel`] resolved this reservation.
+    pub cancelled: bool,
+}
+
+/// What one request changed: jobs started by the decision(s) it triggered
+/// and jobs that completed while time advanced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// Jobs started, in decision order, with their start times.
+    pub started: Vec<Placement>,
+    /// Jobs whose completion was drained, with their completion times.
+    pub completed: Vec<(JobId, Time)>,
+}
+
+/// Aggregate counters of a service session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Current virtual time.
+    pub now: Time,
+    /// Cluster size.
+    pub machines: u32,
+    /// Jobs submitted so far.
+    pub submitted: usize,
+    /// Jobs not yet released (future release dates).
+    pub pending: usize,
+    /// Jobs released but not yet started.
+    pub waiting: usize,
+    /// Jobs started but not yet completed.
+    pub running: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Reservations currently active or scheduled (accepted minus cancelled).
+    pub reservations: usize,
+    /// Decision points at which the policy was consulted.
+    pub decisions: u64,
+    /// Largest completion time among started jobs (the paper's `C_max` so
+    /// far).
+    pub makespan: Time,
+}
+
+/// The resident scheduling service: a live availability substrate plus the
+/// incremental decision loop of the batch engine.
+///
+/// Generic over the availability substrate exactly like the schedulers: the
+/// indexed [`AvailabilityTimeline`] is the production backend (checkpoint /
+/// rollback speculation), the naive
+/// [`ResourceProfile`] the clone-based
+/// reference — `resa serve --substrate timeline|profile` runs one session on
+/// each and the golden tests assert byte-identical transcripts.
+#[derive(Debug, Clone)]
+pub struct ScheduleService<C: CapacityQuery + Speculate> {
+    machines: u32,
+    policy: ReferencePolicy,
+    substrate: C,
+    now: Time,
+    /// Every job ever submitted; ids are dense (id == index).
+    jobs: Vec<Job>,
+    /// Released-but-not-started job positions, in arrival order.
+    waiting: WaitList,
+    /// Future arrivals `(release, position)`, kept sorted; the heap tie-break
+    /// of the batch engine (job id) is the second component.
+    pending: BTreeSet<(Time, usize)>,
+    /// Outstanding completions `(completion, position)`.
+    running: BTreeSet<(Time, usize)>,
+    /// Future decision instants induced by the reservation overlay: the
+    /// normalized breakpoints of the overlay profile, mirroring the
+    /// availability-change events of the batch engine.
+    breakpoints: BTreeSet<Time>,
+    reservations: Vec<ServiceReservation>,
+    schedule: Schedule,
+    decisions: u64,
+    scratch: DecisionScratch,
+    to_start: Vec<JobId>,
+}
+
+impl<C: CapacityQuery + Speculate> ScheduleService<C> {
+    /// Create a service on `substrate`, which must represent an empty
+    /// cluster (constant capacity `substrate.base()`).
+    ///
+    /// # Panics
+    /// Panics if the substrate has no machines.
+    pub fn new(policy: ReferencePolicy, substrate: C) -> Self {
+        let machines = substrate.base();
+        assert!(machines > 0, "a cluster needs at least one machine");
+        ScheduleService {
+            machines,
+            policy,
+            substrate,
+            now: Time::ZERO,
+            jobs: Vec::new(),
+            waiting: WaitList::with_capacity(0),
+            pending: BTreeSet::new(),
+            running: BTreeSet::new(),
+            breakpoints: BTreeSet::new(),
+            reservations: Vec::new(),
+            schedule: Schedule::new(),
+            decisions: 0,
+            scratch: DecisionScratch::default(),
+            to_start: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The cluster size.
+    pub fn machines(&self) -> u32 {
+        self.machines
+    }
+
+    /// The configured on-line policy.
+    pub fn policy(&self) -> ReferencePolicy {
+        self.policy
+    }
+
+    /// The schedule of every job started so far, in decision order.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Number of decision points so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// All reservations ever accepted (including cancelled ones, truncated).
+    pub fn reservations(&self) -> &[ServiceReservation] {
+        &self.reservations
+    }
+
+    // -- requests -----------------------------------------------------------
+
+    /// Submit a job of `width` processors for `duration` ticks, arriving at
+    /// `release` (the current virtual time when `None`). Returns the new
+    /// job's id and the starts the arrival decision triggered.
+    pub fn submit(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+    ) -> Result<(JobId, Effects), ServiceError> {
+        if width == 0 || width > self.machines {
+            return Err(ServiceError::BadWidth {
+                width,
+                machines: self.machines,
+            });
+        }
+        if duration.is_zero() {
+            return Err(ServiceError::ZeroDuration);
+        }
+        let release = release.unwrap_or(self.now);
+        if release < self.now {
+            return Err(ServiceError::InThePast {
+                at: release,
+                now: self.now,
+            });
+        }
+        let pos = self.jobs.len();
+        let id = JobId(pos);
+        self.jobs
+            .push(Job::released_at(pos, width, duration, release));
+        self.waiting.ensure_capacity(pos + 1);
+        let mut effects = Effects::default();
+        if release == self.now {
+            // The arrival is an event at the current instant: enqueue and
+            // decide, exactly like the batch engine's arrival handling.
+            self.waiting.push_back(pos);
+            self.decide_now(&mut effects);
+        } else {
+            self.pending.insert((release, pos));
+        }
+        Ok((id, effects))
+    }
+
+    /// Reserve `width` processors during `[start, start + duration)`.
+    /// Applied transactionally: a reservation that does not fit the
+    /// availability left by running jobs and earlier reservations is
+    /// rejected and the substrate is untouched.
+    pub fn reserve(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Effects), ServiceError> {
+        if width == 0 || width > self.machines {
+            return Err(ServiceError::BadWidth {
+                width,
+                machines: self.machines,
+            });
+        }
+        if duration.is_zero() {
+            return Err(ServiceError::ZeroDuration);
+        }
+        if start < self.now {
+            return Err(ServiceError::InThePast {
+                at: start,
+                now: self.now,
+            });
+        }
+        self.substrate
+            .reserve(start, duration, width)
+            .map_err(|e| ServiceError::ReservationRejected {
+                reason: e.to_string(),
+            })?;
+        let id = self.reservations.len();
+        self.reservations.push(ServiceReservation {
+            id,
+            width,
+            start,
+            end: start.saturating_add(duration),
+            cancelled: false,
+        });
+        self.refresh_breakpoints();
+        let mut effects = Effects::default();
+        // The overlay changed: a window starting now changes capacity at the
+        // current instant, and even a future window can alter an EASY
+        // decision at `now` (the blocked head's shadow moves later, which
+        // may newly admit a backfill candidate). Consult the policy — a
+        // no-op when nothing waits, which keeps replayable sessions
+        // (overlay fixed before the first submission) decision-identical to
+        // the batch engine.
+        self.decide_now(&mut effects);
+        Ok((id, effects))
+    }
+
+    /// Cancel reservation `id`, releasing its not-yet-elapsed window
+    /// `[max(now, start), end)`. The elapsed prefix stays in effect — the
+    /// past cannot be rewritten. Applied transactionally.
+    pub fn cancel(&mut self, id: usize) -> Result<Effects, ServiceError> {
+        let r = *self
+            .reservations
+            .get(id)
+            .ok_or(ServiceError::UnknownReservation { id })?;
+        if r.cancelled || r.end <= self.now {
+            return Err(ServiceError::ReservationInactive { id });
+        }
+        let from = r.start.max(self.now);
+        let remaining = r.end.since(from);
+        if !remaining.is_zero() {
+            self.substrate
+                .release(from, remaining, r.width)
+                .expect("releasing an active reservation's own window");
+        }
+        let entry = &mut self.reservations[id];
+        entry.cancelled = true;
+        entry.end = from;
+        self.refresh_breakpoints();
+        let mut effects = Effects::default();
+        // Capacity grew — at the current instant if the window had started,
+        // in the future otherwise. Both can unblock a waiting job's run
+        // (which extends into the future), and a job blocked *only* by the
+        // cancelled window would otherwise be stranded forever: with the
+        // window gone there may be no future event left to wake the policy.
+        // Deciding unconditionally closes that hole and is a no-op when
+        // nothing waits.
+        self.decide_now(&mut effects);
+        Ok(effects)
+    }
+
+    /// Speculative earliest-fit probe: the earliest start a `width ×
+    /// duration` job would get if submitted now (or at `not_before`), or
+    /// `None` if it can never fit. Runs as checkpoint → earliest-fit →
+    /// tentative reserve → rollback on the substrate, so the observable
+    /// state is untouched — including by the validating reserve.
+    pub fn query(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        not_before: Option<Time>,
+    ) -> Result<Option<Time>, ServiceError> {
+        if width == 0 || width > self.machines {
+            return Err(ServiceError::BadWidth {
+                width,
+                machines: self.machines,
+            });
+        }
+        if duration.is_zero() {
+            return Err(ServiceError::ZeroDuration);
+        }
+        let from = not_before.unwrap_or(self.now).max(self.now);
+        Ok(self.substrate.speculate(|s| {
+            let start = s.earliest_fit(width, duration, from)?;
+            s.reserve(start, duration, width)
+                .expect("earliest_fit certified the window");
+            Some(start)
+        }))
+    }
+
+    /// Advance virtual time to `to`, draining completions, releasing pending
+    /// arrivals and consulting the policy at every event instant on the way
+    /// (completion, arrival, or reservation breakpoint), in time order.
+    pub fn advance(&mut self, to: Time) -> Result<Effects, ServiceError> {
+        if to < self.now {
+            return Err(ServiceError::InThePast {
+                at: to,
+                now: self.now,
+            });
+        }
+        let mut effects = Effects::default();
+        while let Some(at) = self.next_event() {
+            if at > to {
+                break;
+            }
+            self.now = at;
+            // Drain every event at this instant, then decide once —
+            // completions and availability changes act only through the
+            // substrate (job windows end by themselves), arrivals join the
+            // waiting set in id order.
+            while let Some(&(t, pos)) = self.running.first() {
+                if t != at {
+                    break;
+                }
+                self.running.pop_first();
+                effects.completed.push((JobId(pos), t));
+            }
+            while let Some(&(t, pos)) = self.pending.first() {
+                if t != at {
+                    break;
+                }
+                self.pending.pop_first();
+                self.waiting.push_back(pos);
+            }
+            while let Some(&t) = self.breakpoints.first() {
+                if t != at {
+                    break;
+                }
+                self.breakpoints.pop_first();
+            }
+            self.decide_now(&mut effects);
+        }
+        self.now = to;
+        Ok(effects)
+    }
+
+    /// Advance until no event is outstanding (all submitted jobs completed),
+    /// leaving `now` at the last event instant.
+    pub fn drain(&mut self) -> Effects {
+        let mut effects = Effects::default();
+        while let Some(at) = self.next_event() {
+            let step = self.advance(at).expect("next_event() is never in the past");
+            effects.started.extend(step.started);
+            effects.completed.extend(step.completed);
+        }
+        effects
+    }
+
+    /// Aggregate counters of the session so far.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            now: self.now,
+            machines: self.machines,
+            submitted: self.jobs.len(),
+            pending: self.pending.len(),
+            waiting: self.waiting.len(),
+            running: self.running.len(),
+            completed: self.schedule.len() - self.running.len(),
+            reservations: self
+                .reservations
+                .iter()
+                .filter(|r| !r.cancelled && r.end > r.start)
+                .count(),
+            decisions: self.decisions,
+            makespan: self
+                .schedule
+                .placements()
+                .iter()
+                .map(|p| p.start.saturating_add(self.jobs[p.job.0].duration))
+                .max()
+                .unwrap_or(Time::ZERO),
+        }
+    }
+
+    /// The current schedule as per-job lifecycle records plus run metrics —
+    /// the same shapes `resa replay` reports. Jobs still running carry their
+    /// scheduled completion time.
+    pub fn snapshot(&self) -> (Vec<JobRecord>, SimMetrics) {
+        let instance = self.to_instance();
+        let trace = RunTrace::from_schedule(&instance, &self.schedule);
+        let metrics = SimMetrics::from_schedule(&instance, &self.schedule);
+        (trace.records().to_vec(), metrics)
+    }
+
+    /// The session so far as an equivalent off-line instance: every
+    /// submitted job with its release date, plus the effective (possibly
+    /// cancellation-truncated) reservation windows. Replaying this instance
+    /// through the batch [`crate::engine::Simulator`] under the same policy
+    /// reproduces the service's schedule whenever the overlay was fixed
+    /// before the first submission (see the module docs).
+    pub fn to_instance(&self) -> ResaInstance {
+        ResaInstance::new(self.machines, self.jobs.clone(), self.effective_overlay())
+            .expect("the live substrate accepted every window")
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    /// The reservation overlay as it is actually in effect: cancelled
+    /// windows truncated to their elapsed prefix, zero-length windows
+    /// dropped, ids re-densified. The single source of truth for both the
+    /// replay-equivalence instance and the decision breakpoints — the two
+    /// must never diverge.
+    fn effective_overlay(&self) -> Vec<Reservation> {
+        self.reservations
+            .iter()
+            .filter(|r| r.end > r.start)
+            .enumerate()
+            .map(|(i, r)| Reservation::new(i, r.width, r.end.since(r.start), r.start))
+            .collect()
+    }
+
+    /// The earliest outstanding event instant, if any.
+    fn next_event(&self) -> Option<Time> {
+        let mut next: Option<Time> = None;
+        let mut consider = |t: Option<Time>| {
+            next = match (next, t) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        };
+        consider(self.running.first().map(|&(t, _)| t));
+        consider(self.pending.first().map(|&(t, _)| t));
+        // Breakpoints only matter while someone could be woken by them —
+        // but filtering on non-empty waiting here would diverge from the
+        // batch engine only in *skipped no-op decisions*, not in schedules;
+        // keeping them unconditional also drains the set as time passes.
+        consider(self.breakpoints.iter().next().copied());
+        next
+    }
+
+    /// Consult the policy at the current instant and apply its starts,
+    /// mirroring the batch engine's decision handling (including the
+    /// defensive feasibility re-check). No-op when nothing waits.
+    fn decide_now(&mut self, effects: &mut Effects) {
+        if self.waiting.is_empty() {
+            return;
+        }
+        self.decisions += 1;
+        let view = WaitingJobs::new(&self.jobs, &self.waiting);
+        match self.policy {
+            ReferencePolicy::Fcfs => FcfsPolicy.decide(
+                self.now,
+                &view,
+                &self.substrate,
+                &mut self.scratch,
+                &mut self.to_start,
+            ),
+            ReferencePolicy::Easy => EasyPolicy.decide(
+                self.now,
+                &view,
+                &self.substrate,
+                &mut self.scratch,
+                &mut self.to_start,
+            ),
+            ReferencePolicy::Greedy => GreedyPolicy.decide(
+                self.now,
+                &view,
+                &self.substrate,
+                &mut self.scratch,
+                &mut self.to_start,
+            ),
+        }
+        for i in 0..self.to_start.len() {
+            let id = self.to_start[i];
+            let pos = id.0;
+            if !self.waiting.contains(pos) {
+                continue; // policies must only start waiting jobs
+            }
+            let job = self.jobs[pos];
+            if self.substrate.min_capacity_in(self.now, job.duration) < job.width {
+                continue; // defensive: refuse infeasible starts
+            }
+            self.substrate
+                .reserve(self.now, job.duration, job.width)
+                .expect("capacity just checked");
+            self.schedule.place(id, self.now);
+            self.running
+                .insert((self.now.saturating_add(job.duration), pos));
+            self.waiting.remove(pos);
+            effects.started.push(Placement {
+                job: id,
+                start: self.now,
+            });
+        }
+    }
+
+    /// Recompute the future availability-change instants from the effective
+    /// reservation overlay: the *normalized* profile breakpoints, so
+    /// equal-capacity boundaries produce no decision point — exactly the
+    /// events the batch engine schedules.
+    fn refresh_breakpoints(&mut self) {
+        let profile = ResourceProfile::from_reservations(self.machines, &self.effective_overlay())
+            .expect("the live substrate accepted every window");
+        self.breakpoints = profile
+            .steps()
+            .iter()
+            .map(|&(t, _)| t)
+            .filter(|&t| t > self.now)
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+
+    fn timeline_service(m: u32, policy: ReferencePolicy) -> ScheduleService<AvailabilityTimeline> {
+        ScheduleService::new(policy, AvailabilityTimeline::constant(m))
+    }
+
+    fn profile_service(m: u32, policy: ReferencePolicy) -> ScheduleService<ResourceProfile> {
+        ScheduleService::new(policy, ResourceProfile::constant(m))
+    }
+
+    #[test]
+    fn submit_starts_immediately_when_it_fits() {
+        let mut svc = timeline_service(4, ReferencePolicy::Easy);
+        let (id, fx) = svc.submit(2, Dur(5), None).unwrap();
+        assert_eq!(id, JobId(0));
+        assert_eq!(
+            fx.started,
+            vec![Placement {
+                job: id,
+                start: Time(0)
+            }]
+        );
+        assert_eq!(svc.stats().running, 1);
+        assert_eq!(svc.decisions(), 1);
+    }
+
+    #[test]
+    fn blocked_submission_waits_for_completion() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        svc.submit(4, Dur(10), None).unwrap();
+        let (j1, fx) = svc.submit(2, Dur(3), None).unwrap();
+        assert!(fx.started.is_empty(), "no room while J0 runs");
+        let fx = svc.advance(Time(10)).unwrap();
+        assert_eq!(fx.completed, vec![(JobId(0), Time(10))]);
+        assert_eq!(
+            fx.started,
+            vec![Placement {
+                job: j1,
+                start: Time(10)
+            }]
+        );
+    }
+
+    #[test]
+    fn future_release_arrives_during_advance() {
+        let mut svc = timeline_service(4, ReferencePolicy::Greedy);
+        let (id, fx) = svc.submit(1, Dur(2), Some(Time(7))).unwrap();
+        assert!(fx.started.is_empty());
+        assert_eq!(svc.stats().pending, 1);
+        let fx = svc.advance(Time(8)).unwrap();
+        assert_eq!(
+            fx.started,
+            vec![Placement {
+                job: id,
+                start: Time(7)
+            }]
+        );
+        assert_eq!(svc.now(), Time(8));
+    }
+
+    #[test]
+    fn reservation_blocks_and_cancellation_frees() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        let (rid, _) = svc.reserve(4, Dur(100), Time(0)).unwrap();
+        let (id, fx) = svc.submit(2, Dur(5), None).unwrap();
+        assert!(fx.started.is_empty(), "cluster fully reserved");
+        // Cancelling at t=0 frees the whole window (nothing elapsed)...
+        svc.advance(Time(1)).unwrap();
+        let fx = svc.cancel(rid).unwrap();
+        // ...at t=1 the elapsed prefix [0,1) stays, the rest is released and
+        // the capacity change wakes the policy.
+        assert_eq!(
+            fx.started,
+            vec![Placement {
+                job: id,
+                start: Time(1)
+            }]
+        );
+        assert!(matches!(
+            svc.cancel(rid),
+            Err(ServiceError::ReservationInactive { .. })
+        ));
+    }
+
+    /// Regression: a job blocked *only* by a not-yet-started reservation
+    /// must start when that reservation is cancelled — with the window gone
+    /// there is no future event left to wake the policy, so the cancel
+    /// itself has to.
+    #[test]
+    fn cancelling_a_future_reservation_unblocks_waiting_jobs() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        let (rid, _) = svc.reserve(4, Dur(10), Time(10)).unwrap();
+        let (id, fx) = svc.submit(4, Dur(15), None).unwrap();
+        assert!(fx.started.is_empty(), "run overlaps the future window");
+        let fx = svc.cancel(rid).unwrap();
+        assert_eq!(
+            fx.started,
+            vec![Placement {
+                job: id,
+                start: Time(0)
+            }]
+        );
+        let fx = svc.drain();
+        assert_eq!(fx.completed, vec![(id, Time(15))]);
+        assert_eq!(svc.stats().waiting, 0);
+    }
+
+    #[test]
+    fn rejected_reservation_rolls_back_cleanly() {
+        let mut svc = timeline_service(4, ReferencePolicy::Easy);
+        svc.submit(3, Dur(10), None).unwrap();
+        let before = svc.substrate.to_profile();
+        let err = svc.reserve(2, Dur(5), Time(3)).unwrap_err();
+        assert!(matches!(err, ServiceError::ReservationRejected { .. }));
+        assert_eq!(svc.substrate.to_profile(), before, "rejection left a trace");
+        assert_eq!(svc.reservations().len(), 0);
+    }
+
+    #[test]
+    fn query_probe_does_not_mutate_state() {
+        let mut svc = timeline_service(4, ReferencePolicy::Easy);
+        svc.reserve(3, Dur(10), Time(2)).unwrap();
+        svc.submit(2, Dur(4), None).unwrap();
+        let before = (svc.substrate.to_profile(), svc.snapshot());
+        let probe = svc.query(4, Dur(5), None).unwrap().unwrap();
+        assert_eq!(probe, Time(12), "behind the reservation and J0");
+        let after = (svc.substrate.to_profile(), svc.snapshot());
+        assert_eq!(before, after, "query mutated observable state");
+        assert!(!svc.substrate.in_transaction());
+        // Degenerate probes are answered, not executed.
+        assert_eq!(
+            svc.query(4, Dur(1), Some(Time(50))).unwrap(),
+            Some(Time(50))
+        );
+        assert!(matches!(
+            svc.query(5, Dur(1), None),
+            Err(ServiceError::BadWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        assert!(matches!(
+            svc.submit(0, Dur(1), None),
+            Err(ServiceError::BadWidth { .. })
+        ));
+        assert!(matches!(
+            svc.submit(1, Dur(0), None),
+            Err(ServiceError::ZeroDuration)
+        ));
+        svc.advance(Time(5)).unwrap();
+        assert!(matches!(
+            svc.submit(1, Dur(1), Some(Time(3))),
+            Err(ServiceError::InThePast { .. })
+        ));
+        assert!(matches!(
+            svc.reserve(1, Dur(1), Time(3)),
+            Err(ServiceError::InThePast { .. })
+        ));
+        assert!(matches!(
+            svc.advance(Time(4)),
+            Err(ServiceError::InThePast { .. })
+        ));
+        assert!(matches!(
+            svc.cancel(7),
+            Err(ServiceError::UnknownReservation { id: 7 })
+        ));
+    }
+
+    #[test]
+    fn stats_and_snapshot_track_the_session() {
+        let mut svc = timeline_service(4, ReferencePolicy::Greedy);
+        svc.submit(2, Dur(4), None).unwrap();
+        svc.submit(2, Dur(2), None).unwrap();
+        svc.submit(4, Dur(1), None).unwrap(); // blocked
+        svc.advance(Time(2)).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.running, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.waiting, 1);
+        assert_eq!(stats.makespan, Time(4));
+        let (records, metrics) = svc.snapshot();
+        assert_eq!(records.len(), 2, "snapshot lists started jobs");
+        assert_eq!(metrics.jobs, 2);
+        let fx = svc.drain();
+        assert_eq!(fx.completed.len(), 2);
+        assert_eq!(svc.stats().completed, 3);
+        assert_eq!(svc.stats().makespan, Time(5));
+    }
+
+    /// The scripted session of the golden CLI tests, driven through the
+    /// library API on both substrates: identical schedules, and the session
+    /// replayed off-line through the batch engine reproduces them.
+    #[test]
+    fn scripted_session_replays_offline_on_both_substrates() {
+        fn script<C: CapacityQuery + Speculate>(svc: &mut ScheduleService<C>) {
+            svc.reserve(2, Dur(6), Time(4)).unwrap();
+            svc.reserve(1, Dur(3), Time(20)).unwrap();
+            svc.submit(3, Dur(5), None).unwrap();
+            svc.submit(2, Dur(4), None).unwrap();
+            svc.query(4, Dur(2), None).unwrap();
+            svc.advance(Time(5)).unwrap();
+            svc.submit(4, Dur(3), None).unwrap();
+            svc.submit(1, Dur(8), Some(Time(9))).unwrap();
+            svc.advance(Time(12)).unwrap();
+            svc.submit(2, Dur(2), None).unwrap();
+            svc.drain();
+        }
+        for policy in [
+            ReferencePolicy::Fcfs,
+            ReferencePolicy::Easy,
+            ReferencePolicy::Greedy,
+        ] {
+            let mut tl = timeline_service(4, policy);
+            let mut pf = profile_service(4, policy);
+            script(&mut tl);
+            script(&mut pf);
+            assert_eq!(
+                tl.schedule(),
+                pf.schedule(),
+                "substrates diverged under {}",
+                policy.name()
+            );
+            let offline = Simulator::new(tl.to_instance()).run_reference_policy(policy);
+            assert_eq!(
+                offline.schedule,
+                *tl.schedule(),
+                "off-line replay diverged under {}",
+                policy.name()
+            );
+            assert!(tl.schedule().is_valid(&tl.to_instance()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::engine::Simulator;
+    use proptest::prelude::*;
+
+    /// One request of a generated session. Reservations are fixed up front
+    /// (see the module docs for why mid-run overlay changes legitimately
+    /// diverge from an off-line replay that knows them from t = 0).
+    #[derive(Debug, Clone)]
+    enum Req {
+        Submit { width: u32, dur: u64, delay: u64 },
+        Query { width: u32, dur: u64 },
+        Advance { by: u64 },
+    }
+
+    /// Raw request tuples `(kind, width, dur, extra)`; decoded by
+    /// [`decode`]. The vendored proptest has no `prop_oneof`, so the choice
+    /// of request kind is a plain generated discriminant.
+    type RawSession = (u32, Vec<(u32, u64, u64)>, Vec<(u32, u32, u64, u64)>);
+
+    fn arb_session() -> impl Strategy<Value = RawSession> {
+        (2u32..=8).prop_flat_map(|m| {
+            let reservations =
+                proptest::collection::vec((1u32..=m, 1u64..=8, 0u64..=40), 0usize..=3);
+            let reqs =
+                proptest::collection::vec((0u32..=2, 1u32..=m, 1u64..=9, 0u64..=15), 1usize..=20);
+            (Just(m), reservations, reqs)
+        })
+    }
+
+    fn decode(raw: &(u32, u32, u64, u64)) -> Req {
+        let &(kind, width, dur, extra) = raw;
+        match kind {
+            0 => Req::Submit {
+                width,
+                dur,
+                delay: extra % 7,
+            },
+            1 => Req::Query { width, dur },
+            _ => Req::Advance { by: extra },
+        }
+    }
+
+    /// Drive one session on both substrates, lock-step comparing every
+    /// response, then drain and replay off-line through the batch engine.
+    /// Returns a description of the first divergence, if any.
+    fn check_session(
+        m: u32,
+        reservations: &[(u32, u64, u64)],
+        raw_reqs: &[(u32, u32, u64, u64)],
+        policy: ReferencePolicy,
+    ) -> Result<(), String> {
+        let reqs: Vec<Req> = raw_reqs.iter().map(decode).collect();
+        let mut tl = ScheduleService::new(policy, AvailabilityTimeline::constant(m));
+        let mut pf = ScheduleService::new(policy, ResourceProfile::constant(m));
+        for (i, &(w, d, s)) in reservations.iter().enumerate() {
+            let rt = tl.reserve(w, Dur(d), Time(s));
+            let rp = pf.reserve(w, Dur(d), Time(s));
+            if rt.is_ok() != rp.is_ok() {
+                return Err(format!("reservation {i} diverged: {rt:?} vs {rp:?}"));
+            }
+        }
+        for req in &reqs {
+            let same = match *req {
+                Req::Submit { width, dur, delay } => {
+                    let release = (delay > 0).then(|| Time(tl.now().ticks() + delay));
+                    let a = tl.submit(width, Dur(dur), release).unwrap();
+                    let b = pf.submit(width, Dur(dur), release).unwrap();
+                    a == b
+                }
+                Req::Query { width, dur } => {
+                    tl.query(width, Dur(dur), None).unwrap()
+                        == pf.query(width, Dur(dur), None).unwrap()
+                }
+                Req::Advance { by } => {
+                    let to = Time(tl.now().ticks() + by);
+                    tl.advance(to).unwrap() == pf.advance(to).unwrap()
+                }
+            };
+            if !same {
+                return Err(format!("substrates diverged on {req:?}"));
+            }
+        }
+        tl.drain();
+        pf.drain();
+        if tl.schedule() != pf.schedule() {
+            return Err("substrates diverged after drain".to_string());
+        }
+        let instance = tl.to_instance();
+        let offline = Simulator::new(instance.clone()).run_reference_policy(policy);
+        if &offline.schedule != tl.schedule() {
+            return Err(format!(
+                "off-line replay diverged under {}: {:?} vs {:?}",
+                policy.name(),
+                offline.schedule,
+                tl.schedule()
+            ));
+        }
+        if !tl.schedule().is_valid(&instance) {
+            return Err("service schedule is infeasible".to_string());
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any generated session (overlay fixed up front, then submits /
+        /// probes / time advances in adversarial order), drained and
+        /// replayed as an off-line instance through the batch engine,
+        /// yields the identical schedule — on both substrates, under every
+        /// policy.
+        #[test]
+        fn sessions_replay_offline_identically(session in arb_session()) {
+            let (m, reservations, reqs) = session;
+            for policy in [
+                ReferencePolicy::Fcfs,
+                ReferencePolicy::Easy,
+                ReferencePolicy::Greedy,
+            ] {
+                let outcome = check_session(m, &reservations, &reqs, policy);
+                prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+            }
+        }
+    }
+}

@@ -287,6 +287,18 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_value(&self) -> Value {
         let mut fields: Vec<(String, Value)> = self
