@@ -260,7 +260,7 @@ fn handle<C: CapacityQuery + Speculate>(
         } => match svc.submit(width, Dur(duration), release.map(Time)) {
             Ok((id, fx)) => {
                 let mut fields = vec![("job", Value::UInt(id.0 as u64))];
-                fields.extend(effects_fields(&fx));
+                fields.extend(effects_fields(fx));
                 ok_response("submit", fields)
             }
             Err(e) => error_response(Some("submit"), &e.to_string()),
@@ -272,7 +272,7 @@ fn handle<C: CapacityQuery + Speculate>(
         } => match svc.reserve(width, Dur(duration), Time(start)) {
             Ok((id, fx)) => {
                 let mut fields = vec![("reservation", Value::UInt(id as u64))];
-                fields.extend(effects_fields(&fx));
+                fields.extend(effects_fields(fx));
                 ok_response("reserve", fields)
             }
             Err(e) => error_response(Some("reserve"), &e.to_string()),
@@ -280,7 +280,7 @@ fn handle<C: CapacityQuery + Speculate>(
         Request::Cancel { reservation } => match svc.cancel(reservation) {
             Ok(fx) => {
                 let mut fields = vec![("reservation", Value::UInt(reservation as u64))];
-                fields.extend(effects_fields(&fx));
+                fields.extend(effects_fields(fx));
                 ok_response("cancel", fields)
             }
             Err(e) => error_response(Some("cancel"), &e.to_string()),
@@ -305,16 +305,19 @@ fn handle<C: CapacityQuery + Speculate>(
         },
         Request::Advance { to } => match svc.advance(Time(to)) {
             Ok(fx) => {
+                // `fx` borrows the service's reused buffer; materialize the
+                // owned values before reading `svc.now()` again.
+                let fx_fields = effects_fields(fx);
                 let mut fields = vec![("now", Value::UInt(svc.now().ticks()))];
-                fields.extend(effects_fields(&fx));
+                fields.extend(fx_fields);
                 ok_response("advance", fields)
             }
             Err(e) => error_response(Some("advance"), &e.to_string()),
         },
         Request::Drain => {
-            let fx = svc.drain();
+            let fx_fields = effects_fields(svc.drain());
             let mut fields = vec![("now", Value::UInt(svc.now().ticks()))];
-            fields.extend(effects_fields(&fx));
+            fields.extend(fx_fields);
             ok_response("drain", fields)
         }
         Request::Stats => {
@@ -360,11 +363,17 @@ fn handle<C: CapacityQuery + Speculate>(
 /// session (as opposed to EOF).
 pub(crate) fn serve_session<C: CapacityQuery + Speculate>(
     svc: &mut ScheduleService<C>,
-    reader: impl BufRead,
+    mut reader: impl BufRead,
     mut writer: impl Write,
 ) -> std::io::Result<bool> {
-    for line in reader.lines() {
-        let line = line?;
+    // One line buffer for the whole session instead of a fresh `String` per
+    // request (`BufRead::lines` allocates one per iteration).
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(false);
+        }
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -377,7 +386,6 @@ pub(crate) fn serve_session<C: CapacityQuery + Speculate>(
             return Ok(true);
         }
     }
-    Ok(false)
 }
 
 /// Drive a whole request script in-process and return the transcript. This

@@ -26,6 +26,15 @@
 //! `reservations` is optional; `family` is `alpha` (fields `alpha`, `count`,
 //! `horizon`, `max_duration`) or `nonincreasing` (fields `steps`,
 //! `max_initial`, `max_duration`).
+//!
+//! Two residue knobs make the paper's E7/E8 cell shapes expressible
+//! declaratively: the alpha family accepts `alphas` (a *list* of α values
+//! that becomes one more dimension of the cross product, each row labeled
+//! with its α) in place of the single `alpha`, and the top-level
+//! `exact_probe` (a branch-and-bound node budget) runs a budgeted exact
+//! probe per cell and reports its mean nodes/sec per row — the same
+//! per-cell probe `RatioHarness` uses, so sweep rows and the acceptance
+//! benches measure the identical code path.
 
 use crate::fields::{anchor_line, check_fields};
 use crate::opts::{CommonOpts, OutputFormat};
@@ -52,10 +61,15 @@ The spec is a JSON object:
     arrivals      int (optional)          mean interarrival; omit for release-at-0
     policies      [name, ...]             resa replay policy names
     reservations  object (optional)       { family: alpha|nonincreasing, ... }
+                  the alpha family takes either 'alpha' (one value) or
+                  'alphas' (a list swept as an extra product dimension)
+    exact_probe   int (optional)          per-cell exact branch-and-bound
+                  probe budget (nodes); rows gain mean exact nodes/sec
 
-Every (machines x policy x seed) cell is an independent simulation; cells run
-in parallel unless --threads 1. Rows aggregate the seeds per (machines,
-policy) pair and report ratios against the certified lower bound.
+Every (machines x alpha x policy x seed) cell is an independent simulation;
+cells run in parallel unless --threads 1. Rows aggregate the seeds per
+(machines, alpha, policy) group and report ratios against the certified
+lower bound.
 
 plus the common options: --seed --threads --format --quick --out
 ";
@@ -79,6 +93,9 @@ pub struct SweepSpec {
     pub policies: Vec<String>,
     /// Optional reservation overlay.
     pub reservations: Option<ReservationSpec>,
+    /// Per-cell exact branch-and-bound probe budget in nodes (`None` = no
+    /// exact probe).
+    pub exact_probe: Option<u64>,
 }
 
 /// The `reservations` object of a sweep spec.
@@ -88,6 +105,9 @@ pub struct ReservationSpec {
     pub family: String,
     /// α as `"1/2"` or `"0.5"` (alpha family).
     pub alpha: Option<String>,
+    /// A *list* of α values swept as one more dimension of the cross
+    /// product (alpha family; mutually exclusive with `alpha`).
+    pub alphas: Option<Vec<String>>,
     /// Number of reservations (alpha family).
     pub count: Option<usize>,
     /// Placement horizon (alpha family).
@@ -133,6 +153,7 @@ impl Deserialize for SweepSpec {
                 "arrivals",
                 "policies",
                 "reservations",
+                "exact_probe",
             ],
         )?;
         Ok(SweepSpec {
@@ -144,6 +165,7 @@ impl Deserialize for SweepSpec {
             arrivals: get_field(value, "arrivals")?,
             policies: require(get_field(value, "policies")?, "policies")?,
             reservations: get_field(value, "reservations")?,
+            exact_probe: get_field(value, "exact_probe")?,
         })
     }
 }
@@ -159,6 +181,7 @@ impl Deserialize for ReservationSpec {
             &[
                 "family",
                 "alpha",
+                "alphas",
                 "count",
                 "horizon",
                 "max_duration",
@@ -169,6 +192,7 @@ impl Deserialize for ReservationSpec {
         Ok(ReservationSpec {
             family: require(get_field(value, "family")?, "reservations.family")?,
             alpha: get_field(value, "alpha")?,
+            alphas: get_field(value, "alphas")?,
             count: get_field(value, "count")?,
             horizon: get_field(value, "horizon")?,
             max_duration: get_field(value, "max_duration")?,
@@ -179,24 +203,59 @@ impl Deserialize for ReservationSpec {
 }
 
 impl ReservationSpec {
-    fn to_arg(&self) -> Result<ReservationArg, CliError> {
+    /// Expand the spec into the α dimension of the sweep: one `(label,
+    /// argument)` variant per α value. A single `alpha` (and the
+    /// nonincreasing family) yields one unlabeled variant, so specs without
+    /// an `alphas` list keep their exact previous row shape.
+    fn to_args(&self) -> Result<Vec<(Option<String>, ReservationArg)>, CliError> {
         match self.family.as_str() {
             "alpha" => {
-                let alpha_text = self.alpha.as_deref().ok_or_else(|| {
-                    CliError::Parse("reservations.family 'alpha' needs an 'alpha' field".into())
-                })?;
-                Ok(ReservationArg::Alpha {
-                    alpha: parse_alpha(alpha_text)?,
-                    count: self.count,
-                    horizon: self.horizon,
-                    max_duration: self.max_duration,
-                })
+                let (texts, labeled): (Vec<String>, bool) = match (&self.alpha, &self.alphas) {
+                    (Some(_), Some(_)) => {
+                        return Err(CliError::Parse(
+                            "reservations: give either 'alpha' or 'alphas', not both".into(),
+                        ))
+                    }
+                    (Some(a), None) => (vec![a.clone()], false),
+                    (None, Some(list)) if !list.is_empty() => (list.clone(), true),
+                    _ => {
+                        return Err(CliError::Parse(
+                            "reservations.family 'alpha' needs an 'alpha' value or a \
+                             non-empty 'alphas' list"
+                                .into(),
+                        ))
+                    }
+                };
+                texts
+                    .iter()
+                    .map(|text| {
+                        Ok((
+                            labeled.then(|| text.clone()),
+                            ReservationArg::Alpha {
+                                alpha: parse_alpha(text)?,
+                                count: self.count,
+                                horizon: self.horizon,
+                                max_duration: self.max_duration,
+                            },
+                        ))
+                    })
+                    .collect()
             }
-            "nonincreasing" => Ok(ReservationArg::NonIncreasing {
-                steps: self.steps,
-                max_initial: self.max_initial,
-                max_duration: self.max_duration,
-            }),
+            "nonincreasing" => {
+                if self.alphas.is_some() {
+                    return Err(CliError::Parse(
+                        "'alphas' only applies to the alpha family".into(),
+                    ));
+                }
+                Ok(vec![(
+                    None,
+                    ReservationArg::NonIncreasing {
+                        steps: self.steps,
+                        max_initial: self.max_initial,
+                        max_duration: self.max_duration,
+                    },
+                )])
+            }
             other => Err(CliError::Parse(format!(
                 "unknown reservation family '{other}' (alpha|nonincreasing)"
             ))),
@@ -204,11 +263,13 @@ impl ReservationSpec {
     }
 }
 
-/// One aggregated sweep row (per machines × policy pair).
+/// One aggregated sweep row (per machines × α × policy group).
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepRow {
     /// Cluster size of the cells behind this row.
     pub machines: u32,
+    /// α label when the spec sweeps an `alphas` list; `None` otherwise.
+    pub alpha: Option<String>,
     /// Policy name.
     pub policy: String,
     /// Number of seeds aggregated.
@@ -223,6 +284,9 @@ pub struct SweepRow {
     pub mean_wait: f64,
     /// Mean utilization.
     pub mean_utilization: f64,
+    /// Mean exact branch-and-bound probe throughput in nodes/sec, when the
+    /// spec set `exact_probe`.
+    pub mean_exact_nodes_per_sec: Option<f64>,
 }
 
 /// `resa sweep <spec.json> [options]`.
@@ -273,9 +337,9 @@ pub fn execute(spec: &SweepSpec, opts: &CommonOpts) -> Result<(Vec<SweepRow>, us
             spec.workload
         )));
     }
-    let reservation_arg = match &spec.reservations {
-        None => ReservationArg::None,
-        Some(r) => r.to_arg()?,
+    let variants: Vec<(Option<String>, ReservationArg)> = match &spec.reservations {
+        None => vec![(None, ReservationArg::None)],
+        Some(r) => r.to_args()?,
     };
     let policies: Vec<(String, PolicyArg)> = spec
         .policies
@@ -284,49 +348,63 @@ pub fn execute(spec: &SweepSpec, opts: &CommonOpts) -> Result<(Vec<SweepRow>, us
         .collect::<Result<_, _>>()?;
     let runner = opts.runner();
 
-    // The flat cell list: (machines, policy index, seed).
-    let cells: Vec<(u32, usize, u64)> = spec
+    // The flat cell list: (machines, α-variant index, policy index, seed).
+    let cells: Vec<(u32, usize, usize, u64)> = spec
         .machines
         .iter()
         .flat_map(|&m| {
+            let n_variants = variants.len();
             let n_policies = policies.len();
-            (0..n_policies).flat_map(move |p| (0..spec.seeds).map(move |s| (m, p, s)))
+            (0..n_variants).flat_map(move |v| {
+                (0..n_policies).flat_map(move |p| (0..spec.seeds).map(move |s| (m, v, p, s)))
+            })
         })
         .collect();
 
     // One sample per cell: (makespan, ratio to lb, mean wait, utilization,
-    // violation flag).
-    let samples: Vec<(f64, f64, f64, f64, bool)> = runner.map(&cells, |&(m, p, s)| {
-        let seed = opts.seed + s;
-        let jobs = generate_jobs(&spec.workload, m, spec.jobs, spec.arrivals, seed);
-        let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
-        let (instance, _clamped) =
-            crate::replay::build_instance(m, jobs, &reservation_arg, max_release, seed, 0)
-                .expect("sweep instances are feasible by construction");
-        let lb = lower_bound(&instance).unwrap_or(Time::ZERO).ticks().max(1) as f64;
-        let (schedule, _) = crate::replay::run_policy(policies[p].1, &instance);
-        let metrics = resa_sim::prelude::SimMetrics::from_schedule(&instance, &schedule);
-        let makespan = metrics.makespan.ticks() as f64;
-        let violation = !schedule.is_valid(&instance) || makespan < lb - 1e-9;
-        (
-            makespan,
-            makespan / lb,
-            metrics.mean_wait,
-            metrics.utilization,
-            violation,
-        )
-    });
+    // violation flag, exact-probe nodes/sec).
+    let samples: Vec<(f64, f64, f64, f64, bool, Option<f64>)> =
+        runner.map(&cells, |&(m, v, p, s)| {
+            let seed = opts.seed + s;
+            let jobs = generate_jobs(&spec.workload, m, spec.jobs, spec.arrivals, seed);
+            let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
+            let (instance, _clamped) =
+                crate::replay::build_instance(m, jobs, &variants[v].1, max_release, seed, 0)
+                    .expect("sweep instances are feasible by construction");
+            let lb = lower_bound(&instance).unwrap_or(Time::ZERO).ticks().max(1) as f64;
+            let (schedule, _) = crate::replay::run_policy(policies[p].1, &instance);
+            let metrics = resa_sim::prelude::SimMetrics::from_schedule(&instance, &schedule);
+            let makespan = metrics.makespan.ticks() as f64;
+            let violation = !schedule.is_valid(&instance) || makespan < lb - 1e-9;
+            let exact_nodes_per_sec = spec.exact_probe.map(|budget| {
+                let harness = RatioHarness {
+                    exact_node_budget: budget,
+                    ..RatioHarness::default()
+                };
+                harness.probe_exact(&instance).nodes_per_sec
+            });
+            (
+                makespan,
+                makespan / lb,
+                metrics.mean_wait,
+                metrics.utilization,
+                violation,
+                exact_nodes_per_sec,
+            )
+        });
 
-    // Aggregate the seeds per (machines, policy), preserving spec order.
+    // Aggregate the seeds per (machines, α, policy) group, preserving spec
+    // order.
     let mut rows = Vec::new();
     let mut violations = 0usize;
-    let per_pair = spec.seeds as usize;
-    for (pair_idx, chunk) in samples.chunks(per_pair).enumerate() {
-        let (m, p, _) = cells[pair_idx * per_pair];
+    let per_group = spec.seeds as usize;
+    for (group_idx, chunk) in samples.chunks(per_group).enumerate() {
+        let (m, v, p, _) = cells[group_idx * per_group];
         let n = chunk.len() as f64;
         violations += chunk.iter().filter(|c| c.4).count();
         rows.push(SweepRow {
             machines: m,
+            alpha: variants[v].0.clone(),
             policy: policies[p].0.clone(),
             cells: chunk.len(),
             mean_makespan: chunk.iter().map(|c| c.0).sum::<f64>() / n,
@@ -334,6 +412,9 @@ pub fn execute(spec: &SweepSpec, opts: &CommonOpts) -> Result<(Vec<SweepRow>, us
             worst_ratio_to_lb: chunk.iter().map(|c| c.1).fold(0.0, f64::max),
             mean_wait: chunk.iter().map(|c| c.2).sum::<f64>() / n,
             mean_utilization: chunk.iter().map(|c| c.3).sum::<f64>() / n,
+            mean_exact_nodes_per_sec: spec
+                .exact_probe
+                .map(|_| chunk.iter().filter_map(|c| c.5).sum::<f64>() / n),
         });
     }
     Ok((rows, violations))
@@ -373,25 +454,39 @@ fn render(
     violations: usize,
     opts: &CommonOpts,
 ) -> Result<Outcome, CliError> {
+    // The α and exact-probe columns only appear when the spec asked for
+    // those dimensions, so plain sweeps keep their previous table shape.
+    let has_alpha = rows.iter().any(|r| r.alpha.is_some());
+    let has_exact = rows.iter().any(|r| r.mean_exact_nodes_per_sec.is_some());
+    let mut headers = vec!["m"];
+    if has_alpha {
+        headers.push("alpha");
+    }
+    headers.extend([
+        "policy",
+        "cells",
+        "mean Cmax",
+        "mean Cmax/LB",
+        "worst Cmax/LB",
+        "mean wait",
+        "mean util",
+    ]);
+    if has_exact {
+        headers.push("exact nodes/s");
+    }
     let mut table = Table::new(
         format!(
             "sweep '{}' — {} on {:?} machines, {} seeds per cell",
             spec.name, spec.workload, spec.machines, spec.seeds
         ),
-        &[
-            "m",
-            "policy",
-            "cells",
-            "mean Cmax",
-            "mean Cmax/LB",
-            "worst Cmax/LB",
-            "mean wait",
-            "mean util",
-        ],
+        &headers,
     );
     for r in rows {
-        table.push_row(vec![
-            r.machines.to_string(),
+        let mut row = vec![r.machines.to_string()];
+        if has_alpha {
+            row.push(r.alpha.clone().unwrap_or_else(|| "-".to_string()));
+        }
+        row.extend([
             r.policy.clone(),
             r.cells.to_string(),
             fmt_f64(r.mean_makespan),
@@ -400,6 +495,10 @@ fn render(
             fmt_f64(r.mean_wait),
             fmt_f64(r.mean_utilization),
         ]);
+        if has_exact {
+            row.push(fmt_f64(r.mean_exact_nodes_per_sec.unwrap_or(0.0)));
+        }
+        table.push_row(row);
     }
     let rendered = match opts.format {
         OutputFormat::Json => format!("{}\n", to_json(&rows.to_vec())),
@@ -517,6 +616,112 @@ mod tests {
             other => panic!("expected a parse error, got {other:?}"),
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn alphas_list_sweeps_an_extra_dimension() {
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [8], "jobs": 5, "seeds": 2, "policies": ["fcfs", "easy"],
+                "reservations": { "family": "alpha", "alphas": ["1/4", "1/2"],
+                                  "count": 2, "horizon": 200, "max_duration": 40 }
+            }"#,
+        )
+        .unwrap();
+        let (rows, violations) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert_eq!(violations, 0);
+        // 1 machine size × 2 alphas × 2 policies.
+        assert_eq!(rows.len(), 4);
+        let labels: Vec<_> = rows.iter().map(|r| r.alpha.as_deref()).collect();
+        assert_eq!(
+            labels,
+            vec![Some("1/4"), Some("1/4"), Some("1/2"), Some("1/2")]
+        );
+        // A single 'alpha' keeps rows unlabeled (the previous shape).
+        let spec: SweepSpec = serde_json::from_str(SPEC).unwrap();
+        let (rows, _) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert!(rows.iter().all(|r| r.alpha.is_none()));
+    }
+
+    #[test]
+    fn alpha_and_alphas_together_are_rejected() {
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [8], "jobs": 5, "seeds": 1, "policies": ["fcfs"],
+                "reservations": { "family": "alpha", "alpha": "1/2", "alphas": ["1/4"] }
+            }"#,
+        )
+        .unwrap();
+        let err = execute(&spec, &CommonOpts::default()).unwrap_err();
+        assert!(
+            err.to_string().contains("either 'alpha' or 'alphas'"),
+            "{err}"
+        );
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [8], "jobs": 5, "seeds": 1, "policies": ["fcfs"],
+                "reservations": { "family": "nonincreasing", "alphas": ["1/4"], "steps": 2 }
+            }"#,
+        )
+        .unwrap();
+        let err = execute(&spec, &CommonOpts::default()).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("'alphas' only applies to the alpha family"),
+            "{err}"
+        );
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [8], "jobs": 5, "seeds": 1, "policies": ["fcfs"],
+                "reservations": { "family": "alpha", "alphas": [] }
+            }"#,
+        )
+        .unwrap();
+        let err = execute(&spec, &CommonOpts::default()).unwrap_err();
+        assert!(err.to_string().contains("non-empty 'alphas'"), "{err}");
+    }
+
+    #[test]
+    fn exact_probe_budget_reports_mean_throughput() {
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [4], "jobs": 5, "seeds": 2, "policies": ["fcfs"],
+                "exact_probe": 500
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.exact_probe, Some(500));
+        let (rows, violations) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert_eq!(violations, 0);
+        assert_eq!(rows.len(), 1);
+        // 0.0 is legitimate (the greedy incumbent can match the lower bound,
+        // leaving no tree to expand) — the knob's contract is that the
+        // column is populated and finite.
+        let nps = rows[0].mean_exact_nodes_per_sec.expect("probe ran");
+        assert!(nps.is_finite() && nps >= 0.0, "bad throughput {nps}");
+        // Without the knob the column stays off.
+        let spec: SweepSpec = serde_json::from_str(SPEC).unwrap();
+        let (rows, _) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert!(rows.iter().all(|r| r.mean_exact_nodes_per_sec.is_none()));
+    }
+
+    #[test]
+    fn misspelled_residue_knobs_are_rejected() {
+        let err = serde_json::from_str::<SweepSpec>(
+            r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                "exactprobe": 100}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown field 'exactprobe'"), "{err}");
+        let err = serde_json::from_str::<SweepSpec>(
+            r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                "reservations": {"family": "alpha", "alphass": ["1/2"]}}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown field 'alphass'"), "{err}");
+        assert!(err.contains("did you mean 'alphas'?"), "{err}");
     }
 
     #[test]

@@ -18,8 +18,12 @@
 //!   linear-scan earliest-fit queries and reserve/release updates (the
 //!   canonical, reference representation);
 //! * [`timeline::AvailabilityTimeline`] — the same function indexed by a
-//!   segment tree: `O(log B)` range-min / earliest-fit / lazy reserve, the
-//!   backend every scheduler in `resa-algos` and `resa-sim` runs on;
+//!   segment tree in a flat cache-line-aligned SoA layout: `O(log B)`
+//!   range-min / earliest-fit / lazy reserve, the backend every scheduler in
+//!   `resa-algos` and `resa-sim` runs on;
+//! * [`timeline_ref::ReferenceTimeline`] — the pinned previous-generation
+//!   pointer layout of the same tree, kept as proptest oracle and benchmark
+//!   baseline;
 //! * [`capacity::CapacityQuery`] — the trait both implement, so every
 //!   algorithm is generic over the substrate;
 //! * [`schedule::Schedule`] — start-time assignments, feasibility validation,
@@ -68,6 +72,7 @@ pub mod reservation;
 pub mod schedule;
 pub mod time;
 pub mod timeline;
+pub mod timeline_ref;
 pub mod waitlist;
 
 /// Convenient glob import of the most frequently used items.
@@ -84,6 +89,7 @@ pub mod prelude {
     pub use crate::schedule::{Placement, ProcessorAssignment, Schedule};
     pub use crate::time::{Dur, Time};
     pub use crate::timeline::{AvailabilityTimeline, TxnMark};
+    pub use crate::timeline_ref::{RefTxnMark, ReferenceTimeline};
     pub use crate::waitlist::WaitList;
 }
 
@@ -454,6 +460,122 @@ mod proptests {
             }
             tl.rollback_to(mark);
             prop_assert_eq!(tl.to_profile(), before);
+        }
+
+        /// PR 6 flat layout vs the pinned pointer-layout reference: any
+        /// interleaving of reserve / release / checkpoint / rollback /
+        /// commit (marks resolved in random stack order, so nesting and the
+        /// flat layout's boundary compaction are both exercised) keeps the
+        /// two substrates answer-identical — same errors, same availability
+        /// function, same earliest-fit and area answers after every step.
+        #[test]
+        fn flat_timeline_matches_reference_layout(
+            inst in arb_instance(),
+            ops in proptest::collection::vec(
+                (0u32..=4, 0u64..60, 1u64..=20, 1u32..=8), 1usize..=32
+            ),
+            probe_w in 1u32..=8, probe_d in 1u64..=20, probe_area in 0u64..3000,
+        ) {
+            let mut flat = inst.timeline();
+            let mut rt = ReferenceTimeline::from_profile(&inst.profile());
+            let mut stack: Vec<(TxnMark, RefTxnMark)> = Vec::new();
+            for (kind, s, d, w) in ops {
+                match kind {
+                    0 => {
+                        let (rf, rr) = (
+                            CapacityQuery::reserve(&mut flat, Time(s), Dur(d), w),
+                            CapacityQuery::reserve(&mut rt, Time(s), Dur(d), w),
+                        );
+                        prop_assert_eq!(rf, rr);
+                    }
+                    1 => {
+                        let (rf, rr) = (
+                            CapacityQuery::release(&mut flat, Time(s), Dur(d), w),
+                            CapacityQuery::release(&mut rt, Time(s), Dur(d), w),
+                        );
+                        prop_assert_eq!(rf, rr);
+                    }
+                    2 => stack.push((flat.checkpoint(), rt.checkpoint())),
+                    3 => {
+                        if !stack.is_empty() {
+                            let at = (s as usize) % stack.len();
+                            let (fm, rm) = stack[at];
+                            stack.truncate(at);
+                            flat.rollback_to(fm);
+                            rt.rollback_to(rm);
+                        }
+                    }
+                    _ => {
+                        if !stack.is_empty() {
+                            let at = (s as usize) % stack.len();
+                            let (fm, rm) = stack[at];
+                            stack.truncate(at);
+                            flat.commit(fm);
+                            rt.commit(rm);
+                        }
+                    }
+                }
+                prop_assert_eq!(flat.to_profile(), rt.to_profile());
+                prop_assert_eq!(
+                    CapacityQuery::earliest_fit(&flat, probe_w, Dur(probe_d), Time(s)),
+                    CapacityQuery::earliest_fit(&rt, probe_w, Dur(probe_d), Time(s))
+                );
+                prop_assert_eq!(
+                    flat.earliest_time_with_area(probe_area as u128),
+                    rt.earliest_time_with_area(probe_area as u128)
+                );
+            }
+            while let Some((fm, rm)) = stack.pop() {
+                flat.rollback_to(fm);
+                rt.rollback_to(rm);
+                prop_assert_eq!(flat.to_profile(), rt.to_profile());
+            }
+            prop_assert!(!flat.in_transaction());
+            prop_assert!(!rt.in_transaction());
+        }
+
+        /// Flat vs reference at `i64::MAX`-scale horizons: the same shifted
+        /// script leaves both layouts agreeing on every probe, including the
+        /// area descent (PR 5 overflow audit, replayed against PR 6's
+        /// compacting layout).
+        #[test]
+        fn flat_matches_reference_at_extreme_horizons(
+            m in 2u32..=16,
+            ops in proptest::collection::vec((0u64..60, 1u64..=20, 1u32..=16, 0u32..=1), 1usize..=12),
+            probes in proptest::collection::vec((0u64..100, 1u64..=30, 1u32..=16), 1usize..=8),
+        ) {
+            let offset = i64::MAX as u64 - 200;
+            let mut flat = AvailabilityTimeline::constant(m);
+            let mut rt = ReferenceTimeline::constant(m);
+            for (s, d, w, kind) in ops {
+                let (rf, rr) = if kind == 0 {
+                    (
+                        CapacityQuery::reserve(&mut flat, Time(offset + s), Dur(d), w),
+                        CapacityQuery::reserve(&mut rt, Time(offset + s), Dur(d), w),
+                    )
+                } else {
+                    (
+                        CapacityQuery::release(&mut flat, Time(offset + s), Dur(d), w),
+                        CapacityQuery::release(&mut rt, Time(offset + s), Dur(d), w),
+                    )
+                };
+                prop_assert_eq!(rf, rr);
+            }
+            for (t, d, w) in probes {
+                prop_assert_eq!(
+                    CapacityQuery::capacity_at(&flat, Time(offset + t)),
+                    CapacityQuery::capacity_at(&rt, Time(offset + t))
+                );
+                prop_assert_eq!(
+                    CapacityQuery::earliest_fit(&flat, w, Dur(d), Time(offset + t)),
+                    CapacityQuery::earliest_fit(&rt, w, Dur(d), Time(offset + t))
+                );
+                prop_assert_eq!(
+                    flat.earliest_time_with_area((t as u128 + 1) * (d as u128) * (m as u128)),
+                    rt.earliest_time_with_area((t as u128 + 1) * (d as u128) * (m as u128))
+                );
+            }
+            prop_assert_eq!(flat.to_profile(), rt.to_profile());
         }
 
         /// Processor assignment of a feasible schedule always verifies.

@@ -60,6 +60,12 @@ impl Schedule {
         &self.placements
     }
 
+    /// Reserve room for at least `additional` more placements, so a loop
+    /// staying under a known job count never reallocates mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.placements.reserve(additional);
+    }
+
     /// Number of placed jobs.
     pub fn len(&self) -> usize {
         self.placements.len()

@@ -46,11 +46,48 @@
 //!
 //! The timeline is *not* kept normalized (adjacent leaves may carry equal
 //! capacities after updates); normalization only happens when converting
-//! back to a [`ResourceProfile`], which makes the conversion lossless:
+//! back to a [`ResourceProfile`] — and, since PR 6, opportunistically when a
+//! rebuild is already being paid for (see *Memory layout* below) — which
+//! makes the conversion lossless:
 //! `AvailabilityTimeline::from(&p).to_profile() == p` for every normalized
 //! profile `p`, and both backends answer every [`CapacityQuery`] identically
 //! (property-tested in this crate and schedule-for-schedule in
 //! `resa-algos`).
+//!
+//! # Memory layout (PR 6)
+//!
+//! The tree nodes live in a flat, cache-line-aligned structure-of-arrays:
+//! four parallel lanes (`min`, `max`, `lazy`, `area`), each a contiguous
+//! array of 64-byte-aligned chunks, indexed in the classic implicit-heap
+//! (Eytzinger) order — node `i`'s children are `2i` and `2i + 1`, so a
+//! descent is pure index arithmetic with no pointers to chase. The SoA
+//! split matters because the hot descents are *field-sparse*: `first_below`
+//! reads only `min` + `lazy`, `first_at_least` only `max` + `lazy`, and the
+//! 16-byte `area` augmentation (only the branch-and-bound lower bound reads
+//! it) no longer pads every node it shares a cache line with. Eight 8-byte
+//! entries fill one 64-byte line, so a descent touches about one line per
+//! two levels per lane instead of one 40-byte straddling struct per level.
+//!
+//! Two allocation sinks on the steady path are also gone:
+//!
+//! * the transactional undo log is an **arena** (`UndoArena`): a
+//!   length-tracked slab whose backing store is never freed — a rollback
+//!   resets the bump cursor to the mark's watermark and a final commit
+//!   resets it to zero, so once the high-water mark is reached, logging a
+//!   speculative update never allocates;
+//! * breakpoint insertion materializes leaf capacities into a **reused
+//!   scratch buffer** instead of a fresh `Vec` per split.
+//!
+//! Finally, rebuilds **batch-normalize**: when no transaction mark is
+//! outstanding and enough splits have accumulated, the rebuild that an
+//! endpoint insertion (or a rollback/commit) was going to pay for anyway
+//! also merges runs of equal-capacity leaves. Speculative probing splits
+//! leaves that rollback leaves behind as degenerate segments; without
+//! compaction a probe-heavy workload grows `B` without bound and every
+//! later `O(B)` rebuild and `O(log B)` descent pays for dead history. The
+//! previous pointer-layout generation is preserved verbatim as
+//! [`crate::timeline_ref::ReferenceTimeline`] — the proptest oracle and the
+//! bench baseline (`resa-bench/benches/service.rs`) for this layout.
 //!
 //! # Speculative scheduling: the transactional layer (§ conclusion)
 //!
@@ -72,14 +109,14 @@
 //!   operation stays zero-overhead.
 //!
 //! Rollback restores the represented availability *function* exactly (the
-//! breakpoints a speculative reserve split stay split — harmless, since the
-//! timeline is not kept normalized; property tests in `resa-core` replay
-//! every interleaving against a naive [`ResourceProfile`]). Bulk
-//! construction from a complete schedule goes through
-//! [`AvailabilityTimeline::from_placements`], which sweeps all reservation
-//! and placement events once (`O(B log B)`) instead of `n` sequential
-//! `reserve` calls (`O(n · B)`) — the right entry point whenever a whole
-//! schedule is (re)indexed, e.g. at the start of a local-search run.
+//! breakpoints a speculative reserve split stay split until the next
+//! compacting rebuild; property tests in `resa-core` replay every
+//! interleaving against a naive [`ResourceProfile`] and against the pinned
+//! reference layout). Bulk construction from a complete schedule goes
+//! through [`AvailabilityTimeline::from_placements`], which sweeps all
+//! reservation and placement events once (`O(B log B)`) instead of `n`
+//! sequential `reserve` calls (`O(n · B)`) — the right entry point whenever
+//! a whole schedule is (re)indexed, e.g. at the start of a local-search run.
 
 use crate::capacity::CapacityQuery;
 use crate::error::ProfileError;
@@ -90,8 +127,147 @@ use crate::time::{Dur, Time};
 use std::collections::HashMap;
 use std::fmt;
 
+/// Entries per cache-line-aligned chunk: eight 8-byte values fill one
+/// 64-byte line exactly (the `i128` area lane spans two lines per chunk).
+const LANES: usize = 8;
+
+/// Splits tolerated beyond `B/8` before a steady-state rebuild compacts
+/// degenerate leaves; keeps tiny timelines from churning and amortizes the
+/// `O(B)` compaction over at least this many `O(log B)` operations.
+const COMPACT_SLACK: usize = 64;
+
+/// One cache-line-aligned block of lane entries. The alignment guarantees a
+/// chunk never straddles a line boundary, so `chunk = i / 8` touches exactly
+/// one line of the lane (`forbid(unsafe_code)` rules out raw aligned
+/// allocation; an aligned newtype over a plain `Vec` gets the same layout).
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct Chunk<T>([T; LANES]);
+
+/// One field of the structure-of-arrays tree: a contiguous, 64-byte-aligned
+/// array of `T`, grown geometrically and never shrunk.
+#[derive(Debug, Clone)]
+struct Lane<T> {
+    chunks: Vec<Chunk<T>>,
+}
+
+impl<T: Copy + Default> Lane<T> {
+    fn with_slots(slots: usize) -> Self {
+        Lane {
+            chunks: vec![Chunk([T::default(); LANES]); slots.div_ceil(LANES)],
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> T {
+        self.chunks[i / LANES].0[i % LANES]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, v: T) {
+        self.chunks[i / LANES].0[i % LANES] = v;
+    }
+
+    fn grow(&mut self, slots: usize) {
+        let need = slots.div_ceil(LANES);
+        if need > self.chunks.len() {
+            self.chunks.resize(need, Chunk([T::default(); LANES]));
+        }
+    }
+
+    fn slots(&self) -> usize {
+        self.chunks.len() * LANES
+    }
+}
+
+/// The flat segment tree: implicit-heap node order (children of `i` at `2i`
+/// and `2i + 1`), one lane per field so a descent touches only the lanes it
+/// reads — `first_below` streams `mins` + `lazy`, `first_at_least` streams
+/// `maxs` + `lazy`, and the 16-byte `area` augmentation stays out of both.
+#[derive(Debug, Clone)]
+struct FlatTree {
+    /// Minimum capacity of each node's leaf range (own lazy applied,
+    /// ancestors' pending).
+    mins: Lane<i64>,
+    /// Maximum capacity of each node's leaf range.
+    maxs: Lane<i64>,
+    /// Pending additive delta not yet applied to the node's descendants.
+    lazy: Lane<i64>,
+    /// Free area (capacity × duration) over the *finite* leaves of the
+    /// node's range — the open-ended last leaf contributes zero and is
+    /// handled analytically by
+    /// [`AvailabilityTimeline::earliest_time_with_area`].
+    area: Lane<i128>,
+}
+
+impl FlatTree {
+    fn with_slots(slots: usize) -> Self {
+        FlatTree {
+            mins: Lane::with_slots(slots),
+            maxs: Lane::with_slots(slots),
+            lazy: Lane::with_slots(slots),
+            area: Lane::with_slots(slots),
+        }
+    }
+
+    fn grow(&mut self, slots: usize) {
+        self.mins.grow(slots);
+        self.maxs.grow(slots);
+        self.lazy.grow(slots);
+        self.area.grow(slots);
+    }
+
+    fn slots(&self) -> usize {
+        self.mins.slots()
+    }
+}
+
+/// Arena-backed undo log: a length-tracked slab over storage that is never
+/// freed while the timeline lives. Pushing past the high-water mark grows
+/// the slab once; a rollback resets the bump cursor to the [`TxnMark`]'s
+/// watermark and the final commit resets it to zero with capacity retained,
+/// so steady-state speculation logs without allocating.
+#[derive(Debug, Clone, Default)]
+struct UndoArena {
+    ops: Vec<UndoOp>,
+    high_water: usize,
+}
+
+impl UndoArena {
+    #[inline]
+    fn push(&mut self, op: UndoOp) {
+        self.ops.push(op);
+        if self.ops.len() > self.high_water {
+            self.high_water = self.ops.len();
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<UndoOp> {
+        self.ops.pop()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Reset the bump cursor to zero; the slab (sized by `high_water`) is
+    /// kept for the next transaction.
+    #[inline]
+    fn reset(&mut self) {
+        self.ops.clear();
+    }
+}
+
 /// Segment-tree-indexed availability timeline; the fast backend of
-/// [`CapacityQuery`].
+/// [`CapacityQuery`]. Since PR 6 the tree lives in a flat cache-line-aligned
+/// SoA layout with an arena-backed undo log — see the module docs.
 #[derive(Debug, Clone)]
 pub struct AvailabilityTimeline {
     /// Total number of machines in the cluster (`m`).
@@ -99,15 +275,14 @@ pub struct AvailabilityTimeline {
     /// Breakpoint times, sorted, first entry always 0. Leaf `i` covers
     /// `[times[i], times[i+1])`; the last leaf extends to infinity.
     times: Vec<u64>,
-    /// Segment-tree nodes (1-indexed, `4 × leaves` slots). A node's stored
-    /// min/max/area include its own lazy delta but not its ancestors';
-    /// `lazy` is the pending additive delta not yet applied to descendants.
-    /// Packed in one array so a node costs one cache line instead of four.
-    nodes: Vec<Node>,
+    /// The flat segment tree (1-indexed, `4 × leaves` slots). A node's
+    /// stored min/max/area include its own lazy delta but not its
+    /// ancestors'.
+    tree: FlatTree,
     /// Inverse operations of every `reserve`/`release` executed while a
     /// transaction mark is outstanding; empty in steady-state committed
     /// operation.
-    undo: Vec<UndoOp>,
+    undo: UndoArena,
     /// The outstanding [`TxnMark`]s — `(undo-log length, generation)` —
     /// innermost last.
     marks: Vec<(usize, u64)>,
@@ -115,20 +290,14 @@ pub struct AvailabilityTimeline {
     /// can never alias a live one that happens to share its stack position
     /// and log length.
     mark_gen: u64,
+    /// Reused leaf-capacity buffer for rebuilds (no allocation per split in
+    /// the steady state).
+    caps_scratch: Vec<u32>,
+    /// Endpoint splits since the last compacting rebuild; drives the
+    /// batch-normalization trigger.
+    splits_since_compaction: usize,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Node {
-    min: i64,
-    max: i64,
-    lazy: i64,
-    /// Free area (capacity × duration) over the *finite* leaves of the
-    /// node's range — the open-ended last leaf contributes zero and is
-    /// handled analytically by [`AvailabilityTimeline::earliest_time_with_area`].
-    area: i128,
-}
-
-/// One logged capacity update: `delta` was range-added over `[start, end)`.
 #[derive(Debug, Clone, Copy)]
 struct UndoOp {
     start: u64,
@@ -207,10 +376,26 @@ impl AvailabilityTimeline {
     }
 
     /// Number of breakpoints currently indexed (`B`). Unlike the normalized
-    /// profile this may count segments with equal adjacent capacities.
+    /// profile this may count segments with equal adjacent capacities
+    /// (bounded by the batch-normalization trigger; see the module docs).
     #[inline]
     pub fn breakpoints(&self) -> usize {
         self.times.len()
+    }
+
+    /// Pre-size the internal buffers for a run expected to touch about
+    /// `breakpoints` distinct breakpoints and log up to `undo_ops`
+    /// speculative updates, so the steady state is reached without any
+    /// growth reallocation.
+    pub fn reserve_capacity(&mut self, breakpoints: usize, undo_ops: usize) {
+        self.times
+            .reserve(breakpoints.saturating_sub(self.times.len()));
+        self.caps_scratch
+            .reserve((breakpoints + 2).saturating_sub(self.caps_scratch.capacity()));
+        self.tree.grow(4 * breakpoints.next_power_of_two().max(1));
+        self.undo
+            .ops
+            .reserve(undo_ops.saturating_sub(self.undo.ops.len()));
     }
 
     fn from_parts(base: u32, times: Vec<u64>, caps: Vec<u32>) -> Self {
@@ -221,21 +406,26 @@ impl AvailabilityTimeline {
         let mut tl = AvailabilityTimeline {
             base,
             times,
-            nodes: vec![Node::default(); 4 * n],
-            undo: Vec::new(),
+            tree: FlatTree::with_slots(4 * n),
+            undo: UndoArena::default(),
             marks: Vec::new(),
             mark_gen: 0,
+            caps_scratch: Vec::new(),
+            splits_since_compaction: 0,
         };
         tl.build(1, 0, n - 1, &caps);
         tl
     }
 
     fn build(&mut self, node: usize, lo: usize, hi: usize, caps: &[u32]) {
-        self.nodes[node].lazy = 0;
+        self.tree.lazy.set(node, 0);
         if lo == hi {
-            self.nodes[node].min = caps[lo] as i64;
-            self.nodes[node].max = caps[lo] as i64;
-            self.nodes[node].area = caps[lo] as i128 * self.finite_span(lo, lo);
+            let c = caps[lo] as i64;
+            self.tree.mins.set(node, c);
+            self.tree.maxs.set(node, c);
+            self.tree
+                .area
+                .set(node, c as i128 * self.finite_span(lo, lo));
             return;
         }
         let mid = (lo + hi) / 2;
@@ -245,9 +435,16 @@ impl AvailabilityTimeline {
     }
 
     fn pull(&mut self, node: usize) {
-        self.nodes[node].min = self.nodes[2 * node].min.min(self.nodes[2 * node + 1].min);
-        self.nodes[node].max = self.nodes[2 * node].max.max(self.nodes[2 * node + 1].max);
-        self.nodes[node].area = self.nodes[2 * node].area + self.nodes[2 * node + 1].area;
+        let (l, r) = (2 * node, 2 * node + 1);
+        self.tree
+            .mins
+            .set(node, self.tree.mins.get(l).min(self.tree.mins.get(r)));
+        self.tree
+            .maxs
+            .set(node, self.tree.maxs.get(l).max(self.tree.maxs.get(r)));
+        self.tree
+            .area
+            .set(node, self.tree.area.get(l) + self.tree.area.get(r));
     }
 
     /// Total duration of the *finite* leaves in the inclusive range
@@ -288,10 +485,10 @@ impl AvailabilityTimeline {
             return i64::MAX;
         }
         if l <= lo && hi <= r {
-            return self.nodes[node].min + acc;
+            return self.tree.mins.get(node) + acc;
         }
         let mid = (lo + hi) / 2;
-        let acc = acc + self.nodes[node].lazy;
+        let acc = acc + self.tree.lazy.get(node);
         self.query_min(2 * node, lo, mid, l, r, acc)
             .min(self.query_min(2 * node + 1, mid + 1, hi, l, r, acc))
     }
@@ -301,15 +498,16 @@ impl AvailabilityTimeline {
             return i64::MIN;
         }
         if l <= lo && hi <= r {
-            return self.nodes[node].max + acc;
+            return self.tree.maxs.get(node) + acc;
         }
         let mid = (lo + hi) / 2;
-        let acc = acc + self.nodes[node].lazy;
+        let acc = acc + self.tree.lazy.get(node);
         self.query_max(2 * node, lo, mid, l, r, acc)
             .max(self.query_max(2 * node + 1, mid + 1, hi, l, r, acc))
     }
 
     /// First leaf in the inclusive `window` with capacity `< width`, if any.
+    /// Streams only the `mins` and `lazy` lanes.
     fn first_below(
         &self,
         node: usize,
@@ -320,19 +518,20 @@ impl AvailabilityTimeline {
         acc: i64,
     ) -> Option<usize> {
         let (l, r) = window;
-        if r < lo || hi < l || self.nodes[node].min + acc >= width {
+        if r < lo || hi < l || self.tree.mins.get(node) + acc >= width {
             return None;
         }
         if lo == hi {
             return Some(lo);
         }
         let mid = (lo + hi) / 2;
-        let acc = acc + self.nodes[node].lazy;
+        let acc = acc + self.tree.lazy.get(node);
         self.first_below(2 * node, lo, mid, window, width, acc)
             .or_else(|| self.first_below(2 * node + 1, mid + 1, hi, window, width, acc))
     }
 
     /// First leaf with index `≥ from` and capacity `≥ width`, if any.
+    /// Streams only the `maxs` and `lazy` lanes.
     fn first_at_least(
         &self,
         node: usize,
@@ -342,14 +541,14 @@ impl AvailabilityTimeline {
         width: i64,
         acc: i64,
     ) -> Option<usize> {
-        if hi < from || self.nodes[node].max + acc < width {
+        if hi < from || self.tree.maxs.get(node) + acc < width {
             return None;
         }
         if lo == hi {
             return Some(lo);
         }
         let mid = (lo + hi) / 2;
-        let acc = acc + self.nodes[node].lazy;
+        let acc = acc + self.tree.lazy.get(node);
         self.first_at_least(2 * node, lo, mid, from, width, acc)
             .or_else(|| self.first_at_least(2 * node + 1, mid + 1, hi, from, width, acc))
     }
@@ -364,14 +563,16 @@ impl AvailabilityTimeline {
         cap: i64,
         acc: i64,
     ) -> Option<usize> {
-        if hi < from || (self.nodes[node].min + acc == cap && self.nodes[node].max + acc == cap) {
+        if hi < from
+            || (self.tree.mins.get(node) + acc == cap && self.tree.maxs.get(node) + acc == cap)
+        {
             return None;
         }
         if lo == hi {
             return Some(lo);
         }
         let mid = (lo + hi) / 2;
-        let acc = acc + self.nodes[node].lazy;
+        let acc = acc + self.tree.lazy.get(node);
         self.first_differing(2 * node, lo, mid, from, cap, acc)
             .or_else(|| self.first_differing(2 * node + 1, mid + 1, hi, from, cap, acc))
     }
@@ -383,22 +584,41 @@ impl AvailabilityTimeline {
             return;
         }
         if l <= lo && hi <= r {
-            self.nodes[node].min += delta;
-            self.nodes[node].max += delta;
-            self.nodes[node].lazy += delta;
-            self.nodes[node].area += delta as i128 * self.finite_span(lo, hi);
+            self.tree.mins.set(node, self.tree.mins.get(node) + delta);
+            self.tree.maxs.set(node, self.tree.maxs.get(node) + delta);
+            self.tree.lazy.set(node, self.tree.lazy.get(node) + delta);
+            self.tree.area.set(
+                node,
+                self.tree.area.get(node) + delta as i128 * self.finite_span(lo, hi),
+            );
             return;
         }
         let mid = (lo + hi) / 2;
         self.range_add(2 * node, lo, mid, l, r, delta);
         self.range_add(2 * node + 1, mid + 1, hi, l, r, delta);
-        self.nodes[node].min =
-            self.nodes[2 * node].min.min(self.nodes[2 * node + 1].min) + self.nodes[node].lazy;
-        self.nodes[node].max =
-            self.nodes[2 * node].max.max(self.nodes[2 * node + 1].max) + self.nodes[node].lazy;
-        self.nodes[node].area = self.nodes[2 * node].area
-            + self.nodes[2 * node + 1].area
-            + self.nodes[node].lazy as i128 * self.finite_span(lo, hi);
+        let lazy = self.tree.lazy.get(node);
+        self.tree.mins.set(
+            node,
+            self.tree
+                .mins
+                .get(2 * node)
+                .min(self.tree.mins.get(2 * node + 1))
+                + lazy,
+        );
+        self.tree.maxs.set(
+            node,
+            self.tree
+                .maxs
+                .get(2 * node)
+                .max(self.tree.maxs.get(2 * node + 1))
+                + lazy,
+        );
+        self.tree.area.set(
+            node,
+            self.tree.area.get(2 * node)
+                + self.tree.area.get(2 * node + 1)
+                + lazy as i128 * self.finite_span(lo, hi),
+        );
     }
 
     /// Append the `(leaf start, capacity)` pairs of the inclusive leaf range
@@ -418,7 +638,7 @@ impl AvailabilityTimeline {
             return;
         }
         if lo == hi {
-            let v = (self.nodes[node].min + acc) as u32;
+            let v = (self.tree.mins.get(node) + acc) as u32;
             match out.last() {
                 Some(&(_, cap)) if cap == v => {}
                 _ => out.push((Time(self.times[lo]), v)),
@@ -426,12 +646,14 @@ impl AvailabilityTimeline {
             return;
         }
         let mid = (lo + hi) / 2;
-        let acc = acc + self.nodes[node].lazy;
+        let acc = acc + self.tree.lazy.get(node);
         self.collect_range(2 * node, lo, mid, window, acc, out);
         self.collect_range(2 * node + 1, mid + 1, hi, window, acc, out);
     }
 
-    /// Materialize the capacity of every leaf (applying pending deltas).
+    /// Materialize the capacity of every leaf (applying pending deltas) into
+    /// a fresh `Vec` — conversion paths only; rebuilds use the scratch
+    /// buffer instead.
     fn leaf_caps(&self) -> Vec<u32> {
         let n = self.times.len();
         let mut caps = vec![0u32; n];
@@ -441,23 +663,45 @@ impl AvailabilityTimeline {
 
     fn collect(&self, node: usize, lo: usize, hi: usize, acc: i64, caps: &mut [u32]) {
         if lo == hi {
-            let v = self.nodes[node].min + acc;
+            let v = self.tree.mins.get(node) + acc;
             debug_assert!((0..=self.base as i64).contains(&v));
             caps[lo] = v as u32;
             return;
         }
         let mid = (lo + hi) / 2;
-        let acc = acc + self.nodes[node].lazy;
+        let acc = acc + self.tree.lazy.get(node);
         self.collect(2 * node, lo, mid, acc, caps);
         self.collect(2 * node + 1, mid + 1, hi, acc, caps);
     }
 
+    /// Whether enough splits have accumulated to make the next rebuild (or a
+    /// standalone one) batch-normalize degenerate leaves away.
+    #[inline]
+    fn compaction_due(&self) -> bool {
+        self.splits_since_compaction > COMPACT_SLACK + self.times.len() / 8
+    }
+
+    /// Grow the tree lanes to hold `4 × leaves` slots (geometric, no
+    /// shrink — compaction leaves the spare slots warm for regrowth).
+    fn grow_tree(&mut self, leaves: usize) {
+        if self.tree.slots() < 4 * leaves {
+            self.tree.grow(4 * leaves.next_power_of_two());
+        }
+    }
+
     /// Ensure both window endpoints start a leaf, splitting (and rebuilding
     /// the tree once) for whichever of them falls inside a leaf. `O(log B)`
-    /// when both breakpoints already exist, `O(B)` otherwise — the node
-    /// buffers are reused (grown geometrically) and `build` resets the lazy
-    /// slots it visits, so an insertion costs two passes over the tree and no
-    /// allocation in the steady state.
+    /// when both breakpoints already exist, `O(B)` otherwise — leaf
+    /// capacities are materialized into the reused scratch buffer, the lanes
+    /// only grow, and `build` resets the lazy slots it visits, so an
+    /// insertion costs two passes over the tree and no allocation in the
+    /// steady state. When no transaction mark is outstanding and enough
+    /// splits have accumulated, the same rebuild also merges runs of
+    /// equal-capacity leaves (the endpoints just ensured are protected from
+    /// the merge — the caller's `window_leaves` + `range_add` needs them).
+    /// Compaction must never run under an outstanding mark: the undo log
+    /// re-derives leaf ranges from breakpoint times, so merging away a
+    /// logged endpoint would corrupt rollback.
     fn ensure_breakpoints(&mut self, a: u64, b: u64) {
         let missing = |times: &[u64], t: u64| times.binary_search(&t).is_err();
         let need_a = missing(&self.times, a);
@@ -465,7 +709,12 @@ impl AvailabilityTimeline {
         if !need_a && !need_b {
             return;
         }
-        let mut caps = self.leaf_caps();
+        let steady = self.marks.is_empty();
+        let n = self.times.len();
+        let mut caps = std::mem::take(&mut self.caps_scratch);
+        caps.clear();
+        caps.resize(n, 0);
+        self.collect(1, 0, n - 1, 0, &mut caps);
         for t in [a, b] {
             let idx = self.times.partition_point(|&bt| bt <= t);
             if idx > 0 && self.times[idx - 1] == t {
@@ -474,13 +723,56 @@ impl AvailabilityTimeline {
             // The new leaf inherits the capacity of the leaf it splits.
             caps.insert(idx, caps[idx - 1]);
             self.times.insert(idx, t);
+            self.splits_since_compaction += 1;
+        }
+        if steady && self.compaction_due() {
+            let mut kept = 0usize;
+            for i in 0..self.times.len() {
+                let t = self.times[i];
+                if kept == 0 || caps[i] != caps[kept - 1] || t == a || t == b {
+                    self.times[kept] = t;
+                    caps[kept] = caps[i];
+                    kept += 1;
+                }
+            }
+            self.times.truncate(kept);
+            caps.truncate(kept);
+            self.splits_since_compaction = 0;
         }
         let n = self.times.len();
-        if self.nodes.len() < 4 * n {
-            let target = 4 * n.next_power_of_two();
-            self.nodes.resize(target, Node::default());
-        }
+        self.grow_tree(n);
         self.build(1, 0, n - 1, &caps);
+        self.caps_scratch = caps;
+    }
+
+    /// Standalone compacting rebuild, run when a transaction boundary leaves
+    /// the timeline mark-free with enough accumulated splits. This is what
+    /// keeps `B` bounded under pure speculative probing (checkpoint → probe
+    /// → rollback in a loop), where `ensure_breakpoints` itself always runs
+    /// under a mark and must defer.
+    fn maybe_compact(&mut self) {
+        debug_assert!(self.marks.is_empty());
+        if !self.compaction_due() {
+            return;
+        }
+        let n = self.times.len();
+        let mut caps = std::mem::take(&mut self.caps_scratch);
+        caps.clear();
+        caps.resize(n, 0);
+        self.collect(1, 0, n - 1, 0, &mut caps);
+        let mut kept = 0usize;
+        for i in 0..n {
+            if kept == 0 || caps[i] != caps[kept - 1] {
+                self.times[kept] = self.times[i];
+                caps[kept] = caps[i];
+                kept += 1;
+            }
+        }
+        self.times.truncate(kept);
+        caps.truncate(kept);
+        self.splits_since_compaction = 0;
+        self.build(1, 0, kept - 1, &caps);
+        self.caps_scratch = caps;
     }
 
     fn n(&self) -> usize {
@@ -495,6 +787,10 @@ impl AvailabilityTimeline {
     /// discipline); resolving an outer mark implicitly resolves the marks
     /// nested inside it. `O(1)`.
     pub fn checkpoint(&mut self) -> TxnMark {
+        debug_assert!(
+            !self.marks.is_empty() || self.undo.is_empty(),
+            "the undo arena must be empty outside transactions"
+        );
         self.mark_gen += 1;
         let mark = TxnMark {
             depth: self.marks.len(),
@@ -507,10 +803,11 @@ impl AvailabilityTimeline {
 
     /// Undo every `reserve`/`release` executed since `mark` was taken,
     /// restoring the represented availability function exactly (breakpoints
-    /// split by the undone operations stay split — harmless, the timeline is
-    /// not kept normalized). Consumes `mark` and every mark nested inside
-    /// it. Costs `O(ops since the mark · log B)`, independent of `B` when
-    /// the speculation touched nothing.
+    /// split by the undone operations stay split until the next compacting
+    /// rebuild — harmless, the timeline is not kept normalized). Consumes
+    /// `mark` and every mark nested inside it. Costs
+    /// `O(ops since the mark · log B)`, independent of `B` when the
+    /// speculation touched nothing.
     ///
     /// # Panics
     /// Panics if `mark` is not outstanding on this timeline (already
@@ -524,12 +821,15 @@ impl AvailabilityTimeline {
             self.range_add(1, 0, n - 1, l, r, -op.delta);
         }
         self.marks.truncate(mark.depth);
+        if self.marks.is_empty() {
+            self.maybe_compact();
+        }
     }
 
     /// Accept everything executed since `mark` was taken. Consumes `mark`
     /// and every mark nested inside it; when the last outstanding mark
-    /// commits the undo log is dropped, so committed steady-state operation
-    /// carries no logging overhead.
+    /// commits the undo arena's cursor resets (capacity retained), so
+    /// committed steady-state operation carries no logging overhead.
     ///
     /// # Panics
     /// Panics if `mark` is not outstanding on this timeline (see
@@ -538,7 +838,8 @@ impl AvailabilityTimeline {
         self.validate_mark(mark);
         self.marks.truncate(mark.depth);
         if self.marks.is_empty() {
-            self.undo.clear();
+            self.undo.reset();
+            self.maybe_compact();
         }
     }
 
@@ -577,7 +878,9 @@ impl AvailabilityTimeline {
     /// sequential [`CapacityQuery::reserve`] calls on an incrementally
     /// grown tree. This is the right entry point whenever a whole schedule
     /// is (re)indexed at once — e.g. when the local search re-anchors its
-    /// persistent timeline on an accepted rebuild.
+    /// persistent timeline on an accepted rebuild. The sweep emits only
+    /// instants where the capacity actually changes, so the resulting
+    /// timeline starts fully normalized.
     ///
     /// Fails with [`ProfileError::InsufficientCapacity`] at the first
     /// instant where the placements (plus reservations) exceed the cluster,
@@ -673,7 +976,7 @@ impl AvailabilityTimeline {
         remaining: u128,
     ) -> Option<Time> {
         if lo == hi {
-            let cap = self.nodes[node].min + acc;
+            let cap = self.tree.mins.get(node) + acc;
             debug_assert!(cap >= 0);
             if cap == 0 {
                 // Only reachable on the open-ended last leaf (a finite leaf
@@ -687,8 +990,8 @@ impl AvailabilityTimeline {
             return Some(Time(self.times[lo].saturating_add(extra)));
         }
         let mid = (lo + hi) / 2;
-        let acc = acc + self.nodes[node].lazy;
-        let left = self.nodes[2 * node].area + acc as i128 * self.finite_span(lo, mid);
+        let acc = acc + self.tree.lazy.get(node);
+        let left = self.tree.area.get(2 * node) + acc as i128 * self.finite_span(lo, mid);
         debug_assert!(left >= 0);
         // Clamp defensively: a (bug-induced) negative area must not wrap to a
         // huge u128 and corrupt the descent in release builds.
@@ -1252,5 +1555,105 @@ mod tests {
                 "area={area}"
             );
         }
+    }
+
+    // -- PR 6: flat layout, arena, compaction --------------------------------
+
+    #[test]
+    fn undo_arena_retains_capacity_across_transactions() {
+        let mut tl = AvailabilityTimeline::constant(64);
+        let mark = tl.checkpoint();
+        for i in 0..50u64 {
+            tl.reserve(Time(i * 3), Dur(2), 1).unwrap();
+        }
+        tl.rollback_to(mark);
+        let warmed = tl.undo.ops.capacity();
+        assert!(warmed >= 50, "high-water capacity must be retained");
+        // A second transaction of the same shape must not grow the arena.
+        let mark = tl.checkpoint();
+        for i in 0..50u64 {
+            tl.reserve(Time(i * 3), Dur(2), 1).unwrap();
+        }
+        tl.commit(mark);
+        assert!(tl.undo.is_empty(), "final commit resets the bump cursor");
+        assert_eq!(tl.undo.ops.capacity(), warmed, "slab reused, not regrown");
+    }
+
+    #[test]
+    fn speculative_probe_churn_is_compacted_at_transaction_boundaries() {
+        // checkpoint → reserve → rollback in a loop leaves degenerate splits
+        // behind; the standalone compaction at mark resolution must keep B
+        // bounded instead of letting it grow by ~2 per probe.
+        let mut tl = AvailabilityTimeline::constant(8);
+        let baseline = tl.to_profile();
+        for i in 0..500u64 {
+            let mark = tl.checkpoint();
+            tl.reserve(Time(10 * i), Dur(3), 2).unwrap();
+            tl.rollback_to(mark);
+        }
+        assert!(
+            tl.breakpoints() < 2 * COMPACT_SLACK + 16,
+            "B = {} must stay bounded under pure speculation",
+            tl.breakpoints()
+        );
+        assert_eq!(tl.to_profile(), baseline, "function unchanged");
+    }
+
+    #[test]
+    fn committed_churn_is_compacted_on_rebuilds() {
+        // Reserve/release pairs leave equal-capacity splits; once enough
+        // accumulate, the next endpoint insertion's rebuild merges them.
+        let mut tl = AvailabilityTimeline::constant(8);
+        let mut p = ResourceProfile::constant(8);
+        for i in 0..300u64 {
+            tl.reserve(Time(3 * i), Dur(2), 1).unwrap();
+            tl.release(Time(3 * i), Dur(2), 1).unwrap();
+        }
+        assert!(
+            tl.breakpoints() < 2 * COMPACT_SLACK + 16,
+            "B = {} must stay bounded under committed churn",
+            tl.breakpoints()
+        );
+        // Compaction preserved the function and later updates stay correct.
+        for i in 0..40u64 {
+            tl.reserve(Time(7 * i), Dur(5), (i % 3) as u32 + 1).unwrap();
+            p.reserve(Time(7 * i), Dur(5), (i % 3) as u32 + 1).unwrap();
+        }
+        assert_eq!(tl.to_profile(), p);
+    }
+
+    #[test]
+    fn compaction_never_runs_under_an_outstanding_mark() {
+        // Accumulate enough splits that compaction is overdue, then open a
+        // transaction: splits logged inside it must survive (rollback derives
+        // leaf ranges from breakpoint times) and rollback must restore the
+        // function exactly.
+        let mut tl = AvailabilityTimeline::constant(8);
+        for i in 0..200u64 {
+            let m = tl.checkpoint();
+            tl.reserve(Time(5 * i), Dur(2), 3).unwrap();
+            // Leave the splits in place by committing, not rolling back.
+            tl.commit(m);
+            tl.release(Time(5 * i), Dur(2), 3).unwrap();
+        }
+        let before = tl.to_profile();
+        let mark = tl.checkpoint();
+        for i in 0..100u64 {
+            tl.reserve(Time(1000 + 7 * i), Dur(3), 2).unwrap();
+        }
+        tl.rollback_to(mark);
+        assert_eq!(tl.to_profile(), before);
+    }
+
+    #[test]
+    fn reserve_capacity_presizes_without_changing_the_function() {
+        let mut tl = AvailabilityTimeline::constant(16);
+        let baseline = tl.to_profile();
+        tl.reserve_capacity(256, 128);
+        assert_eq!(tl.to_profile(), baseline);
+        assert!(tl.undo.ops.capacity() >= 128);
+        assert!(tl.tree.slots() >= 4 * 256);
+        tl.reserve(Time(5), Dur(5), 4).unwrap();
+        assert_eq!(tl.capacity_at(Time(6)), 12);
     }
 }

@@ -1,0 +1,702 @@
+//! The pinned pointer-layout timeline: PR 3's `AvailabilityTimeline`,
+//! preserved verbatim as a reference substrate.
+//!
+//! PR 6 rebuilt the hot core of [`crate::timeline::AvailabilityTimeline`] on
+//! a flat, cache-line-aligned SoA layout with an arena-backed undo log and
+//! rebuild-time breakpoint compaction. This module keeps the previous
+//! generation — array-of-structs nodes (`min`/`max`/`lazy`/`area` packed per
+//! node), a plain `Vec` undo log, a fresh leaf-capacity materialization per
+//! breakpoint insertion, and *no* compaction (breakpoints split by
+//! speculative probes accumulate forever) — for two jobs:
+//!
+//! * **proptest oracle** — the flat layout is property-tested
+//!   answer-for-answer against this one across random
+//!   reserve/release/checkpoint/rollback/commit interleavings (see
+//!   `resa-core`'s proptests), so a layout bug cannot hide behind a layout
+//!   win;
+//! * **bench baseline** — `resa-bench/benches/service.rs` measures the
+//!   steady-state probe path of both substrates head-to-head; the asserted
+//!   ≥2x is against exactly this code, not a strawman.
+//!
+//! Apart from the type names ([`ReferenceTimeline`], [`RefTxnMark`]) the
+//! implementation is intentionally untouched; do not "fix" or optimize it —
+//! its value is being the pinned previous generation.
+
+use crate::capacity::{CapacityQuery, Speculate};
+use crate::error::ProfileError;
+use crate::profile::ResourceProfile;
+use crate::reservation::Reservation;
+use crate::time::{Dur, Time};
+use std::fmt;
+
+/// Pointer-layout (array-of-structs) segment-tree timeline; the pinned
+/// baseline [`crate::timeline::AvailabilityTimeline`] is measured and
+/// property-tested against.
+#[derive(Debug, Clone)]
+pub struct ReferenceTimeline {
+    /// Total number of machines in the cluster (`m`).
+    base: u32,
+    /// Breakpoint times, sorted, first entry always 0.
+    times: Vec<u64>,
+    /// Segment-tree nodes (1-indexed, `4 × leaves` slots), one struct per
+    /// node — every descent drags all four fields through the cache even
+    /// when it reads only one.
+    nodes: Vec<Node>,
+    /// Plain-`Vec` undo log of the transactional layer.
+    undo: Vec<UndoOp>,
+    /// Outstanding marks — `(undo-log length, generation)` — innermost last.
+    marks: Vec<(usize, u64)>,
+    /// Monotone mark generation counter.
+    mark_gen: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Node {
+    min: i64,
+    max: i64,
+    lazy: i64,
+    area: i128,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct UndoOp {
+    start: u64,
+    end: u64,
+    delta: i64,
+}
+
+/// An `O(1)` checkpoint of a [`ReferenceTimeline`]'s transaction state;
+/// mirrors [`crate::timeline::TxnMark`] with the reference semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefTxnMark {
+    depth: usize,
+    undo_len: usize,
+    gen: u64,
+}
+
+impl PartialEq for ReferenceTimeline {
+    /// Timelines compare by the function they represent.
+    fn eq(&self, other: &Self) -> bool {
+        self.to_profile() == other.to_profile()
+    }
+}
+
+impl Eq for ReferenceTimeline {}
+
+impl ReferenceTimeline {
+    /// A timeline with constant capacity `machines`.
+    pub fn constant(machines: u32) -> Self {
+        Self::from_parts(machines, vec![0], vec![machines])
+    }
+
+    /// Build the timeline induced by a set of reservations, mirroring
+    /// [`ResourceProfile::from_reservations`].
+    pub fn from_reservations(
+        machines: u32,
+        reservations: &[Reservation],
+    ) -> Result<Self, (Time, u32)> {
+        ResourceProfile::from_reservations(machines, reservations).map(|p| Self::from_profile(&p))
+    }
+
+    /// Index a normalized profile (lossless).
+    pub fn from_profile(profile: &ResourceProfile) -> Self {
+        let times: Vec<u64> = profile.steps().iter().map(|&(t, _)| t.ticks()).collect();
+        let caps: Vec<u32> = profile.steps().iter().map(|&(_, c)| c).collect();
+        Self::from_parts(profile.base(), times, caps)
+    }
+
+    /// Collapse back into the canonical normalized representation.
+    pub fn to_profile(&self) -> ResourceProfile {
+        let caps = self.leaf_caps();
+        let steps: Vec<(Time, u32)> = self
+            .times
+            .iter()
+            .zip(caps)
+            .map(|(&t, c)| (Time(t), c))
+            .collect();
+        ResourceProfile::from_steps(self.base, steps)
+    }
+
+    /// Number of breakpoints currently indexed (`B`). Without compaction
+    /// this grows monotonically under speculative probing — the behaviour
+    /// the flat layout's benchmark quantifies.
+    #[inline]
+    pub fn breakpoints(&self) -> usize {
+        self.times.len()
+    }
+
+    fn from_parts(base: u32, times: Vec<u64>, caps: Vec<u32>) -> Self {
+        debug_assert!(!times.is_empty() && times[0] == 0);
+        debug_assert!(times.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(times.len(), caps.len());
+        let n = times.len();
+        let mut tl = ReferenceTimeline {
+            base,
+            times,
+            nodes: vec![Node::default(); 4 * n],
+            undo: Vec::new(),
+            marks: Vec::new(),
+            mark_gen: 0,
+        };
+        tl.build(1, 0, n - 1, &caps);
+        tl
+    }
+
+    fn build(&mut self, node: usize, lo: usize, hi: usize, caps: &[u32]) {
+        self.nodes[node].lazy = 0;
+        if lo == hi {
+            self.nodes[node].min = caps[lo] as i64;
+            self.nodes[node].max = caps[lo] as i64;
+            self.nodes[node].area = caps[lo] as i128 * self.finite_span(lo, lo);
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        self.build(2 * node, lo, mid, caps);
+        self.build(2 * node + 1, mid + 1, hi, caps);
+        self.pull(node);
+    }
+
+    fn pull(&mut self, node: usize) {
+        self.nodes[node].min = self.nodes[2 * node].min.min(self.nodes[2 * node + 1].min);
+        self.nodes[node].max = self.nodes[2 * node].max.max(self.nodes[2 * node + 1].max);
+        self.nodes[node].area = self.nodes[2 * node].area + self.nodes[2 * node + 1].area;
+    }
+
+    #[inline]
+    fn finite_span(&self, lo: usize, hi: usize) -> i128 {
+        let end = (hi + 1).min(self.times.len() - 1);
+        (self.times[end] - self.times[lo]) as i128
+    }
+
+    fn leaf_of(&self, t: Time) -> usize {
+        self.times.partition_point(|&bt| bt <= t.ticks()) - 1
+    }
+
+    fn last_leaf_before(&self, end: u64) -> usize {
+        self.times.partition_point(|&bt| bt < end) - 1
+    }
+
+    fn window_leaves(&self, start: Time, end: u64) -> (usize, usize) {
+        let l = self.leaf_of(start);
+        let r = if end > start.ticks() {
+            self.last_leaf_before(end)
+        } else {
+            l
+        };
+        (l, r)
+    }
+
+    fn query_min(&self, node: usize, lo: usize, hi: usize, l: usize, r: usize, acc: i64) -> i64 {
+        if r < lo || hi < l {
+            return i64::MAX;
+        }
+        if l <= lo && hi <= r {
+            return self.nodes[node].min + acc;
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.query_min(2 * node, lo, mid, l, r, acc)
+            .min(self.query_min(2 * node + 1, mid + 1, hi, l, r, acc))
+    }
+
+    fn query_max(&self, node: usize, lo: usize, hi: usize, l: usize, r: usize, acc: i64) -> i64 {
+        if r < lo || hi < l {
+            return i64::MIN;
+        }
+        if l <= lo && hi <= r {
+            return self.nodes[node].max + acc;
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.query_max(2 * node, lo, mid, l, r, acc)
+            .max(self.query_max(2 * node + 1, mid + 1, hi, l, r, acc))
+    }
+
+    fn first_below(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        window: (usize, usize),
+        width: i64,
+        acc: i64,
+    ) -> Option<usize> {
+        let (l, r) = window;
+        if r < lo || hi < l || self.nodes[node].min + acc >= width {
+            return None;
+        }
+        if lo == hi {
+            return Some(lo);
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.first_below(2 * node, lo, mid, window, width, acc)
+            .or_else(|| self.first_below(2 * node + 1, mid + 1, hi, window, width, acc))
+    }
+
+    fn first_at_least(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        from: usize,
+        width: i64,
+        acc: i64,
+    ) -> Option<usize> {
+        if hi < from || self.nodes[node].max + acc < width {
+            return None;
+        }
+        if lo == hi {
+            return Some(lo);
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.first_at_least(2 * node, lo, mid, from, width, acc)
+            .or_else(|| self.first_at_least(2 * node + 1, mid + 1, hi, from, width, acc))
+    }
+
+    fn first_differing(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        from: usize,
+        cap: i64,
+        acc: i64,
+    ) -> Option<usize> {
+        if hi < from || (self.nodes[node].min + acc == cap && self.nodes[node].max + acc == cap) {
+            return None;
+        }
+        if lo == hi {
+            return Some(lo);
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.first_differing(2 * node, lo, mid, from, cap, acc)
+            .or_else(|| self.first_differing(2 * node + 1, mid + 1, hi, from, cap, acc))
+    }
+
+    fn range_add(&mut self, node: usize, lo: usize, hi: usize, l: usize, r: usize, delta: i64) {
+        if r < lo || hi < l {
+            return;
+        }
+        if l <= lo && hi <= r {
+            self.nodes[node].min += delta;
+            self.nodes[node].max += delta;
+            self.nodes[node].lazy += delta;
+            self.nodes[node].area += delta as i128 * self.finite_span(lo, hi);
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        self.range_add(2 * node, lo, mid, l, r, delta);
+        self.range_add(2 * node + 1, mid + 1, hi, l, r, delta);
+        self.nodes[node].min =
+            self.nodes[2 * node].min.min(self.nodes[2 * node + 1].min) + self.nodes[node].lazy;
+        self.nodes[node].max =
+            self.nodes[2 * node].max.max(self.nodes[2 * node + 1].max) + self.nodes[node].lazy;
+        self.nodes[node].area = self.nodes[2 * node].area
+            + self.nodes[2 * node + 1].area
+            + self.nodes[node].lazy as i128 * self.finite_span(lo, hi);
+    }
+
+    fn collect_range(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        window: (usize, usize),
+        acc: i64,
+        out: &mut Vec<(Time, u32)>,
+    ) {
+        let (l, r) = window;
+        if r < lo || hi < l {
+            return;
+        }
+        if lo == hi {
+            let v = (self.nodes[node].min + acc) as u32;
+            match out.last() {
+                Some(&(_, cap)) if cap == v => {}
+                _ => out.push((Time(self.times[lo]), v)),
+            }
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.collect_range(2 * node, lo, mid, window, acc, out);
+        self.collect_range(2 * node + 1, mid + 1, hi, window, acc, out);
+    }
+
+    /// Materialize the capacity of every leaf — a fresh allocation per call,
+    /// which the insertion path below pays on every new breakpoint.
+    fn leaf_caps(&self) -> Vec<u32> {
+        let n = self.times.len();
+        let mut caps = vec![0u32; n];
+        self.collect(1, 0, n - 1, 0, &mut caps);
+        caps
+    }
+
+    fn collect(&self, node: usize, lo: usize, hi: usize, acc: i64, caps: &mut [u32]) {
+        if lo == hi {
+            let v = self.nodes[node].min + acc;
+            debug_assert!((0..=self.base as i64).contains(&v));
+            caps[lo] = v as u32;
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        self.collect(2 * node, lo, mid, acc, caps);
+        self.collect(2 * node + 1, mid + 1, hi, acc, caps);
+    }
+
+    fn ensure_breakpoints(&mut self, a: u64, b: u64) {
+        let missing = |times: &[u64], t: u64| times.binary_search(&t).is_err();
+        let need_a = missing(&self.times, a);
+        let need_b = missing(&self.times, b);
+        if !need_a && !need_b {
+            return;
+        }
+        let mut caps = self.leaf_caps();
+        for t in [a, b] {
+            let idx = self.times.partition_point(|&bt| bt <= t);
+            if idx > 0 && self.times[idx - 1] == t {
+                continue;
+            }
+            caps.insert(idx, caps[idx - 1]);
+            self.times.insert(idx, t);
+        }
+        let n = self.times.len();
+        if self.nodes.len() < 4 * n {
+            let target = 4 * n.next_power_of_two();
+            self.nodes.resize(target, Node::default());
+        }
+        self.build(1, 0, n - 1, &caps);
+    }
+
+    fn n(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Open a transaction; see [`crate::timeline::AvailabilityTimeline::checkpoint`].
+    pub fn checkpoint(&mut self) -> RefTxnMark {
+        self.mark_gen += 1;
+        let mark = RefTxnMark {
+            depth: self.marks.len(),
+            undo_len: self.undo.len(),
+            gen: self.mark_gen,
+        };
+        self.marks.push((mark.undo_len, mark.gen));
+        mark
+    }
+
+    /// Undo everything since `mark`; see
+    /// [`crate::timeline::AvailabilityTimeline::rollback_to`].
+    ///
+    /// # Panics
+    /// Panics if `mark` is not outstanding on this timeline.
+    pub fn rollback_to(&mut self, mark: RefTxnMark) {
+        self.validate_mark(mark);
+        while self.undo.len() > mark.undo_len {
+            let op = self.undo.pop().expect("guarded by the length check");
+            let (l, r) = self.window_leaves(Time(op.start), op.end);
+            let n = self.n();
+            self.range_add(1, 0, n - 1, l, r, -op.delta);
+        }
+        self.marks.truncate(mark.depth);
+    }
+
+    /// Accept everything since `mark`; see
+    /// [`crate::timeline::AvailabilityTimeline::commit`].
+    ///
+    /// # Panics
+    /// Panics if `mark` is not outstanding on this timeline.
+    pub fn commit(&mut self, mark: RefTxnMark) {
+        self.validate_mark(mark);
+        self.marks.truncate(mark.depth);
+        if self.marks.is_empty() {
+            self.undo.clear();
+        }
+    }
+
+    /// Whether a transaction mark is currently outstanding.
+    #[inline]
+    pub fn in_transaction(&self) -> bool {
+        !self.marks.is_empty()
+    }
+
+    fn validate_mark(&self, mark: RefTxnMark) {
+        assert!(
+            self.marks.get(mark.depth) == Some(&(mark.undo_len, mark.gen)),
+            "RefTxnMark not outstanding: already resolved, resolved out of stack order, \
+             or issued by another timeline"
+        );
+    }
+
+    #[inline]
+    fn log_update(&mut self, start: Time, end: u64, delta: i64) {
+        if !self.marks.is_empty() {
+            self.undo.push(UndoOp {
+                start: start.ticks(),
+                end,
+                delta,
+            });
+        }
+    }
+
+    /// Smallest time `T` with free area at least `area` in `[0, T)`; see
+    /// [`crate::timeline::AvailabilityTimeline::earliest_time_with_area`].
+    pub fn earliest_time_with_area(&self, area: u128) -> Option<Time> {
+        if area == 0 {
+            return Some(Time::ZERO);
+        }
+        self.area_descent(1, 0, self.n() - 1, 0, area)
+    }
+
+    fn area_descent(
+        &self,
+        node: usize,
+        lo: usize,
+        hi: usize,
+        acc: i64,
+        remaining: u128,
+    ) -> Option<Time> {
+        if lo == hi {
+            let cap = self.nodes[node].min + acc;
+            debug_assert!(cap >= 0);
+            if cap == 0 {
+                return None;
+            }
+            let extra = remaining.div_ceil(cap as u128);
+            let extra = u64::try_from(extra).unwrap_or(u64::MAX);
+            return Some(Time(self.times[lo].saturating_add(extra)));
+        }
+        let mid = (lo + hi) / 2;
+        let acc = acc + self.nodes[node].lazy;
+        let left = self.nodes[2 * node].area + acc as i128 * self.finite_span(lo, mid);
+        debug_assert!(left >= 0);
+        let left = left.max(0);
+        if left as u128 >= remaining {
+            self.area_descent(2 * node, lo, mid, acc, remaining)
+        } else {
+            self.area_descent(2 * node + 1, mid + 1, hi, acc, remaining - left as u128)
+        }
+    }
+}
+
+impl CapacityQuery for ReferenceTimeline {
+    fn base(&self) -> u32 {
+        self.base
+    }
+
+    fn capacity_at(&self, t: Time) -> u32 {
+        let leaf = self.leaf_of(t);
+        self.query_min(1, 0, self.n() - 1, leaf, leaf, 0) as u32
+    }
+
+    fn min_capacity_in(&self, start: Time, dur: Dur) -> u32 {
+        if dur.is_zero() {
+            return self.capacity_at(start);
+        }
+        let end = start.ticks().saturating_add(dur.ticks());
+        let (l, r) = self.window_leaves(start, end);
+        self.query_min(1, 0, self.n() - 1, l, r, 0) as u32
+    }
+
+    fn earliest_fit(&self, width: u32, dur: Dur, not_before: Time) -> Option<Time> {
+        if width == 0 {
+            return Some(not_before);
+        }
+        if width > self.base {
+            return None;
+        }
+        let n = self.n();
+        let w = width as i64;
+        let mut t = not_before;
+        loop {
+            let end = t.ticks().saturating_add(dur.ticks());
+            let (l, r) = self.window_leaves(t, end);
+            match self.first_below(1, 0, n - 1, (l, r), w, 0) {
+                None => return Some(t),
+                Some(violation) => {
+                    let next = self.first_at_least(1, 0, n - 1, violation + 1, w, 0)?;
+                    t = t.max(Time(self.times[next]));
+                }
+            }
+        }
+    }
+
+    fn next_change_after(&self, t: Time) -> Option<Time> {
+        let cap = self.capacity_at(t) as i64;
+        let from = self.leaf_of(t) + 1;
+        if from >= self.n() {
+            return None;
+        }
+        self.first_differing(1, 0, self.n() - 1, from, cap, 0)
+            .map(|leaf| Time(self.times[leaf]))
+    }
+
+    fn capacity_profile_in(&self, start: Time, end: Time, out: &mut Vec<(Time, u32)>) {
+        out.clear();
+        if end <= start {
+            return;
+        }
+        let (l, r) = self.window_leaves(start, end.ticks());
+        self.collect_range(1, 0, self.n() - 1, (l, r), 0, out);
+        if let Some(first) = out.first_mut() {
+            first.0 = first.0.max(start);
+        }
+    }
+
+    fn reserve(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError> {
+        if dur.is_zero() {
+            return Err(ProfileError::EmptyWindow);
+        }
+        if width == 0 {
+            return Ok(());
+        }
+        let end = start.ticks().saturating_add(dur.ticks());
+        let (l, r) = self.window_leaves(start, end);
+        let n = self.n();
+        let min = self.query_min(1, 0, n - 1, l, r, 0);
+        if min < width as i64 {
+            let leaf = self
+                .first_below(1, 0, n - 1, (l, r), width as i64, 0)
+                .expect("min < width implies a violating leaf");
+            let at = if leaf == l {
+                start
+            } else {
+                Time(self.times[leaf])
+            };
+            return Err(ProfileError::InsufficientCapacity {
+                at,
+                requested: width,
+                available: min as u32,
+            });
+        }
+        self.ensure_breakpoints(start.ticks(), end);
+        let (l, r) = self.window_leaves(start, end);
+        let n = self.n();
+        self.range_add(1, 0, n - 1, l, r, -(width as i64));
+        self.log_update(start, end, -(width as i64));
+        Ok(())
+    }
+
+    fn release(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError> {
+        if dur.is_zero() {
+            return Err(ProfileError::EmptyWindow);
+        }
+        if width == 0 {
+            return Ok(());
+        }
+        let end = start.ticks().saturating_add(dur.ticks());
+        let (l, r) = self.window_leaves(start, end);
+        let n = self.n();
+        let max = self.query_max(1, 0, n - 1, l, r, 0);
+        if max + width as i64 > self.base as i64 {
+            return Err(ProfileError::ReleaseAboveBase {
+                at: start,
+                capacity: (max + width as i64) as u32,
+                base: self.base,
+            });
+        }
+        self.ensure_breakpoints(start.ticks(), end);
+        let (l, r) = self.window_leaves(start, end);
+        let n = self.n();
+        self.range_add(1, 0, n - 1, l, r, width as i64);
+        self.log_update(start, end, width as i64);
+        Ok(())
+    }
+}
+
+impl Speculate for ReferenceTimeline {
+    fn speculate<T>(&mut self, probe: impl FnOnce(&mut Self) -> T) -> T {
+        let mark = self.checkpoint();
+        let out = probe(self);
+        self.rollback_to(mark);
+        out
+    }
+}
+
+impl From<&ResourceProfile> for ReferenceTimeline {
+    fn from(profile: &ResourceProfile) -> Self {
+        ReferenceTimeline::from_profile(profile)
+    }
+}
+
+impl fmt::Display for ReferenceTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reference-timeline[{} leaves] ≙ {}",
+            self.breakpoints(),
+            self.to_profile()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: usize, width: u32, dur: u64, start: u64) -> Reservation {
+        Reservation::new(id, width, dur, start)
+    }
+
+    #[test]
+    fn reference_matches_profile_on_queries() {
+        let rs = [r(0, 4, 5, 2), r(1, 2, 2, 8)];
+        let p = ResourceProfile::from_reservations(10, &rs).unwrap();
+        let tl = ReferenceTimeline::from_reservations(10, &rs).unwrap();
+        for t in 0..15 {
+            assert_eq!(tl.capacity_at(Time(t)), p.capacity_at(Time(t)), "t={t}");
+        }
+        assert_eq!(tl.to_profile(), p);
+        assert_eq!(
+            tl.earliest_fit(6, Dur(3), Time::ZERO),
+            p.earliest_fit(6, Dur(3), Time::ZERO)
+        );
+    }
+
+    #[test]
+    fn reference_reserve_release_roundtrip() {
+        let mut tl = ReferenceTimeline::constant(8);
+        let original = tl.clone();
+        tl.reserve(Time(3), Dur(4), 5).unwrap();
+        assert_eq!(tl.capacity_at(Time(4)), 3);
+        tl.release(Time(3), Dur(4), 5).unwrap();
+        assert_eq!(tl, original);
+    }
+
+    #[test]
+    fn reference_rollback_restores_the_function() {
+        let mut tl = ReferenceTimeline::from_reservations(8, &[r(0, 3, 4, 2)]).unwrap();
+        let before = tl.to_profile();
+        let mark = tl.checkpoint();
+        tl.reserve(Time(0), Dur(10), 2).unwrap();
+        tl.release(Time(3), Dur(2), 3).unwrap();
+        tl.rollback_to(mark);
+        assert_eq!(tl.to_profile(), before);
+        assert!(!tl.in_transaction());
+    }
+
+    #[test]
+    fn reference_speculation_grows_breakpoints_forever() {
+        // The behaviour the flat layout's compaction removes: every probe at
+        // a fresh instant permanently splits leaves.
+        let mut tl = ReferenceTimeline::constant(8);
+        let before = tl.breakpoints();
+        for i in 0..16u64 {
+            tl.speculate(|s| s.reserve(Time(10 * i), Dur(3), 2).unwrap());
+        }
+        assert!(tl.breakpoints() >= before + 16, "splits must accumulate");
+        assert_eq!(tl.to_profile(), ResourceProfile::constant(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not outstanding")]
+    fn reference_stale_mark_panics() {
+        let mut tl = ReferenceTimeline::constant(4);
+        let mark = tl.checkpoint();
+        tl.commit(mark);
+        tl.rollback_to(mark);
+    }
+}

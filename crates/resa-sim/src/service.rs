@@ -43,7 +43,8 @@ use crate::reference::ReferencePolicy;
 use crate::trace::{JobRecord, RunTrace};
 use resa_core::capacity::Speculate;
 use resa_core::prelude::*;
-use std::collections::BTreeSet;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Errors a service request can be rejected with. The service state is
 /// unchanged by a rejected request (transactional semantics).
@@ -125,12 +126,29 @@ pub struct ServiceReservation {
 
 /// What one request changed: jobs started by the decision(s) it triggered
 /// and jobs that completed while time advanced.
+///
+/// Mutating requests hand back `&Effects` borrowed from a buffer the service
+/// reuses across requests (part of the PR 6 zero-allocation steady path);
+/// clone it if the effects must outlive the next request.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Effects {
     /// Jobs started, in decision order, with their start times.
     pub started: Vec<Placement>,
     /// Jobs whose completion was drained, with their completion times.
     pub completed: Vec<(JobId, Time)>,
+}
+
+impl Effects {
+    /// Reset for reuse, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.started.clear();
+        self.completed.clear();
+    }
+
+    /// Whether the request changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.started.is_empty() && self.completed.is_empty()
+    }
 }
 
 /// Aggregate counters of a service session.
@@ -178,20 +196,28 @@ pub struct ScheduleService<C: CapacityQuery + Speculate> {
     jobs: Vec<Job>,
     /// Released-but-not-started job positions, in arrival order.
     waiting: WaitList,
-    /// Future arrivals `(release, position)`, kept sorted; the heap tie-break
-    /// of the batch engine (job id) is the second component.
-    pending: BTreeSet<(Time, usize)>,
-    /// Outstanding completions `(completion, position)`.
-    running: BTreeSet<(Time, usize)>,
+    /// Future arrivals `(release, position)` as a min-heap; entries are
+    /// unique, so the pop order equals the sorted order of the old
+    /// `BTreeSet` — `O(log n)` push/pop with no per-node allocation, and the
+    /// batch engine's tie-break (job id) is the second component.
+    pending: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Outstanding completions `(completion, position)` as a min-heap.
+    running: BinaryHeap<Reverse<(Time, usize)>>,
     /// Future decision instants induced by the reservation overlay: the
     /// normalized breakpoints of the overlay profile, mirroring the
-    /// availability-change events of the batch engine.
-    breakpoints: BTreeSet<Time>,
+    /// availability-change events of the batch engine. A min-heap rebuilt
+    /// from the event scratch on every overlay change.
+    breakpoints: BinaryHeap<Reverse<Time>>,
     reservations: Vec<ServiceReservation>,
     schedule: Schedule,
     decisions: u64,
     scratch: DecisionScratch,
     to_start: Vec<JobId>,
+    /// Reused effects buffer handed back by reference from every mutating
+    /// request.
+    fx_buf: Effects,
+    /// Reused `(time, width-delta)` event buffer for breakpoint refreshes.
+    bp_events: Vec<(u64, i64)>,
 }
 
 impl<C: CapacityQuery + Speculate> ScheduleService<C> {
@@ -210,15 +236,41 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             now: Time::ZERO,
             jobs: Vec::new(),
             waiting: WaitList::with_capacity(0),
-            pending: BTreeSet::new(),
-            running: BTreeSet::new(),
-            breakpoints: BTreeSet::new(),
+            pending: BinaryHeap::new(),
+            running: BinaryHeap::new(),
+            breakpoints: BinaryHeap::new(),
             reservations: Vec::new(),
             schedule: Schedule::new(),
             decisions: 0,
             scratch: DecisionScratch::default(),
             to_start: Vec::new(),
+            fx_buf: Effects::default(),
+            bp_events: Vec::new(),
         }
+    }
+
+    /// Pre-size every per-job container for a session expected to hold up to
+    /// `jobs` jobs and `reservations` reservations, so a steady-state loop
+    /// staying under these bounds allocates nothing per request (pinned by
+    /// the allocation-regression test in `tests/alloc_regression.rs`).
+    pub fn ensure_capacity(&mut self, jobs: usize, reservations: usize) {
+        self.jobs.reserve(jobs.saturating_sub(self.jobs.len()));
+        self.waiting.ensure_capacity(jobs);
+        self.pending
+            .reserve(jobs.saturating_sub(self.pending.len()));
+        self.running
+            .reserve(jobs.saturating_sub(self.running.len()));
+        self.to_start
+            .reserve(jobs.saturating_sub(self.to_start.len()));
+        self.schedule
+            .reserve(jobs.saturating_sub(self.schedule.len()));
+        self.fx_buf.started.reserve(jobs);
+        self.fx_buf.completed.reserve(jobs);
+        self.reservations
+            .reserve(reservations.saturating_sub(self.reservations.len()));
+        self.breakpoints
+            .reserve((2 * reservations).saturating_sub(self.breakpoints.len()));
+        self.bp_events.reserve(2 * reservations);
     }
 
     /// Current virtual time.
@@ -255,13 +307,14 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
 
     /// Submit a job of `width` processors for `duration` ticks, arriving at
     /// `release` (the current virtual time when `None`). Returns the new
-    /// job's id and the starts the arrival decision triggered.
+    /// job's id and the starts the arrival decision triggered (borrowed from
+    /// the reused effects buffer — valid until the next request).
     pub fn submit(
         &mut self,
         width: u32,
         duration: Dur,
         release: Option<Time>,
-    ) -> Result<(JobId, Effects), ServiceError> {
+    ) -> Result<(JobId, &Effects), ServiceError> {
         if width == 0 || width > self.machines {
             return Err(ServiceError::BadWidth {
                 width,
@@ -283,16 +336,18 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         self.jobs
             .push(Job::released_at(pos, width, duration, release));
         self.waiting.ensure_capacity(pos + 1);
-        let mut effects = Effects::default();
+        let mut effects = std::mem::take(&mut self.fx_buf);
+        effects.clear();
         if release == self.now {
             // The arrival is an event at the current instant: enqueue and
             // decide, exactly like the batch engine's arrival handling.
             self.waiting.push_back(pos);
             self.decide_now(&mut effects);
         } else {
-            self.pending.insert((release, pos));
+            self.pending.push(Reverse((release, pos)));
         }
-        Ok((id, effects))
+        self.fx_buf = effects;
+        Ok((id, &self.fx_buf))
     }
 
     /// Reserve `width` processors during `[start, start + duration)`.
@@ -304,7 +359,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         width: u32,
         duration: Dur,
         start: Time,
-    ) -> Result<(usize, Effects), ServiceError> {
+    ) -> Result<(usize, &Effects), ServiceError> {
         if width == 0 || width > self.machines {
             return Err(ServiceError::BadWidth {
                 width,
@@ -334,7 +389,8 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             cancelled: false,
         });
         self.refresh_breakpoints();
-        let mut effects = Effects::default();
+        let mut effects = std::mem::take(&mut self.fx_buf);
+        effects.clear();
         // The overlay changed: a window starting now changes capacity at the
         // current instant, and even a future window can alter an EASY
         // decision at `now` (the blocked head's shadow moves later, which
@@ -343,13 +399,14 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         // (overlay fixed before the first submission) decision-identical to
         // the batch engine.
         self.decide_now(&mut effects);
-        Ok((id, effects))
+        self.fx_buf = effects;
+        Ok((id, &self.fx_buf))
     }
 
     /// Cancel reservation `id`, releasing its not-yet-elapsed window
     /// `[max(now, start), end)`. The elapsed prefix stays in effect — the
     /// past cannot be rewritten. Applied transactionally.
-    pub fn cancel(&mut self, id: usize) -> Result<Effects, ServiceError> {
+    pub fn cancel(&mut self, id: usize) -> Result<&Effects, ServiceError> {
         let r = *self
             .reservations
             .get(id)
@@ -368,7 +425,8 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         entry.cancelled = true;
         entry.end = from;
         self.refresh_breakpoints();
-        let mut effects = Effects::default();
+        let mut effects = std::mem::take(&mut self.fx_buf);
+        effects.clear();
         // Capacity grew — at the current instant if the window had started,
         // in the future otherwise. Both can unblock a waiting job's run
         // (which extends into the future), and a job blocked *only* by the
@@ -377,7 +435,8 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         // Deciding unconditionally closes that hole and is a no-op when
         // nothing waits.
         self.decide_now(&mut effects);
-        Ok(effects)
+        self.fx_buf = effects;
+        Ok(&self.fx_buf)
     }
 
     /// Speculative earliest-fit probe: the earliest start a `width ×
@@ -412,59 +471,30 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
     /// Advance virtual time to `to`, draining completions, releasing pending
     /// arrivals and consulting the policy at every event instant on the way
     /// (completion, arrival, or reservation breakpoint), in time order.
-    pub fn advance(&mut self, to: Time) -> Result<Effects, ServiceError> {
+    pub fn advance(&mut self, to: Time) -> Result<&Effects, ServiceError> {
         if to < self.now {
             return Err(ServiceError::InThePast {
                 at: to,
                 now: self.now,
             });
         }
-        let mut effects = Effects::default();
-        while let Some(at) = self.next_event() {
-            if at > to {
-                break;
-            }
-            self.now = at;
-            // Drain every event at this instant, then decide once —
-            // completions and availability changes act only through the
-            // substrate (job windows end by themselves), arrivals join the
-            // waiting set in id order.
-            while let Some(&(t, pos)) = self.running.first() {
-                if t != at {
-                    break;
-                }
-                self.running.pop_first();
-                effects.completed.push((JobId(pos), t));
-            }
-            while let Some(&(t, pos)) = self.pending.first() {
-                if t != at {
-                    break;
-                }
-                self.pending.pop_first();
-                self.waiting.push_back(pos);
-            }
-            while let Some(&t) = self.breakpoints.first() {
-                if t != at {
-                    break;
-                }
-                self.breakpoints.pop_first();
-            }
-            self.decide_now(&mut effects);
-        }
-        self.now = to;
-        Ok(effects)
+        let mut effects = std::mem::take(&mut self.fx_buf);
+        effects.clear();
+        self.advance_into(to, &mut effects);
+        self.fx_buf = effects;
+        Ok(&self.fx_buf)
     }
 
     /// Advance until no event is outstanding (all submitted jobs completed),
     /// leaving `now` at the last event instant.
-    pub fn drain(&mut self) -> Effects {
-        let mut effects = Effects::default();
+    pub fn drain(&mut self) -> &Effects {
+        let mut effects = std::mem::take(&mut self.fx_buf);
+        effects.clear();
         while let Some(at) = self.next_event() {
-            let step = self.advance(at).expect("next_event() is never in the past");
-            effects.started.extend(step.started);
-            effects.completed.extend(step.completed);
+            self.advance_into(at, &mut effects);
         }
-        effects
+        self.fx_buf = effects;
+        &self.fx_buf
     }
 
     /// Aggregate counters of the session so far.
@@ -530,6 +560,45 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             .collect()
     }
 
+    /// Walk virtual time forward to `to`, appending starts and completions
+    /// to `effects`. Shared by [`ScheduleService::advance`] and
+    /// [`ScheduleService::drain`], which differ only in how they obtain the
+    /// (reused) effects buffer. `to` must not be in the past.
+    fn advance_into(&mut self, to: Time, effects: &mut Effects) {
+        while let Some(at) = self.next_event() {
+            if at > to {
+                break;
+            }
+            self.now = at;
+            // Drain every event at this instant, then decide once —
+            // completions and availability changes act only through the
+            // substrate (job windows end by themselves), arrivals join the
+            // waiting set in id order.
+            while let Some(&Reverse((t, pos))) = self.running.peek() {
+                if t != at {
+                    break;
+                }
+                self.running.pop();
+                effects.completed.push((JobId(pos), t));
+            }
+            while let Some(&Reverse((t, pos))) = self.pending.peek() {
+                if t != at {
+                    break;
+                }
+                self.pending.pop();
+                self.waiting.push_back(pos);
+            }
+            while let Some(&Reverse(t)) = self.breakpoints.peek() {
+                if t != at {
+                    break;
+                }
+                self.breakpoints.pop();
+            }
+            self.decide_now(effects);
+        }
+        self.now = to;
+    }
+
     /// The earliest outstanding event instant, if any.
     fn next_event(&self) -> Option<Time> {
         let mut next: Option<Time> = None;
@@ -539,13 +608,13 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
                 (a, b) => a.or(b),
             };
         };
-        consider(self.running.first().map(|&(t, _)| t));
-        consider(self.pending.first().map(|&(t, _)| t));
+        consider(self.running.peek().map(|&Reverse((t, _))| t));
+        consider(self.pending.peek().map(|&Reverse((t, _))| t));
         // Breakpoints only matter while someone could be woken by them —
         // but filtering on non-empty waiting here would diverge from the
         // batch engine only in *skipped no-op decisions*, not in schedules;
-        // keeping them unconditional also drains the set as time passes.
-        consider(self.breakpoints.iter().next().copied());
+        // keeping them unconditional also drains the heap as time passes.
+        consider(self.breakpoints.peek().map(|&Reverse(t)| t));
         next
     }
 
@@ -596,7 +665,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
                 .expect("capacity just checked");
             self.schedule.place(id, self.now);
             self.running
-                .insert((self.now.saturating_add(job.duration), pos));
+                .push(Reverse((self.now.saturating_add(job.duration), pos)));
             self.waiting.remove(pos);
             effects.started.push(Placement {
                 job: id,
@@ -609,15 +678,32 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
     /// reservation overlay: the *normalized* profile breakpoints, so
     /// equal-capacity boundaries produce no decision point — exactly the
     /// events the batch engine schedules.
+    ///
+    /// Allocation-free on the steady path (PR 6): instead of materializing a
+    /// `ResourceProfile`, sweep `(time, ±width)` boundary events in the
+    /// reused `bp_events` scratch — an instant is a breakpoint iff the net
+    /// capacity delta across all windows touching it is non-zero, which is
+    /// precisely when the normalized profile has a step there.
     fn refresh_breakpoints(&mut self) {
-        let profile = ResourceProfile::from_reservations(self.machines, &self.effective_overlay())
-            .expect("the live substrate accepted every window");
-        self.breakpoints = profile
-            .steps()
-            .iter()
-            .map(|&(t, _)| t)
-            .filter(|&t| t > self.now)
-            .collect();
+        self.bp_events.clear();
+        for r in self.reservations.iter().filter(|r| r.end > r.start) {
+            self.bp_events.push((r.start.ticks(), -i64::from(r.width)));
+            self.bp_events.push((r.end.ticks(), i64::from(r.width)));
+        }
+        self.bp_events.sort_unstable();
+        self.breakpoints.clear();
+        let mut i = 0;
+        while i < self.bp_events.len() {
+            let t = self.bp_events[i].0;
+            let mut delta = 0i64;
+            while i < self.bp_events.len() && self.bp_events[i].0 == t {
+                delta += self.bp_events[i].1;
+                i += 1;
+            }
+            if delta != 0 && Time(t) > self.now {
+                self.breakpoints.push(Reverse(Time(t)));
+            }
+        }
     }
 }
 
