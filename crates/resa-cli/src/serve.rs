@@ -28,6 +28,28 @@
 //! reservation requests roll back transactionally through the substrate's
 //! checkpoint marks. Blank lines and `#` comments are ignored, so request
 //! scripts can be annotated.
+//!
+//! # Concurrency
+//!
+//! The socket transports (`--listen` / `--unix`) accept any number of
+//! concurrent connections, one thread per session, all sharing one
+//! resident state through [`ConcurrentService`]: mutating ops funnel into
+//! the single writer thread (which applies them in batches — the arrival
+//! order at the writer is the serial order of the service), while `query` /
+//! `stats` / `snapshot` are answered on the session's own thread from the
+//! latest published snapshot. Snapshots are republished *before* write
+//! replies are delivered, so every session reads its own writes — a
+//! single-client conversation is byte-identical to a sequential one, which
+//! is what keeps the golden transcripts substrate- and
+//! transport-independent. Stdin and `--script` sessions are single-client
+//! by construction and run the sequential service directly.
+//!
+//! Two socket-facing options ride along: `--token <secret>` demands a
+//! `{"op":"auth","token":…}` first request per connection (anything else is
+//! answered with a structured error and the connection is closed), and
+//! `--realtime` ticks virtual time to the wall clock (1 tick = 1 ms since
+//! server start) before each request — `--script` rejects `--realtime`, so
+//! checked-in transcripts stay deterministic.
 
 use crate::fields::check_fields;
 use crate::opts::CommonOpts;
@@ -38,6 +60,8 @@ use resa_core::prelude::*;
 use resa_sim::prelude::*;
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Help text for `resa serve --help`.
 pub const SERVE_HELP: &str = "\
@@ -55,9 +79,15 @@ OPTIONS:
                           are identical, which is what the golden tests assert)
     --script <file>       read requests from <file> instead of stdin and print
                           the transcript (one response line per request line)
-    --listen <addr>       serve a TCP socket (e.g. 127.0.0.1:7077), one session
-                          at a time against the same resident state
-    --unix <path>         serve a Unix domain socket at <path>
+    --listen <addr>       serve a TCP socket (e.g. 127.0.0.1:7077); concurrent
+                          sessions share the same resident state (single-writer
+                          batching, snapshot-isolated reads)
+    --unix <path>         serve a Unix domain socket at <path>, same concurrency
+    --token <secret>      require {\"op\":\"auth\",\"token\":<secret>} as the first
+                          request of every socket session (--listen/--unix only)
+    --realtime            tick virtual time to the wall clock (1 tick = 1 ms
+                          since server start) before each request; incompatible
+                          with --script, whose transcripts stay deterministic
 
 REQUESTS (one JSON object per line; blank lines and # comments are ignored):
     {\"op\":\"submit\",\"width\":W,\"duration\":D[,\"release\":T]}   job arrival
@@ -242,12 +272,170 @@ fn effects_fields(effects: &Effects) -> Vec<(&'static str, Value)> {
     ]
 }
 
+// -- backends ---------------------------------------------------------------
+
+/// The service face the protocol loop drives: implemented by the sequential
+/// [`ScheduleService`] (stdin / `--script` sessions own their service) and
+/// by [`ServiceClient`] (socket sessions share one [`ConcurrentService`]).
+/// Methods return owned values because the concurrent client cannot borrow
+/// from the writer thread's state — the sequential impl clones its reused
+/// effects buffer, a per-request cost the protocol already pays in response
+/// allocation.
+trait Backend {
+    fn submit(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+    ) -> Result<(JobId, Effects), ServiceError>;
+    fn reserve(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Effects), ServiceError>;
+    fn cancel(&mut self, id: usize) -> Result<Effects, ServiceError>;
+    fn query(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        not_before: Option<Time>,
+    ) -> Result<Option<Time>, ServiceError>;
+    /// Returns the virtual time after advancing together with the effects.
+    fn advance(&mut self, to: Time) -> Result<(Time, Effects), ServiceError>;
+    /// Clock-driven advance: clamps a stale target instead of rejecting it.
+    fn advance_clamped(&mut self, to: Time) -> Result<(Time, Effects), ServiceError>;
+    fn drain(&mut self) -> Result<(Time, Effects), ServiceError>;
+    fn stats(&mut self) -> ServiceStats;
+    fn policy(&self) -> ReferencePolicy;
+    /// `(now, machines, records, metrics)` for the snapshot response.
+    fn snapshot_parts(&mut self) -> (Time, u32, Vec<JobRecord>, SimMetrics);
+}
+
+impl<C: CapacityQuery + Speculate> Backend for ScheduleService<C> {
+    fn submit(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+    ) -> Result<(JobId, Effects), ServiceError> {
+        ScheduleService::submit(self, width, duration, release).map(|(id, fx)| (id, fx.clone()))
+    }
+
+    fn reserve(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Effects), ServiceError> {
+        ScheduleService::reserve(self, width, duration, start).map(|(id, fx)| (id, fx.clone()))
+    }
+
+    fn cancel(&mut self, id: usize) -> Result<Effects, ServiceError> {
+        ScheduleService::cancel(self, id).cloned()
+    }
+
+    fn query(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        not_before: Option<Time>,
+    ) -> Result<Option<Time>, ServiceError> {
+        ScheduleService::query(self, width, duration, not_before)
+    }
+
+    fn advance(&mut self, to: Time) -> Result<(Time, Effects), ServiceError> {
+        let fx = ScheduleService::advance(self, to)?.clone();
+        Ok((self.now(), fx))
+    }
+
+    fn advance_clamped(&mut self, to: Time) -> Result<(Time, Effects), ServiceError> {
+        let fx = ScheduleService::advance_clamped(self, to).clone();
+        Ok((self.now(), fx))
+    }
+
+    fn drain(&mut self) -> Result<(Time, Effects), ServiceError> {
+        let fx = ScheduleService::drain(self).clone();
+        Ok((self.now(), fx))
+    }
+
+    fn stats(&mut self) -> ServiceStats {
+        ScheduleService::stats(self)
+    }
+
+    fn policy(&self) -> ReferencePolicy {
+        ScheduleService::policy(self)
+    }
+
+    fn snapshot_parts(&mut self) -> (Time, u32, Vec<JobRecord>, SimMetrics) {
+        let (records, metrics) = ScheduleService::snapshot(self);
+        (self.now(), self.machines(), records, metrics)
+    }
+}
+
+impl Backend for ServiceClient {
+    fn submit(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+    ) -> Result<(JobId, Effects), ServiceError> {
+        ServiceClient::submit(self, width, duration, release)
+    }
+
+    fn reserve(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Effects), ServiceError> {
+        ServiceClient::reserve(self, width, duration, start)
+    }
+
+    fn cancel(&mut self, id: usize) -> Result<Effects, ServiceError> {
+        ServiceClient::cancel(self, id)
+    }
+
+    fn query(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        not_before: Option<Time>,
+    ) -> Result<Option<Time>, ServiceError> {
+        ServiceClient::query(self, width, duration, not_before)
+    }
+
+    fn advance(&mut self, to: Time) -> Result<(Time, Effects), ServiceError> {
+        ServiceClient::advance(self, to)
+    }
+
+    fn advance_clamped(&mut self, to: Time) -> Result<(Time, Effects), ServiceError> {
+        ServiceClient::advance_clamped(self, to)
+    }
+
+    fn drain(&mut self) -> Result<(Time, Effects), ServiceError> {
+        ServiceClient::drain(self)
+    }
+
+    fn stats(&mut self) -> ServiceStats {
+        ServiceClient::stats(self)
+    }
+
+    fn policy(&self) -> ReferencePolicy {
+        self.snapshot().policy
+    }
+
+    fn snapshot_parts(&mut self) -> (Time, u32, Vec<JobRecord>, SimMetrics) {
+        // One coherent snapshot for every field of the response.
+        let snap = self.snapshot();
+        let (records, metrics) = snap.records();
+        (snap.stats.now, snap.stats.machines, records, metrics)
+    }
+}
+
 /// Execute one request against the resident service, producing the response
 /// line (without trailing newline) and whether the session should end.
-fn handle<C: CapacityQuery + Speculate>(
-    svc: &mut ScheduleService<C>,
-    line: &str,
-) -> (String, bool) {
+fn handle<B: Backend>(svc: &mut B, line: &str) -> (String, bool) {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(e) => return (error_response(None, &e), false),
@@ -260,7 +448,7 @@ fn handle<C: CapacityQuery + Speculate>(
         } => match svc.submit(width, Dur(duration), release.map(Time)) {
             Ok((id, fx)) => {
                 let mut fields = vec![("job", Value::UInt(id.0 as u64))];
-                fields.extend(effects_fields(fx));
+                fields.extend(effects_fields(&fx));
                 ok_response("submit", fields)
             }
             Err(e) => error_response(Some("submit"), &e.to_string()),
@@ -272,7 +460,7 @@ fn handle<C: CapacityQuery + Speculate>(
         } => match svc.reserve(width, Dur(duration), Time(start)) {
             Ok((id, fx)) => {
                 let mut fields = vec![("reservation", Value::UInt(id as u64))];
-                fields.extend(effects_fields(fx));
+                fields.extend(effects_fields(&fx));
                 ok_response("reserve", fields)
             }
             Err(e) => error_response(Some("reserve"), &e.to_string()),
@@ -280,7 +468,7 @@ fn handle<C: CapacityQuery + Speculate>(
         Request::Cancel { reservation } => match svc.cancel(reservation) {
             Ok(fx) => {
                 let mut fields = vec![("reservation", Value::UInt(reservation as u64))];
-                fields.extend(effects_fields(fx));
+                fields.extend(effects_fields(&fx));
                 ok_response("cancel", fields)
             }
             Err(e) => error_response(Some("cancel"), &e.to_string()),
@@ -304,22 +492,21 @@ fn handle<C: CapacityQuery + Speculate>(
             Err(e) => error_response(Some("query"), &e.to_string()),
         },
         Request::Advance { to } => match svc.advance(Time(to)) {
-            Ok(fx) => {
-                // `fx` borrows the service's reused buffer; materialize the
-                // owned values before reading `svc.now()` again.
-                let fx_fields = effects_fields(fx);
-                let mut fields = vec![("now", Value::UInt(svc.now().ticks()))];
-                fields.extend(fx_fields);
+            Ok((now, fx)) => {
+                let mut fields = vec![("now", Value::UInt(now.ticks()))];
+                fields.extend(effects_fields(&fx));
                 ok_response("advance", fields)
             }
             Err(e) => error_response(Some("advance"), &e.to_string()),
         },
-        Request::Drain => {
-            let fx_fields = effects_fields(svc.drain());
-            let mut fields = vec![("now", Value::UInt(svc.now().ticks()))];
-            fields.extend(fx_fields);
-            ok_response("drain", fields)
-        }
+        Request::Drain => match svc.drain() {
+            Ok((now, fx)) => {
+                let mut fields = vec![("now", Value::UInt(now.ticks()))];
+                fields.extend(effects_fields(&fx));
+                ok_response("drain", fields)
+            }
+            Err(e) => error_response(Some("drain"), &e.to_string()),
+        },
         Request::Stats => {
             let s = svc.stats();
             ok_response(
@@ -340,12 +527,12 @@ fn handle<C: CapacityQuery + Speculate>(
             )
         }
         Request::Snapshot => {
-            let (records, metrics) = svc.snapshot();
+            let (now, machines, records, metrics) = svc.snapshot_parts();
             ok_response(
                 "snapshot",
                 vec![
-                    ("now", Value::UInt(svc.now().ticks())),
-                    ("machines", Value::UInt(svc.machines() as u64)),
+                    ("now", Value::UInt(now.ticks())),
+                    ("machines", Value::UInt(machines as u64)),
                     ("policy", Value::Str(svc.policy().name().to_string())),
                     ("schedule", records.to_value()),
                     ("metrics", metrics.to_value()),
@@ -357,18 +544,58 @@ fn handle<C: CapacityQuery + Speculate>(
     (response, false)
 }
 
+// -- sessions ---------------------------------------------------------------
+
+/// Per-session policy knobs shared by every transport.
+#[derive(Default)]
+struct SessionCfg {
+    /// When set, the first request of the session must be
+    /// `{"op":"auth","token":<token>}`; anything else is answered with a
+    /// structured error and the connection is closed.
+    token: Option<String>,
+    /// When set, virtual time is advanced (clamped) to the elapsed wall
+    /// clock in milliseconds since this instant before each request.
+    realtime: Option<std::time::Instant>,
+}
+
+/// Validate the first request of a token-guarded session. Returns the
+/// response line and whether the session may proceed.
+fn check_auth(expected: &str, line: &str) -> (String, bool) {
+    let auth = (|| -> Result<String, String> {
+        let value: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+        if value.as_object().is_none() {
+            return Err("request must be a JSON object".to_string());
+        }
+        let op: String = required(&value, "request", "op")?;
+        if op != "auth" {
+            return Err(format!(
+                "authentication required: the first request must be an auth op, got '{op}'"
+            ));
+        }
+        check_fields(&value, "auth request", &["op", "token"]).map_err(|e| e.to_string())?;
+        required(&value, "auth request", "token")
+    })();
+    match auth {
+        Ok(token) if token == expected => (ok_response("auth", Vec::new()), true),
+        Ok(_) => (error_response(Some("auth"), "invalid token"), false),
+        Err(e) => (error_response(Some("auth"), &e), false),
+    }
+}
+
 /// Serve one session: read request lines from `reader`, write one response
 /// line per request to `writer` (flushed per line, so socket and pipe peers
 /// see answers immediately). Returns whether a `shutdown` request ended the
-/// session (as opposed to EOF).
-pub(crate) fn serve_session<C: CapacityQuery + Speculate>(
-    svc: &mut ScheduleService<C>,
+/// session (as opposed to EOF or an auth rejection).
+fn serve_session<B: Backend>(
+    svc: &mut B,
+    cfg: &SessionCfg,
     mut reader: impl BufRead,
     mut writer: impl Write,
 ) -> std::io::Result<bool> {
     // One line buffer for the whole session instead of a fresh `String` per
     // request (`BufRead::lines` allocates one per iteration).
     let mut line = String::new();
+    let mut authed = cfg.token.is_none();
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -377,6 +604,24 @@ pub(crate) fn serve_session<C: CapacityQuery + Speculate>(
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
+        }
+        if !authed {
+            let (response, pass) = check_auth(cfg.token.as_deref().unwrap_or(""), trimmed);
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if !pass {
+                return Ok(false);
+            }
+            authed = true;
+            continue;
+        }
+        if let Some(base) = cfg.realtime {
+            // Tick the session's virtual clock to the wall clock. Starts
+            // and completions the tick triggers surface through later
+            // `stats` / `snapshot` responses, not through this request's.
+            let ms = u64::try_from(base.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let _ = svc.advance_clamped(Time(ms));
         }
         let (response, done) = handle(svc, trimmed);
         writer.write_all(response.as_bytes())?;
@@ -389,7 +634,8 @@ pub(crate) fn serve_session<C: CapacityQuery + Speculate>(
 }
 
 /// Drive a whole request script in-process and return the transcript. This
-/// is the deterministic face the golden tests and the CI smoke use.
+/// is the deterministic face the golden tests and the CI smoke use: always
+/// the sequential service, never realtime, never token-guarded.
 pub fn run_script(
     script: &str,
     machines: u32,
@@ -397,14 +643,15 @@ pub fn run_script(
     substrate: Substrate,
 ) -> String {
     let mut out = Vec::new();
+    let cfg = SessionCfg::default();
     match substrate {
         Substrate::Timeline => {
             let mut svc = ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
-            serve_session(&mut svc, script.as_bytes(), &mut out).expect("in-memory I/O");
+            serve_session(&mut svc, &cfg, script.as_bytes(), &mut out).expect("in-memory I/O");
         }
         Substrate::Profile => {
             let mut svc = ScheduleService::new(policy, ResourceProfile::constant(machines));
-            serve_session(&mut svc, script.as_bytes(), &mut out).expect("in-memory I/O");
+            serve_session(&mut svc, &cfg, script.as_bytes(), &mut out).expect("in-memory I/O");
         }
     }
     String::from_utf8(out).expect("responses are UTF-8")
@@ -431,6 +678,8 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     let mut policy = ReferencePolicy::Easy;
     let mut substrate = Substrate::Timeline;
     let mut transport = Transport::Stdio;
+    let mut token: Option<String> = None;
+    let mut realtime = false;
     let opts = CommonOpts::parse(args, &mut |flag, value| {
         let take = |name: &str| -> Result<&str, CliError> {
             value.ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
@@ -489,11 +738,40 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                     "--unix is only available on Unix platforms".into(),
                 ))
             }
+            "--token" => {
+                token = Some(take("--token")?.to_string());
+                Ok(1)
+            }
+            "--realtime" => {
+                realtime = true;
+                Ok(0)
+            }
             other => Err(CliError::Usage(format!(
                 "unknown option '{other}' (see `resa serve --help`)"
             ))),
         }
     })?;
+    let socket_transport = match &transport {
+        Transport::Tcp(_) => true,
+        #[cfg(unix)]
+        Transport::Unix(_) => true,
+        _ => false,
+    };
+    if token.is_some() && !socket_transport {
+        return Err(CliError::Usage(
+            "--token requires a socket transport (--listen or --unix)".into(),
+        ));
+    }
+    if realtime && matches!(transport, Transport::Script(_)) {
+        return Err(CliError::Usage(
+            "--realtime is incompatible with --script (script transcripts are deterministic)"
+                .into(),
+        ));
+    }
+    let cfg = SessionCfg {
+        token,
+        realtime: realtime.then(std::time::Instant::now),
+    };
     match transport {
         Transport::Script(path) => {
             let script = std::fs::read_to_string(&path).map_err(|e| CliError::Io {
@@ -512,13 +790,23 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
             })
         }
         Transport::Stdio => {
-            serve_transport(machines, policy, substrate, |svc| {
-                let stdin = std::io::stdin();
-                let stdout = std::io::stdout();
-                let mut reader = stdin.lock();
-                let mut writer = stdout.lock();
-                svc.session(&mut reader, &mut writer).map(|_| true)
-            })?;
+            let io_err = |e: std::io::Error| CliError::Io {
+                path: "<session>".to_string(),
+                message: e.to_string(),
+            };
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            match substrate {
+                Substrate::Timeline => {
+                    let mut svc =
+                        ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
+                    serve_session(&mut svc, &cfg, stdin.lock(), stdout.lock()).map_err(io_err)?;
+                }
+                Substrate::Profile => {
+                    let mut svc = ScheduleService::new(policy, ResourceProfile::constant(machines));
+                    serve_session(&mut svc, &cfg, stdin.lock(), stdout.lock()).map_err(io_err)?;
+                }
+            }
             Ok(Outcome {
                 stdout: String::new(),
                 violations: 0,
@@ -529,13 +817,7 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 path: addr.clone(),
                 message: e.to_string(),
             })?;
-            serve_transport(machines, policy, substrate, move |svc| {
-                accept_loop(svc, || {
-                    let (stream, _) = listener.accept()?;
-                    let reader = std::io::BufReader::new(stream.try_clone()?);
-                    Ok((Box::new(reader) as _, Box::new(stream) as _))
-                })
-            })?;
+            serve_listener(machines, policy, substrate, cfg, AnyListener::Tcp(listener))?;
             Ok(Outcome {
                 stdout: String::new(),
                 violations: 0,
@@ -549,13 +831,13 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                     path: path.clone(),
                     message: e.to_string(),
                 })?;
-            serve_transport(machines, policy, substrate, move |svc| {
-                accept_loop(svc, || {
-                    let (stream, _) = listener.accept()?;
-                    let reader = std::io::BufReader::new(stream.try_clone()?);
-                    Ok((Box::new(reader) as _, Box::new(stream) as _))
-                })
-            })?;
+            serve_listener(
+                machines,
+                policy,
+                substrate,
+                cfg,
+                AnyListener::Unix(listener),
+            )?;
             Ok(Outcome {
                 stdout: String::new(),
                 violations: 0,
@@ -564,77 +846,114 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     }
 }
 
-/// Accept sessions forever against one resident service. A client that
-/// drops mid-session (broken pipe, connection reset) ends only its own
-/// session — the resident state keeps serving the next connection; a
-/// failing `accept` (e.g. fd exhaustion) backs off briefly instead of
-/// spinning hot. Returns when a session issues `shutdown`.
-#[allow(clippy::type_complexity)]
-fn accept_loop(
-    svc: &mut dyn SessionHost,
-    mut accept: impl FnMut() -> std::io::Result<(Box<dyn BufRead>, Box<dyn Write>)>,
-) -> std::io::Result<bool> {
-    loop {
-        let (mut reader, mut writer) = match accept() {
-            Ok(pair) => pair,
-            Err(_) => {
-                std::thread::sleep(std::time::Duration::from_millis(50));
-                continue;
+/// A buffered reader / writer pair for one accepted connection, `Send` so
+/// the session can move to its own thread.
+type BoxedSession = (Box<dyn BufRead + Send>, Box<dyn Write + Send>);
+
+/// The socket listeners behind `--listen` / `--unix`, polled non-blocking
+/// so the accept loop can observe the shutdown flag.
+enum AnyListener {
+    Tcp(std::net::TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl AnyListener {
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            AnyListener::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            AnyListener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<BoxedSession> {
+        match self {
+            AnyListener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                // Accepted sockets must block normally regardless of what
+                // the platform inherits from the listener.
+                stream.set_nonblocking(false)?;
+                let reader = std::io::BufReader::new(stream.try_clone()?);
+                Ok((Box::new(reader), Box::new(stream)))
             }
-        };
-        // Err means the client dropped mid-session: end that session only.
-        if let Ok(true) = svc.session(&mut *reader, &mut *writer) {
-            return Ok(true);
+            #[cfg(unix)]
+            AnyListener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                let reader = std::io::BufReader::new(stream.try_clone()?);
+                Ok((Box::new(reader), Box::new(stream)))
+            }
         }
     }
 }
 
-/// Instantiate the resident service on the chosen substrate and hand it to
-/// the transport loop. Sessions (connections) share the one resident state;
-/// the loop ends when a session issues `shutdown`.
-fn serve_transport<F>(
+/// Instantiate the resident service on the chosen substrate and serve the
+/// listener concurrently until a session issues `shutdown`.
+fn serve_listener(
     machines: u32,
     policy: ReferencePolicy,
     substrate: Substrate,
-    drive: F,
+    cfg: SessionCfg,
+    listener: AnyListener,
+) -> Result<(), CliError> {
+    match substrate {
+        Substrate::Timeline => serve_concurrent(
+            ScheduleService::new(policy, AvailabilityTimeline::constant(machines)),
+            cfg,
+            listener,
+        ),
+        Substrate::Profile => serve_concurrent(
+            ScheduleService::new(policy, ResourceProfile::constant(machines)),
+            cfg,
+            listener,
+        ),
+    }
+}
+
+/// Accept connections concurrently against one shared [`ConcurrentService`],
+/// one thread per session. A client that drops mid-session (broken pipe,
+/// connection reset) ends only its own session; a failing `accept` (e.g. fd
+/// exhaustion) backs off briefly instead of spinning hot. Returns once any
+/// session issues `shutdown`: the listener stops accepting, the writer
+/// thread is joined, and remaining sessions die with the process.
+fn serve_concurrent<C>(
+    svc: ScheduleService<C>,
+    cfg: SessionCfg,
+    listener: AnyListener,
 ) -> Result<(), CliError>
 where
-    F: FnOnce(&mut dyn SessionHost) -> std::io::Result<bool>,
+    C: Snapshotable + Send + 'static,
 {
-    let io_err = |e: std::io::Error| CliError::Io {
-        path: "<session>".to_string(),
+    listener.set_nonblocking().map_err(|e| CliError::Io {
+        path: "<listener>".to_string(),
         message: e.to_string(),
-    };
-    match substrate {
-        Substrate::Timeline => {
-            let mut svc = ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
-            drive(&mut svc).map_err(io_err)?;
-        }
-        Substrate::Profile => {
-            let mut svc = ScheduleService::new(policy, ResourceProfile::constant(machines));
-            drive(&mut svc).map_err(io_err)?;
+    })?;
+    let service = ConcurrentService::new(svc);
+    let stop = Arc::new(AtomicBool::new(false));
+    let cfg = Arc::new(cfg);
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut reader, mut writer)) => {
+                let mut client = service.client();
+                let stop = Arc::clone(&stop);
+                let cfg = Arc::clone(&cfg);
+                std::thread::spawn(move || {
+                    // Err means the client dropped mid-session: that ends
+                    // its own session only.
+                    if let Ok(true) = serve_session(&mut client, &cfg, &mut reader, &mut writer) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(50)),
         }
     }
+    // Dropping the front stops and joins the single writer; the final state
+    // dies with the process, like the sequential transports.
+    drop(service);
     Ok(())
-}
-
-/// Object-safe face of the resident service for the transport loops, which
-/// only ever feed it whole sessions.
-pub(crate) trait SessionHost {
-    /// Serve one session from a boxed reader/writer pair.
-    fn session(
-        &mut self,
-        reader: &mut dyn BufRead,
-        writer: &mut dyn Write,
-    ) -> std::io::Result<bool>;
-}
-
-impl<C: CapacityQuery + Speculate> SessionHost for ScheduleService<C> {
-    fn session(
-        &mut self,
-        reader: &mut dyn BufRead,
-        writer: &mut dyn Write,
-    ) -> std::io::Result<bool> {
-        serve_session(self, reader, writer)
-    }
 }

@@ -1,0 +1,238 @@
+//! Concurrent-transport tests of `resa serve`: multiple simultaneous
+//! socket sessions against one resident service, `--token` first-line
+//! authentication, and the `--realtime` wall-clock mode.
+//!
+//! These drive the real binary, like the socket tests in
+//! `serve_session.rs`: the concurrency claims are about threads, sockets
+//! and the single-writer service wired together, which only the binary
+//! exercises end to end.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::process::{Child, Command, Stdio};
+
+/// A free TCP port: bind to 0, read the assignment, release it. A race with
+/// another process re-grabbing the port is possible but vanishingly
+/// unlikely within the child's startup window.
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("ephemeral bind")
+        .local_addr()
+        .expect("bound address")
+        .port()
+}
+
+fn spawn_serve(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_resa"))
+        .args(["serve"].iter().chain(args.iter()))
+        .spawn()
+        .expect("resa binary runs")
+}
+
+fn connect_tcp(port: u16) -> std::net::TcpStream {
+    (0..100)
+        .find_map(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            std::net::TcpStream::connect(("127.0.0.1", port)).ok()
+        })
+        .expect("service came up within 2s")
+}
+
+/// Round-trip one request line over a socket-ish stream pair.
+fn ask(writer: &mut impl std::io::Write, reader: &mut impl BufRead, request: &str) -> String {
+    writer.write_all(request.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line
+}
+
+/// Two sessions open at once against one `--listen` service: the second
+/// client is served while the first is still connected (the pre-PR 7
+/// transport handled one session at a time and would block it), and both
+/// sessions observe one shared resident state.
+#[test]
+fn tcp_sessions_run_concurrently_against_shared_state() {
+    let port = free_port();
+    let mut child = spawn_serve(&["--machines", "8", "--listen", &format!("127.0.0.1:{port}")]);
+
+    let a = connect_tcp(port);
+    let mut a_writer = a.try_clone().unwrap();
+    let mut a_reader = BufReader::new(a);
+    let reply = ask(
+        &mut a_writer,
+        &mut a_reader,
+        "{\"op\":\"submit\",\"width\":2,\"duration\":5}",
+    );
+    assert!(reply.contains("\"job\":0"), "{reply}");
+
+    // Session A stays open while B connects, writes, and reads.
+    let b = connect_tcp(port);
+    let mut b_writer = b.try_clone().unwrap();
+    let mut b_reader = BufReader::new(b);
+    let reply = ask(
+        &mut b_writer,
+        &mut b_reader,
+        "{\"op\":\"submit\",\"width\":1,\"duration\":3}",
+    );
+    assert!(
+        reply.contains("\"job\":1"),
+        "ids are shared and dense: {reply}"
+    );
+
+    // Both sessions see both submissions (B read its own write; A reads
+    // B's through the published snapshot).
+    let reply = ask(&mut a_writer, &mut a_reader, "{\"op\":\"stats\"}");
+    assert!(reply.contains("\"submitted\":2"), "{reply}");
+    let reply = ask(&mut b_writer, &mut b_reader, "{\"op\":\"stats\"}");
+    assert!(reply.contains("\"submitted\":2"), "{reply}");
+
+    // A query on A runs against the snapshot and must account for both
+    // running jobs: 8 machines, 2+1 busy for 5/3 ticks, so an 8-wide job
+    // fits only once both complete.
+    let reply = ask(
+        &mut a_writer,
+        &mut a_reader,
+        "{\"op\":\"query\",\"width\":8,\"duration\":2}",
+    );
+    assert!(reply.contains("\"start\":5"), "{reply}");
+
+    // Shutdown from B ends the whole server.
+    let reply = ask(&mut b_writer, &mut b_reader, "{\"op\":\"shutdown\"}");
+    assert!(reply.contains("\"op\":\"shutdown\""), "{reply}");
+    let status = child.wait().unwrap();
+    assert!(status.success());
+}
+
+/// `--token` gates every socket session: unauthenticated ops are rejected
+/// with a structured error and the connection closes; a wrong token is
+/// rejected; the right token opens a normal session.
+#[cfg(unix)]
+#[test]
+fn unix_sessions_require_the_token_first() {
+    use std::os::unix::net::UnixStream;
+    let sock = std::env::temp_dir().join(format!("resa-serve-auth-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let mut child = spawn_serve(&[
+        "--machines",
+        "4",
+        "--unix",
+        sock.to_str().unwrap(),
+        "--token",
+        "s3cret",
+    ]);
+    let connect = |sock: &std::path::Path| {
+        (0..100)
+            .find_map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                UnixStream::connect(sock).ok()
+            })
+            .expect("service came up within 2s")
+    };
+
+    // 1. An op before auth: structured rejection, then the server closes
+    //    the connection (EOF on the next read).
+    let s = connect(&sock);
+    let mut w = s.try_clone().unwrap();
+    let mut r = BufReader::new(s);
+    let reply = ask(
+        &mut w,
+        &mut r,
+        "{\"op\":\"submit\",\"width\":1,\"duration\":1}",
+    );
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+    assert!(reply.contains("authentication required"), "{reply}");
+    let mut line = String::new();
+    assert_eq!(r.read_line(&mut line).unwrap(), 0, "connection stayed open");
+
+    // 2. A wrong token: rejected, closed.
+    let s = connect(&sock);
+    let mut w = s.try_clone().unwrap();
+    let mut r = BufReader::new(s);
+    let reply = ask(&mut w, &mut r, "{\"op\":\"auth\",\"token\":\"wrong\"}");
+    assert!(reply.contains("invalid token"), "{reply}");
+    let mut line = String::new();
+    assert_eq!(r.read_line(&mut line).unwrap(), 0, "connection stayed open");
+
+    // 3. The right token: session proceeds normally. The two rejected
+    //    connections must not have disturbed the resident state.
+    let s = connect(&sock);
+    let mut w = s.try_clone().unwrap();
+    let mut r = BufReader::new(s);
+    let reply = ask(&mut w, &mut r, "{\"op\":\"auth\",\"token\":\"s3cret\"}");
+    assert_eq!(reply.trim(), "{\"ok\":true,\"op\":\"auth\"}");
+    let reply = ask(
+        &mut w,
+        &mut r,
+        "{\"op\":\"submit\",\"width\":2,\"duration\":3}",
+    );
+    assert!(reply.contains("\"job\":0"), "{reply}");
+    let reply = ask(&mut w, &mut r, "{\"op\":\"shutdown\"}");
+    assert!(reply.contains("\"op\":\"shutdown\""), "{reply}");
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    let _ = std::fs::remove_file(&sock);
+}
+
+/// `--realtime` over stdin: virtual time tracks the wall clock, so a
+/// submitted 1-tick job is completed by the time a later request arrives.
+#[test]
+fn realtime_mode_tracks_the_wall_clock() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_resa"))
+        .args(["serve", "--machines", "4", "--realtime"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("resa binary runs");
+    let mut stdin = child.stdin.take().unwrap();
+    stdin
+        .write_all(b"{\"op\":\"submit\",\"width\":1,\"duration\":1}\n")
+        .unwrap();
+    stdin.flush().unwrap();
+    // Let >= 1 ms of wall clock pass so the next request's tick completes
+    // the job (1 tick = 1 ms).
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    stdin
+        .write_all(b"{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n")
+        .unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stats = stdout
+        .lines()
+        .find(|l| l.contains("\"op\":\"stats\""))
+        .expect("stats line");
+    assert!(stats.contains("\"completed\":1"), "{stats}");
+    let now: u64 = stats
+        .split("\"now\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.parse().ok())
+        .expect("now field");
+    assert!(
+        now >= 1,
+        "virtual time did not track the wall clock: {stats}"
+    );
+}
+
+/// Flag combinations that make no sense are usage errors, in-process.
+#[test]
+fn concurrency_flags_are_validated() {
+    assert!(matches!(
+        resa_cli::run(&["serve", "--script", "x", "--realtime"]),
+        Err(resa_cli::CliError::Usage(_))
+    ));
+    assert!(matches!(
+        resa_cli::run(&["serve", "--script", "x", "--token", "t"]),
+        Err(resa_cli::CliError::Usage(_))
+    ));
+    assert!(matches!(
+        resa_cli::run(&["serve", "--token", "t"]),
+        Err(resa_cli::CliError::Usage(_)),
+    ));
+    assert!(matches!(
+        resa_cli::run(&["serve", "--realtime", "--listen"]),
+        Err(resa_cli::CliError::Usage(_)),
+    ));
+}

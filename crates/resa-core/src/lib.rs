@@ -70,6 +70,7 @@ pub mod job;
 pub mod profile;
 pub mod reservation;
 pub mod schedule;
+pub mod snapshot;
 pub mod time;
 pub mod timeline;
 pub mod timeline_ref;
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use crate::profile::ResourceProfile;
     pub use crate::reservation::{Reservation, ReservationId};
     pub use crate::schedule::{Placement, ProcessorAssignment, Schedule};
+    pub use crate::snapshot::{Snapshotable, TimelineSnapshot};
     pub use crate::time::{Dur, Time};
     pub use crate::timeline::{AvailabilityTimeline, TxnMark};
     pub use crate::timeline_ref::{RefTxnMark, ReferenceTimeline};

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod engine;
 pub mod event;
 pub mod metrics;
@@ -49,6 +50,9 @@ pub mod trace;
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::concurrent::{
+        Applied, AppliedOp, ConcurrentService, ServiceClient, ServiceSnapshot, WriteOp, WriteReply,
+    };
     pub use crate::engine::{SimResult, Simulator};
     pub use crate::metrics::SimMetrics;
     pub use crate::policy::{

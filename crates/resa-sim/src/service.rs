@@ -82,6 +82,9 @@ pub enum ServiceError {
         /// The offending id.
         id: usize,
     },
+    /// The single-writer loop of a [`crate::concurrent::ConcurrentService`]
+    /// has shut down; no further mutating requests can be applied.
+    ServiceStopped,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -101,6 +104,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::ReservationInactive { id } => {
                 write!(f, "reservation {id} is cancelled or already over")
             }
+            ServiceError::ServiceStopped => write!(f, "service writer has shut down"),
         }
     }
 }
@@ -211,6 +215,10 @@ pub struct ScheduleService<C: CapacityQuery + Speculate> {
     reservations: Vec<ServiceReservation>,
     schedule: Schedule,
     decisions: u64,
+    /// Largest completion time among started jobs, maintained incrementally
+    /// at every start so `stats` never re-scans the schedule — the
+    /// concurrent front publishes stats once per write batch.
+    makespan: Time,
     scratch: DecisionScratch,
     to_start: Vec<JobId>,
     /// Reused effects buffer handed back by reference from every mutating
@@ -242,6 +250,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             reservations: Vec::new(),
             schedule: Schedule::new(),
             decisions: 0,
+            makespan: Time::ZERO,
             scratch: DecisionScratch::default(),
             to_start: Vec::new(),
             fx_buf: Effects::default(),
@@ -485,6 +494,21 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         Ok(&self.fx_buf)
     }
 
+    /// Advance virtual time to `max(now, to)`: the clock-driven variant of
+    /// [`ScheduleService::advance`] that treats a stale target as "no time
+    /// passed" instead of rejecting it. `resa serve --realtime` ticks the
+    /// session with this before every request, so a wall-clock reading
+    /// raced by a concurrent writer batch can never poison the session
+    /// with an [`ServiceError::InThePast`] rejection.
+    pub fn advance_clamped(&mut self, to: Time) -> &Effects {
+        let to = to.max(self.now);
+        let mut effects = std::mem::take(&mut self.fx_buf);
+        effects.clear();
+        self.advance_into(to, &mut effects);
+        self.fx_buf = effects;
+        &self.fx_buf
+    }
+
     /// Advance until no event is outstanding (all submitted jobs completed),
     /// leaving `now` at the last event instant.
     pub fn drain(&mut self) -> &Effects {
@@ -513,13 +537,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
                 .filter(|r| !r.cancelled && r.end > r.start)
                 .count(),
             decisions: self.decisions,
-            makespan: self
-                .schedule
-                .placements()
-                .iter()
-                .map(|p| p.start.saturating_add(self.jobs[p.job.0].duration))
-                .max()
-                .unwrap_or(Time::ZERO),
+            makespan: self.makespan,
         }
     }
 
@@ -531,6 +549,19 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         let trace = RunTrace::from_schedule(&instance, &self.schedule);
         let metrics = SimMetrics::from_schedule(&instance, &self.schedule);
         (trace.records().to_vec(), metrics)
+    }
+
+    /// Freeze the availability substrate into an immutable,
+    /// generation-stamped [`TimelineSnapshot`] (see
+    /// [`resa_core::snapshot`]). The writer loop of
+    /// [`crate::concurrent::ConcurrentService`] calls this at every batch
+    /// boundary — no transaction mark is ever outstanding between requests,
+    /// so the frozen function is exactly the committed state.
+    pub fn freeze_timeline(&self, generation: u64) -> TimelineSnapshot
+    where
+        C: Snapshotable,
+    {
+        self.substrate.freeze(generation)
     }
 
     /// The session so far as an equivalent off-line instance: every
@@ -664,8 +695,9 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
                 .reserve(self.now, job.duration, job.width)
                 .expect("capacity just checked");
             self.schedule.place(id, self.now);
-            self.running
-                .push(Reverse((self.now.saturating_add(job.duration), pos)));
+            let completion = self.now.saturating_add(job.duration);
+            self.makespan = self.makespan.max(completion);
+            self.running.push(Reverse((completion, pos)));
             self.waiting.remove(pos);
             effects.started.push(Placement {
                 job: id,

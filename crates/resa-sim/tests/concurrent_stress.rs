@@ -1,0 +1,215 @@
+//! Multi-client stress tests for [`ConcurrentService`]: N threads of mixed
+//! operations against one single-writer service, checked against the two
+//! properties the concurrent front promises.
+//!
+//! 1. **Serial equivalence** — the writer's dequeue order *is* the serial
+//!    order: replaying the recorded [`AppliedOp`] log on a fresh sequential
+//!    [`ScheduleService`] reproduces the final schedule, stats, reservations
+//!    and trace bit for bit, for any thread interleaving.
+//! 2. **No lost or duplicated effects** — every write issued by any session
+//!    appears in the log exactly once, and the job ids handed back across
+//!    all sessions are dense (`0..n`): nothing dropped, nothing double-run.
+//!
+//! Both properties are exercised on both substrates (the indexed
+//! [`AvailabilityTimeline`] and the reference [`ResourceProfile`]), first
+//! with a fixed heavy mix, then property-tested over random scripts and
+//! policies.
+
+use proptest::prelude::*;
+use resa_core::prelude::*;
+use resa_sim::prelude::*;
+
+/// One scripted operation. Fields are interpreted modulo the op space, so
+/// *any* tuple of integers is a valid script entry — convenient both for
+/// the deterministic mix and for proptest generation.
+#[derive(Clone, Debug)]
+struct OpSpec {
+    kind: u8,
+    width: u32,
+    dur: u64,
+    t: u64,
+}
+
+/// Run each script in its own thread against one recording service, then
+/// check both stress properties. Returns nothing: failure is a panic (which
+/// proptest reports as a counterexample).
+fn run_stress<C>(m: u32, substrate: C, policy: ReferencePolicy, scripts: &[Vec<OpSpec>])
+where
+    C: Snapshotable + Clone + Send + 'static,
+{
+    let replay_substrate = substrate.clone();
+    let svc = ConcurrentService::with_recording(ScheduleService::new(policy, substrate));
+    let mut handles = Vec::new();
+    for script in scripts.iter().cloned() {
+        let client = svc.client();
+        handles.push(std::thread::spawn(move || {
+            let mut jobs = Vec::new();
+            let mut reservations: Vec<usize> = Vec::new();
+            let mut writes = 0u64;
+            for op in script {
+                let width = 1 + op.width % m;
+                let dur = Dur(1 + op.dur % 8);
+                match op.kind % 6 {
+                    // Submits dominate the mix; a clamped width never fails.
+                    0 | 1 => {
+                        let (id, _) = client.submit(width, dur, None).expect("valid submit");
+                        jobs.push(id);
+                        writes += 1;
+                    }
+                    // Reserve in the near future. The target is computed
+                    // from a stale `now`, so a concurrent advance can turn
+                    // it into an `InThePast` rejection — both outcomes are
+                    // recorded and must replay identically.
+                    2 => {
+                        let start = client.stats().now.saturating_add(Dur(1 + op.t % 16));
+                        writes += 1;
+                        if let Ok((rid, _)) = client.reserve(width, dur, start) {
+                            reservations.push(rid);
+                        }
+                    }
+                    // Cancel one of our reservations, or a bogus id: the
+                    // rejection is part of the serial history too.
+                    3 => {
+                        let id = reservations.pop().unwrap_or(usize::MAX);
+                        writes += 1;
+                        let _ = client.cancel(id);
+                    }
+                    // Clamped advance: safe under any interleaving.
+                    4 => {
+                        let target = client.stats().now.saturating_add(Dur(op.t % 5));
+                        client.advance_clamped(target).expect("clamped advance");
+                        writes += 1;
+                    }
+                    // Reads: snapshot coherence + a speculative probe. Not
+                    // writes, so they must not show up in the log.
+                    _ => {
+                        let snap = client.snapshot();
+                        assert_eq!(snap.stats.machines, m);
+                        client.query(width, dur, None).expect("valid probe");
+                    }
+                }
+            }
+            (jobs, writes)
+        }));
+    }
+    let results: Vec<(Vec<JobId>, u64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("stress thread panicked"))
+        .collect();
+    let (fin, log) = svc.shutdown();
+
+    // Property 2a: the log holds exactly the writes issued — none lost to a
+    // dropped batch, none applied twice.
+    let total_writes: u64 = results.iter().map(|(_, w)| *w).sum();
+    assert_eq!(log.len() as u64, total_writes, "write log is lossless");
+
+    // Property 2b: job ids are dense across sessions, and the final state
+    // accounts for every one of them.
+    let mut ids: Vec<usize> = results
+        .iter()
+        .flat_map(|(jobs, _)| jobs.iter().map(|j| j.0))
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(
+        ids,
+        (0..ids.len()).collect::<Vec<_>>(),
+        "job ids are dense across sessions"
+    );
+    assert_eq!(fin.stats().submitted, ids.len());
+
+    // Property 1: replaying the serial log on a fresh sequential service
+    // reproduces the final state exactly.
+    let mut replay = ScheduleService::new(policy, replay_substrate);
+    for entry in &log {
+        entry.replay(&mut replay);
+    }
+    assert_eq!(replay.schedule(), fin.schedule());
+    assert_eq!(replay.stats(), fin.stats());
+    assert_eq!(replay.reservations(), fin.reservations());
+    assert_eq!(replay.snapshot(), fin.snapshot());
+}
+
+/// A fixed heavy mix: deterministic scripts with enough collisions (shared
+/// time advances, overlapping reservations) to shake out batching bugs.
+fn heavy_scripts(threads: u64, ops: u64) -> Vec<Vec<OpSpec>> {
+    (0..threads)
+        .map(|t| {
+            (0..ops)
+                .map(|i| OpSpec {
+                    kind: ((t * 31 + i * 7) % 11) as u8,
+                    width: ((i * 3 + t) % 5) as u32,
+                    dur: (i * 5 + t * 13) % 9,
+                    t: (i * 11 + t * 3) % 17,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn eight_threads_are_serially_equivalent_on_the_timeline() {
+    run_stress(
+        6,
+        AvailabilityTimeline::constant(6),
+        ReferencePolicy::Easy,
+        &heavy_scripts(8, 60),
+    );
+}
+
+#[test]
+fn eight_threads_are_serially_equivalent_on_the_profile() {
+    run_stress(
+        6,
+        ResourceProfile::constant(6),
+        ReferencePolicy::Greedy,
+        &heavy_scripts(8, 60),
+    );
+}
+
+fn arb_scripts() -> impl Strategy<Value = Vec<Vec<OpSpec>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (0u8..12, 0u32..8, 0u64..12, 0u64..20).prop_map(|(kind, width, dur, t)| OpSpec {
+                kind,
+                width,
+                dur,
+                t,
+            }),
+            1..=12,
+        ),
+        2..=4,
+    )
+}
+
+fn policy_from(idx: u8) -> ReferencePolicy {
+    match idx % 3 {
+        0 => ReferencePolicy::Fcfs,
+        1 => ReferencePolicy::Easy,
+        _ => ReferencePolicy::Greedy,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of random concurrent scripts is equivalent to the
+    /// serial order the writer dequeued, on the indexed timeline.
+    #[test]
+    fn random_interleavings_are_serial_on_the_timeline(
+        m in 2u32..=8,
+        p in 0u8..3,
+        scripts in arb_scripts(),
+    ) {
+        run_stress(m, AvailabilityTimeline::constant(m), policy_from(p), &scripts);
+    }
+
+    /// The same property on the reference profile substrate.
+    #[test]
+    fn random_interleavings_are_serial_on_the_profile(
+        m in 2u32..=8,
+        p in 0u8..3,
+        scripts in arb_scripts(),
+    ) {
+        run_stress(m, ResourceProfile::constant(m), policy_from(p), &scripts);
+    }
+}
