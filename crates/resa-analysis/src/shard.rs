@@ -1,0 +1,122 @@
+//! Sharding primitives for resumable experiment sweeps.
+//!
+//! A sweep's cell list is deterministic (machines × variants × policies ×
+//! seeds, flattened in a fixed order), so splitting it into contiguous
+//! ranges and re-running only the missing ranges reproduces the
+//! uninterrupted run exactly — provided shard boundaries, completion
+//! records, and output bytes are all verifiable. This module supplies the
+//! three verifiable pieces:
+//!
+//! * [`contiguous_ranges`] — the canonical balanced partition of `total`
+//!   cells into `shards` half-open ranges;
+//! * [`fnv1a64`] — the checksum stamped into shard manifests and
+//!   completion records (FNV-1a, 64-bit: stable, dependency-free, and
+//!   plenty for detecting torn or mismatched shard files — corruption
+//!   *detection*, not adversarial integrity);
+//! * [`atomic_write`] — temp file + fsync + rename, so a completion record
+//!   either exists in full or not at all (a killed sweep never leaves a
+//!   half-written record that `--resume` would trust).
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Split `total` items into `shards` contiguous half-open ranges
+/// `(start, end)`, balanced to within one item, earlier shards taking the
+/// extra. `shards` is clamped to at least 1; empty ranges are produced when
+/// `shards > total` (a shard with nothing to do is still a valid shard).
+pub fn contiguous_ranges(total: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.max(1);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// FNV-1a, 64-bit: the offset-basis/prime pair from Fowler–Noll–Vo. Used
+/// for shard-file and spec checksums.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Write `bytes` to `path` atomically: write a sibling temp file, fsync it,
+/// then rename it over `path`. Readers see either the old content or the
+/// new, never a prefix — the property `--resume` relies on when it trusts a
+/// completion record.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly_once_and_balance() {
+        for total in [0usize, 1, 7, 100, 101, 1024] {
+            for shards in [1usize, 2, 3, 7, 16, 200] {
+                let ranges = contiguous_ranges(total, shards);
+                assert_eq!(ranges.len(), shards);
+                let mut next = 0;
+                for &(start, end) in &ranges {
+                    assert_eq!(start, next, "contiguous");
+                    assert!(end >= start);
+                    next = end;
+                }
+                assert_eq!(next, total, "full coverage");
+                let sizes: Vec<usize> = ranges.iter().map(|&(s, e)| e - s).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced to within one item");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_clamped() {
+        assert_eq!(contiguous_ranges(5, 0), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("resa-shard-atomic-{}.json", std::process::id()));
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file is consumed by the rename"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}

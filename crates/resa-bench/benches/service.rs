@@ -32,6 +32,16 @@
 //!   timeline-dominated requests (query/reserve/cancel) from policy-bearing
 //!   ones (submit/advance) whose cost is identical on both substrates.
 //!
+//! The PR-8 additions land in `BENCH_pr8.json`:
+//!
+//! * **journaled service mix** — the same five-request steady-state mix
+//!   through [`JournaledService`] (write-ahead op journal, per-request
+//!   durability) at each fsync policy (`every`/`batch`/`off`), reported as
+//!   ops/sec + p99 against the volatile [`ScheduleService`] baseline.
+//!   Schedules are asserted identical, and the `off` policy's overhead is
+//!   asserted within 1.5x of volatile at full size — journaling is framing
+//!   + CRC + a buffered write, not a rewrite of the hot path.
+//!
 //! `RESA_BENCH_QUICK=1` shrinks all parts to a CI-smoke size and relaxes
 //! the wall-clock-sensitive ratios (shared runners are noisy); the full run
 //! enforces the acceptance numbers.
@@ -61,6 +71,12 @@ struct Config {
     /// Asserted minimum 4-reader aggregate speedup over the sequential
     /// baseline, *given enough cores*; see [`required_concurrent_speedup`].
     required_concurrent_speedup: f64,
+    /// Rounds of the journaled five-request mix, per fsync policy.
+    journal_rounds: usize,
+    /// Asserted maximum throughput overhead (volatile ops/sec divided by
+    /// journaled ops/sec) of the `off` fsync policy. 1.5x at full size; the
+    /// quick smoke only checks the machinery.
+    required_journal_overhead: f64,
 }
 
 fn config() -> Config {
@@ -73,6 +89,8 @@ fn config() -> Config {
             required_probe_speedup: 1.2,
             queries_per_reader: 2_000,
             required_concurrent_speedup: 0.25,
+            journal_rounds: 400,
+            required_journal_overhead: 8.0,
         }
     } else {
         Config {
@@ -83,6 +101,8 @@ fn config() -> Config {
             required_probe_speedup: 2.0,
             queries_per_reader: 40_000,
             required_concurrent_speedup: 2.5,
+            journal_rounds: 2_000,
+            required_journal_overhead: 1.5,
         }
     }
 }
@@ -161,6 +181,28 @@ struct MixProfile {
     /// Share in policy-bearing requests (submit/advance): decision loop +
     /// bookkeeping identical on both substrates.
     policy_pct: f64,
+}
+
+/// One fsync policy's side of the journaled-vs-volatile comparison.
+#[derive(Debug, Serialize)]
+struct JournaledSide {
+    fsync: String,
+    ops_per_sec: f64,
+    p99_us: f64,
+    /// Volatile ops/sec divided by this policy's ops/sec (1.0 = free).
+    overhead_vs_volatile: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Pr8Report {
+    config: String,
+    requests: usize,
+    machines: u32,
+    /// The plain in-memory `ScheduleService` on the same mix.
+    volatile: ServiceSide,
+    journaled: Vec<JournaledSide>,
+    /// Asserted ceiling on the `off` policy's `overhead_vs_volatile`.
+    required_off_overhead: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -355,6 +397,136 @@ fn measure_service_mix(cfg: &Config) -> ServiceMixResult {
         optimized,
         reference,
         speedup,
+    }
+}
+
+/// [`service_round`], word for word, through the durable wrapper: every
+/// mutation is framed, checksummed and written ahead per the fsync policy.
+fn journaled_round(
+    svc: &mut JournaledService<AvailabilityTimeline>,
+    i: usize,
+    latencies: &mut Vec<u64>,
+) {
+    type Svc = JournaledService<AvailabilityTimeline>;
+    let mut timed = |svc: &mut Svc, f: &mut dyn FnMut(&mut Svc)| {
+        let t0 = Instant::now();
+        f(svc);
+        latencies.push(t0.elapsed().as_nanos() as u64);
+    };
+    let width = 1 + (i % 6) as u32;
+    let dur = Dur(1 + (i % 7) as u64);
+    timed(svc, &mut |s| {
+        s.submit(width, dur, None).expect("valid submission");
+    });
+    timed(svc, &mut |s| {
+        s.query(2 + (i % 4) as u32, Dur(3), None)
+            .expect("valid probe");
+    });
+    let start = Time(svc.now().ticks() + 16 + (i % 5) as u64);
+    let mut rid = 0usize;
+    timed(svc, &mut |s| {
+        rid = s
+            .reserve(1 + (i % 3) as u32, Dur(4), start)
+            .expect("a narrow future window always fits")
+            .0;
+    });
+    timed(svc, &mut |s| {
+        s.cancel(rid).expect("the reservation is still pending");
+    });
+    let to = Time(svc.now().ticks() + 1 + (i % 3) as u64);
+    timed(svc, &mut |s| {
+        s.advance(to).expect("time only moves forward");
+    });
+}
+
+/// Run the mix through a [`JournaledService`] writing to a fresh journal
+/// file under the given fsync policy.
+fn run_journaled_mix(machines: u32, rounds: usize, fsync: FsyncPolicy) -> (ServiceSide, Schedule) {
+    let path = std::env::temp_dir().join(format!(
+        "resa-bench-journal-{}-{}.jrn",
+        std::process::id(),
+        fsync.name()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let cfg = JournalCfg {
+        fsync,
+        ..JournalCfg::default()
+    };
+    let (journal, _) =
+        OpJournal::open(&path, machines, ReferencePolicy::Easy, cfg).expect("journal opens");
+    let mut substrate = AvailabilityTimeline::constant(machines);
+    substrate.reserve_capacity(4096, 4096);
+    let mut inner = ScheduleService::new(ReferencePolicy::Easy, substrate);
+    inner.ensure_capacity(rounds + 1, rounds + 1);
+    let mut svc = JournaledService::new(inner, journal);
+    let mut latencies = Vec::with_capacity(rounds * 5);
+    let t0 = Instant::now();
+    for i in 0..rounds {
+        journaled_round(&mut svc, i, &mut latencies);
+    }
+    let total = t0.elapsed();
+    latencies.sort_unstable();
+    let p99 = latencies[(latencies.len() * 99) / 100 - 1];
+    svc.drain().expect("drain is always valid");
+    let schedule = svc.service().schedule().clone();
+    drop(svc);
+    let _ = std::fs::remove_file(&path);
+    (
+        ServiceSide {
+            ops_per_sec: latencies.len() as f64 / total.as_secs_f64(),
+            p99_us: p99 as f64 / 1e3,
+        },
+        schedule,
+    )
+}
+
+/// The journaled-vs-volatile comparison behind `BENCH_pr8.json`.
+fn measure_journaled_service(cfg: &Config) -> Pr8Report {
+    let rounds = cfg.journal_rounds;
+    let mut substrate = AvailabilityTimeline::constant(cfg.machines);
+    substrate.reserve_capacity(4096, 4096);
+    let (volatile, volatile_schedule) = run_service_mix(
+        ScheduleService::new(ReferencePolicy::Easy, substrate),
+        rounds,
+    );
+    println!(
+        "journaled service mix ({} requests / {} machines):\n\
+         volatile     {:.0} ops/s (p99 {:.1} µs)",
+        rounds * 5,
+        cfg.machines,
+        volatile.ops_per_sec,
+        volatile.p99_us,
+    );
+    let mut journaled = Vec::new();
+    for fsync in [FsyncPolicy::Every, FsyncPolicy::Batch, FsyncPolicy::Off] {
+        let (side, schedule) = run_journaled_mix(cfg.machines, rounds, fsync);
+        assert_eq!(
+            schedule,
+            volatile_schedule,
+            "journaling must not change what gets scheduled ({})",
+            fsync.name()
+        );
+        let overhead = volatile.ops_per_sec / side.ops_per_sec;
+        println!(
+            "fsync={:<6} {:.0} ops/s (p99 {:.1} µs, {overhead:.2}x overhead)",
+            fsync.name(),
+            side.ops_per_sec,
+            side.p99_us,
+        );
+        journaled.push(JournaledSide {
+            fsync: fsync.name().to_string(),
+            ops_per_sec: side.ops_per_sec,
+            p99_us: side.p99_us,
+            overhead_vs_volatile: overhead,
+        });
+    }
+    Pr8Report {
+        config: cfg.label.to_string(),
+        requests: rounds * 5,
+        machines: cfg.machines,
+        volatile,
+        journaled,
+        required_off_overhead: cfg.required_journal_overhead,
     }
 }
 
@@ -558,6 +730,17 @@ fn persist_pr7(report: &Pr7Report) {
     }
 }
 
+/// Write the PR-8 report next to the workspace `Cargo.toml`.
+fn persist_pr8(report: &Pr8Report) {
+    let path = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|dir| format!("{dir}/../../BENCH_pr8.json"))
+        .unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+    match std::fs::write(&path, to_json(report)) {
+        Ok(()) => println!("[saved {path}]"),
+        Err(e) => eprintln!("[could not save {path}: {e}]"),
+    }
+}
+
 /// The acceptance checks: ≥ 2x on the descent-heavy probe path
 /// (`BENCH_pr6.json`), and the 4-reader aggregate snapshot-query throughput
 /// over the sequential baseline (`BENCH_pr7.json`, bound scaled to the
@@ -607,6 +790,21 @@ fn acceptance(_c: &mut Criterion) {
         notes,
     };
     persist_pr7(&pr7);
+
+    let pr8 = measure_journaled_service(&cfg);
+    persist_pr8(&pr8);
+    let off = pr8
+        .journaled
+        .iter()
+        .find(|j| j.fsync == "off")
+        .expect("the off policy is measured");
+    assert!(
+        off.overhead_vs_volatile <= pr8.required_off_overhead,
+        "acceptance: the off fsync policy must stay within {:.1}x of the \
+         volatile service (got {:.2}x)",
+        pr8.required_off_overhead,
+        off.overhead_vs_volatile,
+    );
 
     assert!(
         report.probe_path.speedup >= report.probe_path.required_speedup,

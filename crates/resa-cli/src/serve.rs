@@ -62,6 +62,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Help text for `resa serve --help`.
 pub const SERVE_HELP: &str = "\
@@ -88,6 +89,17 @@ OPTIONS:
     --realtime            tick virtual time to the wall clock (1 tick = 1 ms
                           since server start) before each request; incompatible
                           with --script, whose transcripts stay deterministic
+    --journal <file>      write-ahead journal every mutating op to <file> and
+                          auto-recover from it on startup (recovered op/snapshot
+                          counts are reported on stderr); a torn tail from a
+                          crash is truncated and reported, never replayed
+    --fsync <policy>      journal durability: every | batch | off
+                          (every = fdatasync per op; batch = per batch, before
+                          replies; off = OS-buffered)           [default: batch]
+    --snapshot-every <n>  compact the journal to one snapshot record after <n>
+                          ops, bounding recovery replay cost     [default: 1024]
+    --idle-timeout <s>    close a socket session after <s> seconds without a
+                          request (0 disables; --listen/--unix) [default: 600]
 
 REQUESTS (one JSON object per line; blank lines and # comments are ignored):
     {\"op\":\"submit\",\"width\":W,\"duration\":D[,\"release\":T]}   job arrival
@@ -433,6 +445,67 @@ impl Backend for ServiceClient {
     }
 }
 
+/// Durable sequential sessions (`--journal` over stdio / `--script`): every
+/// mutating op is write-ahead journaled; an op whose record cannot be made
+/// durable is answered with a structured error and not applied.
+impl<C: CapacityQuery + Speculate> Backend for JournaledService<C> {
+    fn submit(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+    ) -> Result<(JobId, Effects), ServiceError> {
+        JournaledService::submit(self, width, duration, release)
+    }
+
+    fn reserve(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Effects), ServiceError> {
+        JournaledService::reserve(self, width, duration, start)
+    }
+
+    fn cancel(&mut self, id: usize) -> Result<Effects, ServiceError> {
+        JournaledService::cancel(self, id)
+    }
+
+    fn query(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        not_before: Option<Time>,
+    ) -> Result<Option<Time>, ServiceError> {
+        JournaledService::query(self, width, duration, not_before)
+    }
+
+    fn advance(&mut self, to: Time) -> Result<(Time, Effects), ServiceError> {
+        JournaledService::advance(self, to)
+    }
+
+    fn advance_clamped(&mut self, to: Time) -> Result<(Time, Effects), ServiceError> {
+        JournaledService::advance_clamped(self, to)
+    }
+
+    fn drain(&mut self) -> Result<(Time, Effects), ServiceError> {
+        JournaledService::drain(self)
+    }
+
+    fn stats(&mut self) -> ServiceStats {
+        JournaledService::stats(self)
+    }
+
+    fn policy(&self) -> ReferencePolicy {
+        JournaledService::policy(self)
+    }
+
+    fn snapshot_parts(&mut self) -> (Time, u32, Vec<JobRecord>, SimMetrics) {
+        let (records, metrics) = JournaledService::snapshot(self);
+        (self.now(), self.service().machines(), records, metrics)
+    }
+}
+
 /// Execute one request against the resident service, producing the response
 /// line (without trailing newline) and whether the session should end.
 fn handle<B: Backend>(svc: &mut B, line: &str) -> (String, bool) {
@@ -582,34 +655,142 @@ fn check_auth(expected: &str, line: &str) -> (String, bool) {
     }
 }
 
+/// Longest accepted request line, in bytes (including the newline). A peer
+/// streaming an endless line used to grow `read_line`'s buffer without
+/// bound; now the line is discarded as it arrives and answered with a
+/// structured error, and the session keeps serving.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// What one bounded line read produced.
+enum LineRead {
+    /// A complete line (possibly the final unterminated one) is in the
+    /// buffer.
+    Line,
+    /// The line exceeded [`MAX_LINE_BYTES`]; all of it was discarded.
+    Overflow {
+        /// Total bytes the oversized line occupied.
+        discarded: u64,
+    },
+    /// Clean end of input.
+    Eof,
+    /// The socket's read timeout expired between requests.
+    TimedOut,
+}
+
+/// Read one `\n`-terminated line into `buf` without ever holding more than
+/// [`MAX_LINE_BYTES`] of it. Oversized lines are consumed (so the stream
+/// stays line-synchronized) but not stored. A read timeout configured on
+/// the underlying socket surfaces as [`LineRead::TimedOut`].
+fn read_bounded_line(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<LineRead> {
+    use std::io::ErrorKind;
+    buf.clear();
+    let mut discarded = 0u64;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Ok(LineRead::TimedOut)
+            }
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF. A trailing unterminated line is processed like
+            // `read_line` would have.
+            return Ok(if discarded > 0 {
+                LineRead::Overflow { discarded }
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |i| i + 1);
+        if discarded > 0 {
+            discarded += take as u64;
+        } else if buf.len() + take > MAX_LINE_BYTES {
+            // The whole line is oversized: switch to discard mode.
+            discarded = (buf.len() + take) as u64;
+            buf.clear();
+        } else {
+            buf.extend_from_slice(&chunk[..take]);
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            return Ok(if discarded > 0 {
+                LineRead::Overflow { discarded }
+            } else {
+                LineRead::Line
+            });
+        }
+    }
+}
+
+fn send_line(writer: &mut impl Write, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
 /// Serve one session: read request lines from `reader`, write one response
 /// line per request to `writer` (flushed per line, so socket and pipe peers
 /// see answers immediately). Returns whether a `shutdown` request ended the
-/// session (as opposed to EOF or an auth rejection).
+/// session (as opposed to EOF, an auth rejection, or an idle timeout).
+///
+/// Oversized (> [`MAX_LINE_BYTES`]) and non-UTF-8 lines are answered with a
+/// structured error and the session keeps serving; an expired socket read
+/// timeout is answered with a structured close line and ends the session.
 fn serve_session<B: Backend>(
     svc: &mut B,
     cfg: &SessionCfg,
     mut reader: impl BufRead,
     mut writer: impl Write,
 ) -> std::io::Result<bool> {
-    // One line buffer for the whole session instead of a fresh `String` per
-    // request (`BufRead::lines` allocates one per iteration).
-    let mut line = String::new();
+    // One raw-line buffer for the whole session instead of a fresh `String`
+    // per request (`BufRead::lines` allocates one per iteration).
+    let mut raw: Vec<u8> = Vec::new();
     let mut authed = cfg.token.is_none();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(false);
+        match read_bounded_line(&mut reader, &mut raw)? {
+            LineRead::Eof => return Ok(false),
+            LineRead::TimedOut => {
+                // Best-effort close line: the peer may already be gone.
+                let _ = send_line(
+                    &mut writer,
+                    &error_response(None, "idle timeout: closing session"),
+                );
+                return Ok(false);
+            }
+            LineRead::Overflow { discarded } => {
+                send_line(
+                    &mut writer,
+                    &error_response(
+                        None,
+                        &format!(
+                            "request line exceeds {MAX_LINE_BYTES} bytes \
+                             ({discarded} bytes discarded)"
+                        ),
+                    ),
+                )?;
+                continue;
+            }
+            LineRead::Line => {}
         }
-        let trimmed = line.trim();
+        let Ok(text) = std::str::from_utf8(&raw) else {
+            send_line(
+                &mut writer,
+                &error_response(None, "request line is not valid UTF-8"),
+            )?;
+            continue;
+        };
+        let trimmed = text.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         if !authed {
             let (response, pass) = check_auth(cfg.token.as_deref().unwrap_or(""), trimmed);
-            writer.write_all(response.as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
+            send_line(&mut writer, &response)?;
             if !pass {
                 return Ok(false);
             }
@@ -624,9 +805,7 @@ fn serve_session<B: Backend>(
             let _ = svc.advance_clamped(Time(ms));
         }
         let (response, done) = handle(svc, trimmed);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        send_line(&mut writer, &response)?;
         if done {
             return Ok(true);
         }
@@ -657,6 +836,80 @@ pub fn run_script(
     String::from_utf8(out).expect("responses are UTF-8")
 }
 
+/// Journal configuration as parsed from the CLI.
+struct JournalOpts {
+    path: String,
+    fsync: FsyncPolicy,
+    snapshot_every: u64,
+}
+
+/// Open (or create) the journal, recovering whatever it holds, and report
+/// the recovery on **stderr** — stdout carries only protocol responses, so
+/// golden transcripts stay byte-stable whether or not a journal rides
+/// along.
+fn open_journal(
+    jo: &JournalOpts,
+    machines: u32,
+    policy: ReferencePolicy,
+) -> Result<(OpJournal, Recovered), CliError> {
+    let cfg = JournalCfg {
+        fsync: jo.fsync,
+        snapshot_every: jo.snapshot_every,
+    };
+    let (journal, recovered) =
+        OpJournal::open(&jo.path, machines, policy, cfg).map_err(|e| CliError::Io {
+            path: jo.path.clone(),
+            message: e.to_string(),
+        })?;
+    if recovered.resumed {
+        let torn = recovered
+            .torn
+            .as_ref()
+            .map(|t| {
+                format!(
+                    " (torn tail of {} bytes discarded: {})",
+                    t.dropped_bytes, t.reason
+                )
+            })
+            .unwrap_or_default();
+        eprintln!(
+            "journal {}: recovered {} op record(s), {} snapshot record(s){torn}",
+            jo.path, recovered.op_records, recovered.snapshot_records
+        );
+    }
+    Ok((journal, recovered))
+}
+
+/// [`run_script`], but durable: recover the journal, replay it, serve the
+/// script through a [`JournaledService`], and leave the journal ready for
+/// the next resume.
+fn run_script_journaled(
+    script: &str,
+    machines: u32,
+    policy: ReferencePolicy,
+    substrate: Substrate,
+    jo: &JournalOpts,
+) -> Result<String, CliError> {
+    let (journal, recovered) = open_journal(jo, machines, policy)?;
+    let cfg = SessionCfg::default();
+    let mut out = Vec::new();
+    match substrate {
+        Substrate::Timeline => {
+            let svc = recovered.restore_service(policy, AvailabilityTimeline::constant(machines));
+            let mut journaled = JournaledService::new(svc, journal);
+            serve_session(&mut journaled, &cfg, script.as_bytes(), &mut out)
+                .expect("in-memory I/O");
+        }
+        Substrate::Profile => {
+            let svc = recovered.restore_service(policy, ResourceProfile::constant(machines));
+            let mut journaled = JournaledService::new(svc, journal);
+            serve_session(&mut journaled, &cfg, script.as_bytes(), &mut out)
+                .expect("in-memory I/O");
+        }
+    }
+    Ok(String::from_utf8(out).expect("responses are UTF-8"))
+}
+
 /// How the session's bytes reach the service.
 enum Transport {
     Stdio,
@@ -680,6 +933,10 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     let mut transport = Transport::Stdio;
     let mut token: Option<String> = None;
     let mut realtime = false;
+    let mut journal_path: Option<String> = None;
+    let mut fsync: Option<FsyncPolicy> = None;
+    let mut snapshot_every: Option<u64> = None;
+    let mut idle_timeout: Option<u64> = None;
     let opts = CommonOpts::parse(args, &mut |flag, value| {
         let take = |name: &str| -> Result<&str, CliError> {
             value.ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
@@ -746,6 +1003,35 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 realtime = true;
                 Ok(0)
             }
+            "--journal" => {
+                journal_path = Some(take("--journal")?.to_string());
+                Ok(1)
+            }
+            "--fsync" => {
+                let text = take("--fsync")?;
+                fsync = Some(FsyncPolicy::parse(text).ok_or_else(|| {
+                    CliError::Usage(format!("unknown fsync policy '{text}' (every|batch|off)"))
+                })?);
+                Ok(1)
+            }
+            "--snapshot-every" => {
+                let n: u64 = take("--snapshot-every")?.parse().map_err(|_| {
+                    CliError::Usage("--snapshot-every expects a positive integer".into())
+                })?;
+                if n == 0 {
+                    return Err(CliError::Usage(
+                        "--snapshot-every must be at least 1".into(),
+                    ));
+                }
+                snapshot_every = Some(n);
+                Ok(1)
+            }
+            "--idle-timeout" => {
+                idle_timeout = Some(take("--idle-timeout")?.parse().map_err(|_| {
+                    CliError::Usage("--idle-timeout expects seconds (0 disables)".into())
+                })?);
+                Ok(1)
+            }
             other => Err(CliError::Usage(format!(
                 "unknown option '{other}' (see `resa serve --help`)"
             ))),
@@ -768,6 +1054,25 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 .into(),
         ));
     }
+    if journal_path.is_none() && (fsync.is_some() || snapshot_every.is_some()) {
+        return Err(CliError::Usage(
+            "--fsync and --snapshot-every require --journal".into(),
+        ));
+    }
+    if idle_timeout.is_some() && !socket_transport {
+        return Err(CliError::Usage(
+            "--idle-timeout requires a socket transport (--listen or --unix)".into(),
+        ));
+    }
+    let journal = journal_path.map(|path| JournalOpts {
+        path,
+        fsync: fsync.unwrap_or_default(),
+        snapshot_every: snapshot_every.unwrap_or(1024),
+    });
+    let idle = match idle_timeout.unwrap_or(600) {
+        0 => None,
+        secs => Some(Duration::from_secs(secs)),
+    };
     let cfg = SessionCfg {
         token,
         realtime: realtime.then(std::time::Instant::now),
@@ -778,7 +1083,10 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 path: path.clone(),
                 message: e.to_string(),
             })?;
-            let transcript = run_script(&script, machines, policy, substrate);
+            let transcript = match &journal {
+                None => run_script(&script, machines, policy, substrate),
+                Some(jo) => run_script_journaled(&script, machines, policy, substrate, jo)?,
+            };
             let mut stdout = transcript.clone();
             if let Some(note) = opts.persist(&transcript)? {
                 stdout.push_str(&note);
@@ -796,15 +1104,29 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
             };
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            match substrate {
-                Substrate::Timeline => {
+            match (substrate, &journal) {
+                (Substrate::Timeline, None) => {
                     let mut svc =
                         ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
                     serve_session(&mut svc, &cfg, stdin.lock(), stdout.lock()).map_err(io_err)?;
                 }
-                Substrate::Profile => {
+                (Substrate::Profile, None) => {
                     let mut svc = ScheduleService::new(policy, ResourceProfile::constant(machines));
                     serve_session(&mut svc, &cfg, stdin.lock(), stdout.lock()).map_err(io_err)?;
+                }
+                (Substrate::Timeline, Some(jo)) => {
+                    let (j, rec) = open_journal(jo, machines, policy)?;
+                    let svc = rec.restore_service(policy, AvailabilityTimeline::constant(machines));
+                    let mut journaled = JournaledService::new(svc, j);
+                    serve_session(&mut journaled, &cfg, stdin.lock(), stdout.lock())
+                        .map_err(io_err)?;
+                }
+                (Substrate::Profile, Some(jo)) => {
+                    let (j, rec) = open_journal(jo, machines, policy)?;
+                    let svc = rec.restore_service(policy, ResourceProfile::constant(machines));
+                    let mut journaled = JournaledService::new(svc, j);
+                    serve_session(&mut journaled, &cfg, stdin.lock(), stdout.lock())
+                        .map_err(io_err)?;
                 }
             }
             Ok(Outcome {
@@ -817,7 +1139,15 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 path: addr.clone(),
                 message: e.to_string(),
             })?;
-            serve_listener(machines, policy, substrate, cfg, AnyListener::Tcp(listener))?;
+            serve_listener(
+                machines,
+                policy,
+                substrate,
+                cfg,
+                AnyListener::Tcp(listener),
+                journal,
+                idle,
+            )?;
             Ok(Outcome {
                 stdout: String::new(),
                 violations: 0,
@@ -837,6 +1167,8 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 substrate,
                 cfg,
                 AnyListener::Unix(listener),
+                journal,
+                idle,
             )?;
             Ok(Outcome {
                 stdout: String::new(),
@@ -867,13 +1199,17 @@ impl AnyListener {
         }
     }
 
-    fn accept(&self) -> std::io::Result<BoxedSession> {
+    /// Accept one connection. `idle` becomes the socket's read timeout: a
+    /// session that sends nothing for that long is closed with a
+    /// structured timeout line instead of pinning its thread forever.
+    fn accept(&self, idle: Option<Duration>) -> std::io::Result<BoxedSession> {
         match self {
             AnyListener::Tcp(l) => {
                 let (stream, _) = l.accept()?;
                 // Accepted sockets must block normally regardless of what
                 // the platform inherits from the listener.
                 stream.set_nonblocking(false)?;
+                stream.set_read_timeout(idle)?;
                 let reader = std::io::BufReader::new(stream.try_clone()?);
                 Ok((Box::new(reader), Box::new(stream)))
             }
@@ -881,6 +1217,7 @@ impl AnyListener {
             AnyListener::Unix(l) => {
                 let (stream, _) = l.accept()?;
                 stream.set_nonblocking(false)?;
+                stream.set_read_timeout(idle)?;
                 let reader = std::io::BufReader::new(stream.try_clone()?);
                 Ok((Box::new(reader), Box::new(stream)))
             }
@@ -888,26 +1225,47 @@ impl AnyListener {
     }
 }
 
-/// Instantiate the resident service on the chosen substrate and serve the
-/// listener concurrently until a session issues `shutdown`.
+/// Instantiate the resident service on the chosen substrate — recovering
+/// from and journaling into `journal` when given — and serve the listener
+/// concurrently until a session issues `shutdown`.
 fn serve_listener(
     machines: u32,
     policy: ReferencePolicy,
     substrate: Substrate,
     cfg: SessionCfg,
     listener: AnyListener,
+    journal: Option<JournalOpts>,
+    idle: Option<Duration>,
 ) -> Result<(), CliError> {
     match substrate {
-        Substrate::Timeline => serve_concurrent(
-            ScheduleService::new(policy, AvailabilityTimeline::constant(machines)),
-            cfg,
-            listener,
-        ),
-        Substrate::Profile => serve_concurrent(
-            ScheduleService::new(policy, ResourceProfile::constant(machines)),
-            cfg,
-            listener,
-        ),
+        Substrate::Timeline => {
+            let front = match &journal {
+                Some(jo) => {
+                    let (j, rec) = open_journal(jo, machines, policy)?;
+                    let svc = rec.restore_service(policy, AvailabilityTimeline::constant(machines));
+                    ConcurrentService::with_journal(svc, j)
+                }
+                None => ConcurrentService::new(ScheduleService::new(
+                    policy,
+                    AvailabilityTimeline::constant(machines),
+                )),
+            };
+            serve_concurrent(front, cfg, listener, idle)
+        }
+        Substrate::Profile => {
+            let front = match &journal {
+                Some(jo) => {
+                    let (j, rec) = open_journal(jo, machines, policy)?;
+                    let svc = rec.restore_service(policy, ResourceProfile::constant(machines));
+                    ConcurrentService::with_journal(svc, j)
+                }
+                None => ConcurrentService::new(ScheduleService::new(
+                    policy,
+                    ResourceProfile::constant(machines),
+                )),
+            };
+            serve_concurrent(front, cfg, listener, idle)
+        }
     }
 }
 
@@ -918,9 +1276,10 @@ fn serve_listener(
 /// session issues `shutdown`: the listener stops accepting, the writer
 /// thread is joined, and remaining sessions die with the process.
 fn serve_concurrent<C>(
-    svc: ScheduleService<C>,
+    service: ConcurrentService<C>,
     cfg: SessionCfg,
     listener: AnyListener,
+    idle: Option<Duration>,
 ) -> Result<(), CliError>
 where
     C: Snapshotable + Send + 'static,
@@ -929,11 +1288,10 @@ where
         path: "<listener>".to_string(),
         message: e.to_string(),
     })?;
-    let service = ConcurrentService::new(svc);
     let stop = Arc::new(AtomicBool::new(false));
     let cfg = Arc::new(cfg);
     while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
+        match listener.accept(idle) {
             Ok((mut reader, mut writer)) => {
                 let mut client = service.client();
                 let stop = Arc::clone(&stop);

@@ -35,6 +35,24 @@
 //! probe per cell and reports its mean nodes/sec per row — the same
 //! per-cell probe `RatioHarness` uses, so sweep rows and the acceptance
 //! benches measure the identical code path.
+//!
+//! # Sharding and resume
+//!
+//! Because the flat cell list is deterministic, a sweep can be split into
+//! contiguous shard ranges (`--shards`/`--shard`/`--shard-dir`), each shard
+//! persisting its per-cell samples (`shard_NNNN.rows.json`, floats encoded
+//! bit-exactly) plus an atomically written completion record
+//! (`shard_NNNN.done.json` carrying an FNV-1a checksum of the rows bytes).
+//! `--resume` re-runs only shards whose completion record does not verify,
+//! and `--merge` re-assembles the samples in cell order and aggregates them
+//! exactly as an unsharded run would — the rendered output is byte-for-byte
+//! identical. A `manifest.json` pins spec text, seed and shard count so a
+//! shard dir can never be silently reused for a different sweep.
+//!
+//! For crash testing, the environment variable named by
+//! [`FAIL_AFTER_CELL_ENV`] aborts the process after that many completed
+//! cells — between cell completion and the shard's rows hitting disk — so
+//! a killed sweep leaves no completion record for the shard in flight.
 
 use crate::fields::{anchor_line, check_fields};
 use crate::opts::{CommonOpts, OutputFormat};
@@ -44,6 +62,7 @@ use resa_analysis::prelude::*;
 use resa_core::prelude::*;
 use resa_workloads::prelude::*;
 use serde::{DeError, Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
 
 /// Help text for `resa sweep --help`.
 pub const SWEEP_HELP: &str = "\
@@ -70,6 +89,20 @@ Every (machines x alpha x policy x seed) cell is an independent simulation;
 cells run in parallel unless --threads 1. Rows aggregate the seeds per
 (machines, alpha, policy) group and report ratios against the certified
 lower bound.
+
+Sharding (resumable and distributable sweeps):
+    --shards N        split the cell list into N contiguous ranges
+    --shard-dir DIR   where the manifest and per-shard files live
+    --shard I         run only shard I (0-based) and write its files
+    --resume          skip shards whose completion records verify
+    --merge           only merge previously completed shards and render
+
+With --shards but no --shard, every shard runs (in order) and the merged
+result is rendered — byte-identical to the unsharded run. A shard worker
+writes shard_NNNN.rows.json plus an atomic shard_NNNN.done.json completion
+record; --resume trusts a record only when its checksum matches the rows
+file. manifest.json pins the spec + seed + shard count, so mixing shard
+dirs across different sweeps is an error, not silent garbage.
 
 plus the common options: --seed --threads --format --quick --out
 ";
@@ -301,11 +334,47 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
         Some((p, rest)) if !p.starts_with("--") => (*p, rest),
         _ => return Err(CliError::Usage("sweep expects a spec path".into())),
     };
-    let opts = CommonOpts::parse(rest, &mut |flag, _| {
-        Err(CliError::Usage(format!(
-            "unknown option '{flag}' (see `resa sweep --help`)"
-        )))
+    let mut sharding = ShardOpts::default();
+    let opts = CommonOpts::parse(rest, &mut |flag, value| {
+        let take =
+            |name: &str| value.ok_or_else(|| CliError::Usage(format!("{name} expects a value")));
+        match flag {
+            "--shards" => {
+                let n: usize = take("--shards")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--shards expects an integer".into()))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--shards must be at least 1".into()));
+                }
+                sharding.shards = Some(n);
+                Ok(1)
+            }
+            "--shard" => {
+                sharding.shard = Some(
+                    take("--shard")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--shard expects an integer".into()))?,
+                );
+                Ok(1)
+            }
+            "--shard-dir" => {
+                sharding.dir = Some(take("--shard-dir")?.to_string());
+                Ok(1)
+            }
+            "--resume" => {
+                sharding.resume = true;
+                Ok(0)
+            }
+            "--merge" => {
+                sharding.merge = true;
+                Ok(0)
+            }
+            other => Err(CliError::Usage(format!(
+                "unknown option '{other}' (see `resa sweep --help`)"
+            ))),
+        }
     })?;
+    sharding.validate()?;
     let text = std::fs::read_to_string(spec_path).map_err(|e| CliError::Io {
         path: spec_path.to_string(),
         message: e.to_string(),
@@ -317,15 +386,30 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
             anchor_line(&text, &e.to_string())
         ))
     })?;
-    let (rows, violations) = execute(&spec, &opts)?;
-    render(&spec, &rows, violations, &opts)
+    if sharding.dir.is_some() {
+        run_sharded(&spec, &opts, &text, &sharding)
+    } else {
+        let (rows, violations) = execute(&spec, &opts)?;
+        render(&spec, &rows, violations, &opts)
+    }
 }
 
-/// Run the cross product and aggregate it into rows. Returns the rows and
-/// the number of sanity violations (a schedule beating the certified lower
-/// bound or failing validation — both impossible unless something is
-/// broken).
-pub fn execute(spec: &SweepSpec, opts: &CommonOpts) -> Result<(Vec<SweepRow>, usize), CliError> {
+/// One cell's measurements: makespan, ratio to the certified lower bound,
+/// mean wait, utilization, violation flag and exact-probe nodes/sec.
+type Sample = (f64, f64, f64, f64, bool, Option<f64>);
+
+/// The expanded execution plan of a sweep: reservation variants, parsed
+/// policies and the flat deterministic cell list that every run — sharded
+/// or not — walks in the same order.
+struct SweepPlan {
+    variants: Vec<(Option<String>, ReservationArg)>,
+    policies: Vec<(String, PolicyArg)>,
+    /// `(machines, α-variant index, policy index, seed)` per cell.
+    cells: Vec<(u32, usize, usize, u64)>,
+}
+
+/// Validate the spec and expand it into a [`SweepPlan`].
+fn plan(spec: &SweepSpec) -> Result<SweepPlan, CliError> {
     if spec.machines.is_empty() || spec.policies.is_empty() || spec.seeds == 0 {
         return Err(CliError::Parse(
             "sweep spec needs at least one machine size, one policy and one seed".into(),
@@ -346,9 +430,6 @@ pub fn execute(spec: &SweepSpec, opts: &CommonOpts) -> Result<(Vec<SweepRow>, us
         .iter()
         .map(|name| PolicyArg::parse(name).map(|p| (name.clone(), p)))
         .collect::<Result<_, _>>()?;
-    let runner = opts.runner();
-
-    // The flat cell list: (machines, α-variant index, policy index, seed).
     let cells: Vec<(u32, usize, usize, u64)> = spec
         .machines
         .iter()
@@ -360,52 +441,88 @@ pub fn execute(spec: &SweepSpec, opts: &CommonOpts) -> Result<(Vec<SweepRow>, us
             })
         })
         .collect();
+    Ok(SweepPlan {
+        variants,
+        policies,
+        cells,
+    })
+}
 
-    // One sample per cell: (makespan, ratio to lb, mean wait, utilization,
-    // violation flag, exact-probe nodes/sec).
-    let samples: Vec<(f64, f64, f64, f64, bool, Option<f64>)> =
-        runner.map(&cells, |&(m, v, p, s)| {
-            let seed = opts.seed + s;
-            let jobs = generate_jobs(&spec.workload, m, spec.jobs, spec.arrivals, seed);
-            let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
-            let (instance, _clamped) =
-                crate::replay::build_instance(m, jobs, &variants[v].1, max_release, seed, 0)
-                    .expect("sweep instances are feasible by construction");
-            let lb = lower_bound(&instance).unwrap_or(Time::ZERO).ticks().max(1) as f64;
-            let (schedule, _) = crate::replay::run_policy(policies[p].1, &instance);
-            let metrics = resa_sim::prelude::SimMetrics::from_schedule(&instance, &schedule);
-            let makespan = metrics.makespan.ticks() as f64;
-            let violation = !schedule.is_valid(&instance) || makespan < lb - 1e-9;
-            let exact_nodes_per_sec = spec.exact_probe.map(|budget| {
-                let harness = RatioHarness {
-                    exact_node_budget: budget,
-                    ..RatioHarness::default()
-                };
-                harness.probe_exact(&instance).nodes_per_sec
-            });
-            (
-                makespan,
-                makespan / lb,
-                metrics.mean_wait,
-                metrics.utilization,
-                violation,
-                exact_nodes_per_sec,
-            )
+/// Environment variable of the sweep crash failpoint: when set to `n`, the
+/// process aborts after `n` cells have completed — before the shard in
+/// flight writes its rows or completion record. Crash-recovery tests use
+/// it to kill a sharded sweep at a deterministic point and assert that
+/// `--resume` reproduces the uninterrupted run.
+pub const FAIL_AFTER_CELL_ENV: &str = "RESA_FAIL_AFTER_CELL";
+
+/// Cells completed process-wide, for the [`FAIL_AFTER_CELL_ENV`] failpoint.
+static CELLS_DONE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Run the cells in `[start, end)` of the plan's cell list and return one
+/// sample per cell, in cell order (parallel execution is order-preserving).
+fn run_cells(
+    spec: &SweepSpec,
+    plan: &SweepPlan,
+    opts: &CommonOpts,
+    start: usize,
+    end: usize,
+) -> Vec<Sample> {
+    let fail_after: Option<u64> = std::env::var(FAIL_AFTER_CELL_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let runner = opts.runner();
+    runner.map(&plan.cells[start..end], |&(m, v, p, s)| {
+        let seed = opts.seed + s;
+        let jobs = generate_jobs(&spec.workload, m, spec.jobs, spec.arrivals, seed);
+        let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
+        let (instance, _clamped) =
+            crate::replay::build_instance(m, jobs, &plan.variants[v].1, max_release, seed, 0)
+                .expect("sweep instances are feasible by construction");
+        let lb = lower_bound(&instance).unwrap_or(Time::ZERO).ticks().max(1) as f64;
+        let (schedule, _) = crate::replay::run_policy(plan.policies[p].1, &instance);
+        let metrics = resa_sim::prelude::SimMetrics::from_schedule(&instance, &schedule);
+        let makespan = metrics.makespan.ticks() as f64;
+        let violation = !schedule.is_valid(&instance) || makespan < lb - 1e-9;
+        let exact_nodes_per_sec = spec.exact_probe.map(|budget| {
+            let harness = RatioHarness {
+                exact_node_budget: budget,
+                ..RatioHarness::default()
+            };
+            harness.probe_exact(&instance).nodes_per_sec
         });
+        if let Some(limit) = fail_after {
+            let done = CELLS_DONE.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+            if done == limit.max(1) {
+                eprintln!("resa sweep: injected crash after {done} completed cell(s)");
+                std::process::abort();
+            }
+        }
+        (
+            makespan,
+            makespan / lb,
+            metrics.mean_wait,
+            metrics.utilization,
+            violation,
+            exact_nodes_per_sec,
+        )
+    })
+}
 
-    // Aggregate the seeds per (machines, α, policy) group, preserving spec
-    // order.
+/// Aggregate the full sample list (one per cell, in cell order) into the
+/// per-(machines, α, policy) rows, preserving spec order. Returns the rows
+/// and the number of sanity violations.
+fn aggregate(spec: &SweepSpec, plan: &SweepPlan, samples: &[Sample]) -> (Vec<SweepRow>, usize) {
     let mut rows = Vec::new();
     let mut violations = 0usize;
     let per_group = spec.seeds as usize;
     for (group_idx, chunk) in samples.chunks(per_group).enumerate() {
-        let (m, v, p, _) = cells[group_idx * per_group];
+        let (m, v, p, _) = plan.cells[group_idx * per_group];
         let n = chunk.len() as f64;
         violations += chunk.iter().filter(|c| c.4).count();
         rows.push(SweepRow {
             machines: m,
-            alpha: variants[v].0.clone(),
-            policy: policies[p].0.clone(),
+            alpha: plan.variants[v].0.clone(),
+            policy: plan.policies[p].0.clone(),
             cells: chunk.len(),
             mean_makespan: chunk.iter().map(|c| c.0).sum::<f64>() / n,
             mean_ratio_to_lb: chunk.iter().map(|c| c.1).sum::<f64>() / n,
@@ -417,7 +534,429 @@ pub fn execute(spec: &SweepSpec, opts: &CommonOpts) -> Result<(Vec<SweepRow>, us
                 .map(|_| chunk.iter().filter_map(|c| c.5).sum::<f64>() / n),
         });
     }
-    Ok((rows, violations))
+    (rows, violations)
+}
+
+/// Run the cross product and aggregate it into rows. Returns the rows and
+/// the number of sanity violations (a schedule beating the certified lower
+/// bound or failing validation — both impossible unless something is
+/// broken).
+pub fn execute(spec: &SweepSpec, opts: &CommonOpts) -> Result<(Vec<SweepRow>, usize), CliError> {
+    let plan = plan(spec)?;
+    let n_cells = plan.cells.len();
+    let samples = run_cells(spec, &plan, opts, 0, n_cells);
+    Ok(aggregate(spec, &plan, &samples))
+}
+
+// ---------------------------------------------------------------------------
+// Sharded execution: manifest, per-shard rows + completion records, resume
+// and merge. See the module docs for the file layout and guarantees.
+// ---------------------------------------------------------------------------
+
+/// The shard flag set of `resa sweep`.
+#[derive(Debug, Clone, Default)]
+struct ShardOpts {
+    shards: Option<usize>,
+    shard: Option<usize>,
+    dir: Option<String>,
+    resume: bool,
+    merge: bool,
+}
+
+impl ShardOpts {
+    fn validate(&self) -> Result<(), CliError> {
+        let active = self.shards.is_some() || self.shard.is_some() || self.resume || self.merge;
+        if !active && self.dir.is_none() {
+            return Ok(());
+        }
+        if self.dir.is_none() {
+            return Err(CliError::Usage(
+                "--shards/--shard/--resume/--merge require --shard-dir".into(),
+            ));
+        }
+        if self.merge {
+            if self.shard.is_some() {
+                return Err(CliError::Usage(
+                    "--merge runs no cells; drop --shard".into(),
+                ));
+            }
+            return Ok(());
+        }
+        let n = self
+            .shards
+            .ok_or_else(|| CliError::Usage("--shard-dir requires --shards (or --merge)".into()))?;
+        if let Some(i) = self.shard {
+            if i >= n {
+                return Err(CliError::Usage(format!(
+                    "--shard {i} is out of range for --shards {n}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The fingerprint pinning a shard dir to one (spec text, base seed) pair:
+/// hex FNV-1a of the raw spec bytes plus the seed. Editing the spec file —
+/// even only whitespace — retires the dir, which errs on the side of
+/// re-running cells over silently merging rows from a different sweep.
+fn spec_fingerprint(text: &str, seed: u64) -> String {
+    format!(
+        "{:016x}",
+        fnv1a64(format!("{text}\u{1f}seed={seed}").as_bytes())
+    )
+}
+
+fn shard_io_err(path: &Path, e: impl std::fmt::Display) -> CliError {
+    CliError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+fn rows_path(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("shard_{i:04}.rows.json"))
+}
+
+fn done_path(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("shard_{i:04}.done.json"))
+}
+
+fn manifest_value(
+    spec: &SweepSpec,
+    fingerprint: &str,
+    seed: u64,
+    total: usize,
+    ranges: &[(usize, usize)],
+) -> Value {
+    Value::Object(vec![
+        ("name".into(), Value::Str(spec.name.clone())),
+        ("fingerprint".into(), Value::Str(fingerprint.into())),
+        ("seed".into(), Value::UInt(seed)),
+        ("total_cells".into(), Value::UInt(total as u64)),
+        (
+            "shards".into(),
+            Value::Array(
+                ranges
+                    .iter()
+                    .map(|&(s, e)| Value::Array(vec![Value::UInt(s as u64), Value::UInt(e as u64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn render_json_line(value: &Value) -> Vec<u8> {
+    let mut text = serde_json::to_string(value).expect("value trees always render");
+    text.push('\n');
+    text.into_bytes()
+}
+
+fn read_json_file(path: &Path) -> Result<Value, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| shard_io_err(path, e))?;
+    serde_json::from_str(&text).map_err(|e| shard_io_err(path, e))
+}
+
+/// Create the manifest, or verify an existing one matches exactly — a shard
+/// dir belongs to ONE (spec, seed, shard split) and is never silently
+/// repurposed.
+fn write_or_verify_manifest(dir: &Path, expected: &Value) -> Result<(), CliError> {
+    let path = dir.join("manifest.json");
+    if path.exists() {
+        let found = read_json_file(&path)?;
+        if &found != expected {
+            return Err(CliError::Parse(format!(
+                "{}: shard dir was built from a different spec, seed or shard split — \
+                 use a fresh --shard-dir",
+                path.display()
+            )));
+        }
+        return Ok(());
+    }
+    atomic_write(&path, &render_json_line(expected)).map_err(|e| shard_io_err(&path, e))
+}
+
+/// Encode one shard's samples. Floats travel as their IEEE-754 bit patterns
+/// (`u64`), so a merge aggregates *exactly* the numbers the shard computed
+/// and the merged report is byte-identical to an unsharded run.
+fn rows_value(i: usize, range: (usize, usize), samples: &[Sample]) -> Value {
+    Value::Object(vec![
+        ("shard".into(), Value::UInt(i as u64)),
+        ("start".into(), Value::UInt(range.0 as u64)),
+        ("end".into(), Value::UInt(range.1 as u64)),
+        (
+            "samples".into(),
+            Value::Array(
+                samples
+                    .iter()
+                    .map(|&(mk, ratio, wait, util, viol, probe)| {
+                        Value::Array(vec![
+                            Value::UInt(mk.to_bits()),
+                            Value::UInt(ratio.to_bits()),
+                            Value::UInt(wait.to_bits()),
+                            Value::UInt(util.to_bits()),
+                            Value::Bool(viol),
+                            probe.map_or(Value::Null, |p| Value::UInt(p.to_bits())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_samples(
+    rows: &Value,
+    path: &Path,
+    range: (usize, usize),
+) -> Result<Vec<Sample>, CliError> {
+    let bad = |what: &str| {
+        CliError::Parse(format!(
+            "{}: malformed shard rows file ({what})",
+            path.display()
+        ))
+    };
+    let field = |name: &str| -> Result<u64, CliError> {
+        match rows.get(name) {
+            Some(Value::UInt(v)) => Ok(*v),
+            _ => Err(bad(&format!("missing field '{name}'"))),
+        }
+    };
+    if field("start")? != range.0 as u64 || field("end")? != range.1 as u64 {
+        return Err(bad("cell range does not match the manifest"));
+    }
+    let arr = rows
+        .get("samples")
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad("missing 'samples' array"))?;
+    if arr.len() != range.1 - range.0 {
+        return Err(bad("sample count does not match the shard's cell range"));
+    }
+    let bits = |v: &Value| match v {
+        Value::UInt(b) => Some(f64::from_bits(*b)),
+        _ => None,
+    };
+    arr.iter()
+        .map(|entry| match entry.as_array() {
+            Some([mk, ratio, wait, util, Value::Bool(viol), probe]) => {
+                let probe = match probe {
+                    Value::Null => None,
+                    other => Some(bits(other).ok_or_else(|| bad("bad probe encoding"))?),
+                };
+                Ok((
+                    bits(mk).ok_or_else(|| bad("bad float encoding"))?,
+                    bits(ratio).ok_or_else(|| bad("bad float encoding"))?,
+                    bits(wait).ok_or_else(|| bad("bad float encoding"))?,
+                    bits(util).ok_or_else(|| bad("bad float encoding"))?,
+                    *viol,
+                    probe,
+                ))
+            }
+            _ => Err(bad("a sample must be a six-element array")),
+        })
+        .collect()
+}
+
+/// Verify shard `i`'s completion record against its rows file. On success
+/// returns the rows bytes the record's checksum vouches for; the error
+/// string says what failed (missing record, mismatched range, checksum).
+fn verify_shard(dir: &Path, i: usize, range: (usize, usize)) -> Result<Vec<u8>, String> {
+    let done_p = done_path(dir, i);
+    let text =
+        std::fs::read_to_string(&done_p).map_err(|e| format!("{}: {e}", done_p.display()))?;
+    let done: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", done_p.display()))?;
+    let field = |name: &str| -> Result<u64, String> {
+        match done.get(name) {
+            Some(Value::UInt(v)) => Ok(*v),
+            _ => Err(format!("{}: missing field '{name}'", done_p.display())),
+        }
+    };
+    if field("shard")? != i as u64
+        || field("start")? != range.0 as u64
+        || field("end")? != range.1 as u64
+    {
+        return Err(format!(
+            "{}: completion record does not match the manifest range",
+            done_p.display()
+        ));
+    }
+    let checksum = match done.get("rows_checksum") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => {
+            return Err(format!(
+                "{}: missing field 'rows_checksum'",
+                done_p.display()
+            ))
+        }
+    };
+    let rows_p = rows_path(dir, i);
+    let bytes = std::fs::read(&rows_p).map_err(|e| format!("{}: {e}", rows_p.display()))?;
+    if format!("{:016x}", fnv1a64(&bytes)) != checksum {
+        return Err(format!(
+            "{}: rows checksum mismatch (file changed after completion)",
+            rows_p.display()
+        ));
+    }
+    Ok(bytes)
+}
+
+/// Run shard `i`'s cells and persist rows + completion record. The rows go
+/// first, then the record atomically — a crash between the two leaves an
+/// unrecorded rows file that `--resume` correctly re-runs.
+fn run_one_shard(
+    spec: &SweepSpec,
+    plan: &SweepPlan,
+    opts: &CommonOpts,
+    dir: &Path,
+    i: usize,
+    range: (usize, usize),
+) -> Result<(usize, String), CliError> {
+    let samples = run_cells(spec, plan, opts, range.0, range.1);
+    let violations = samples.iter().filter(|c| c.4).count();
+    let rows_bytes = render_json_line(&rows_value(i, range, &samples));
+    let rows_p = rows_path(dir, i);
+    atomic_write(&rows_p, &rows_bytes).map_err(|e| shard_io_err(&rows_p, e))?;
+    let checksum = format!("{:016x}", fnv1a64(&rows_bytes));
+    let done = Value::Object(vec![
+        ("shard".into(), Value::UInt(i as u64)),
+        ("start".into(), Value::UInt(range.0 as u64)),
+        ("end".into(), Value::UInt(range.1 as u64)),
+        ("cells".into(), Value::UInt((range.1 - range.0) as u64)),
+        ("rows_checksum".into(), Value::Str(checksum.clone())),
+    ]);
+    let done_p = done_path(dir, i);
+    atomic_write(&done_p, &render_json_line(&done)).map_err(|e| shard_io_err(&done_p, e))?;
+    Ok((violations, checksum))
+}
+
+/// Load and verify every shard's rows, concatenated in cell order — the
+/// exact sample sequence an unsharded run would have produced in memory.
+fn collect_samples(dir: &Path, ranges: &[(usize, usize)]) -> Result<Vec<Sample>, CliError> {
+    let mut samples = Vec::new();
+    for (i, &range) in ranges.iter().enumerate() {
+        let bytes = verify_shard(dir, i, range).map_err(|reason| {
+            CliError::Parse(format!(
+                "shard {i}/{} is not complete — {reason}; run it (or the whole sweep with \
+                 --resume) before merging",
+                ranges.len()
+            ))
+        })?;
+        let text = String::from_utf8(bytes)
+            .map_err(|_| CliError::Parse(format!("shard {i}: rows file is not UTF-8")))?;
+        let rows: Value =
+            serde_json::from_str(&text).map_err(|e| shard_io_err(&rows_path(dir, i), e))?;
+        samples.extend(decode_samples(&rows, &rows_path(dir, i), range)?);
+    }
+    Ok(samples)
+}
+
+/// The sharded `resa sweep` driver: single-shard worker, resumable run-all,
+/// and merge modes. `text` is the raw spec file (fingerprinted into the
+/// manifest).
+fn run_sharded(
+    spec: &SweepSpec,
+    opts: &CommonOpts,
+    text: &str,
+    sh: &ShardOpts,
+) -> Result<Outcome, CliError> {
+    let dir = PathBuf::from(sh.dir.as_deref().expect("validated by ShardOpts"));
+    std::fs::create_dir_all(&dir).map_err(|e| shard_io_err(&dir, e))?;
+    let plan = plan(spec)?;
+    let total = plan.cells.len();
+    let fingerprint = spec_fingerprint(text, opts.seed);
+
+    if sh.merge {
+        let manifest_p = dir.join("manifest.json");
+        let manifest = read_json_file(&manifest_p)?;
+        match manifest.get("fingerprint") {
+            Some(Value::Str(found)) if *found == fingerprint => {}
+            _ => {
+                return Err(CliError::Parse(format!(
+                    "{}: manifest fingerprint does not match this spec and seed",
+                    manifest_p.display()
+                )))
+            }
+        }
+        let ranges: Vec<(usize, usize)> = manifest
+            .get("shards")
+            .map(Vec::<(u64, u64)>::from_value)
+            .transpose()
+            .ok()
+            .flatten()
+            .map(|rs| {
+                rs.into_iter()
+                    .map(|(s, e)| (s as usize, e as usize))
+                    .collect()
+            })
+            .ok_or_else(|| {
+                CliError::Parse(format!(
+                    "{}: malformed 'shards' ranges",
+                    manifest_p.display()
+                ))
+            })?;
+        if let Some(n) = sh.shards {
+            if ranges.len() != n {
+                return Err(CliError::Usage(format!(
+                    "--shards {n} does not match the manifest's {} shards",
+                    ranges.len()
+                )));
+            }
+        }
+        if ranges.last().map(|r| r.1) != Some(total) && total != 0 {
+            return Err(CliError::Parse(format!(
+                "{}: manifest covers a different cell count than this spec",
+                manifest_p.display()
+            )));
+        }
+        let samples = collect_samples(&dir, &ranges)?;
+        let (rows, violations) = aggregate(spec, &plan, &samples);
+        return render(spec, &rows, violations, opts);
+    }
+
+    let n = sh.shards.expect("validated by ShardOpts");
+    let ranges = contiguous_ranges(total, n);
+    let expected = manifest_value(spec, &fingerprint, opts.seed, total, &ranges);
+    write_or_verify_manifest(&dir, &expected)?;
+
+    match sh.shard {
+        // Worker mode: run exactly one shard and report its completion.
+        Some(i) => {
+            let range = ranges[i];
+            if sh.resume && verify_shard(&dir, i, range).is_ok() {
+                return Ok(Outcome {
+                    stdout: format!(
+                        "sweep '{}': shard {i}/{n} already complete — cells [{}, {}) skipped\n",
+                        spec.name, range.0, range.1
+                    ),
+                    violations: 0,
+                });
+            }
+            let (violations, checksum) = run_one_shard(spec, &plan, opts, &dir, i, range)?;
+            Ok(Outcome {
+                stdout: format!(
+                    "sweep '{}': shard {i}/{n} complete — cells [{}, {}), rows checksum {checksum}\n",
+                    spec.name, range.0, range.1
+                ),
+                violations,
+            })
+        }
+        // Run-all mode: every shard in order (skipping verified ones under
+        // --resume), then merge. Progress goes to stderr so stdout stays
+        // byte-identical to the unsharded run.
+        None => {
+            for (i, &range) in ranges.iter().enumerate() {
+                if sh.resume && verify_shard(&dir, i, range).is_ok() {
+                    eprintln!("resa sweep: shard {i}/{n} already complete, skipped");
+                    continue;
+                }
+                run_one_shard(spec, &plan, opts, &dir, i, range)?;
+            }
+            let samples = collect_samples(&dir, &ranges)?;
+            let (rows, violations) = aggregate(spec, &plan, &samples);
+            render(spec, &rows, violations, opts)
+        }
+    }
 }
 
 /// Generate one cell's job list.

@@ -1,0 +1,309 @@
+//! Sharded-sweep tests (ISSUE 8 tentpole): shard + merge reproduces the
+//! unsharded report byte for byte, completion records gate `--resume`, and
+//! a sweep killed by the `RESA_FAIL_AFTER_CELL` failpoint resumes to the
+//! uninterrupted result.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// 2 machine sizes × 2 policies × 3 seeds = 12 cells.
+const SPEC: &str = r#"{
+    "name": "shard-test",
+    "machines": [4, 8],
+    "jobs": 5,
+    "seeds": 3,
+    "workload": "feitelson",
+    "arrivals": 4,
+    "policies": ["fcfs", "easy"],
+    "reservations": { "family": "alpha", "alpha": "1/2", "count": 2,
+                      "horizon": 200, "max_duration": 40 }
+}"#;
+
+fn work_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("resa-shards-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn write_spec(dir: &Path) -> String {
+    let path = dir.join("spec.json");
+    std::fs::write(&path, SPEC).expect("spec written");
+    path.display().to_string()
+}
+
+#[test]
+fn sharded_run_all_matches_unsharded_byte_for_byte() {
+    let dir = work_dir("runall");
+    let spec = write_spec(&dir);
+    let shard_dir = dir.join("shards");
+
+    let unsharded = resa_cli::run(&["sweep", &spec, "--format", "json"]).unwrap();
+    let sharded = resa_cli::run(&[
+        "sweep",
+        &spec,
+        "--format",
+        "json",
+        "--shards",
+        "3",
+        "--shard-dir",
+        &shard_dir.display().to_string(),
+    ])
+    .unwrap();
+    assert_eq!(
+        sharded.stdout, unsharded.stdout,
+        "merged shard output must be byte-identical to the unsharded run"
+    );
+    assert_eq!(sharded.violations, unsharded.violations);
+    // The table format merges identically too.
+    let unsharded = resa_cli::run(&["sweep", &spec]).unwrap();
+    let sharded = resa_cli::run(&[
+        "sweep",
+        &spec,
+        "--shards",
+        "3",
+        "--shard-dir",
+        &shard_dir.display().to_string(),
+        "--resume",
+    ])
+    .unwrap();
+    assert_eq!(sharded.stdout, unsharded.stdout);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_shards_plus_merge_match_unsharded() {
+    let dir = work_dir("workers");
+    let spec = write_spec(&dir);
+    let shard_dir = dir.join("shards");
+    let sd = shard_dir.display().to_string();
+
+    // Each worker runs one shard, as separate hosts would.
+    for i in 0..4 {
+        let out = resa_cli::run(&[
+            "sweep",
+            &spec,
+            "--shards",
+            "4",
+            "--shard",
+            &i.to_string(),
+            "--shard-dir",
+            &sd,
+        ])
+        .unwrap();
+        assert!(
+            out.stdout.contains(&format!("shard {i}/4 complete")),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("rows checksum"), "{}", out.stdout);
+    }
+    // A worker re-run with --resume trusts the completion record.
+    let out = resa_cli::run(&[
+        "sweep",
+        &spec,
+        "--shards",
+        "4",
+        "--shard",
+        "2",
+        "--shard-dir",
+        &sd,
+        "--resume",
+    ])
+    .unwrap();
+    assert!(out.stdout.contains("already complete"), "{}", out.stdout);
+
+    let merged = resa_cli::run(&[
+        "sweep",
+        &spec,
+        "--format",
+        "json",
+        "--shard-dir",
+        &sd,
+        "--merge",
+    ])
+    .unwrap();
+    let unsharded = resa_cli::run(&["sweep", &spec, "--format", "json"]).unwrap();
+    assert_eq!(merged.stdout, unsharded.stdout);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn foreign_or_tampered_shard_dirs_are_refused() {
+    let dir = work_dir("tamper");
+    let spec = write_spec(&dir);
+    let shard_dir = dir.join("shards");
+    let sd = shard_dir.display().to_string();
+
+    resa_cli::run(&["sweep", &spec, "--shards", "2", "--shard-dir", &sd]).unwrap();
+
+    // A different seed is a different sweep: the manifest refuses the dir.
+    let err = resa_cli::run(&[
+        "sweep",
+        &spec,
+        "--shards",
+        "2",
+        "--shard-dir",
+        &sd,
+        "--seed",
+        "7",
+    ])
+    .unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("different spec, seed or shard split"),
+        "{err}"
+    );
+    // So is a different shard split.
+    let err = resa_cli::run(&["sweep", &spec, "--shards", "3", "--shard-dir", &sd]).unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("different spec, seed or shard split"),
+        "{err}"
+    );
+
+    // Tampering with a rows file breaks its completion checksum: --merge
+    // refuses, and --resume re-runs the shard instead of trusting it.
+    let rows = shard_dir.join("shard_0001.rows.json");
+    let mut bytes = std::fs::read(&rows).unwrap();
+    bytes.extend_from_slice(b" ");
+    std::fs::write(&rows, &bytes).unwrap();
+    let err = resa_cli::run(&["sweep", &spec, "--shard-dir", &sd, "--merge"]).unwrap_err();
+    assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+    let healed = resa_cli::run(&[
+        "sweep",
+        &spec,
+        "--format",
+        "json",
+        "--shards",
+        "2",
+        "--shard-dir",
+        &sd,
+        "--resume",
+    ])
+    .unwrap();
+    let unsharded = resa_cli::run(&["sweep", &spec, "--format", "json"]).unwrap();
+    assert_eq!(healed.stdout, unsharded.stdout);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_flag_validation() {
+    let dir = work_dir("flags");
+    let spec = write_spec(&dir);
+    for (args, needle) in [
+        (vec!["sweep", &spec, "--shards", "2"], "--shard-dir"),
+        (vec!["sweep", &spec, "--shard", "0"], "--shard-dir"),
+        (vec!["sweep", &spec, "--resume"], "--shard-dir"),
+        (
+            vec![
+                "sweep",
+                &spec,
+                "--shards",
+                "2",
+                "--shard",
+                "5",
+                "--shard-dir",
+                "x",
+            ],
+            "out of range",
+        ),
+        (
+            vec![
+                "sweep",
+                &spec,
+                "--shard-dir",
+                "x",
+                "--merge",
+                "--shard",
+                "0",
+            ],
+            "drop --shard",
+        ),
+        (
+            vec!["sweep", &spec, "--shards", "0", "--shard-dir", "x"],
+            "at least 1",
+        ),
+    ] {
+        let err = resa_cli::run(&args).unwrap_err();
+        assert!(err.to_string().contains(needle), "{args:?}: {err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The binary, killed mid-sweep by the cell failpoint, resumes to exactly
+/// the uninterrupted result: completed shards are trusted, the shard in
+/// flight at the crash is re-run from scratch.
+#[test]
+fn killed_sweep_resumes_to_the_uninterrupted_result() {
+    let dir = work_dir("kill");
+    let spec = write_spec(&dir);
+    let shard_dir = dir.join("shards");
+    let sd = shard_dir.display().to_string();
+
+    // 12 cells in 2 shards of 6; crash after 8 completed cells — shard 0
+    // has committed, shard 1 dies before writing its rows.
+    let crashed = Command::new(env!("CARGO_BIN_EXE_resa"))
+        .args([
+            "sweep",
+            &spec,
+            "--format",
+            "json",
+            "--threads",
+            "1",
+            "--shards",
+            "2",
+            "--shard-dir",
+            &sd,
+        ])
+        .env("RESA_FAIL_AFTER_CELL", "8")
+        .output()
+        .expect("resa binary runs");
+    assert!(
+        !crashed.status.success(),
+        "the failpoint must abort the sweep"
+    );
+    assert!(
+        shard_dir.join("shard_0000.done.json").exists(),
+        "shard 0 completed before the crash"
+    );
+    assert!(
+        !shard_dir.join("shard_0001.done.json").exists(),
+        "shard 1 must not have a completion record"
+    );
+
+    let resumed = Command::new(env!("CARGO_BIN_EXE_resa"))
+        .args([
+            "sweep",
+            &spec,
+            "--format",
+            "json",
+            "--threads",
+            "1",
+            "--shards",
+            "2",
+            "--shard-dir",
+            &sd,
+            "--resume",
+        ])
+        .output()
+        .expect("resa binary runs");
+    assert!(resumed.status.success());
+    assert!(
+        String::from_utf8_lossy(&resumed.stderr).contains("shard 0/2 already complete"),
+        "resume must skip the committed shard"
+    );
+
+    let uninterrupted = Command::new(env!("CARGO_BIN_EXE_resa"))
+        .args(["sweep", &spec, "--format", "json", "--threads", "1"])
+        .output()
+        .expect("resa binary runs");
+    assert!(uninterrupted.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&uninterrupted.stdout),
+        "resumed sweep diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

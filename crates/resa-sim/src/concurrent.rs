@@ -40,6 +40,7 @@
 //! bit for bit — the oracle behind the multi-client stress tests and the
 //! serial-equivalence proptests (`tests/concurrent_stress.rs`).
 
+use crate::journal::OpJournal;
 use crate::metrics::SimMetrics;
 use crate::reference::ReferencePolicy;
 use crate::service::{Effects, ScheduleService, ServiceError, ServiceStats};
@@ -257,7 +258,7 @@ where
     /// published immediately as generation 0, so readers are never without
     /// a snapshot.
     pub fn new(svc: ScheduleService<C>) -> Self {
-        Self::start(svc, false)
+        Self::start(svc, false, None)
     }
 
     /// Like [`ConcurrentService::new`], but additionally record every
@@ -265,15 +266,28 @@ where
     /// [`ConcurrentService::shutdown`] for the equivalence oracle. The log
     /// grows without bound; production daemons use [`ConcurrentService::new`].
     pub fn with_recording(svc: ScheduleService<C>) -> Self {
-        Self::start(svc, true)
+        Self::start(svc, true, None)
     }
 
-    fn start(svc: ScheduleService<C>, record: bool) -> Self {
+    /// Like [`ConcurrentService::new`], but write-ahead journal every
+    /// applied op into `journal` (see [`crate::journal`]): each op is
+    /// journaled *before* it is applied, the batch is synced per the
+    /// journal's [`crate::journal::FsyncPolicy`] *before* the post-batch
+    /// snapshot publishes and replies are delivered, and compaction runs at
+    /// batch boundaries. An op whose journal append fails is **not**
+    /// applied; its reply carries [`ServiceError::Journal`]. Pass a
+    /// service rebuilt by [`crate::journal::Recovered::restore_service`]
+    /// to resume a crashed session.
+    pub fn with_journal(svc: ScheduleService<C>, journal: OpJournal) -> Self {
+        Self::start(svc, false, Some(journal))
+    }
+
+    fn start(svc: ScheduleService<C>, record: bool, journal: Option<OpJournal>) -> Self {
         let published: Published =
             Arc::new(RwLock::new(Arc::new(ServiceSnapshot::capture(&svc, 0))));
         let (tx, rx) = mpsc::channel();
         let slot = Arc::clone(&published);
-        let writer = std::thread::spawn(move || writer_loop(svc, rx, slot, record));
+        let writer = std::thread::spawn(move || writer_loop(svc, rx, slot, record, journal));
         ConcurrentService {
             tx,
             published,
@@ -500,6 +514,7 @@ fn writer_loop<C>(
     rx: Receiver<Request>,
     slot: Published,
     record: bool,
+    mut journal: Option<OpJournal>,
 ) -> (ScheduleService<C>, Vec<AppliedOp>)
 where
     C: Snapshotable + Send + 'static,
@@ -528,11 +543,39 @@ where
         if !batch.is_empty() {
             replies.clear();
             for (session, op, reply) in batch.drain(..) {
-                let result = apply(&mut svc, &op);
+                // Write-ahead: the record must be journaled before the op
+                // mutates the service; an op that cannot be made durable
+                // is refused rather than applied volatile.
+                let journaled = match &mut journal {
+                    Some(j) => j
+                        .append_op(&AppliedOp {
+                            session,
+                            op: op.clone(),
+                        })
+                        .map_err(|e| ServiceError::Journal {
+                            message: e.to_string(),
+                        }),
+                    None => Ok(()),
+                };
+                let result = match journaled {
+                    Ok(()) => apply(&mut svc, &op),
+                    Err(e) => Err(e),
+                };
                 if record {
                     log.push(AppliedOp { session, op });
                 }
                 replies.push((reply, result, svc.now()));
+            }
+            if let Some(j) = &mut journal {
+                // Durability point: acknowledged ops are on disk (per the
+                // fsync policy) before the snapshot publishes and any
+                // reply is delivered.
+                if let Err(e) = j.batch_sync() {
+                    eprintln!("resa journal: batch sync failed: {e}");
+                }
+                if let Err(e) = j.maybe_snapshot(|| svc.state()) {
+                    eprintln!("resa journal: compaction failed: {e}");
+                }
             }
             generation += 1;
             let snap = Arc::new(ServiceSnapshot::capture(&svc, generation));

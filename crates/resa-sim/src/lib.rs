@@ -42,6 +42,7 @@
 pub mod concurrent;
 pub mod engine;
 pub mod event;
+pub mod journal;
 pub mod metrics;
 pub mod policy;
 pub mod reference;
@@ -54,13 +55,16 @@ pub mod prelude {
         Applied, AppliedOp, ConcurrentService, ServiceClient, ServiceSnapshot, WriteOp, WriteReply,
     };
     pub use crate::engine::{SimResult, Simulator};
+    pub use crate::journal::{
+        FsyncPolicy, JournalCfg, JournaledService, OpJournal, Recovered, TornTail,
+    };
     pub use crate::metrics::SimMetrics;
     pub use crate::policy::{
         DecisionScratch, EasyPolicy, FcfsPolicy, GreedyPolicy, OnlinePolicy, WaitingJobs,
     };
     pub use crate::reference::{simulate_reference, ReferencePolicy};
     pub use crate::service::{
-        Effects, ScheduleService, ServiceError, ServiceReservation, ServiceStats,
+        Effects, ScheduleService, ServiceError, ServiceReservation, ServiceState, ServiceStats,
     };
     pub use crate::trace::{JobRecord, RunTrace};
 }

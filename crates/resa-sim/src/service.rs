@@ -85,6 +85,14 @@ pub enum ServiceError {
     /// The single-writer loop of a [`crate::concurrent::ConcurrentService`]
     /// has shut down; no further mutating requests can be applied.
     ServiceStopped,
+    /// The write-ahead journal of a durable service rejected the record for
+    /// this op (see [`crate::journal`]); the op was **not** applied — a
+    /// mutation that cannot be made durable is refused rather than silently
+    /// volatile.
+    Journal {
+        /// The underlying I/O error.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -105,6 +113,9 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "reservation {id} is cancelled or already over")
             }
             ServiceError::ServiceStopped => write!(f, "service writer has shut down"),
+            ServiceError::Journal { message } => {
+                write!(f, "journal append failed, op not applied: {message}")
+            }
         }
     }
 }
@@ -179,6 +190,33 @@ pub struct ServiceStats {
     /// Largest completion time among started jobs (the paper's `C_max` so
     /// far).
     pub makespan: Time,
+}
+
+/// A portable snapshot of everything a [`ScheduleService`] has decided: the
+/// state a journal snapshot record persists (see [`crate::journal`]) and
+/// [`ScheduleService::restore`] rebuilds a live service from.
+///
+/// Deliberately *derived-state-free*: the waiting list, the pending/running
+/// heaps, the decision breakpoints and the substrate's availability function
+/// are all reconstructible from the jobs, the reservations and the
+/// placements (restore proves it) — so the persisted format stays small and
+/// has no invariants that can drift out of sync.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceState {
+    /// Cluster size (the substrate handed to restore must match).
+    pub machines: u32,
+    /// Virtual time at capture.
+    pub now: Time,
+    /// Decision points taken so far.
+    pub decisions: u64,
+    /// Largest completion time among started jobs.
+    pub makespan: Time,
+    /// Every job ever submitted, in id order (ids are dense).
+    pub jobs: Vec<Job>,
+    /// Every reservation ever accepted, in id order, cancellation-truncated.
+    pub reservations: Vec<ServiceReservation>,
+    /// Every placement decided so far, in decision order.
+    pub placements: Vec<Placement>,
 }
 
 /// The resident scheduling service: a live availability substrate plus the
@@ -310,6 +348,119 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
     /// All reservations ever accepted (including cancelled ones, truncated).
     pub fn reservations(&self) -> &[ServiceReservation] {
         &self.reservations
+    }
+
+    /// Capture the decided state of the session as a [`ServiceState`] —
+    /// everything [`ScheduleService::restore`] needs to rebuild an
+    /// equivalent live service. Cheap relative to a snapshot record write
+    /// (three `Vec` clones), called by the journal layer at compaction
+    /// points only.
+    pub fn state(&self) -> ServiceState {
+        ServiceState {
+            machines: self.machines,
+            now: self.now,
+            decisions: self.decisions,
+            makespan: self.makespan,
+            jobs: self.jobs.clone(),
+            reservations: self.reservations.clone(),
+            placements: self.schedule.placements().to_vec(),
+        }
+    }
+
+    /// Rebuild a live service from a captured [`ServiceState`] on a fresh
+    /// `substrate` (which must be an empty cluster of `state.machines`
+    /// machines). The derived structures are reconstructed, not persisted:
+    ///
+    /// * the substrate re-reserves the *future suffix* of every effective
+    ///   reservation window and every unfinished placement — capacity before
+    ///   `now` is never consulted again (queries clamp to `now`, policies
+    ///   decide at `now`), so the availability function agrees with the
+    ///   original on all of `[now, ∞)`, which is everything observable;
+    /// * the waiting list is the released-but-unplaced jobs in `(release,
+    ///   id)` order — provably the live push order, because jobs enter the
+    ///   waiting list exactly when their release instant is reached (ties
+    ///   released at one instant enter in id order, and a job submitted at
+    ///   its own release instant has a larger id than anything already
+    ///   waiting there);
+    /// * pending/running heaps and overlay breakpoints are re-derived from
+    ///   release dates, completion times and the effective overlay.
+    ///
+    /// A state captured between requests (services are quiescent there — the
+    /// writer loop and the sequential transports never snapshot mid-request)
+    /// restores to a service that answers every future request identically;
+    /// the `state_restore_roundtrip` proptest pins this.
+    ///
+    /// # Panics
+    /// Panics if `substrate` is not an empty cluster of `state.machines`
+    /// machines, or if `state` is internally inconsistent (a placement for
+    /// an unknown job, a window the fresh substrate rejects).
+    pub fn restore(policy: ReferencePolicy, state: &ServiceState, substrate: C) -> Self {
+        assert_eq!(
+            substrate.base(),
+            state.machines,
+            "restore substrate must match the captured cluster size"
+        );
+        let mut svc = ScheduleService::new(policy, substrate);
+        svc.now = state.now;
+        svc.decisions = state.decisions;
+        svc.makespan = state.makespan;
+        svc.jobs = state.jobs.clone();
+        svc.reservations = state.reservations.clone();
+        // Future suffixes of the effective reservation windows. Cancelled
+        // windows released their suffix at cancel time (which was <= now),
+        // and windows wholly in the past never get consulted again — only
+        // live windows reaching past `now` still occupy the substrate.
+        for r in state.reservations.iter().filter(|r| !r.cancelled) {
+            let from = r.start.max(state.now);
+            if r.end > from {
+                svc.substrate
+                    .reserve(from, r.end.since(from), r.width)
+                    .expect("the original substrate accepted this window");
+            }
+        }
+        // Placements: re-occupy unfinished runs, rebuild the schedule and
+        // the running heap. Completions strictly after `now` are still
+        // running (the live service drains completions at their instant, so
+        // a running entry's completion is always > now).
+        svc.schedule = Schedule::from_placements(state.placements.clone());
+        for p in &state.placements {
+            let job = state.jobs[p.job.0];
+            let completion = p.start.saturating_add(job.duration);
+            if completion > state.now {
+                let from = p.start.max(state.now);
+                svc.substrate
+                    .reserve(from, completion.since(from), job.width)
+                    .expect("the original substrate accepted this run");
+                svc.running.push(Reverse((completion, p.job.0)));
+            }
+        }
+        // Waiting = released but unplaced, in (release, id) order; pending =
+        // not yet released.
+        let placed: Vec<bool> = {
+            let mut v = vec![false; state.jobs.len()];
+            for p in &state.placements {
+                v[p.job.0] = true;
+            }
+            v
+        };
+        svc.waiting.ensure_capacity(state.jobs.len());
+        let mut released: Vec<(Time, usize)> = Vec::new();
+        for (pos, job) in state.jobs.iter().enumerate() {
+            if placed[pos] {
+                continue;
+            }
+            if job.release <= state.now {
+                released.push((job.release, pos));
+            } else {
+                svc.pending.push(Reverse((job.release, pos)));
+            }
+        }
+        released.sort_unstable();
+        for (_, pos) in released {
+            svc.waiting.push_back(pos);
+        }
+        svc.refresh_breakpoints();
+        svc
     }
 
     // -- requests -----------------------------------------------------------
@@ -1084,6 +1235,22 @@ mod proptests {
         Ok(())
     }
 
+    /// Apply one decoded request to a service, returning a comparable
+    /// digest of the response.
+    fn apply_req<C: CapacityQuery + Speculate>(svc: &mut ScheduleService<C>, req: &Req) -> String {
+        match *req {
+            Req::Submit { width, dur, delay } => {
+                let release = (delay > 0).then(|| Time(svc.now().ticks() + delay));
+                format!("{:?}", svc.submit(width, Dur(dur), release))
+            }
+            Req::Query { width, dur } => format!("{:?}", svc.query(width, Dur(dur), None)),
+            Req::Advance { by } => {
+                let to = Time(svc.now().ticks() + by);
+                format!("{:?}", svc.advance(to))
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -1102,6 +1269,48 @@ mod proptests {
             ] {
                 let outcome = check_session(m, &reservations, &reqs, policy);
                 prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+            }
+        }
+
+        /// Capturing [`ServiceState`] at *any* request boundary and
+        /// restoring it onto a fresh substrate yields a service that answers
+        /// every remaining request identically and drains to the identical
+        /// schedule — the foundation the journal's snapshot compaction
+        /// stands on.
+        #[test]
+        fn state_restore_roundtrip(session in arb_session(), cut in 0usize..=20) {
+            let (m, reservations, raw_reqs) = session;
+            let reqs: Vec<Req> = raw_reqs.iter().map(decode).collect();
+            let cut = cut.min(reqs.len());
+            for policy in [
+                ReferencePolicy::Fcfs,
+                ReferencePolicy::Easy,
+                ReferencePolicy::Greedy,
+            ] {
+                let mut live =
+                    ScheduleService::new(policy, AvailabilityTimeline::constant(m));
+                for &(w, d, s) in &reservations {
+                    let _ = live.reserve(w, Dur(d), Time(s));
+                }
+                for req in &reqs[..cut] {
+                    apply_req(&mut live, req);
+                }
+                let state = live.state();
+                let mut restored = ScheduleService::restore(
+                    policy,
+                    &state,
+                    AvailabilityTimeline::constant(m),
+                );
+                prop_assert_eq!(restored.state(), state, "restore must be idempotent");
+                for (i, req) in reqs[cut..].iter().enumerate() {
+                    let a = apply_req(&mut live, req);
+                    let b = apply_req(&mut restored, req);
+                    prop_assert_eq!(a, b, "request {} diverged after restore", cut + i);
+                }
+                live.drain();
+                restored.drain();
+                prop_assert_eq!(live.schedule(), restored.schedule());
+                prop_assert_eq!(live.stats(), restored.stats());
             }
         }
     }
