@@ -1,0 +1,99 @@
+//! Scenario-level guarantee checks: drained windows and deadline SLAs.
+//!
+//! The scenario engine (`resa-sim`'s inject/revoke drains and deadline-gated
+//! admission) makes two promises that are cheap to state and easy to break
+//! silently: capacity subtracted by a drain window is *never* double-booked
+//! by the schedule, and a job the service *committed* to a deadline finishes
+//! by it. These checks re-derive both from first principles — an event sweep
+//! over raw `(width, start, end)` windows, not the substrate's own
+//! bookkeeping — so a bug in the timeline, the profile, or the service's
+//! preemption logic cannot also hide the evidence. They feed the CLI's
+//! violation count, which maps conclusive failures to exit code 2.
+
+use resa_core::time::Time;
+
+/// One occupancy window: `width` processors held during `[start, end)`.
+pub type Window = (u32, Time, Time);
+
+/// Check the drained-window invariant: at every instant, the processors
+/// held by running jobs plus the processors subtracted by active drains
+/// (and reservations, if included in `drains`) stay within `machines`.
+///
+/// Windows are half-open, so a job completing exactly when a drain starts
+/// does not conflict with it. Zero-length windows contribute nothing.
+/// Returns `true` when the invariant holds everywhere.
+pub fn drain_invariant(machines: u32, jobs: &[Window], drains: &[Window]) -> bool {
+    // Event sweep: +width at start, -width at end, processed end-first at
+    // equal instants (half-open windows release before the next acquires).
+    let mut events: Vec<(u64, i64)> = Vec::with_capacity(2 * (jobs.len() + drains.len()));
+    for &(width, start, end) in jobs.iter().chain(drains) {
+        if end > start {
+            events.push((start.ticks(), i64::from(width)));
+            events.push((end.ticks(), -i64::from(width)));
+        }
+    }
+    events.sort_unstable_by_key(|&(t, delta)| (t, delta > 0));
+    let mut load = 0i64;
+    for (_, delta) in events {
+        load += delta;
+        if load > i64::from(machines) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Check the admission guarantee: every `(completion, deadline)` pair of a
+/// committed job satisfies `completion ≤ deadline` (half-open run windows —
+/// a job completing exactly at its deadline has met it).
+pub fn deadlines_met(commitments: &[(Time, Time)]) -> bool {
+    commitments
+        .iter()
+        .all(|&(completion, deadline)| completion <= deadline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_windows_always_fit() {
+        let jobs = [(3, Time(0), Time(5)), (3, Time(5), Time(9))];
+        let drains = [(2, Time(9), Time(12))];
+        assert!(drain_invariant(4, &jobs, &drains));
+    }
+
+    #[test]
+    fn overlapping_overload_is_caught() {
+        // Jobs fit alone (3 ≤ 4) but not under the drain (3 + 2 > 4).
+        let jobs = [(3, Time(0), Time(10))];
+        let drains = [(2, Time(4), Time(6))];
+        assert!(!drain_invariant(4, &jobs, &drains));
+        assert!(drain_invariant(5, &jobs, &drains));
+    }
+
+    #[test]
+    fn half_open_windows_touch_without_conflict() {
+        // The job completes exactly when the full-cluster drain begins.
+        let jobs = [(4, Time(0), Time(5))];
+        let drains = [(4, Time(5), Time(8))];
+        assert!(drain_invariant(4, &jobs, &drains));
+        // And a job starting exactly at the drain's end is equally fine.
+        let jobs = [(4, Time(8), Time(10))];
+        assert!(drain_invariant(4, &jobs, &drains));
+    }
+
+    #[test]
+    fn zero_length_windows_are_inert() {
+        let drains = [(4, Time(3), Time(3))];
+        let jobs = [(4, Time(0), Time(10))];
+        assert!(drain_invariant(4, &jobs, &drains));
+    }
+
+    #[test]
+    fn deadline_equality_counts_as_met() {
+        assert!(deadlines_met(&[(Time(5), Time(5)), (Time(3), Time(9))]));
+        assert!(!deadlines_met(&[(Time(6), Time(5))]));
+        assert!(deadlines_met(&[]));
+    }
+}

@@ -43,6 +43,11 @@ OPTIONS:
                             file:<path>  (reservations of a textual instance file)
     --warmup <t>          drop jobs submitted before <t> and shift the kept
                           submissions down by <t>
+    --failures <spec>     failure/maintenance drains declared up front and
+                          merged into the overlay: w:d:s[,w:d:s]* — each takes
+                          <w> processors during [s, s+d); the report checks the
+                          drained-window invariant independently of the
+                          substrate and counts breaches as violations
     --substrate <s>       availability backend: timeline | profile [default: timeline]
                           (off-line: which CapacityQuery backend; on-line:
                           timeline = optimized engine, profile = the
@@ -186,6 +191,31 @@ pub(crate) fn parse_alpha(text: &str) -> Result<Alpha, CliError> {
     Alpha::new(num, denom).ok_or_else(bad)
 }
 
+/// Parse a `--failures` spec: `w:d:s[,w:d:s]*`, each a drain of `w`
+/// processors during the half-open window `[s, s+d)`.
+pub(crate) fn parse_failures(spec: &str) -> Result<Vec<(u32, u64, u64)>, CliError> {
+    let bad = |part: &str| {
+        CliError::Usage(format!(
+            "invalid failure '{part}' (expected width:duration:start, e.g. 4:60:100)"
+        ))
+    };
+    spec.split(',')
+        .map(|part| {
+            let fields: Vec<&str> = part.split(':').collect();
+            let [w, d, s] = fields.as_slice() else {
+                return Err(bad(part));
+            };
+            let width: u32 = w.parse().map_err(|_| bad(part))?;
+            let duration: u64 = d.parse().map_err(|_| bad(part))?;
+            let start: u64 = s.parse().map_err(|_| bad(part))?;
+            if width == 0 || duration == 0 {
+                return Err(bad(part));
+            }
+            Ok((width, duration, start))
+        })
+        .collect()
+}
+
 impl ReservationArg {
     fn parse(spec: &str) -> Result<Self, CliError> {
         let mut parts = spec.split(':');
@@ -244,9 +274,15 @@ struct ReplayReport {
     dropped_by_warmup: usize,
     clamped_jobs: usize,
     reservations: usize,
+    /// Failure drains merged into the overlay by `--failures`.
+    failures: usize,
     policy: String,
     substrate: String,
     schedule_valid: bool,
+    /// The drained-window invariant, re-derived by an event sweep that is
+    /// independent of the substrate (`resa_analysis::scenarios`); a breach
+    /// counts as a violation like a failed validity check.
+    drained_windows_respected: bool,
     decisions: u64,
     metrics: SimMetrics,
     guarantees: GuaranteeReport,
@@ -273,6 +309,7 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     let mut reservations = ReservationArg::None;
     let mut warmup: u64 = 0;
     let mut substrate = Substrate::Timeline;
+    let mut failures: Vec<(u32, u64, u64)> = Vec::new();
     let opts = CommonOpts::parse(rest, &mut |flag, value| {
         let take = |name: &str| -> Result<&str, CliError> {
             value.ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
@@ -296,6 +333,10 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 warmup = take("--warmup")?
                     .parse()
                     .map_err(|_| CliError::Usage("--warmup expects an integer".into()))?;
+                Ok(1)
+            }
+            "--failures" => {
+                failures = parse_failures(take("--failures")?)?;
                 Ok(1)
             }
             "--substrate" => {
@@ -349,7 +390,7 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     // 3. Reservation overlay (file overlays live on the same warmed-up
     // clock as the truncated jobs — see `build_instance`).
     let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
-    let (instance, clamped_jobs) = build_instance(
+    let (mut instance, clamped_jobs) = build_instance(
         machines,
         jobs,
         &reservations,
@@ -357,6 +398,18 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
         opts.seed,
         warmup,
     )?;
+
+    // 3b. Failure drains: up-front declared capacity losses, merged into the
+    // same overlay the schedulers already respect (a drain *is* a
+    // reservation to an off-line engine).
+    if !failures.is_empty() {
+        let mut overlay: Vec<Reservation> = instance.reservations().to_vec();
+        for &(width, duration, start) in &failures {
+            overlay.push(Reservation::new(overlay.len(), width, duration, start));
+        }
+        instance = ResaInstance::new(machines, instance.jobs().to_vec(), overlay)
+            .map_err(|e| CliError::Usage(format!("failure overlay rejected: {e}")))?;
+    }
 
     // 4. Replay.
     let (schedule, decisions) = match (policy, substrate) {
@@ -372,10 +425,28 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
 
     // 5. Validate and check the paper's guarantees.
     let schedule_valid = schedule.is_valid(&instance);
+    // The drained-window invariant, re-derived by the scenario sweep —
+    // independent of the substrate's own capacity bookkeeping.
+    let job_windows: Vec<Window> = instance
+        .jobs()
+        .iter()
+        .filter_map(|j| {
+            schedule
+                .start_of(j.id)
+                .map(|s| (j.width, s, s.saturating_add(j.duration)))
+        })
+        .collect();
+    let overlay_windows: Vec<Window> = instance
+        .reservations()
+        .iter()
+        .map(|r| (r.width, r.start, r.end()))
+        .collect();
+    let drained_windows_respected = drain_invariant(machines, &job_windows, &overlay_windows);
     let metrics = SimMetrics::from_schedule(&instance, &schedule);
     let guarantees = verify_schedule(&RatioHarness::new(), &instance, &schedule);
-    let violations =
-        usize::from(guarantees.has_conclusive_violation()) + usize::from(!schedule_valid);
+    let violations = usize::from(guarantees.has_conclusive_violation())
+        + usize::from(!schedule_valid)
+        + usize::from(!drained_windows_respected);
 
     let report = ReplayReport {
         trace: trace_path.to_string(),
@@ -384,9 +455,11 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
         dropped_by_warmup: dropped,
         clamped_jobs,
         reservations: instance.n_reservations(),
+        failures: failures.len(),
         policy: policy.name(),
         substrate: substrate.name().to_string(),
         schedule_valid,
+        drained_windows_respected,
         decisions,
         metrics,
         guarantees,
@@ -578,7 +651,12 @@ fn report_table(report: &ReplayReport) -> Table {
     push("dropped by warm-up", report.dropped_by_warmup.to_string());
     push("clamped jobs (alpha)", report.clamped_jobs.to_string());
     push("reservations", report.reservations.to_string());
+    push("failure drains", report.failures.to_string());
     push("schedule valid", report.schedule_valid.to_string());
+    push(
+        "drained windows respected",
+        report.drained_windows_respected.to_string(),
+    );
     push("violations", report.violations.to_string());
     push("decision points", report.decisions.to_string());
     push("makespan", report.metrics.makespan.ticks().to_string());
@@ -664,9 +742,11 @@ mod tests {
             dropped_by_warmup: 0,
             clamped_jobs: 0,
             reservations: 0,
+            failures: 0,
             policy: "fcfs".into(),
             substrate: "timeline".into(),
             schedule_valid: true,
+            drained_windows_respected: true,
             decisions: 0,
             metrics: SimMetrics::from_schedule(&inst, &schedule),
             guarantees,
@@ -747,6 +827,50 @@ mod tests {
             out.stdout
         );
         assert!(out.stdout.contains("\"jobs\": 2"), "{}", out.stdout);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failure_spec_parsing() {
+        assert_eq!(parse_failures("4:60:100").unwrap(), vec![(4, 60, 100)]);
+        assert_eq!(
+            parse_failures("4:60:100,2:5:0").unwrap(),
+            vec![(4, 60, 100), (2, 5, 0)]
+        );
+        for bad in ["", "4:60", "4:60:100:7", "x:1:2", "0:5:0", "2:0:3"] {
+            assert!(parse_failures(bad).is_err(), "'{bad}' should be rejected");
+        }
+    }
+
+    /// `--failures` merges drains into the overlay: the scheduler routes
+    /// around them, the report counts them, and the independently-derived
+    /// drained-window invariant holds (exit code stays 0).
+    #[test]
+    fn failures_overlay_is_respected_end_to_end() {
+        let dir = std::env::temp_dir().join("resa-replay-failures-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("failures.swf");
+        std::fs::write(&path, "; MaxProcs: 4\n1 0 10 4\n2 0 10 4\n").unwrap();
+        for substrate in ["timeline", "profile"] {
+            let out = crate::run(&[
+                "replay",
+                path.to_str().unwrap(),
+                "--failures",
+                "4:20:10,2:5:40",
+                "--substrate",
+                substrate,
+                "--format",
+                "json",
+            ])
+            .unwrap();
+            assert_eq!(out.violations, 0, "{}", out.stdout);
+            assert!(out.stdout.contains("\"failures\": 2"), "{}", out.stdout);
+            assert!(
+                out.stdout.contains("\"drained_windows_respected\": true"),
+                "{}",
+                out.stdout
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -11,10 +11,15 @@
 //! One request per line, one JSON response per line:
 //!
 //! ```text
-//! {"op":"submit","width":2,"duration":10}        job arrival (optional "release")
+//! {"op":"submit","width":2,"duration":10}        job arrival (optional "release";
+//!                                                optional "deadline" + "admission"
+//!                                                for SLA-gated submission)
 //! {"op":"reserve","width":2,"duration":6,"start":4}
 //! {"op":"cancel","reservation":0}
 //! {"op":"query","width":4,"duration":5}          speculative earliest-fit probe
+//! {"op":"inject","width":4,"duration":6,"start":9}   mid-run failure/maintenance
+//! {"op":"revoke","drain":0}                      heal an injected drain early
+//! {"op":"submit_moldable","widths":[1,2,4],"area":12} scheduler picks the width
 //! {"op":"advance","to":20}                       move virtual time
 //! {"op":"drain"}                                 run until every job completed
 //! {"op":"stats"}                                 aggregate counters
@@ -100,12 +105,27 @@ OPTIONS:
                           ops, bounding recovery replay cost     [default: 1024]
     --idle-timeout <s>    close a socket session after <s> seconds without a
                           request (0 disables; --listen/--unix) [default: 600]
+    --drain-mode <m>      what happens to jobs preempted by an injected drain:
+                          restart (redo from scratch) | checkpoint (requeue the
+                          remaining work only); re-supply at recovery — the
+                          mode is configuration, not journaled state
+                                                               [default: restart]
 
 REQUESTS (one JSON object per line; blank lines and # comments are ignored):
     {\"op\":\"submit\",\"width\":W,\"duration\":D[,\"release\":T]}   job arrival
+        [,\"deadline\":T,\"admission\":\"reject\"|\"boost\"]  SLA gate: commit the job
+        (guaranteed start reservation) iff it provably completes by T;
+        otherwise reject the submission, or admit it queue-boosted
     {\"op\":\"reserve\",\"width\":W,\"duration\":D,\"start\":T}     add a reservation
     {\"op\":\"cancel\",\"reservation\":ID}                      cancel a reservation
     {\"op\":\"query\",\"width\":W,\"duration\":D[,\"not_before\":T]} earliest-fit probe
+    {\"op\":\"inject\",\"width\":W,\"duration\":D,\"start\":T}  mid-run failure drain;
+        running jobs in the window are preempted per --drain-mode (guaranteed
+        jobs never are; the drain is rejected if it cannot fit without them)
+    {\"op\":\"revoke\",\"drain\":ID}    heal an injected drain early (frees the
+        not-yet-elapsed remainder of its window)
+    {\"op\":\"submit_moldable\",\"widths\":[W,...],\"area\":A}  moldable job: the
+        service picks the completion-minimizing width and submits rigidly
     {\"op\":\"advance\",\"to\":T}      move virtual time, draining completions
     {\"op\":\"drain\"}                 run until every submitted job completed
     {\"op\":\"stats\"}                 aggregate counters
@@ -124,6 +144,8 @@ enum Request {
         width: u32,
         duration: u64,
         release: Option<u64>,
+        deadline: Option<u64>,
+        admission: AdmissionPolicy,
     },
     Reserve {
         width: u32,
@@ -132,6 +154,18 @@ enum Request {
     },
     Cancel {
         reservation: usize,
+    },
+    Inject {
+        width: u32,
+        duration: u64,
+        start: u64,
+    },
+    Revoke {
+        drain: usize,
+    },
+    SubmitMoldable {
+        widths: Vec<u32>,
+        area: u64,
     },
     Query {
         width: u32,
@@ -161,11 +195,29 @@ fn parse_request(line: &str) -> Result<Request, String> {
     };
     match op.as_str() {
         "submit" => {
-            strict(&["op", "width", "duration", "release"])?;
+            strict(&[
+                "op",
+                "width",
+                "duration",
+                "release",
+                "deadline",
+                "admission",
+            ])?;
+            let deadline: Option<u64> = optional(&value, &ctx, "deadline")?;
+            let admission = match optional::<String>(&value, &ctx, "admission")? {
+                None => AdmissionPolicy::default(),
+                Some(_) if deadline.is_none() => {
+                    return Err(format!("field 'admission' in {ctx} requires 'deadline'"))
+                }
+                Some(text) => AdmissionPolicy::parse(&text)
+                    .ok_or_else(|| format!("unknown admission policy '{text}' (reject|boost)"))?,
+            };
             Ok(Request::Submit {
                 width: required(&value, &ctx, "width")?,
                 duration: required(&value, &ctx, "duration")?,
                 release: optional(&value, &ctx, "release")?,
+                deadline,
+                admission,
             })
         }
         "reserve" => {
@@ -196,12 +248,34 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 to: required(&value, &ctx, "to")?,
             })
         }
+        "inject" => {
+            strict(&["op", "width", "duration", "start"])?;
+            Ok(Request::Inject {
+                width: required(&value, &ctx, "width")?,
+                duration: required(&value, &ctx, "duration")?,
+                start: required(&value, &ctx, "start")?,
+            })
+        }
+        "revoke" => {
+            strict(&["op", "drain"])?;
+            Ok(Request::Revoke {
+                drain: required(&value, &ctx, "drain")?,
+            })
+        }
+        "submit_moldable" => {
+            strict(&["op", "widths", "area"])?;
+            Ok(Request::SubmitMoldable {
+                widths: required(&value, &ctx, "widths")?,
+                area: required(&value, &ctx, "area")?,
+            })
+        }
         "drain" => strict(&["op"]).map(|()| Request::Drain),
         "stats" => strict(&["op"]).map(|()| Request::Stats),
         "snapshot" => strict(&["op"]).map(|()| Request::Snapshot),
         "shutdown" => strict(&["op"]).map(|()| Request::Shutdown),
         other => Err(format!(
-            "unknown op '{other}' (submit|reserve|cancel|query|advance|drain|stats|snapshot|shutdown)"
+            "unknown op '{other}' (submit|reserve|cancel|query|inject|revoke|submit_moldable|\
+             advance|drain|stats|snapshot|shutdown)"
         )),
     }
 }
@@ -307,6 +381,27 @@ trait Backend {
         start: Time,
     ) -> Result<(usize, Effects), ServiceError>;
     fn cancel(&mut self, id: usize) -> Result<Effects, ServiceError>;
+    /// Injects a drain window; returns its id and the jobs it preempted.
+    fn inject(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Vec<JobId>, Effects), ServiceError>;
+    fn revoke(&mut self, id: usize) -> Result<Effects, ServiceError>;
+    fn submit_deadline(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+        deadline: Time,
+        admission: AdmissionPolicy,
+    ) -> Result<(JobId, DeadlineOutcome, Effects), ServiceError>;
+    fn submit_moldable(
+        &mut self,
+        widths: &[u32],
+        area: u64,
+    ) -> Result<(JobId, WidthChoice, Effects), ServiceError>;
     fn query(
         &mut self,
         width: u32,
@@ -345,6 +440,42 @@ impl<C: CapacityQuery + Speculate> Backend for ScheduleService<C> {
 
     fn cancel(&mut self, id: usize) -> Result<Effects, ServiceError> {
         ScheduleService::cancel(self, id).cloned()
+    }
+
+    fn inject(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Vec<JobId>, Effects), ServiceError> {
+        let res =
+            ScheduleService::inject(self, width, duration, start).map(|(id, fx)| (id, fx.clone()));
+        res.map(|(id, fx)| (id, self.last_preempted().to_vec(), fx))
+    }
+
+    fn revoke(&mut self, id: usize) -> Result<Effects, ServiceError> {
+        ScheduleService::revoke(self, id).cloned()
+    }
+
+    fn submit_deadline(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+        deadline: Time,
+        admission: AdmissionPolicy,
+    ) -> Result<(JobId, DeadlineOutcome, Effects), ServiceError> {
+        ScheduleService::submit_deadline(self, width, duration, release, deadline, admission)
+            .map(|(id, outcome, fx)| (id, outcome, fx.clone()))
+    }
+
+    fn submit_moldable(
+        &mut self,
+        widths: &[u32],
+        area: u64,
+    ) -> Result<(JobId, WidthChoice, Effects), ServiceError> {
+        ScheduleService::submit_moldable(self, widths, area)
+            .map(|(id, choice, fx)| (id, choice, fx.clone()))
     }
 
     fn query(
@@ -406,6 +537,38 @@ impl Backend for ServiceClient {
 
     fn cancel(&mut self, id: usize) -> Result<Effects, ServiceError> {
         ServiceClient::cancel(self, id)
+    }
+
+    fn inject(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Vec<JobId>, Effects), ServiceError> {
+        ServiceClient::inject(self, width, duration, start)
+    }
+
+    fn revoke(&mut self, id: usize) -> Result<Effects, ServiceError> {
+        ServiceClient::revoke(self, id)
+    }
+
+    fn submit_deadline(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+        deadline: Time,
+        admission: AdmissionPolicy,
+    ) -> Result<(JobId, DeadlineOutcome, Effects), ServiceError> {
+        ServiceClient::submit_deadline(self, width, duration, release, deadline, admission)
+    }
+
+    fn submit_moldable(
+        &mut self,
+        widths: &[u32],
+        area: u64,
+    ) -> Result<(JobId, WidthChoice, Effects), ServiceError> {
+        ServiceClient::submit_moldable(self, widths.to_vec(), area)
     }
 
     fn query(
@@ -471,6 +634,38 @@ impl<C: CapacityQuery + Speculate> Backend for JournaledService<C> {
         JournaledService::cancel(self, id)
     }
 
+    fn inject(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Vec<JobId>, Effects), ServiceError> {
+        JournaledService::inject(self, width, duration, start)
+    }
+
+    fn revoke(&mut self, id: usize) -> Result<Effects, ServiceError> {
+        JournaledService::revoke(self, id)
+    }
+
+    fn submit_deadline(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+        deadline: Time,
+        admission: AdmissionPolicy,
+    ) -> Result<(JobId, DeadlineOutcome, Effects), ServiceError> {
+        JournaledService::submit_deadline(self, width, duration, release, deadline, admission)
+    }
+
+    fn submit_moldable(
+        &mut self,
+        widths: &[u32],
+        area: u64,
+    ) -> Result<(JobId, WidthChoice, Effects), ServiceError> {
+        JournaledService::submit_moldable(self, widths, area)
+    }
+
     fn query(
         &mut self,
         width: u32,
@@ -518,9 +713,41 @@ fn handle<B: Backend>(svc: &mut B, line: &str) -> (String, bool) {
             width,
             duration,
             release,
+            deadline: None,
+            admission: _,
         } => match svc.submit(width, Dur(duration), release.map(Time)) {
             Ok((id, fx)) => {
                 let mut fields = vec![("job", Value::UInt(id.0 as u64))];
+                fields.extend(effects_fields(&fx));
+                ok_response("submit", fields)
+            }
+            Err(e) => error_response(Some("submit"), &e.to_string()),
+        },
+        Request::Submit {
+            width,
+            duration,
+            release,
+            deadline: Some(deadline),
+            admission,
+        } => match svc.submit_deadline(
+            width,
+            Dur(duration),
+            release.map(Time),
+            Time(deadline),
+            admission,
+        ) {
+            Ok((id, outcome, fx)) => {
+                let mut fields = vec![("job", Value::UInt(id.0 as u64))];
+                match outcome {
+                    DeadlineOutcome::Committed { start, completion } => {
+                        fields.push(("outcome", Value::Str("committed".into())));
+                        fields.push(("start", Value::UInt(start.ticks())));
+                        fields.push(("completion", Value::UInt(completion.ticks())));
+                    }
+                    DeadlineOutcome::Boosted => {
+                        fields.push(("outcome", Value::Str("boosted".into())));
+                    }
+                }
                 fields.extend(effects_fields(&fx));
                 ok_response("submit", fields)
             }
@@ -545,6 +772,44 @@ fn handle<B: Backend>(svc: &mut B, line: &str) -> (String, bool) {
                 ok_response("cancel", fields)
             }
             Err(e) => error_response(Some("cancel"), &e.to_string()),
+        },
+        Request::Inject {
+            width,
+            duration,
+            start,
+        } => match svc.inject(width, Dur(duration), Time(start)) {
+            Ok((id, preempted, fx)) => {
+                let mut fields = vec![
+                    ("drain", Value::UInt(id as u64)),
+                    (
+                        "preempted",
+                        Value::Array(preempted.iter().map(|j| Value::UInt(j.0 as u64)).collect()),
+                    ),
+                ];
+                fields.extend(effects_fields(&fx));
+                ok_response("inject", fields)
+            }
+            Err(e) => error_response(Some("inject"), &e.to_string()),
+        },
+        Request::Revoke { drain } => match svc.revoke(drain) {
+            Ok(fx) => {
+                let mut fields = vec![("drain", Value::UInt(drain as u64))];
+                fields.extend(effects_fields(&fx));
+                ok_response("revoke", fields)
+            }
+            Err(e) => error_response(Some("revoke"), &e.to_string()),
+        },
+        Request::SubmitMoldable { widths, area } => match svc.submit_moldable(&widths, area) {
+            Ok((id, choice, fx)) => {
+                let mut fields = vec![
+                    ("job", Value::UInt(id.0 as u64)),
+                    ("width", Value::UInt(choice.width as u64)),
+                    ("duration", Value::UInt(choice.duration.0)),
+                ];
+                fields.extend(effects_fields(&fx));
+                ok_response("submit_moldable", fields)
+            }
+            Err(e) => error_response(Some("submit_moldable"), &e.to_string()),
         },
         Request::Query {
             width,
@@ -821,15 +1086,28 @@ pub fn run_script(
     policy: ReferencePolicy,
     substrate: Substrate,
 ) -> String {
+    run_script_with_mode(script, machines, policy, substrate, DrainMode::Restart)
+}
+
+/// [`run_script`] with an explicit drain preemption mode (`--drain-mode`).
+pub fn run_script_with_mode(
+    script: &str,
+    machines: u32,
+    policy: ReferencePolicy,
+    substrate: Substrate,
+    mode: DrainMode,
+) -> String {
     let mut out = Vec::new();
     let cfg = SessionCfg::default();
     match substrate {
         Substrate::Timeline => {
             let mut svc = ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
+            svc.set_drain_mode(mode);
             serve_session(&mut svc, &cfg, script.as_bytes(), &mut out).expect("in-memory I/O");
         }
         Substrate::Profile => {
             let mut svc = ScheduleService::new(policy, ResourceProfile::constant(machines));
+            svc.set_drain_mode(mode);
             serve_session(&mut svc, &cfg, script.as_bytes(), &mut out).expect("in-memory I/O");
         }
     }
@@ -888,6 +1166,7 @@ fn run_script_journaled(
     machines: u32,
     policy: ReferencePolicy,
     substrate: Substrate,
+    mode: DrainMode,
     jo: &JournalOpts,
 ) -> Result<String, CliError> {
     let (journal, recovered) = open_journal(jo, machines, policy)?;
@@ -895,13 +1174,21 @@ fn run_script_journaled(
     let mut out = Vec::new();
     match substrate {
         Substrate::Timeline => {
-            let svc = recovered.restore_service(policy, AvailabilityTimeline::constant(machines));
+            let svc = recovered.restore_service_with_mode(
+                policy,
+                AvailabilityTimeline::constant(machines),
+                mode,
+            );
             let mut journaled = JournaledService::new(svc, journal);
             serve_session(&mut journaled, &cfg, script.as_bytes(), &mut out)
                 .expect("in-memory I/O");
         }
         Substrate::Profile => {
-            let svc = recovered.restore_service(policy, ResourceProfile::constant(machines));
+            let svc = recovered.restore_service_with_mode(
+                policy,
+                ResourceProfile::constant(machines),
+                mode,
+            );
             let mut journaled = JournaledService::new(svc, journal);
             serve_session(&mut journaled, &cfg, script.as_bytes(), &mut out)
                 .expect("in-memory I/O");
@@ -937,6 +1224,7 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     let mut fsync: Option<FsyncPolicy> = None;
     let mut snapshot_every: Option<u64> = None;
     let mut idle_timeout: Option<u64> = None;
+    let mut drain_mode = DrainMode::Restart;
     let opts = CommonOpts::parse(args, &mut |flag, value| {
         let take = |name: &str| -> Result<&str, CliError> {
             value.ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
@@ -1032,6 +1320,13 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 })?);
                 Ok(1)
             }
+            "--drain-mode" => {
+                let text = take("--drain-mode")?;
+                drain_mode = DrainMode::parse(text).ok_or_else(|| {
+                    CliError::Usage(format!("unknown drain mode '{text}' (restart|checkpoint)"))
+                })?;
+                Ok(1)
+            }
             other => Err(CliError::Usage(format!(
                 "unknown option '{other}' (see `resa serve --help`)"
             ))),
@@ -1084,8 +1379,10 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 message: e.to_string(),
             })?;
             let transcript = match &journal {
-                None => run_script(&script, machines, policy, substrate),
-                Some(jo) => run_script_journaled(&script, machines, policy, substrate, jo)?,
+                None => run_script_with_mode(&script, machines, policy, substrate, drain_mode),
+                Some(jo) => {
+                    run_script_journaled(&script, machines, policy, substrate, drain_mode, jo)?
+                }
             };
             let mut stdout = transcript.clone();
             if let Some(note) = opts.persist(&transcript)? {
@@ -1108,22 +1405,32 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 (Substrate::Timeline, None) => {
                     let mut svc =
                         ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
+                    svc.set_drain_mode(drain_mode);
                     serve_session(&mut svc, &cfg, stdin.lock(), stdout.lock()).map_err(io_err)?;
                 }
                 (Substrate::Profile, None) => {
                     let mut svc = ScheduleService::new(policy, ResourceProfile::constant(machines));
+                    svc.set_drain_mode(drain_mode);
                     serve_session(&mut svc, &cfg, stdin.lock(), stdout.lock()).map_err(io_err)?;
                 }
                 (Substrate::Timeline, Some(jo)) => {
                     let (j, rec) = open_journal(jo, machines, policy)?;
-                    let svc = rec.restore_service(policy, AvailabilityTimeline::constant(machines));
+                    let svc = rec.restore_service_with_mode(
+                        policy,
+                        AvailabilityTimeline::constant(machines),
+                        drain_mode,
+                    );
                     let mut journaled = JournaledService::new(svc, j);
                     serve_session(&mut journaled, &cfg, stdin.lock(), stdout.lock())
                         .map_err(io_err)?;
                 }
                 (Substrate::Profile, Some(jo)) => {
                     let (j, rec) = open_journal(jo, machines, policy)?;
-                    let svc = rec.restore_service(policy, ResourceProfile::constant(machines));
+                    let svc = rec.restore_service_with_mode(
+                        policy,
+                        ResourceProfile::constant(machines),
+                        drain_mode,
+                    );
                     let mut journaled = JournaledService::new(svc, j);
                     serve_session(&mut journaled, &cfg, stdin.lock(), stdout.lock())
                         .map_err(io_err)?;
@@ -1143,6 +1450,7 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 machines,
                 policy,
                 substrate,
+                drain_mode,
                 cfg,
                 AnyListener::Tcp(listener),
                 journal,
@@ -1165,6 +1473,7 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 machines,
                 policy,
                 substrate,
+                drain_mode,
                 cfg,
                 AnyListener::Unix(listener),
                 journal,
@@ -1228,10 +1537,12 @@ impl AnyListener {
 /// Instantiate the resident service on the chosen substrate — recovering
 /// from and journaling into `journal` when given — and serve the listener
 /// concurrently until a session issues `shutdown`.
+#[allow(clippy::too_many_arguments)]
 fn serve_listener(
     machines: u32,
     policy: ReferencePolicy,
     substrate: Substrate,
+    mode: DrainMode,
     cfg: SessionCfg,
     listener: AnyListener,
     journal: Option<JournalOpts>,
@@ -1242,13 +1553,19 @@ fn serve_listener(
             let front = match &journal {
                 Some(jo) => {
                     let (j, rec) = open_journal(jo, machines, policy)?;
-                    let svc = rec.restore_service(policy, AvailabilityTimeline::constant(machines));
+                    let svc = rec.restore_service_with_mode(
+                        policy,
+                        AvailabilityTimeline::constant(machines),
+                        mode,
+                    );
                     ConcurrentService::with_journal(svc, j)
                 }
-                None => ConcurrentService::new(ScheduleService::new(
-                    policy,
-                    AvailabilityTimeline::constant(machines),
-                )),
+                None => {
+                    let mut svc =
+                        ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
+                    svc.set_drain_mode(mode);
+                    ConcurrentService::new(svc)
+                }
             };
             serve_concurrent(front, cfg, listener, idle)
         }
@@ -1256,13 +1573,18 @@ fn serve_listener(
             let front = match &journal {
                 Some(jo) => {
                     let (j, rec) = open_journal(jo, machines, policy)?;
-                    let svc = rec.restore_service(policy, ResourceProfile::constant(machines));
+                    let svc = rec.restore_service_with_mode(
+                        policy,
+                        ResourceProfile::constant(machines),
+                        mode,
+                    );
                     ConcurrentService::with_journal(svc, j)
                 }
-                None => ConcurrentService::new(ScheduleService::new(
-                    policy,
-                    ResourceProfile::constant(machines),
-                )),
+                None => {
+                    let mut svc = ScheduleService::new(policy, ResourceProfile::constant(machines));
+                    svc.set_drain_mode(mode);
+                    ConcurrentService::new(svc)
+                }
             };
             serve_concurrent(front, cfg, listener, idle)
         }

@@ -34,7 +34,29 @@
 //! `exact_probe` (a branch-and-bound node budget) runs a budgeted exact
 //! probe per cell and reports its mean nodes/sec per row — the same
 //! per-cell probe `RatioHarness` uses, so sweep rows and the acceptance
-//! benches measure the identical code path.
+//! benches measure the identical code path. `jobs` likewise accepts either
+//! a single count or a list swept as one more labeled dimension.
+//!
+//! # Scenario dimensions
+//!
+//! Three further knobs turn cells into *resident-service* sessions instead
+//! of batch simulator runs (they require on-line policies):
+//!
+//! * `deadline_frac` — every job is submitted through deadline-gated
+//!   admission with due date `release + ⌈frac · duration⌉` under the
+//!   reject policy; rows then count a *committed* job finishing past its
+//!   deadline as a sanity violation (it never should).
+//! * `widths` — every job is molded: its rigid shape is discarded and the
+//!   service picks the completion-minimizing width from this menu for the
+//!   job's work area `width × duration`.
+//! * `failures` — `{count, width, max_duration, horizon}`: per-seed random
+//!   drain windows injected up front (a window the remaining capacity
+//!   cannot honor is rejected, not force-fitted); rows check the
+//!   drained-window invariant independently of the substrate.
+//!
+//! `widths` and `deadline_frac` are mutually exclusive (a moldable job has
+//! no fixed shape to deadline up front), and `exact_probe` does not apply
+//! to scenario cells. Violations feed the usual exit-code-2 path.
 //!
 //! # Sharding and resume
 //!
@@ -60,6 +82,7 @@ use crate::replay::{parse_alpha, PolicyArg, ReservationArg};
 use crate::{CliError, Outcome};
 use resa_analysis::prelude::*;
 use resa_core::prelude::*;
+use resa_sim::prelude::{AdmissionPolicy, DeadlineOutcome, ScheduleService};
 use resa_workloads::prelude::*;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
@@ -74,7 +97,8 @@ USAGE:
 The spec is a JSON object:
     name          string (optional)       label for the report
     machines      [int, ...]              cluster sizes to sweep
-    jobs          int                     jobs per generated instance
+    jobs          int | [int, ...]        jobs per generated instance; a list
+                  is swept as an extra product dimension with labeled rows
     seeds         int                     repetitions per cell
     workload      uniform|feitelson|lublin  (optional, default feitelson)
     arrivals      int (optional)          mean interarrival; omit for release-at-0
@@ -85,10 +109,22 @@ The spec is a JSON object:
     exact_probe   int (optional)          per-cell exact branch-and-bound
                   probe budget (nodes); rows gain mean exact nodes/sec
 
-Every (machines x alpha x policy x seed) cell is an independent simulation;
-cells run in parallel unless --threads 1. Rows aggregate the seeds per
-(machines, alpha, policy) group and report ratios against the certified
-lower bound.
+Scenario knobs (cells become resident-service sessions; on-line policies
+only, exact_probe does not apply):
+    deadline_frac number (optional)       deadline-gated admission with due
+                  date release + ceil(frac * duration), reject policy; a
+                  committed job past its deadline is a sanity violation
+    widths        [int, ...] (optional)   mold every job: pick the
+                  completion-minimizing width from this menu for the job's
+                  area (mutually exclusive with deadline_frac)
+    failures      object (optional)       { count, width, max_duration,
+                  horizon }: per-seed random drain windows injected up
+                  front, checked against the drained-window invariant
+
+Every (machines x jobs x alpha x policy x seed) cell is an independent
+simulation; cells run in parallel unless --threads 1. Rows aggregate the
+seeds per (machines, jobs, alpha, policy) group and report ratios against
+the certified lower bound.
 
 Sharding (resumable and distributable sweeps):
     --shards N        split the cell list into N contiguous ranges
@@ -114,8 +150,11 @@ pub struct SweepSpec {
     pub name: String,
     /// Cluster sizes to sweep.
     pub machines: Vec<u32>,
-    /// Jobs per generated instance.
-    pub jobs: usize,
+    /// Job counts per generated instance; more than one entry is one more
+    /// dimension of the cross product.
+    pub jobs: Vec<usize>,
+    /// Whether `jobs` was written as a list (labels rows with the count).
+    pub jobs_labeled: bool,
     /// Repetitions per cell.
     pub seeds: u64,
     /// Workload model: `uniform`, `feitelson` or `lublin`.
@@ -129,6 +168,28 @@ pub struct SweepSpec {
     /// Per-cell exact branch-and-bound probe budget in nodes (`None` = no
     /// exact probe).
     pub exact_probe: Option<u64>,
+    /// Deadline scenario: submit every job with due date `release +
+    /// ⌈frac · duration⌉` under reject admission.
+    pub deadline_frac: Option<f64>,
+    /// Moldable scenario: the width menu every job is molded against.
+    pub widths: Option<Vec<u32>>,
+    /// Failure scenario: per-seed random drain windows injected up front.
+    pub failures: Option<FailureSpec>,
+}
+
+/// The `failures` object of a sweep spec: `count` drain windows of `width`
+/// processors, each lasting `1..=max_duration` ticks and starting in
+/// `0..=horizon`, drawn deterministically from the cell's seed.
+#[derive(Debug, Clone)]
+pub struct FailureSpec {
+    /// Number of drain windows attempted per cell.
+    pub count: usize,
+    /// Processors each drain subtracts.
+    pub width: u32,
+    /// Longest drain window.
+    pub max_duration: u64,
+    /// Latest admissible drain start.
+    pub horizon: u64,
 }
 
 /// The `reservations` object of a sweep spec.
@@ -187,19 +248,71 @@ impl Deserialize for SweepSpec {
                 "policies",
                 "reservations",
                 "exact_probe",
+                "deadline_frac",
+                "widths",
+                "failures",
             ],
         )?;
+        // `jobs` is a count or a list of counts — a list becomes one more
+        // labeled dimension of the cross product, mirroring `alphas`.
+        let (jobs, jobs_labeled) = match value.get("jobs") {
+            None | Some(Value::Null) => {
+                return Err(DeError::custom("missing required field 'jobs'"))
+            }
+            Some(raw) => match usize::from_value(raw) {
+                Ok(n) => (vec![n], false),
+                Err(_) => (
+                    Vec::<usize>::from_value(raw).map_err(|_| {
+                        DeError::custom(
+                            "field 'jobs': expected a job count or a list of job counts",
+                        )
+                    })?,
+                    true,
+                ),
+            },
+        };
         Ok(SweepSpec {
             name: get_field(value, "name")?.unwrap_or_else(|| "sweep".to_string()),
             machines: require(get_field(value, "machines")?, "machines")?,
-            jobs: require(get_field(value, "jobs")?, "jobs")?,
+            jobs,
+            jobs_labeled,
             seeds: require(get_field(value, "seeds")?, "seeds")?,
             workload: get_field(value, "workload")?.unwrap_or_else(|| "feitelson".to_string()),
             arrivals: get_field(value, "arrivals")?,
             policies: require(get_field(value, "policies")?, "policies")?,
             reservations: get_field(value, "reservations")?,
             exact_probe: get_field(value, "exact_probe")?,
+            deadline_frac: get_field(value, "deadline_frac")?,
+            widths: get_field(value, "widths")?,
+            failures: get_field(value, "failures")?,
         })
+    }
+}
+
+impl Deserialize for FailureSpec {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        if value.as_object().is_none() {
+            return Err(DeError::custom("'failures' must be a JSON object"));
+        }
+        check_fields(
+            value,
+            "the 'failures' section",
+            &["count", "width", "max_duration", "horizon"],
+        )?;
+        Ok(FailureSpec {
+            count: require(get_field(value, "count")?, "failures.count")?,
+            width: require(get_field(value, "width")?, "failures.width")?,
+            max_duration: require(get_field(value, "max_duration")?, "failures.max_duration")?,
+            horizon: require(get_field(value, "horizon")?, "failures.horizon")?,
+        })
+    }
+}
+
+impl SweepSpec {
+    /// Whether any scenario knob (`deadline_frac` / `widths` / `failures`)
+    /// turns cells into resident-service sessions.
+    pub fn is_scenario(&self) -> bool {
+        self.deadline_frac.is_some() || self.widths.is_some() || self.failures.is_some()
     }
 }
 
@@ -301,6 +414,8 @@ impl ReservationSpec {
 pub struct SweepRow {
     /// Cluster size of the cells behind this row.
     pub machines: u32,
+    /// Job count when the spec sweeps a `jobs` list; `None` otherwise.
+    pub jobs: Option<usize>,
     /// α label when the spec sweeps an `alphas` list; `None` otherwise.
     pub alpha: Option<String>,
     /// Policy name.
@@ -404,8 +519,8 @@ type Sample = (f64, f64, f64, f64, bool, Option<f64>);
 struct SweepPlan {
     variants: Vec<(Option<String>, ReservationArg)>,
     policies: Vec<(String, PolicyArg)>,
-    /// `(machines, α-variant index, policy index, seed)` per cell.
-    cells: Vec<(u32, usize, usize, u64)>,
+    /// `(machines, jobs index, α-variant index, policy index, seed)` per cell.
+    cells: Vec<(u32, usize, usize, usize, u64)>,
 }
 
 /// Validate the spec and expand it into a [`SweepPlan`].
@@ -415,12 +530,18 @@ fn plan(spec: &SweepSpec) -> Result<SweepPlan, CliError> {
             "sweep spec needs at least one machine size, one policy and one seed".into(),
         ));
     }
+    if spec.jobs.is_empty() || spec.jobs.contains(&0) {
+        return Err(CliError::Parse(
+            "'jobs' needs at least one positive job count".into(),
+        ));
+    }
     if !matches!(spec.workload.as_str(), "uniform" | "feitelson" | "lublin") {
         return Err(CliError::Parse(format!(
             "unknown workload '{}' (uniform|feitelson|lublin)",
             spec.workload
         )));
     }
+    check_scenario(spec)?;
     let variants: Vec<(Option<String>, ReservationArg)> = match &spec.reservations {
         None => vec![(None, ReservationArg::None)],
         Some(r) => r.to_args()?,
@@ -430,14 +551,28 @@ fn plan(spec: &SweepSpec) -> Result<SweepPlan, CliError> {
         .iter()
         .map(|name| PolicyArg::parse(name).map(|p| (name.clone(), p)))
         .collect::<Result<_, _>>()?;
-    let cells: Vec<(u32, usize, usize, u64)> = spec
+    if spec.is_scenario() {
+        if let Some((name, _)) = policies
+            .iter()
+            .find(|(_, p)| !matches!(p, PolicyArg::Online(_)))
+        {
+            return Err(CliError::Parse(format!(
+                "scenario sweeps run the resident service; policy '{name}' is \
+                 off-line (use fcfs|easy|greedy)"
+            )));
+        }
+    }
+    let cells: Vec<(u32, usize, usize, usize, u64)> = spec
         .machines
         .iter()
         .flat_map(|&m| {
+            let n_jobs = spec.jobs.len();
             let n_variants = variants.len();
             let n_policies = policies.len();
-            (0..n_variants).flat_map(move |v| {
-                (0..n_policies).flat_map(move |p| (0..spec.seeds).map(move |s| (m, v, p, s)))
+            (0..n_jobs).flat_map(move |j| {
+                (0..n_variants).flat_map(move |v| {
+                    (0..n_policies).flat_map(move |p| (0..spec.seeds).map(move |s| (m, j, v, p, s)))
+                })
             })
         })
         .collect();
@@ -446,6 +581,62 @@ fn plan(spec: &SweepSpec) -> Result<SweepPlan, CliError> {
         policies,
         cells,
     })
+}
+
+/// Validate the scenario knobs against each other and against the smallest
+/// swept cluster (widths are probed on every machine size, so the menu must
+/// fit them all).
+fn check_scenario(spec: &SweepSpec) -> Result<(), CliError> {
+    if spec.deadline_frac.is_some() && spec.widths.is_some() {
+        return Err(CliError::Parse(
+            "give either 'deadline_frac' or 'widths', not both (a moldable job \
+             has no fixed shape to deadline up front)"
+                .into(),
+        ));
+    }
+    if spec.is_scenario() && spec.exact_probe.is_some() {
+        return Err(CliError::Parse(
+            "'exact_probe' does not apply to scenario sweeps \
+             (deadline_frac/widths/failures)"
+                .into(),
+        ));
+    }
+    if let Some(frac) = spec.deadline_frac {
+        if !frac.is_finite() || frac <= 0.0 {
+            return Err(CliError::Parse(
+                "'deadline_frac' must be a positive finite number".into(),
+            ));
+        }
+    }
+    let min_m = *spec
+        .machines
+        .iter()
+        .min()
+        .expect("machines checked non-empty");
+    if let Some(widths) = &spec.widths {
+        if widths.is_empty() {
+            return Err(CliError::Parse("'widths' must be a non-empty menu".into()));
+        }
+        if let Some(&w) = widths.iter().find(|&&w| w == 0 || w > min_m) {
+            return Err(CliError::Parse(format!(
+                "moldable width {w} not in 1..={min_m} (the smallest swept cluster)"
+            )));
+        }
+    }
+    if let Some(f) = &spec.failures {
+        if f.width == 0 || f.width > min_m {
+            return Err(CliError::Parse(format!(
+                "failure width {} not in 1..={min_m} (the smallest swept cluster)",
+                f.width
+            )));
+        }
+        if f.max_duration == 0 {
+            return Err(CliError::Parse(
+                "'failures.max_duration' must be positive".into(),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Environment variable of the sweep crash failpoint: when set to `n`, the
@@ -471,25 +662,37 @@ fn run_cells(
         .ok()
         .and_then(|v| v.parse().ok());
     let runner = opts.runner();
-    runner.map(&plan.cells[start..end], |&(m, v, p, s)| {
+    runner.map(&plan.cells[start..end], |&(m, j, v, p, s)| {
         let seed = opts.seed + s;
-        let jobs = generate_jobs(&spec.workload, m, spec.jobs, spec.arrivals, seed);
+        let jobs = generate_jobs(&spec.workload, m, spec.jobs[j], spec.arrivals, seed);
         let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
         let (instance, _clamped) =
             crate::replay::build_instance(m, jobs, &plan.variants[v].1, max_release, seed, 0)
                 .expect("sweep instances are feasible by construction");
-        let lb = lower_bound(&instance).unwrap_or(Time::ZERO).ticks().max(1) as f64;
-        let (schedule, _) = crate::replay::run_policy(plan.policies[p].1, &instance);
-        let metrics = resa_sim::prelude::SimMetrics::from_schedule(&instance, &schedule);
-        let makespan = metrics.makespan.ticks() as f64;
-        let violation = !schedule.is_valid(&instance) || makespan < lb - 1e-9;
-        let exact_nodes_per_sec = spec.exact_probe.map(|budget| {
-            let harness = RatioHarness {
-                exact_node_budget: budget,
-                ..RatioHarness::default()
-            };
-            harness.probe_exact(&instance).nodes_per_sec
-        });
+        let sample = if spec.is_scenario() {
+            run_scenario_cell(spec, m, &instance, plan.policies[p].1, seed)
+        } else {
+            let lb = lower_bound(&instance).unwrap_or(Time::ZERO).ticks().max(1) as f64;
+            let (schedule, _) = crate::replay::run_policy(plan.policies[p].1, &instance);
+            let metrics = resa_sim::prelude::SimMetrics::from_schedule(&instance, &schedule);
+            let makespan = metrics.makespan.ticks() as f64;
+            let violation = !schedule.is_valid(&instance) || makespan < lb - 1e-9;
+            let exact_nodes_per_sec = spec.exact_probe.map(|budget| {
+                let harness = RatioHarness {
+                    exact_node_budget: budget,
+                    ..RatioHarness::default()
+                };
+                harness.probe_exact(&instance).nodes_per_sec
+            });
+            (
+                makespan,
+                makespan / lb,
+                metrics.mean_wait,
+                metrics.utilization,
+                violation,
+                exact_nodes_per_sec,
+            )
+        };
         if let Some(limit) = fail_after {
             let done = CELLS_DONE.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
             if done == limit.max(1) {
@@ -497,30 +700,158 @@ fn run_cells(
                 std::process::abort();
             }
         }
-        (
-            makespan,
-            makespan / lb,
-            metrics.mean_wait,
-            metrics.utilization,
-            violation,
-            exact_nodes_per_sec,
-        )
+        sample
     })
 }
 
+/// Deterministic per-cell stream for the failure windows (xorshift64; the
+/// state is seeded off the cell seed and kept non-zero).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Run one scenario cell: the generated instance driven through a resident
+/// [`ScheduleService`] session instead of the batch simulator — overlay
+/// reserved up front, seeded failure drains injected, then every job
+/// submitted (deadline-gated or molded per the spec) and the session
+/// drained. The violation flag re-derives the scenario guarantees from
+/// first principles: schedule validity on the off-line oracle instance, no
+/// committed deadline missed, and the drained-window invariant.
+fn run_scenario_cell(
+    spec: &SweepSpec,
+    machines: u32,
+    instance: &ResaInstance,
+    policy: PolicyArg,
+    seed: u64,
+) -> Sample {
+    let PolicyArg::Online(policy) = policy else {
+        unreachable!("plan() rejects off-line policies for scenario sweeps")
+    };
+    let mut svc = ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
+    for r in instance.reservations() {
+        svc.reserve(r.width, r.duration, r.start)
+            .expect("build_instance certified the overlay");
+    }
+    if let Some(f) = &spec.failures {
+        let mut rng = seed.wrapping_add(0x9e37_79b9_7f4a_7c15) | 1;
+        for _ in 0..f.count {
+            let duration = 1 + xorshift(&mut rng) % f.max_duration;
+            let start = xorshift(&mut rng) % (f.horizon + 1);
+            // A window the remaining capacity cannot honor is rejected by
+            // the service, transactionally — drop it rather than force it.
+            let _ = svc.inject(f.width, Dur(duration), Time(start));
+        }
+    }
+    let mut order: Vec<&Job> = instance.jobs().iter().collect();
+    order.sort_by_key(|job| (job.release, job.id));
+    let mut committed: Vec<(JobId, Dur, Time)> = Vec::new();
+    for job in order {
+        if let Some(menu) = &spec.widths {
+            // Mold the job: same work area, width chosen by the service.
+            // Moldable submission happens at the job's release instant.
+            svc.advance_clamped(job.release);
+            let area = u64::from(job.width) * job.duration.ticks();
+            svc.submit_moldable(menu, area)
+                .expect("the menu was validated against the smallest cluster");
+        } else if let Some(frac) = spec.deadline_frac {
+            let slack = (job.duration.ticks() as f64 * frac).ceil() as u64;
+            let deadline = job.release + Dur(slack);
+            // Reject-mode admission: a rejected job simply never exists in
+            // this cell; a committed one joins the checked commitments.
+            if let Ok((id, DeadlineOutcome::Committed { .. }, _)) = svc.submit_deadline(
+                job.width,
+                job.duration,
+                Some(job.release),
+                deadline,
+                AdmissionPolicy::Reject,
+            ) {
+                committed.push((id, job.duration, deadline));
+            }
+        } else {
+            svc.submit(job.width, job.duration, Some(job.release))
+                .expect("generated jobs fit their cluster");
+        }
+    }
+    svc.drain();
+
+    // Guarantee checks, re-derived independently of the substrate.
+    let live = svc.to_instance();
+    let job_windows: Vec<Window> = live
+        .jobs()
+        .iter()
+        .filter_map(|job| {
+            svc.schedule()
+                .start_of(job.id)
+                .map(|s| (job.width, s, s.saturating_add(job.duration)))
+        })
+        .collect();
+    let mut blocked: Vec<Window> = svc
+        .drains()
+        .iter()
+        .filter(|d| !d.revoked && d.end > d.start)
+        .map(|d| (d.width, d.start, d.end))
+        .collect();
+    blocked.extend(
+        svc.reservations()
+            .iter()
+            .filter(|r| !r.cancelled && r.end > r.start)
+            .map(|r| (r.width, r.start, r.end)),
+    );
+    let mut all_committed_placed = true;
+    let commitments: Vec<(Time, Time)> = committed
+        .iter()
+        .filter_map(
+            |&(id, duration, deadline)| match svc.schedule().start_of(id) {
+                Some(s) => Some((s.saturating_add(duration), deadline)),
+                None => {
+                    all_committed_placed = false;
+                    None
+                }
+            },
+        )
+        .collect();
+    let (oracle_instance, oracle_schedule) = svc.oracle_parts();
+    // The ratio baseline is the certified lower bound of the *live*
+    // instance (every submitted job plus the drain/reservation overlay):
+    // the oracle instance excludes committed jobs, so its bound can
+    // degenerate to zero when admission commits everything.
+    let lb = lower_bound(&live).unwrap_or(Time::ZERO).ticks().max(1) as f64;
+    let (_, metrics) = svc.snapshot();
+    let makespan = metrics.makespan.ticks() as f64;
+    let violation = !oracle_schedule.is_valid(&oracle_instance)
+        || !all_committed_placed
+        || !deadlines_met(&commitments)
+        || !drain_invariant(machines, &job_windows, &blocked)
+        || makespan < lb - 1e-9;
+    (
+        makespan,
+        makespan / lb,
+        metrics.mean_wait,
+        metrics.utilization,
+        violation,
+        None,
+    )
+}
+
 /// Aggregate the full sample list (one per cell, in cell order) into the
-/// per-(machines, α, policy) rows, preserving spec order. Returns the rows
-/// and the number of sanity violations.
+/// per-(machines, jobs, α, policy) rows, preserving spec order. Returns the
+/// rows and the number of sanity violations.
 fn aggregate(spec: &SweepSpec, plan: &SweepPlan, samples: &[Sample]) -> (Vec<SweepRow>, usize) {
     let mut rows = Vec::new();
     let mut violations = 0usize;
     let per_group = spec.seeds as usize;
     for (group_idx, chunk) in samples.chunks(per_group).enumerate() {
-        let (m, v, p, _) = plan.cells[group_idx * per_group];
+        let (m, j, v, p, _) = plan.cells[group_idx * per_group];
         let n = chunk.len() as f64;
         violations += chunk.iter().filter(|c| c.4).count();
         rows.push(SweepRow {
             machines: m,
+            jobs: spec.jobs_labeled.then(|| spec.jobs[j]),
             alpha: plan.variants[v].0.clone(),
             policy: plan.policies[p].0.clone(),
             cells: chunk.len(),
@@ -993,11 +1324,15 @@ fn render(
     violations: usize,
     opts: &CommonOpts,
 ) -> Result<Outcome, CliError> {
-    // The α and exact-probe columns only appear when the spec asked for
-    // those dimensions, so plain sweeps keep their previous table shape.
+    // The jobs, α and exact-probe columns only appear when the spec asked
+    // for those dimensions, so plain sweeps keep their previous table shape.
+    let has_jobs = rows.iter().any(|r| r.jobs.is_some());
     let has_alpha = rows.iter().any(|r| r.alpha.is_some());
     let has_exact = rows.iter().any(|r| r.mean_exact_nodes_per_sec.is_some());
     let mut headers = vec!["m"];
+    if has_jobs {
+        headers.push("jobs");
+    }
     if has_alpha {
         headers.push("alpha");
     }
@@ -1022,6 +1357,9 @@ fn render(
     );
     for r in rows {
         let mut row = vec![r.machines.to_string()];
+        if has_jobs {
+            row.push(r.jobs.map_or_else(|| "-".to_string(), |j| j.to_string()));
+        }
         if has_alpha {
             row.push(r.alpha.clone().unwrap_or_else(|| "-".to_string()));
         }
@@ -1261,6 +1599,213 @@ mod tests {
         .to_string();
         assert!(err.contains("unknown field 'alphass'"), "{err}");
         assert!(err.contains("did you mean 'alphas'?"), "{err}");
+    }
+
+    #[test]
+    fn jobs_list_sweeps_a_labeled_dimension() {
+        // A `jobs` list becomes one more product dimension, labeled per row
+        // — the same pattern as `alphas`.
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [8], "jobs": [4, 8], "seeds": 2, "policies": ["fcfs", "easy"]
+            }"#,
+        )
+        .unwrap();
+        assert!(spec.jobs_labeled);
+        let (rows, violations) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert_eq!(violations, 0);
+        // 1 machine size × 2 job counts × 2 policies.
+        assert_eq!(rows.len(), 4);
+        let labels: Vec<_> = rows.iter().map(|r| r.jobs).collect();
+        assert_eq!(labels, vec![Some(4), Some(4), Some(8), Some(8)]);
+        // A scalar `jobs` keeps rows unlabeled (the previous shape).
+        let spec: SweepSpec = serde_json::from_str(SPEC).unwrap();
+        assert!(!spec.jobs_labeled);
+        let (rows, _) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert!(rows.iter().all(|r| r.jobs.is_none()));
+        // A one-element list still labels: the user asked for the dimension.
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{"machines": [4], "jobs": [3], "seeds": 1, "policies": ["fcfs"]}"#,
+        )
+        .unwrap();
+        let (rows, _) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert_eq!(rows[0].jobs, Some(3));
+        // Zero or empty job counts are plan-time errors.
+        for bad in [
+            r#"{"machines": [4], "jobs": [], "seeds": 1, "policies": ["fcfs"]}"#,
+            r#"{"machines": [4], "jobs": [3, 0], "seeds": 1, "policies": ["fcfs"]}"#,
+        ] {
+            let spec: SweepSpec = serde_json::from_str(bad).unwrap();
+            let err = execute(&spec, &CommonOpts::default()).unwrap_err();
+            assert!(err.to_string().contains("positive job count"), "{err}");
+        }
+        // And non-integer shapes are parse errors, not silent defaults.
+        let err = serde_json::from_str::<SweepSpec>(
+            r#"{"machines": [4], "jobs": "many", "seeds": 1, "policies": ["fcfs"]}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("job count or a list of job counts"), "{err}");
+    }
+
+    #[test]
+    fn misspelled_scenario_knobs_get_suggestions() {
+        let err = serde_json::from_str::<SweepSpec>(
+            r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                "deadline_frak": 2.0}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown field 'deadline_frak'"), "{err}");
+        assert!(err.contains("did you mean 'deadline_frac'?"), "{err}");
+        let err = serde_json::from_str::<SweepSpec>(
+            r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                "failure": {"count": 1, "width": 2, "max_duration": 5, "horizon": 10}}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("did you mean 'failures'?"), "{err}");
+        // Inside the failures object the same strictness applies.
+        let err = serde_json::from_str::<SweepSpec>(
+            r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                "failures": {"count": 1, "width": 2, "maxduration": 5, "horizon": 10}}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("unknown field 'maxduration' in the 'failures' section"),
+            "{err}"
+        );
+        assert!(err.contains("did you mean 'max_duration'?"), "{err}");
+    }
+
+    #[test]
+    fn scenario_knob_combinations_are_validated() {
+        let parse = |text: &str| serde_json::from_str::<SweepSpec>(text).unwrap();
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                    "deadline_frac": 2.0, "widths": [1, 2]}"#,
+                "either 'deadline_frac' or 'widths'",
+            ),
+            (
+                r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                    "deadline_frac": 2.0, "exact_probe": 100}"#,
+                "'exact_probe' does not apply to scenario sweeps",
+            ),
+            (
+                r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["offline:lsrc"],
+                    "deadline_frac": 2.0}"#,
+                "off-line",
+            ),
+            (
+                r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                    "deadline_frac": 0.0}"#,
+                "'deadline_frac' must be a positive finite number",
+            ),
+            (
+                r#"{"machines": [4, 8], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                    "widths": [2, 6]}"#,
+                "moldable width 6 not in 1..=4",
+            ),
+            (
+                r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                    "widths": []}"#,
+                "'widths' must be a non-empty menu",
+            ),
+            (
+                r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                    "failures": {"count": 1, "width": 5, "max_duration": 4, "horizon": 10}}"#,
+                "failure width 5 not in 1..=4",
+            ),
+            (
+                r#"{"machines": [4], "jobs": 3, "seeds": 1, "policies": ["fcfs"],
+                    "failures": {"count": 1, "width": 2, "max_duration": 0, "horizon": 10}}"#,
+                "'failures.max_duration' must be positive",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = execute(&parse(text), &CommonOpts::default()).unwrap_err();
+            assert!(err.to_string().contains(needle), "{needle}: {err}");
+        }
+    }
+
+    #[test]
+    fn deadline_cells_never_miss_a_committed_deadline() {
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [8], "jobs": 8, "seeds": 3, "arrivals": 4,
+                "policies": ["fcfs", "easy", "greedy"], "deadline_frac": 3.0
+            }"#,
+        )
+        .unwrap();
+        let (rows, violations) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert_eq!(violations, 0, "a committed deadline was missed");
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.cells, 3);
+            assert!(r.mean_makespan > 0.0);
+            assert!(r.mean_exact_nodes_per_sec.is_none());
+        }
+    }
+
+    #[test]
+    fn failure_cells_respect_the_drained_window_invariant() {
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [8], "jobs": [6, 10], "seeds": 3, "arrivals": 5,
+                "policies": ["easy"],
+                "reservations": { "family": "alpha", "alpha": "1/2",
+                                  "count": 1, "horizon": 100, "max_duration": 20 },
+                "failures": { "count": 3, "width": 3, "max_duration": 12, "horizon": 60 }
+            }"#,
+        )
+        .unwrap();
+        let (rows, violations) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert_eq!(violations, 0, "a job overlapped an active drain");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].jobs, Some(6));
+        assert_eq!(rows[1].jobs, Some(10));
+    }
+
+    #[test]
+    fn moldable_cells_run_and_stay_feasible() {
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [8], "jobs": 7, "seeds": 2, "arrivals": 3,
+                "policies": ["easy", "greedy"], "widths": [1, 2, 4, 8],
+                "failures": { "count": 2, "width": 2, "max_duration": 8, "horizon": 40 }
+            }"#,
+        )
+        .unwrap();
+        let (rows, violations) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert_eq!(violations, 0);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.mean_utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn scenario_cells_are_runner_deterministic() {
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [8], "jobs": [5, 9], "seeds": 2, "arrivals": 4,
+                "policies": ["easy"], "deadline_frac": 2.5,
+                "failures": { "count": 2, "width": 2, "max_duration": 10, "horizon": 50 }
+            }"#,
+        )
+        .unwrap();
+        let par = execute(&spec, &CommonOpts::default()).unwrap();
+        let seq = execute(
+            &spec,
+            &CommonOpts {
+                threads: Some(1),
+                ..CommonOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(to_json(&par.0.to_vec()), to_json(&seq.0.to_vec()));
     }
 
     #[test]

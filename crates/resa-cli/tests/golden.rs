@@ -39,6 +39,31 @@ fn figure3_quick_json_matches_the_golden_file() {
 }
 
 #[test]
+fn deadline_sweep_matches_the_golden_file() {
+    // The checked-in 2-cell scenario sweep (deadline admission + failure
+    // drains + labeled jobs dimension) — CI additionally pipes it through
+    // the release binary. Exit code 2 territory (violations > 0) would mean
+    // a committed deadline was missed or a job overlapped a drain.
+    let golden = std::fs::read_to_string(repo_root().join("examples/sweep_deadline.golden"))
+        .expect("checked-in sweep golden");
+    let spec = repo_root().join("examples/sweep_deadline.json");
+    let out = resa_cli::run(&[
+        "sweep",
+        &spec.display().to_string(),
+        "--threads",
+        "1",
+        "--format",
+        "json",
+    ])
+    .unwrap();
+    assert_eq!(out.violations, 0);
+    assert_eq!(
+        out.stdout, golden,
+        "deadline sweep drifted from the golden file"
+    );
+}
+
+#[test]
 fn figure_json_is_byte_stable_across_runner_modes() {
     for which in ["1", "2", "3", "4"] {
         let parallel = resa_cli::run(&["figure", which, "--quick", "--format", "json"]).unwrap();

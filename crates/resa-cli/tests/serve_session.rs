@@ -45,6 +45,49 @@ fn session_transcript_matches_the_golden_file() {
     );
 }
 
+fn scenario_script() -> String {
+    std::fs::read_to_string(repo_root().join("examples/scenario_session.jsonl"))
+        .expect("checked-in scenario script")
+}
+
+#[test]
+fn scenario_transcript_matches_the_golden_file() {
+    // The scenario ops end to end: inject/revoke with a mid-run preemption,
+    // deadline admission at the exact bound (committed), past it (rejected
+    // and boosted), and a moldable submission.
+    let golden = std::fs::read_to_string(repo_root().join("examples/scenario_session.golden"))
+        .expect("checked-in scenario golden");
+    let transcript = run_script(
+        &scenario_script(),
+        8,
+        ReferencePolicy::Easy,
+        Substrate::Timeline,
+    );
+    assert_eq!(
+        transcript, golden,
+        "scenario transcript drifted from the golden file"
+    );
+}
+
+#[test]
+fn scenario_transcript_is_byte_stable_across_substrates() {
+    let script = scenario_script();
+    for policy in [
+        ReferencePolicy::Fcfs,
+        ReferencePolicy::Easy,
+        ReferencePolicy::Greedy,
+    ] {
+        let timeline = run_script(&script, 8, policy, Substrate::Timeline);
+        let profile = run_script(&script, 8, policy, Substrate::Profile);
+        assert_eq!(
+            timeline,
+            profile,
+            "scenario session diverged between substrates under {}",
+            policy.name()
+        );
+    }
+}
+
 #[test]
 fn session_transcript_is_byte_stable_across_substrates() {
     let script = session_script();

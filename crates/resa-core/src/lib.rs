@@ -67,6 +67,7 @@ pub mod gantt;
 pub mod instance;
 pub mod io;
 pub mod job;
+pub mod moldable;
 pub mod profile;
 pub mod reservation;
 pub mod schedule;
@@ -85,6 +86,7 @@ pub mod prelude {
     pub use crate::instance::{Alpha, ResaInstance, ResaInstanceBuilder, RigidInstance};
     pub use crate::io::{parse_instance, write_instance};
     pub use crate::job::{Job, JobId};
+    pub use crate::moldable::{best_width, MoldableError, WidthChoice};
     pub use crate::profile::ResourceProfile;
     pub use crate::reservation::{Reservation, ReservationId};
     pub use crate::schedule::{Placement, ProcessorAssignment, Schedule};

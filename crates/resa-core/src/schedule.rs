@@ -54,6 +54,15 @@ impl Schedule {
         self.placements.pop()
     }
 
+    /// Remove the placement of `job`, returning its start time if it was
+    /// placed. The relative order of the remaining placements is preserved,
+    /// so a later re-`place` appends at the end — exactly the history a
+    /// kill-and-resubmit drain produces.
+    pub fn remove(&mut self, job: JobId) -> Option<Time> {
+        let at = self.placements.iter().position(|p| p.job == job)?;
+        Some(self.placements.remove(at).start)
+    }
+
     /// All placements, in insertion order (which for list algorithms is the
     /// order in which jobs were started).
     pub fn placements(&self) -> &[Placement] {
@@ -422,6 +431,32 @@ mod tests {
         assert_eq!(s.start_of(JobId(9)), None);
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn remove_unplaces_one_job_and_keeps_order() {
+        let mut s = Schedule::new();
+        s.place(JobId(0), Time(0));
+        s.place(JobId(1), Time(2));
+        s.place(JobId(2), Time(5));
+        assert_eq!(s.remove(JobId(1)), Some(Time(2)));
+        assert_eq!(s.remove(JobId(1)), None, "already removed");
+        assert_eq!(s.remove(JobId(9)), None, "never placed");
+        assert_eq!(
+            s.placements(),
+            &[
+                Placement {
+                    job: JobId(0),
+                    start: Time(0)
+                },
+                Placement {
+                    job: JobId(2),
+                    start: Time(5)
+                },
+            ]
+        );
+        s.place(JobId(1), Time(7)); // re-placement appends
+        assert_eq!(s.placements().last().unwrap().job, JobId(1));
     }
 
     #[test]

@@ -102,6 +102,27 @@ impl WaitList {
         self.len += 1;
     }
 
+    /// Insert `index` at the front, ahead of every queued element — the
+    /// priority-boost path of deadline admission (`resa-sim`), where a job
+    /// whose due date the speculative bound already misses jumps the queue.
+    ///
+    /// # Panics
+    /// Panics if `index` is already present or out of range.
+    pub fn push_front(&mut self, index: usize) {
+        assert!(!self.present[index], "index already queued");
+        let i = index as u32;
+        self.present[index] = true;
+        self.next[index] = self.head;
+        self.prev[index] = NIL;
+        if self.head != NIL {
+            self.prev[self.head as usize] = i;
+        } else {
+            self.tail = i;
+        }
+        self.head = i;
+        self.len += 1;
+    }
+
     /// Unlink `index`. Returns whether it was present.
     pub fn remove(&mut self, index: usize) -> bool {
         if !self.contains(index) {
@@ -178,6 +199,22 @@ mod tests {
         assert!(l.remove(4));
         assert!(l.is_empty());
         assert_eq!(l.front(), None);
+    }
+
+    #[test]
+    fn push_front_jumps_the_queue() {
+        let mut l = WaitList::with_capacity(5);
+        l.push_front(0); // front onto an empty list behaves like push_back
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![0]);
+        l.push_back(1);
+        l.push_front(2);
+        l.push_front(3); // the latest boost is frontmost
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![3, 2, 0, 1]);
+        assert_eq!(l.front(), Some(3));
+        assert!(l.remove(3));
+        assert_eq!(l.front(), Some(2));
+        assert!(l.remove(0));
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![2, 1]);
     }
 
     #[test]

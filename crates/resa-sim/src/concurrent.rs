@@ -43,7 +43,9 @@
 use crate::journal::OpJournal;
 use crate::metrics::SimMetrics;
 use crate::reference::ReferencePolicy;
-use crate::service::{Effects, ScheduleService, ServiceError, ServiceStats};
+use crate::service::{
+    AdmissionPolicy, DeadlineOutcome, Effects, ScheduleService, ServiceError, ServiceStats,
+};
 use crate::trace::{JobRecord, RunTrace};
 use resa_core::capacity::Speculate;
 use resa_core::prelude::*;
@@ -98,6 +100,40 @@ pub enum WriteOp {
     },
     /// [`ScheduleService::drain`].
     Drain,
+    /// [`ScheduleService::inject`].
+    Inject {
+        /// Machines withdrawn by the failure/maintenance window.
+        width: u32,
+        /// Window length.
+        duration: Dur,
+        /// Window start.
+        start: Time,
+    },
+    /// [`ScheduleService::revoke`].
+    Revoke {
+        /// Drain id.
+        id: usize,
+    },
+    /// [`ScheduleService::submit_deadline`].
+    SubmitDeadline {
+        /// Processors requested.
+        width: u32,
+        /// Run time.
+        duration: Dur,
+        /// Release date (`None` = on arrival).
+        release: Option<Time>,
+        /// Due date the completion must not exceed.
+        deadline: Time,
+        /// What to do when the speculative bound misses the due date.
+        admission: AdmissionPolicy,
+    },
+    /// [`ScheduleService::submit_moldable`].
+    SubmitMoldable {
+        /// Admissible width menu.
+        widths: Vec<u32>,
+        /// Total work (processor×ticks).
+        area: u64,
+    },
 }
 
 /// One entry of the serial log: which session issued which op, in the order
@@ -140,8 +176,36 @@ pub enum Applied {
         /// What the overlay change triggered.
         effects: Effects,
     },
-    /// Effects only (cancel / advance / drain).
+    /// Effects only (cancel / revoke / advance / drain).
     Effects(Effects),
+    /// An injected drain: its id, the jobs it preempted, and the effects of
+    /// the decision the capacity change triggered.
+    Drained {
+        /// The new drain's id.
+        id: usize,
+        /// Victims killed-and-requeued, in re-queue order.
+        preempted: Vec<JobId>,
+        /// What the overlay change triggered.
+        effects: Effects,
+    },
+    /// A resolved deadline submission: the job id and how admission landed.
+    Deadline {
+        /// The new job's id.
+        id: JobId,
+        /// Committed placement or boosted acceptance.
+        outcome: DeadlineOutcome,
+        /// What the admission triggered.
+        effects: Effects,
+    },
+    /// A concretized moldable submission: the job id and the chosen shape.
+    Moldable {
+        /// The new job's id.
+        id: JobId,
+        /// The width/duration/placement [`best_width`] settled on.
+        choice: WidthChoice,
+        /// What the arrival decision changed.
+        effects: Effects,
+    },
 }
 
 /// The writer's answer to one op.
@@ -433,6 +497,80 @@ impl ServiceClient {
         }
     }
 
+    /// [`ScheduleService::inject`], through the writer; returns the drain
+    /// id, the preempted job ids and the triggered effects.
+    pub fn inject(
+        &self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Vec<JobId>, Effects), ServiceError> {
+        let reply = self.roundtrip(WriteOp::Inject {
+            width,
+            duration,
+            start,
+        })?;
+        match reply.result? {
+            Applied::Drained {
+                id,
+                preempted,
+                effects,
+            } => Ok((id, preempted, effects)),
+            other => unreachable!("inject answered with {other:?}"),
+        }
+    }
+
+    /// [`ScheduleService::revoke`], through the writer.
+    pub fn revoke(&self, id: usize) -> Result<Effects, ServiceError> {
+        match self.roundtrip(WriteOp::Revoke { id })?.result? {
+            Applied::Effects(fx) => Ok(fx),
+            other => unreachable!("revoke answered with {other:?}"),
+        }
+    }
+
+    /// [`ScheduleService::submit_deadline`], through the writer.
+    pub fn submit_deadline(
+        &self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+        deadline: Time,
+        admission: AdmissionPolicy,
+    ) -> Result<(JobId, DeadlineOutcome, Effects), ServiceError> {
+        let reply = self.roundtrip(WriteOp::SubmitDeadline {
+            width,
+            duration,
+            release,
+            deadline,
+            admission,
+        })?;
+        match reply.result? {
+            Applied::Deadline {
+                id,
+                outcome,
+                effects,
+            } => Ok((id, outcome, effects)),
+            other => unreachable!("submit_deadline answered with {other:?}"),
+        }
+    }
+
+    /// [`ScheduleService::submit_moldable`], through the writer.
+    pub fn submit_moldable(
+        &self,
+        widths: Vec<u32>,
+        area: u64,
+    ) -> Result<(JobId, WidthChoice, Effects), ServiceError> {
+        let reply = self.roundtrip(WriteOp::SubmitMoldable { widths, area })?;
+        match reply.result? {
+            Applied::Moldable {
+                id,
+                choice,
+                effects,
+            } => Ok((id, choice, effects)),
+            other => unreachable!("submit_moldable answered with {other:?}"),
+        }
+    }
+
     /// [`ScheduleService::drain`]; returns the final virtual time with the
     /// effects.
     pub fn drain(&self) -> Result<(Time, Effects), ServiceError> {
@@ -503,6 +641,42 @@ fn apply<C: CapacityQuery + Speculate>(
         WriteOp::Advance { to } => svc.advance(to).map(|fx| Applied::Effects(fx.clone())),
         WriteOp::AdvanceClamped { to } => Ok(Applied::Effects(svc.advance_clamped(to).clone())),
         WriteOp::Drain => Ok(Applied::Effects(svc.drain().clone())),
+        WriteOp::Inject {
+            width,
+            duration,
+            start,
+        } => {
+            let res = svc
+                .inject(width, duration, start)
+                .map(|(id, fx)| (id, fx.clone()));
+            res.map(|(id, effects)| Applied::Drained {
+                id,
+                preempted: svc.last_preempted().to_vec(),
+                effects,
+            })
+        }
+        WriteOp::Revoke { id } => svc.revoke(id).map(|fx| Applied::Effects(fx.clone())),
+        WriteOp::SubmitDeadline {
+            width,
+            duration,
+            release,
+            deadline,
+            admission,
+        } => svc
+            .submit_deadline(width, duration, release, deadline, admission)
+            .map(|(id, outcome, fx)| Applied::Deadline {
+                id,
+                outcome,
+                effects: fx.clone(),
+            }),
+        WriteOp::SubmitMoldable { ref widths, area } => {
+            svc.submit_moldable(widths, area)
+                .map(|(id, choice, fx)| Applied::Moldable {
+                    id,
+                    choice,
+                    effects: fx.clone(),
+                })
+        }
     }
 }
 

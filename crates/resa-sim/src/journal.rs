@@ -68,7 +68,10 @@
 
 use crate::concurrent::{AppliedOp, WriteOp};
 use crate::reference::ReferencePolicy;
-use crate::service::{Effects, ScheduleService, ServiceError, ServiceState};
+use crate::service::{
+    AdmissionPolicy, DeadlineOutcome, DrainMode, Effects, ScheduleService, ServiceError,
+    ServiceState,
+};
 use resa_core::capacity::Speculate;
 use resa_core::prelude::*;
 use std::fs::{File, OpenOptions};
@@ -230,6 +233,51 @@ fn encode_op(buf: &mut Vec<u8>, entry: &AppliedOp) {
             put_u64(buf, to.ticks());
         }
         WriteOp::Drain => buf.push(6),
+        WriteOp::Inject {
+            width,
+            duration,
+            start,
+        } => {
+            buf.push(7);
+            put_u32(buf, width);
+            put_u64(buf, duration.0);
+            put_u64(buf, start.ticks());
+        }
+        WriteOp::Revoke { id } => {
+            buf.push(8);
+            put_u64(buf, id as u64);
+        }
+        WriteOp::SubmitDeadline {
+            width,
+            duration,
+            release,
+            deadline,
+            admission,
+        } => {
+            buf.push(9);
+            put_u32(buf, width);
+            put_u64(buf, duration.0);
+            match release {
+                None => buf.push(0),
+                Some(t) => {
+                    buf.push(1);
+                    put_u64(buf, t.ticks());
+                }
+            }
+            put_u64(buf, deadline.ticks());
+            buf.push(match admission {
+                AdmissionPolicy::Reject => 0,
+                AdmissionPolicy::Boost => 1,
+            });
+        }
+        WriteOp::SubmitMoldable { ref widths, area } => {
+            buf.push(10);
+            put_u64(buf, widths.len() as u64);
+            for &w in widths {
+                put_u32(buf, w);
+            }
+            put_u64(buf, area);
+        }
     }
 }
 
@@ -265,6 +313,47 @@ fn decode_op(cur: &mut Cursor<'_>) -> Option<AppliedOp> {
             to: Time(cur.take_u64()?),
         },
         6 => WriteOp::Drain,
+        7 => WriteOp::Inject {
+            width: cur.take_u32()?,
+            duration: Dur(cur.take_u64()?),
+            start: Time(cur.take_u64()?),
+        },
+        8 => WriteOp::Revoke {
+            id: usize::try_from(cur.take_u64()?).ok()?,
+        },
+        9 => {
+            let width = cur.take_u32()?;
+            let duration = Dur(cur.take_u64()?);
+            let release = match cur.take_u8()? {
+                0 => None,
+                1 => Some(Time(cur.take_u64()?)),
+                _ => return None,
+            };
+            let deadline = Time(cur.take_u64()?);
+            let admission = match cur.take_u8()? {
+                0 => AdmissionPolicy::Reject,
+                1 => AdmissionPolicy::Boost,
+                _ => return None,
+            };
+            WriteOp::SubmitDeadline {
+                width,
+                duration,
+                release,
+                deadline,
+                admission,
+            }
+        }
+        10 => {
+            let n = usize::try_from(cur.take_u64()?).ok()?;
+            let mut widths = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                widths.push(cur.take_u32()?);
+            }
+            WriteOp::SubmitMoldable {
+                widths,
+                area: cur.take_u64()?,
+            }
+        }
         _ => return None,
     };
     Some(AppliedOp { session, op })
@@ -281,6 +370,17 @@ fn encode_state(buf: &mut Vec<u8>, state: &ServiceState) {
         put_u64(buf, job.duration.0);
         put_u64(buf, job.release.ticks());
     }
+    // Scenario flags, parallel to the job catalog.
+    for flags in &state.flags {
+        match flags.deadline {
+            None => buf.push(0),
+            Some(t) => {
+                buf.push(1);
+                put_u64(buf, t.ticks());
+            }
+        }
+        buf.push(u8::from(flags.guaranteed) | (u8::from(flags.boosted) << 1));
+    }
     put_u64(buf, state.reservations.len() as u64);
     for r in &state.reservations {
         put_u32(buf, r.width);
@@ -288,10 +388,21 @@ fn encode_state(buf: &mut Vec<u8>, state: &ServiceState) {
         put_u64(buf, r.end.ticks());
         buf.push(u8::from(r.cancelled));
     }
+    put_u64(buf, state.drains.len() as u64);
+    for d in &state.drains {
+        put_u32(buf, d.width);
+        put_u64(buf, d.start.ticks());
+        put_u64(buf, d.end.ticks());
+        buf.push(u8::from(d.revoked));
+    }
     put_u64(buf, state.placements.len() as u64);
     for p in &state.placements {
         put_u64(buf, p.job.0 as u64);
         put_u64(buf, p.start.ticks());
+    }
+    put_u64(buf, state.queue.len() as u64);
+    for &pos in &state.queue {
+        put_u64(buf, pos as u64);
     }
 }
 
@@ -308,6 +419,23 @@ fn decode_state(cur: &mut Cursor<'_>) -> Option<ServiceState> {
         let release = cur.take_u64()?;
         jobs.push(Job::released_at(id, width, duration, release));
     }
+    let mut flags = Vec::with_capacity(n_jobs.min(1 << 20));
+    for _ in 0..n_jobs {
+        let deadline = match cur.take_u8()? {
+            0 => None,
+            1 => Some(Time(cur.take_u64()?)),
+            _ => return None,
+        };
+        let bits = cur.take_u8()?;
+        if bits > 0b11 {
+            return None;
+        }
+        flags.push(crate::service::JobFlags {
+            deadline,
+            guaranteed: bits & 1 != 0,
+            boosted: bits & 2 != 0,
+        });
+    }
     let n_res = usize::try_from(cur.take_u64()?).ok()?;
     let mut reservations = Vec::with_capacity(n_res.min(1 << 20));
     for id in 0..n_res {
@@ -317,6 +445,21 @@ fn decode_state(cur: &mut Cursor<'_>) -> Option<ServiceState> {
             start: Time(cur.take_u64()?),
             end: Time(cur.take_u64()?),
             cancelled: match cur.take_u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+        });
+    }
+    let n_drains = usize::try_from(cur.take_u64()?).ok()?;
+    let mut drains = Vec::with_capacity(n_drains.min(1 << 20));
+    for id in 0..n_drains {
+        drains.push(crate::service::ServiceDrain {
+            id,
+            width: cur.take_u32()?,
+            start: Time(cur.take_u64()?),
+            end: Time(cur.take_u64()?),
+            revoked: match cur.take_u8()? {
                 0 => false,
                 1 => true,
                 _ => return None,
@@ -335,14 +478,26 @@ fn decode_state(cur: &mut Cursor<'_>) -> Option<ServiceState> {
             start: Time(cur.take_u64()?),
         });
     }
+    let n_queue = usize::try_from(cur.take_u64()?).ok()?;
+    let mut queue = Vec::with_capacity(n_queue.min(1 << 20));
+    for _ in 0..n_queue {
+        let pos = usize::try_from(cur.take_u64()?).ok()?;
+        if pos >= jobs.len() {
+            return None;
+        }
+        queue.push(pos);
+    }
     Some(ServiceState {
         machines,
         now,
         decisions,
         makespan,
         jobs,
+        flags,
         reservations,
+        drains,
         placements,
+        queue,
     })
 }
 
@@ -500,10 +655,26 @@ impl Recovered {
         policy: ReferencePolicy,
         substrate: C,
     ) -> ScheduleService<C> {
+        self.restore_service_with_mode(policy, substrate, DrainMode::Restart)
+    }
+
+    /// Like [`Recovered::restore_service`], but configures the drain mode
+    /// *before* replaying the op tail, so a session recorded under
+    /// [`DrainMode::Checkpoint`] re-preempts during replay exactly as it
+    /// did live. The mode is construction-time configuration, not
+    /// journaled state: the operator re-supplies it at recovery (the CLI's
+    /// `--drain-mode` flag), just like the substrate itself.
+    pub fn restore_service_with_mode<C: CapacityQuery + Speculate>(
+        &self,
+        policy: ReferencePolicy,
+        substrate: C,
+        mode: DrainMode,
+    ) -> ScheduleService<C> {
         let mut svc = match &self.snapshot {
             Some(state) => ScheduleService::restore(policy, state, substrate),
             None => ScheduleService::new(policy, substrate),
         };
+        svc.set_drain_mode(mode);
         for op in &self.ops {
             op.replay(&mut svc);
         }
@@ -922,6 +1093,78 @@ impl<C: CapacityQuery + Speculate> JournaledService<C> {
         out
     }
 
+    /// Journaled [`ScheduleService::inject`]; returns the drain id, the
+    /// preempted job ids and the triggered effects.
+    pub fn inject(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Vec<JobId>, Effects), ServiceError> {
+        self.journaled(WriteOp::Inject {
+            width,
+            duration,
+            start,
+        })?;
+        let res = self
+            .svc
+            .inject(width, duration, start)
+            .map(|(id, fx)| (id, fx.clone()));
+        let out = res.map(|(id, fx)| (id, self.svc.last_preempted().to_vec(), fx));
+        self.seal()?;
+        out
+    }
+
+    /// Journaled [`ScheduleService::revoke`].
+    pub fn revoke(&mut self, id: usize) -> Result<Effects, ServiceError> {
+        self.journaled(WriteOp::Revoke { id })?;
+        let out = self.svc.revoke(id).cloned();
+        self.seal()?;
+        out
+    }
+
+    /// Journaled [`ScheduleService::submit_deadline`].
+    pub fn submit_deadline(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+        deadline: Time,
+        admission: AdmissionPolicy,
+    ) -> Result<(JobId, DeadlineOutcome, Effects), ServiceError> {
+        self.journaled(WriteOp::SubmitDeadline {
+            width,
+            duration,
+            release,
+            deadline,
+            admission,
+        })?;
+        let out = self
+            .svc
+            .submit_deadline(width, duration, release, deadline, admission)
+            .map(|(id, outcome, fx)| (id, outcome, fx.clone()));
+        self.seal()?;
+        out
+    }
+
+    /// Journaled [`ScheduleService::submit_moldable`].
+    pub fn submit_moldable(
+        &mut self,
+        widths: &[u32],
+        area: u64,
+    ) -> Result<(JobId, WidthChoice, Effects), ServiceError> {
+        self.journaled(WriteOp::SubmitMoldable {
+            widths: widths.to_vec(),
+            area,
+        })?;
+        let out = self
+            .svc
+            .submit_moldable(widths, area)
+            .map(|(id, choice, fx)| (id, choice, fx.clone()));
+        self.seal()?;
+        out
+    }
+
     /// Journaled [`ScheduleService::advance`].
     pub fn advance(&mut self, to: Time) -> Result<(Time, Effects), ServiceError> {
         self.journaled(WriteOp::Advance { to })?;
@@ -1034,6 +1277,34 @@ mod tests {
             WriteOp::Advance { to: Time(42) },
             WriteOp::AdvanceClamped { to: Time(3) },
             WriteOp::Drain,
+            WriteOp::Inject {
+                width: 2,
+                duration: Dur(6),
+                start: Time(13),
+            },
+            WriteOp::Revoke { id: 2 },
+            WriteOp::SubmitDeadline {
+                width: 4,
+                duration: Dur(3),
+                release: Some(Time(2)),
+                deadline: Time(20),
+                admission: AdmissionPolicy::Reject,
+            },
+            WriteOp::SubmitDeadline {
+                width: 1,
+                duration: Dur(2),
+                release: None,
+                deadline: Time(5),
+                admission: AdmissionPolicy::Boost,
+            },
+            WriteOp::SubmitMoldable {
+                widths: vec![1, 2, 4],
+                area: 12,
+            },
+            WriteOp::SubmitMoldable {
+                widths: vec![],
+                area: 0,
+            },
         ];
         for (session, op) in ops.into_iter().enumerate() {
             let entry = AppliedOp {
@@ -1076,6 +1347,56 @@ mod tests {
             assert_eq!(replayed.state(), fin.state());
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn scenario_session_recovers_identically_under_checkpoint_mode() {
+        let path = tmp("scenario");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = OpJournal::open(
+            &path,
+            8,
+            ReferencePolicy::Fcfs,
+            cfg(FsyncPolicy::Every, 1024),
+        )
+        .unwrap();
+        let mut svc =
+            ScheduleService::new(ReferencePolicy::Fcfs, AvailabilityTimeline::constant(8));
+        svc.set_drain_mode(DrainMode::Checkpoint);
+        let mut live = JournaledService::new(svc, journal);
+        live.submit(8, Dur(10), None).unwrap();
+        live.advance(Time(2)).unwrap();
+        // The drain preempts the full-width job; Checkpoint mode banks its
+        // two elapsed ticks, which replay must reproduce.
+        let (d, preempted, _) = live.inject(8, Dur(3), Time(2)).unwrap();
+        assert_eq!(preempted.len(), 1);
+        live.submit_deadline(2, Dur(2), Some(Time(30)), Time(40), AdmissionPolicy::Reject)
+            .unwrap();
+        live.submit_deadline(8, Dur(4), None, Time(5), AdmissionPolicy::Boost)
+            .unwrap();
+        live.submit_moldable(&[1, 2, 4], 8).unwrap();
+        live.revoke(d).unwrap();
+        let (fin, journal) = live.into_parts();
+        drop(journal);
+
+        let (_, rec) = OpJournal::open(
+            &path,
+            8,
+            ReferencePolicy::Fcfs,
+            cfg(FsyncPolicy::Every, 1024),
+        )
+        .unwrap();
+        assert!(rec.resumed);
+        assert!(rec.torn.is_none());
+        let replayed = rec.restore_service_with_mode(
+            ReferencePolicy::Fcfs,
+            AvailabilityTimeline::constant(8),
+            DrainMode::Checkpoint,
+        );
+        assert_eq!(replayed.state(), fin.state());
+        assert_eq!(replayed.drains(), fin.drains());
+        assert_eq!(replayed.job_flags(), fin.job_flags());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub mod prelude {
     };
     pub use crate::reference::{simulate_reference, ReferencePolicy};
     pub use crate::service::{
-        Effects, ScheduleService, ServiceError, ServiceReservation, ServiceState, ServiceStats,
+        AdmissionPolicy, DeadlineOutcome, DrainMode, Effects, JobFlags, ScheduleService,
+        ServiceDrain, ServiceError, ServiceReservation, ServiceState, ServiceStats,
     };
     pub use crate::trace::{JobRecord, RunTrace};
 }

@@ -82,6 +82,32 @@ pub enum ServiceError {
         /// The offending id.
         id: usize,
     },
+    /// A drain id that does not exist.
+    UnknownDrain {
+        /// The offending id.
+        id: usize,
+    },
+    /// A drain that was already revoked or has already ended.
+    DrainInactive {
+        /// The offending id.
+        id: usize,
+    },
+    /// A deadline submission whose speculative completion bound misses the
+    /// due date under [`AdmissionPolicy::Reject`]. The job was not accepted
+    /// and no state changed.
+    DeadlineUnmet {
+        /// The requested due date.
+        deadline: Time,
+        /// The earliest completion the speculative probe could certify
+        /// (`None` when the shape never fits the availability function).
+        bound: Option<Time>,
+    },
+    /// A moldable submission with an invalid width menu, zero area, or no
+    /// shape that ever fits the availability function.
+    Moldable {
+        /// Human-readable cause.
+        reason: String,
+    },
     /// The single-writer loop of a [`crate::concurrent::ConcurrentService`]
     /// has shut down; no further mutating requests can be applied.
     ServiceStopped,
@@ -112,6 +138,17 @@ impl std::fmt::Display for ServiceError {
             ServiceError::ReservationInactive { id } => {
                 write!(f, "reservation {id} is cancelled or already over")
             }
+            ServiceError::UnknownDrain { id } => write!(f, "unknown drain {id}"),
+            ServiceError::DrainInactive { id } => {
+                write!(f, "drain {id} is revoked or already over")
+            }
+            ServiceError::DeadlineUnmet { deadline, bound } => match bound {
+                Some(b) => write!(f, "deadline {deadline} unmet: earliest completion is {b}"),
+                None => write!(f, "deadline {deadline} unmet: the shape never fits"),
+            },
+            ServiceError::Moldable { reason } => {
+                write!(f, "moldable submission rejected: {reason}")
+            }
             ServiceError::ServiceStopped => write!(f, "service writer has shut down"),
             ServiceError::Journal { message } => {
                 write!(f, "journal append failed, op not applied: {message}")
@@ -137,6 +174,119 @@ pub struct ServiceReservation {
     pub end: Time,
     /// Whether [`ScheduleService::cancel`] resolved this reservation.
     pub cancelled: bool,
+}
+
+/// One failure/maintenance drain held by the service: `width` machines
+/// withdrawn during `[start, end)`, injected mid-run. A revoked drain keeps
+/// its elapsed prefix, exactly like a cancelled [`ServiceReservation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceDrain {
+    /// Dense id handed out by [`ScheduleService::inject`] (a namespace
+    /// separate from reservation ids).
+    pub id: usize,
+    /// Machines withdrawn.
+    pub width: u32,
+    /// Start of the drained window.
+    pub start: Time,
+    /// Exclusive end of the *effective* window (truncated by revocation).
+    pub end: Time,
+    /// Whether [`ScheduleService::revoke`] resolved this drain.
+    pub revoked: bool,
+}
+
+/// What happens to a running job preempted by an injected drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DrainMode {
+    /// Kill-and-resubmit: the victim loses all progress and re-queues with
+    /// its full duration.
+    #[default]
+    Restart,
+    /// Checkpoint-requeue: the victim re-queues with only its not-yet-elapsed
+    /// duration (`completion − now`).
+    Checkpoint,
+}
+
+impl DrainMode {
+    /// Canonical lowercase name (CLI flag value / protocol field).
+    pub fn name(self) -> &'static str {
+        match self {
+            DrainMode::Restart => "restart",
+            DrainMode::Checkpoint => "checkpoint",
+        }
+    }
+
+    /// Parse a canonical name back into a mode.
+    pub fn parse(s: &str) -> Option<DrainMode> {
+        match s {
+            "restart" => Some(DrainMode::Restart),
+            "checkpoint" => Some(DrainMode::Checkpoint),
+            _ => None,
+        }
+    }
+}
+
+/// How [`ScheduleService::submit_deadline`] treats a job whose speculative
+/// completion bound misses the due date. A job whose bound *meets* the due
+/// date is always admitted — committed to its probed placement, which makes
+/// "no accepted deadline is ever missed" hold by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Refuse the job; the service state is unchanged.
+    #[default]
+    Reject,
+    /// Accept the job *without* a guarantee, letting it jump the waiting
+    /// queue (front of the list instead of the back).
+    Boost,
+}
+
+impl AdmissionPolicy {
+    /// Canonical lowercase name (protocol field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::Boost => "boost",
+        }
+    }
+
+    /// Parse a canonical name back into a policy.
+    pub fn parse(s: &str) -> Option<AdmissionPolicy> {
+        match s {
+            "reject" => Some(AdmissionPolicy::Reject),
+            "boost" => Some(AdmissionPolicy::Boost),
+            _ => None,
+        }
+    }
+}
+
+/// How a deadline submission was resolved by [`ScheduleService::submit_deadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineOutcome {
+    /// The speculative bound met the due date: the job is committed to the
+    /// probed placement (reserved on the substrate, guaranteed against
+    /// drains) and will complete at `completion ≤ deadline`.
+    Committed {
+        /// The committed start.
+        start: Time,
+        /// The committed completion (`start + duration`).
+        completion: Time,
+    },
+    /// The bound missed the due date and [`AdmissionPolicy::Boost`] accepted
+    /// the job anyway, un-guaranteed, at the front of the waiting queue.
+    Boosted,
+}
+
+/// Per-job scenario flags, parallel to the job catalog (index == job id).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobFlags {
+    /// The due date a deadline submission asked for, if any.
+    pub deadline: Option<Time>,
+    /// Whether the job is committed to a placement that drains must not
+    /// preempt (set by the admitting path of `submit_deadline`).
+    pub guaranteed: bool,
+    /// Whether the job jumped the waiting queue under
+    /// [`AdmissionPolicy::Boost`]. Cleared if the job is later preempted by
+    /// a drain (a killed job re-queues at the back, demoted).
+    pub boosted: bool,
 }
 
 /// What one request changed: jobs started by the decision(s) it triggered
@@ -196,11 +346,13 @@ pub struct ServiceStats {
 /// state a journal snapshot record persists (see [`crate::journal`]) and
 /// [`ScheduleService::restore`] rebuilds a live service from.
 ///
-/// Deliberately *derived-state-free*: the waiting list, the pending/running
-/// heaps, the decision breakpoints and the substrate's availability function
-/// are all reconstructible from the jobs, the reservations and the
-/// placements (restore proves it) — so the persisted format stays small and
-/// has no invariants that can drift out of sync.
+/// Mostly *derived-state-free*: the pending/running heaps, the decision
+/// breakpoints and the substrate's availability function are all
+/// reconstructible from the jobs, the reservations, the drains and the
+/// placements (restore proves it). The one exception is the waiting-queue
+/// *order*: boosts jump the queue and drain preemptions re-queue victims at
+/// the instant they were killed, so the order stopped being a pure function
+/// of release dates — it is persisted verbatim in `queue` instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceState {
     /// Cluster size (the substrate handed to restore must match).
@@ -211,12 +363,19 @@ pub struct ServiceState {
     pub decisions: u64,
     /// Largest completion time among started jobs.
     pub makespan: Time,
-    /// Every job ever submitted, in id order (ids are dense).
+    /// Every job ever submitted, in id order (ids are dense). A job
+    /// checkpoint-requeued by a drain carries its *remaining* duration.
     pub jobs: Vec<Job>,
+    /// Per-job scenario flags, parallel to `jobs`.
+    pub flags: Vec<JobFlags>,
     /// Every reservation ever accepted, in id order, cancellation-truncated.
     pub reservations: Vec<ServiceReservation>,
+    /// Every drain ever injected, in id order, revocation-truncated.
+    pub drains: Vec<ServiceDrain>,
     /// Every placement decided so far, in decision order.
     pub placements: Vec<Placement>,
+    /// The waiting queue (job positions) in queue order, front first.
+    pub queue: Vec<usize>,
 }
 
 /// The resident scheduling service: a live availability substrate plus the
@@ -251,6 +410,26 @@ pub struct ScheduleService<C: CapacityQuery + Speculate> {
     /// from the event scratch on every overlay change.
     breakpoints: BinaryHeap<Reverse<Time>>,
     reservations: Vec<ServiceReservation>,
+    /// Failure/maintenance drains, in injection order (id == index).
+    drains: Vec<ServiceDrain>,
+    /// Per-job scenario flags, parallel to `jobs`.
+    flags: Vec<JobFlags>,
+    /// `Some(completion)` while the job occupies the substrate (committed or
+    /// running), `None` otherwise. Doubles as the staleness guard for the
+    /// running heap: a drain preemption cannot cheaply delete the victim's
+    /// heap entry, so completions are only honoured when they match this
+    /// table (see `advance_into`).
+    completion_of: Vec<Option<Time>>,
+    /// Jobs occupying the substrate right now (running or committed); kept
+    /// explicitly because the running heap may hold stale entries.
+    running_count: usize,
+    /// Jobs whose completion event has been drained.
+    completed_count: usize,
+    /// What happens to jobs a drain preempts.
+    drain_mode: DrainMode,
+    /// Victims of the most recent [`ScheduleService::inject`], in re-queue
+    /// (ascending id) order. Reused across requests.
+    preempted_buf: Vec<JobId>,
     schedule: Schedule,
     decisions: u64,
     /// Largest completion time among started jobs, maintained incrementally
@@ -286,6 +465,13 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             running: BinaryHeap::new(),
             breakpoints: BinaryHeap::new(),
             reservations: Vec::new(),
+            drains: Vec::new(),
+            flags: Vec::new(),
+            completion_of: Vec::new(),
+            running_count: 0,
+            completed_count: 0,
+            drain_mode: DrainMode::default(),
+            preempted_buf: Vec::new(),
             schedule: Schedule::new(),
             decisions: 0,
             makespan: Time::ZERO,
@@ -313,6 +499,11 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             .reserve(jobs.saturating_sub(self.schedule.len()));
         self.fx_buf.started.reserve(jobs);
         self.fx_buf.completed.reserve(jobs);
+        self.flags.reserve(jobs.saturating_sub(self.flags.len()));
+        self.completion_of
+            .reserve(jobs.saturating_sub(self.completion_of.len()));
+        self.preempted_buf
+            .reserve(jobs.saturating_sub(self.preempted_buf.len()));
         self.reservations
             .reserve(reservations.saturating_sub(self.reservations.len()));
         self.breakpoints
@@ -350,6 +541,35 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         &self.reservations
     }
 
+    /// All drains ever injected (including revoked ones, truncated).
+    pub fn drains(&self) -> &[ServiceDrain] {
+        &self.drains
+    }
+
+    /// Per-job scenario flags, parallel to the job catalog.
+    pub fn job_flags(&self) -> &[JobFlags] {
+        &self.flags
+    }
+
+    /// What happens to jobs a drain preempts.
+    pub fn drain_mode(&self) -> DrainMode {
+        self.drain_mode
+    }
+
+    /// Configure what happens to jobs a drain preempts. Construction-time
+    /// configuration, not persisted state: journal recovery re-applies the
+    /// flag it was launched with before replaying ops.
+    pub fn set_drain_mode(&mut self, mode: DrainMode) {
+        self.drain_mode = mode;
+    }
+
+    /// Victims of the most recent [`ScheduleService::inject`], in re-queue
+    /// (ascending id) order; empty when it preempted nothing. Valid until
+    /// the next inject.
+    pub fn last_preempted(&self) -> &[JobId] {
+        &self.preempted_buf
+    }
+
     /// Capture the decided state of the session as a [`ServiceState`] —
     /// everything [`ScheduleService::restore`] needs to rebuild an
     /// equivalent live service. Cheap relative to a snapshot record write
@@ -362,8 +582,11 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             decisions: self.decisions,
             makespan: self.makespan,
             jobs: self.jobs.clone(),
+            flags: self.flags.clone(),
             reservations: self.reservations.clone(),
+            drains: self.drains.clone(),
             placements: self.schedule.placements().to_vec(),
+            queue: self.waiting.iter().collect(),
         }
     }
 
@@ -372,16 +595,14 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
     /// machines). The derived structures are reconstructed, not persisted:
     ///
     /// * the substrate re-reserves the *future suffix* of every effective
-    ///   reservation window and every unfinished placement — capacity before
-    ///   `now` is never consulted again (queries clamp to `now`, policies
-    ///   decide at `now`), so the availability function agrees with the
-    ///   original on all of `[now, ∞)`, which is everything observable;
-    /// * the waiting list is the released-but-unplaced jobs in `(release,
-    ///   id)` order — provably the live push order, because jobs enter the
-    ///   waiting list exactly when their release instant is reached (ties
-    ///   released at one instant enter in id order, and a job submitted at
-    ///   its own release instant has a larger id than anything already
-    ///   waiting there);
+    ///   reservation and drain window and every unfinished placement —
+    ///   capacity before `now` is never consulted again (queries clamp to
+    ///   `now`, policies decide at `now`), so the availability function
+    ///   agrees with the original on all of `[now, ∞)`, which is everything
+    ///   observable;
+    /// * the waiting list is rebuilt verbatim from the persisted queue order
+    ///   (boosts and drain preemptions made the order part of the state —
+    ///   see [`ServiceState::queue`]);
     /// * pending/running heaps and overlay breakpoints are re-derived from
     ///   release dates, completion times and the effective overlay.
     ///
@@ -405,23 +626,37 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         svc.decisions = state.decisions;
         svc.makespan = state.makespan;
         svc.jobs = state.jobs.clone();
+        svc.flags = state.flags.clone();
         svc.reservations = state.reservations.clone();
-        // Future suffixes of the effective reservation windows. Cancelled
-        // windows released their suffix at cancel time (which was <= now),
-        // and windows wholly in the past never get consulted again — only
-        // live windows reaching past `now` still occupy the substrate.
-        for r in state.reservations.iter().filter(|r| !r.cancelled) {
-            let from = r.start.max(state.now);
-            if r.end > from {
+        svc.drains = state.drains.clone();
+        svc.completion_of = vec![None; state.jobs.len()];
+        // Future suffixes of the effective reservation and drain windows.
+        // Cancelled/revoked windows released their suffix at resolution time
+        // (which was <= now), and windows wholly in the past never get
+        // consulted again — only live windows reaching past `now` still
+        // occupy the substrate.
+        let reservation_windows = state
+            .reservations
+            .iter()
+            .filter(|r| !r.cancelled)
+            .map(|r| (r.width, r.start, r.end));
+        let drain_windows = state
+            .drains
+            .iter()
+            .filter(|d| !d.revoked)
+            .map(|d| (d.width, d.start, d.end));
+        for (width, start, end) in reservation_windows.chain(drain_windows) {
+            let from = start.max(state.now);
+            if end > from {
                 svc.substrate
-                    .reserve(from, r.end.since(from), r.width)
+                    .reserve(from, end.since(from), width)
                     .expect("the original substrate accepted this window");
             }
         }
         // Placements: re-occupy unfinished runs, rebuild the schedule and
         // the running heap. Completions strictly after `now` are still
-        // running (the live service drains completions at their instant, so
-        // a running entry's completion is always > now).
+        // running or committed (the live service drains completions at their
+        // instant, so an occupying entry's completion is always > now).
         svc.schedule = Schedule::from_placements(state.placements.clone());
         for p in &state.placements {
             let job = state.jobs[p.job.0];
@@ -432,32 +667,28 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
                     .reserve(from, completion.since(from), job.width)
                     .expect("the original substrate accepted this run");
                 svc.running.push(Reverse((completion, p.job.0)));
+                svc.completion_of[p.job.0] = Some(completion);
+                svc.running_count += 1;
+            } else {
+                svc.completed_count += 1;
             }
         }
-        // Waiting = released but unplaced, in (release, id) order; pending =
-        // not yet released.
-        let placed: Vec<bool> = {
-            let mut v = vec![false; state.jobs.len()];
-            for p in &state.placements {
-                v[p.job.0] = true;
-            }
-            v
-        };
+        // Waiting = the persisted queue, verbatim; pending = everything
+        // unplaced and unqueued (necessarily released strictly after now).
+        let mut accounted: Vec<bool> = vec![false; state.jobs.len()];
+        for p in &state.placements {
+            accounted[p.job.0] = true;
+        }
         svc.waiting.ensure_capacity(state.jobs.len());
-        let mut released: Vec<(Time, usize)> = Vec::new();
+        for &pos in &state.queue {
+            svc.waiting.push_back(pos);
+            accounted[pos] = true;
+        }
         for (pos, job) in state.jobs.iter().enumerate() {
-            if placed[pos] {
-                continue;
-            }
-            if job.release <= state.now {
-                released.push((job.release, pos));
-            } else {
+            if !accounted[pos] {
+                debug_assert!(job.release > state.now, "unqueued job must be pending");
                 svc.pending.push(Reverse((job.release, pos)));
             }
-        }
-        released.sort_unstable();
-        for (_, pos) in released {
-            svc.waiting.push_back(pos);
         }
         svc.refresh_breakpoints();
         svc
@@ -495,6 +726,8 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         let id = JobId(pos);
         self.jobs
             .push(Job::released_at(pos, width, duration, release));
+        self.flags.push(JobFlags::default());
+        self.completion_of.push(None);
         self.waiting.ensure_capacity(pos + 1);
         let mut effects = std::mem::take(&mut self.fx_buf);
         effects.clear();
@@ -599,6 +832,290 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         Ok(&self.fx_buf)
     }
 
+    /// Inject a failure or maintenance *drain*: `width` machines withdrawn
+    /// during `[start, start + duration)`, inserted mid-run. Unlike
+    /// [`ScheduleService::reserve`], a drain does not take "no" for an
+    /// answer from running jobs: when the window does not fit the remaining
+    /// capacity, the *minimal* set of non-guaranteed running jobs whose runs
+    /// overlap the window (half-open — a job completing exactly at `start`
+    /// is untouched, most-recently-started killed first) is preempted to
+    /// make room, each victim re-queued per the configured [`DrainMode`].
+    /// Jobs committed by deadline admission are never preempted; a drain
+    /// that cannot fit without killing one is rejected transactionally.
+    ///
+    /// Returns the drain id and the effects of the decision the capacity
+    /// change triggered; the preempted job ids are available from
+    /// [`ScheduleService::last_preempted`] until the next inject.
+    pub fn inject(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, &Effects), ServiceError> {
+        if width == 0 || width > self.machines {
+            return Err(ServiceError::BadWidth {
+                width,
+                machines: self.machines,
+            });
+        }
+        if duration.is_zero() {
+            return Err(ServiceError::ZeroDuration);
+        }
+        if start < self.now {
+            return Err(ServiceError::InThePast {
+                at: start,
+                now: self.now,
+            });
+        }
+        let end = start.saturating_add(duration);
+        self.preempted_buf.clear();
+        if self.substrate.reserve(start, duration, width).is_err() {
+            // Candidate victims: non-guaranteed jobs occupying the substrate
+            // whose run `[run start, completion)` overlaps the drained
+            // window. `(pos, width, run start, completion)`, killed in
+            // most-recently-started-first order so long-running work is
+            // disturbed last.
+            let mut victims: Vec<(usize, u32, Time, Time)> = Vec::new();
+            for p in self.schedule.placements() {
+                let pos = p.job.0;
+                let Some(completion) = self.completion_of[pos] else {
+                    continue;
+                };
+                if self.flags[pos].guaranteed {
+                    continue;
+                }
+                if p.start < end && completion > start {
+                    victims.push((pos, self.jobs[pos].width, p.start, completion));
+                }
+            }
+            victims.sort_unstable_by_key(|v| std::cmp::Reverse((v.2, v.0)));
+            // Minimal victim prefix whose release makes the window fit,
+            // found under speculation so a rejection leaves no trace.
+            let now = self.now;
+            let needed = self.substrate.speculate(|s| {
+                for (k, &(_, w, run_start, completion)) in victims.iter().enumerate() {
+                    let from = run_start.max(now);
+                    s.release(from, completion.since(from), w)
+                        .expect("releasing a running job's own window");
+                    if s.reserve(start, duration, width).is_ok() {
+                        return Some(k + 1);
+                    }
+                }
+                None
+            });
+            let Some(k) = needed else {
+                return Err(ServiceError::ReservationRejected {
+                    reason: format!(
+                        "drain [{start}, {end})x{width} does not fit even after \
+                         preempting every non-guaranteed job overlapping it"
+                    ),
+                });
+            };
+            let mut kill = victims[..k].to_vec();
+            kill.sort_unstable_by_key(|&(pos, ..)| pos);
+            for &(pos, w, run_start, completion) in &kill {
+                let from = run_start.max(self.now);
+                self.substrate
+                    .release(from, completion.since(from), w)
+                    .expect("releasing a running job's own window");
+                self.schedule.remove(JobId(pos));
+                self.completion_of[pos] = None;
+                self.running_count -= 1;
+                if self.drain_mode == DrainMode::Checkpoint {
+                    // Only the not-yet-elapsed work remains to be redone.
+                    self.jobs[pos].duration = completion.since(self.now);
+                }
+                self.flags[pos].boosted = false;
+                self.waiting.push_back(pos);
+                self.preempted_buf.push(JobId(pos));
+            }
+            self.recompute_makespan();
+            self.substrate
+                .reserve(start, duration, width)
+                .expect("speculation certified the drain window");
+        }
+        let id = self.drains.len();
+        self.drains.push(ServiceDrain {
+            id,
+            width,
+            start,
+            end,
+            revoked: false,
+        });
+        self.refresh_breakpoints();
+        let mut effects = std::mem::take(&mut self.fx_buf);
+        effects.clear();
+        // The overlay changed, and preemption may have re-queued work that
+        // can restart immediately on the surviving machines.
+        self.decide_now(&mut effects);
+        self.fx_buf = effects;
+        Ok((id, &self.fx_buf))
+    }
+
+    /// Revoke drain `id` (the failure healed / maintenance finished early),
+    /// releasing its not-yet-elapsed window `[max(now, start), end)`. The
+    /// elapsed prefix stays in effect, exactly like
+    /// [`ScheduleService::cancel`] — and jobs the drain already preempted
+    /// stay preempted (the past cannot be rewritten).
+    pub fn revoke(&mut self, id: usize) -> Result<&Effects, ServiceError> {
+        let d = *self
+            .drains
+            .get(id)
+            .ok_or(ServiceError::UnknownDrain { id })?;
+        if d.revoked || d.end <= self.now {
+            return Err(ServiceError::DrainInactive { id });
+        }
+        let from = d.start.max(self.now);
+        let remaining = d.end.since(from);
+        if !remaining.is_zero() {
+            self.substrate
+                .release(from, remaining, d.width)
+                .expect("releasing an active drain's own window");
+        }
+        let entry = &mut self.drains[id];
+        entry.revoked = true;
+        entry.end = from;
+        self.refresh_breakpoints();
+        let mut effects = std::mem::take(&mut self.fx_buf);
+        effects.clear();
+        // Capacity grew; same wake-up obligation as cancel.
+        self.decide_now(&mut effects);
+        self.fx_buf = effects;
+        Ok(&self.fx_buf)
+    }
+
+    /// Submit a job with a due date. The speculative earliest-fit bound
+    /// gates admission: when `start + duration ≤ deadline` for the earliest
+    /// probed start, the job is **committed** to that placement — reserved
+    /// on the substrate immediately, guaranteed against drains — so an
+    /// accepted deadline can never be missed. Equality admits: windows are
+    /// half-open, so a job completing exactly *at* the deadline instant has
+    /// finished by it.
+    ///
+    /// When the bound misses the due date, `admission` decides:
+    /// [`AdmissionPolicy::Reject`] refuses the job without a state change
+    /// ([`ServiceError::DeadlineUnmet`]); [`AdmissionPolicy::Boost`] accepts
+    /// it un-guaranteed at the *front* of the waiting queue.
+    pub fn submit_deadline(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+        deadline: Time,
+        admission: AdmissionPolicy,
+    ) -> Result<(JobId, DeadlineOutcome, &Effects), ServiceError> {
+        if width == 0 || width > self.machines {
+            return Err(ServiceError::BadWidth {
+                width,
+                machines: self.machines,
+            });
+        }
+        if duration.is_zero() {
+            return Err(ServiceError::ZeroDuration);
+        }
+        let release = release.unwrap_or(self.now);
+        if release < self.now {
+            return Err(ServiceError::InThePast {
+                at: release,
+                now: self.now,
+            });
+        }
+        let probe = self.substrate.speculate(|s| {
+            let start = s.earliest_fit(width, duration, release)?;
+            s.reserve(start, duration, width)
+                .expect("earliest_fit certified the window");
+            Some(start)
+        });
+        let committed = probe.filter(|&s| s.saturating_add(duration) <= deadline);
+        if let Some(start) = committed {
+            let completion = start.saturating_add(duration);
+            self.substrate
+                .reserve(start, duration, width)
+                .expect("the speculative probe certified this window");
+            let pos = self.jobs.len();
+            let id = JobId(pos);
+            self.jobs
+                .push(Job::released_at(pos, width, duration, release));
+            self.flags.push(JobFlags {
+                deadline: Some(deadline),
+                guaranteed: true,
+                boosted: false,
+            });
+            self.completion_of.push(Some(completion));
+            self.waiting.ensure_capacity(pos + 1);
+            self.schedule.place(id, start);
+            self.running.push(Reverse((completion, pos)));
+            self.running_count += 1;
+            self.makespan = self.makespan.max(completion);
+            self.refresh_breakpoints();
+            let mut effects = std::mem::take(&mut self.fx_buf);
+            effects.clear();
+            effects.started.push(Placement { job: id, start });
+            // The committed window shrank future capacity — which, like a
+            // reservation, can move an EASY head's shadow later and newly
+            // admit a backfill candidate. Consult the policy.
+            self.decide_now(&mut effects);
+            self.fx_buf = effects;
+            return Ok((
+                id,
+                DeadlineOutcome::Committed { start, completion },
+                &self.fx_buf,
+            ));
+        }
+        match admission {
+            AdmissionPolicy::Reject => Err(ServiceError::DeadlineUnmet {
+                deadline,
+                bound: probe.map(|s| s.saturating_add(duration)),
+            }),
+            AdmissionPolicy::Boost => {
+                let pos = self.jobs.len();
+                let id = JobId(pos);
+                self.jobs
+                    .push(Job::released_at(pos, width, duration, release));
+                self.flags.push(JobFlags {
+                    deadline: Some(deadline),
+                    guaranteed: false,
+                    boosted: true,
+                });
+                self.completion_of.push(None);
+                self.waiting.ensure_capacity(pos + 1);
+                let mut effects = std::mem::take(&mut self.fx_buf);
+                effects.clear();
+                if release == self.now {
+                    self.waiting.push_front(pos);
+                    self.decide_now(&mut effects);
+                } else {
+                    self.pending.push(Reverse((release, pos)));
+                }
+                self.fx_buf = effects;
+                Ok((id, DeadlineOutcome::Boosted, &self.fx_buf))
+            }
+        }
+    }
+
+    /// Submit a *moldable* job: a total work `area` (processor×ticks) plus a
+    /// menu of admissible widths. The service concretizes the shape with
+    /// [`best_width`] — the width whose `(⌈area/width⌉)`-tick rigid form has
+    /// the earliest probed completion, ties to the narrowest — and routes it
+    /// through the ordinary [`ScheduleService::submit`] path, so a moldable
+    /// job is indistinguishable from a rigid one once admitted (which keeps
+    /// the off-line replay oracle intact).
+    pub fn submit_moldable(
+        &mut self,
+        widths: &[u32],
+        area: u64,
+    ) -> Result<(JobId, WidthChoice, &Effects), ServiceError> {
+        let choice = best_width(&self.substrate, widths, area, self.now)
+            .map_err(|e| ServiceError::Moldable {
+                reason: e.to_string(),
+            })?
+            .ok_or_else(|| ServiceError::Moldable {
+                reason: "no admissible width ever fits the availability function".into(),
+            })?;
+        let id = self.submit(choice.width, choice.duration, None)?.0;
+        Ok((id, choice, &self.fx_buf))
+    }
+
     /// Speculative earliest-fit probe: the earliest start a `width ×
     /// duration` job would get if submitted now (or at `not_before`), or
     /// `None` if it can never fit. Runs as checkpoint → earliest-fit →
@@ -680,8 +1197,8 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             submitted: self.jobs.len(),
             pending: self.pending.len(),
             waiting: self.waiting.len(),
-            running: self.running.len(),
-            completed: self.schedule.len() - self.running.len(),
+            running: self.running_count,
+            completed: self.completed_count,
             reservations: self
                 .reservations
                 .iter()
@@ -726,20 +1243,101 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             .expect("the live substrate accepted every window")
     }
 
+    /// The oracle view of the session: the off-line instance and schedule
+    /// the batch [`crate::engine::Simulator`] must be compared against when
+    /// the session contains deadline-committed jobs.
+    ///
+    /// Committed jobs are placed by admission, not by the on-line policy, so
+    /// the off-line engine cannot re-derive them — they become overlay
+    /// windows (capacity withdrawn at their committed placement) instead of
+    /// instance jobs, and both the remaining jobs and the service's
+    /// placements are re-densified over the non-committed population. For a
+    /// session without committed jobs this degenerates to
+    /// `(to_instance(), schedule().clone())`.
+    pub fn oracle_parts(&self) -> (ResaInstance, Schedule) {
+        let mut remap = vec![usize::MAX; self.jobs.len()];
+        let mut jobs = Vec::new();
+        for (pos, job) in self.jobs.iter().enumerate() {
+            if self.flags[pos].guaranteed {
+                continue;
+            }
+            remap[pos] = jobs.len();
+            jobs.push(Job::released_at(
+                jobs.len(),
+                job.width,
+                job.duration,
+                job.release,
+            ));
+        }
+        let mut overlay = self.effective_overlay();
+        for p in self.schedule.placements() {
+            let pos = p.job.0;
+            if !self.flags[pos].guaranteed {
+                continue;
+            }
+            let job = self.jobs[pos];
+            overlay.push(Reservation::new(
+                overlay.len(),
+                job.width,
+                job.duration,
+                p.start,
+            ));
+        }
+        let instance = ResaInstance::new(self.machines, jobs, overlay)
+            .expect("the live substrate accepted every window");
+        let placements = self
+            .schedule
+            .placements()
+            .iter()
+            .filter(|p| remap[p.job.0] != usize::MAX)
+            .map(|p| Placement {
+                job: JobId(remap[p.job.0]),
+                start: p.start,
+            })
+            .collect();
+        (instance, Schedule::from_placements(placements))
+    }
+
     // -- internals ----------------------------------------------------------
 
-    /// The reservation overlay as it is actually in effect: cancelled
-    /// windows truncated to their elapsed prefix, zero-length windows
-    /// dropped, ids re-densified. The single source of truth for both the
-    /// replay-equivalence instance and the decision breakpoints — the two
-    /// must never diverge.
+    /// The reservation-and-drain overlay as it is actually in effect:
+    /// cancelled/revoked windows truncated to their elapsed prefix,
+    /// zero-length windows dropped, ids re-densified across the two
+    /// namespaces (reservations first). The single source of truth for both
+    /// the replay-equivalence instance and the decision breakpoints — the
+    /// two must never diverge. Windows committed by deadline admission are
+    /// deliberately absent: they occupy the substrate through their own
+    /// placements, and the oracle view ([`ScheduleService::oracle_parts`])
+    /// appends them separately.
     fn effective_overlay(&self) -> Vec<Reservation> {
-        self.reservations
+        let reservations = self
+            .reservations
             .iter()
             .filter(|r| r.end > r.start)
+            .map(|r| (r.width, r.start, r.end));
+        let drains = self
+            .drains
+            .iter()
+            .filter(|d| d.end > d.start)
+            .map(|d| (d.width, d.start, d.end));
+        reservations
+            .chain(drains)
             .enumerate()
-            .map(|(i, r)| Reservation::new(i, r.width, r.end.since(r.start), r.start))
+            .map(|(i, (w, s, e))| Reservation::new(i, w, e.since(s), s))
             .collect()
+    }
+
+    /// Recompute the makespan high-water mark from the current placements —
+    /// needed after a drain preemption revokes a start (the only operation
+    /// that can move `C_max` *down*).
+    fn recompute_makespan(&mut self) {
+        self.makespan = self
+            .schedule
+            .placements()
+            .iter()
+            .map(|p| p.start.saturating_add(self.jobs[p.job.0].duration))
+            .max()
+            .unwrap_or(Time::ZERO);
     }
 
     /// Walk virtual time forward to `to`, appending starts and completions
@@ -755,28 +1353,52 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             // Drain every event at this instant, then decide once —
             // completions and availability changes act only through the
             // substrate (job windows end by themselves), arrivals join the
-            // waiting set in id order.
+            // waiting set in id order. Only *batch-engine-visible* events
+            // earn the decision: ordinary completions, arrivals and
+            // normalized breakpoints. A committed (deadline-guaranteed)
+            // job's completion is an overlay-window edge to the off-line
+            // engine — its committed window participates in breakpoint
+            // normalization instead, so an edge cancelled by an
+            // equal-capacity boundary triggers no decision on either side.
+            let mut decide = false;
             while let Some(&Reverse((t, pos))) = self.running.peek() {
                 if t != at {
                     break;
                 }
                 self.running.pop();
-                effects.completed.push((JobId(pos), t));
+                // A drain preemption cannot cheaply delete the victim's heap
+                // entry; the completion table is the source of truth, so a
+                // mismatching entry is a stale ghost to discard.
+                if self.completion_of[pos] == Some(t) {
+                    self.completion_of[pos] = None;
+                    self.running_count -= 1;
+                    self.completed_count += 1;
+                    effects.completed.push((JobId(pos), t));
+                    decide |= !self.flags[pos].guaranteed;
+                }
             }
             while let Some(&Reverse((t, pos))) = self.pending.peek() {
                 if t != at {
                     break;
                 }
                 self.pending.pop();
-                self.waiting.push_back(pos);
+                if self.flags[pos].boosted {
+                    self.waiting.push_front(pos);
+                } else {
+                    self.waiting.push_back(pos);
+                }
+                decide = true;
             }
             while let Some(&Reverse(t)) = self.breakpoints.peek() {
                 if t != at {
                     break;
                 }
                 self.breakpoints.pop();
+                decide = true;
             }
-            self.decide_now(effects);
+            if decide {
+                self.decide_now(effects);
+            }
         }
         self.now = to;
     }
@@ -849,6 +1471,8 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             let completion = self.now.saturating_add(job.duration);
             self.makespan = self.makespan.max(completion);
             self.running.push(Reverse((completion, pos)));
+            self.completion_of[pos] = Some(completion);
+            self.running_count += 1;
             self.waiting.remove(pos);
             effects.started.push(Placement {
                 job: id,
@@ -872,6 +1496,24 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         for r in self.reservations.iter().filter(|r| r.end > r.start) {
             self.bp_events.push((r.start.ticks(), -i64::from(r.width)));
             self.bp_events.push((r.end.ticks(), i64::from(r.width)));
+        }
+        for d in self.drains.iter().filter(|d| d.end > d.start) {
+            self.bp_events.push((d.start.ticks(), -i64::from(d.width)));
+            self.bp_events.push((d.end.ticks(), i64::from(d.width)));
+        }
+        // Committed (deadline-guaranteed) windows are overlay windows to the
+        // off-line engine; they must normalize together with the rest so
+        // both sides agree on which instants are decision points.
+        for p in self.schedule.placements() {
+            let pos = p.job.0;
+            if !self.flags[pos].guaranteed {
+                continue;
+            }
+            let job = self.jobs[pos];
+            let end = p.start.saturating_add(job.duration);
+            self.bp_events
+                .push((p.start.ticks(), -i64::from(job.width)));
+            self.bp_events.push((end.ticks(), i64::from(job.width)));
         }
         self.bp_events.sort_unstable();
         self.breakpoints.clear();
@@ -1085,6 +1727,223 @@ mod tests {
         assert_eq!(svc.stats().makespan, Time(5));
     }
 
+    // -- scenario semantics --------------------------------------------------
+
+    #[test]
+    fn inject_preempts_overlapping_jobs_and_restarts_them() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        let (j0, _) = svc.submit(4, Dur(10), None).unwrap();
+        svc.advance(Time(2)).unwrap();
+        // The whole cluster fails during [2, 7): J0 must die.
+        let (d, fx) = svc.inject(4, Dur(5), Time(2)).unwrap();
+        assert_eq!(d, 0);
+        assert!(
+            fx.started.is_empty(),
+            "nothing can restart inside the drain"
+        );
+        assert_eq!(svc.last_preempted(), &[j0]);
+        assert_eq!(svc.schedule().len(), 0, "the placement was revoked");
+        let stats = svc.stats();
+        assert_eq!((stats.running, stats.waiting), (0, 1));
+        assert_eq!(stats.makespan, Time::ZERO, "makespan recomputed downward");
+        // Restart mode: the victim redoes its full 10 ticks after the drain.
+        let fx = svc.drain();
+        assert_eq!(fx.completed, vec![(j0, Time(17))]);
+        assert_eq!(svc.schedule().start_of(j0), Some(Time(7)));
+        assert!(svc.schedule().is_valid(&svc.to_instance()));
+    }
+
+    #[test]
+    fn checkpoint_mode_requeues_only_the_remaining_duration() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        svc.set_drain_mode(DrainMode::Checkpoint);
+        let (j0, _) = svc.submit(4, Dur(10), None).unwrap();
+        svc.advance(Time(2)).unwrap();
+        svc.inject(4, Dur(5), Time(2)).unwrap();
+        // 2 of 10 ticks were banked; 8 remain, restarting at 7.
+        let fx = svc.drain();
+        assert_eq!(fx.completed, vec![(j0, Time(15))]);
+        assert_eq!(svc.schedule().start_of(j0), Some(Time(7)));
+    }
+
+    #[test]
+    fn drain_at_a_completion_instant_preempts_nothing() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        let (j0, _) = svc.submit(4, Dur(5), None).unwrap();
+        // J0 runs [0, 5); a full-cluster drain starting exactly at its
+        // completion instant touches no half-open run window.
+        let (_, _) = svc.inject(4, Dur(3), Time(5)).unwrap();
+        assert!(svc.last_preempted().is_empty());
+        let fx = svc.drain();
+        assert_eq!(fx.completed, vec![(j0, Time(5))]);
+        assert_eq!(svc.schedule().start_of(j0), Some(Time(0)));
+    }
+
+    #[test]
+    fn inject_kills_the_minimal_most_recent_prefix() {
+        // 4 machines: J0 (2 wide) starts at 0, J1 (2 wide) starts at 0.
+        // A 2-wide drain needs only one victim — the most recently started
+        // (highest id on the tie), J1.
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        let (j0, _) = svc.submit(2, Dur(10), None).unwrap();
+        let (j1, _) = svc.submit(2, Dur(10), None).unwrap();
+        svc.advance(Time(1)).unwrap();
+        let (_, fx) = svc.inject(2, Dur(4), Time(1)).unwrap();
+        assert!(fx.started.is_empty());
+        assert_eq!(svc.last_preempted(), &[j1]);
+        assert_eq!(svc.schedule().start_of(j0), Some(Time(0)), "J0 survives");
+        let fx = svc.drain();
+        assert!(fx.completed.contains(&(j0, Time(10))));
+        assert_eq!(svc.schedule().start_of(j1), Some(Time(5)));
+    }
+
+    #[test]
+    fn drains_never_preempt_guaranteed_jobs() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        let (j0, outcome, _) = svc
+            .submit_deadline(4, Dur(10), None, Time(10), AdmissionPolicy::Reject)
+            .unwrap();
+        assert_eq!(
+            outcome,
+            DeadlineOutcome::Committed {
+                start: Time(0),
+                completion: Time(10)
+            }
+        );
+        let before = svc.substrate.to_profile();
+        let err = svc.inject(1, Dur(2), Time(3)).unwrap_err();
+        assert!(matches!(err, ServiceError::ReservationRejected { .. }));
+        assert_eq!(svc.substrate.to_profile(), before, "rejection left a trace");
+        assert!(svc.drains().is_empty());
+        let fx = svc.drain();
+        assert_eq!(fx.completed, vec![(j0, Time(10))], "the guarantee held");
+    }
+
+    #[test]
+    fn revoke_of_a_partially_elapsed_drain_frees_only_the_future() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        let (d, _) = svc.inject(4, Dur(10), Time(0)).unwrap();
+        let (j0, fx) = svc.submit(4, Dur(2), None).unwrap();
+        assert!(fx.started.is_empty(), "cluster fully drained");
+        svc.advance(Time(3)).unwrap();
+        // The failure heals at t = 3: [3, 10) is released, [0, 3) stands.
+        let fx = svc.revoke(d).unwrap();
+        assert_eq!(
+            fx.started,
+            vec![Placement {
+                job: j0,
+                start: Time(3)
+            }]
+        );
+        assert_eq!(svc.drains()[0].end, Time(3));
+        assert!(svc.drains()[0].revoked);
+        assert!(matches!(
+            svc.revoke(d),
+            Err(ServiceError::DrainInactive { .. })
+        ));
+        assert!(matches!(
+            svc.revoke(9),
+            Err(ServiceError::UnknownDrain { id: 9 })
+        ));
+    }
+
+    #[test]
+    fn deadline_exactly_at_the_bound_admits() {
+        let mut svc = timeline_service(4, ReferencePolicy::Easy);
+        // Earliest completion of a 2×5 job on a free cluster is 5: a due
+        // date of exactly 5 admits (half-open windows — the job has finished
+        // *by* instant 5), one tick earlier rejects.
+        let err = svc
+            .submit_deadline(2, Dur(5), None, Time(4), AdmissionPolicy::Reject)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::DeadlineUnmet {
+                deadline: Time(4),
+                bound: Some(Time(5)),
+            }
+        );
+        assert_eq!(svc.stats().submitted, 0, "a rejected job leaves no trace");
+        let (_, outcome, _) = svc
+            .submit_deadline(2, Dur(5), None, Time(5), AdmissionPolicy::Reject)
+            .unwrap();
+        assert_eq!(
+            outcome,
+            DeadlineOutcome::Committed {
+                start: Time(0),
+                completion: Time(5)
+            }
+        );
+    }
+
+    #[test]
+    fn boosted_jobs_jump_the_waiting_queue() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        svc.submit(4, Dur(10), None).unwrap();
+        let (j1, _) = svc.submit(4, Dur(5), None).unwrap();
+        // J2's bound (completion 25 at the earliest) misses its due date;
+        // Boost admits it at the *front* of the queue, ahead of J1.
+        let (j2, outcome, _) = svc
+            .submit_deadline(4, Dur(5), None, Time(12), AdmissionPolicy::Boost)
+            .unwrap();
+        assert_eq!(outcome, DeadlineOutcome::Boosted);
+        assert!(svc.job_flags()[j2.0].boosted);
+        assert!(!svc.job_flags()[j2.0].guaranteed);
+        svc.drain();
+        assert_eq!(svc.schedule().start_of(j2), Some(Time(10)));
+        assert_eq!(svc.schedule().start_of(j1), Some(Time(15)));
+    }
+
+    #[test]
+    fn moldable_submission_concretizes_and_schedules() {
+        let mut svc = timeline_service(8, ReferencePolicy::Easy);
+        let (id, choice, fx) = svc.submit_moldable(&[1, 2, 4], 12).unwrap();
+        assert_eq!((choice.width, choice.duration), (4, Dur(3)));
+        assert_eq!(
+            fx.started,
+            vec![Placement {
+                job: id,
+                start: Time(0)
+            }]
+        );
+        // The concretized job is an ordinary rigid job from here on.
+        assert_eq!(svc.to_instance().jobs()[id.0].width, 4);
+        assert!(matches!(
+            svc.submit_moldable(&[], 4),
+            Err(ServiceError::Moldable { .. })
+        ));
+        assert!(matches!(
+            svc.submit_moldable(&[9], 4),
+            Err(ServiceError::Moldable { .. })
+        ));
+    }
+
+    #[test]
+    fn scenario_state_snapshot_roundtrips() {
+        let mut svc = timeline_service(4, ReferencePolicy::Fcfs);
+        svc.submit(4, Dur(10), None).unwrap();
+        svc.submit(2, Dur(3), None).unwrap();
+        svc.advance(Time(2)).unwrap();
+        svc.inject(4, Dur(3), Time(2)).unwrap();
+        svc.submit_deadline(1, Dur(2), Some(Time(20)), Time(30), AdmissionPolicy::Reject)
+            .unwrap();
+        svc.submit_deadline(4, Dur(9), None, Time(10), AdmissionPolicy::Boost)
+            .unwrap();
+        let state = svc.state();
+        let restored = ScheduleService::restore(
+            ReferencePolicy::Fcfs,
+            &state,
+            AvailabilityTimeline::constant(4),
+        );
+        assert_eq!(restored.state(), state, "restore must be idempotent");
+        let mut live = svc;
+        let mut restored = restored;
+        live.drain();
+        restored.drain();
+        assert_eq!(live.schedule(), restored.schedule());
+        assert_eq!(live.stats(), restored.stats());
+    }
+
     /// The scripted session of the golden CLI tests, driven through the
     /// library API on both substrates: identical schedules, and the session
     /// replayed off-line through the batch engine reproduces them.
@@ -1251,6 +2110,156 @@ mod proptests {
         }
     }
 
+    /// Raw scenario session: machines, drain mode bit, up-front overlay ops
+    /// `(kind, width, dur, start)` applied at t = 0, then free requests
+    /// `(kind, width, dur, extra)`.
+    type RawScenario = (
+        u32,
+        u32,
+        Vec<(u32, u32, u64, u64)>,
+        Vec<(u32, u32, u64, u64)>,
+    );
+
+    fn arb_scenario(req_kinds: u32) -> impl Strategy<Value = RawScenario> {
+        (2u32..=8).prop_flat_map(move |m| {
+            let upfront =
+                proptest::collection::vec((0u32..=3, 1u32..=m, 1u64..=8, 0u64..=40), 0usize..=5);
+            let reqs = proptest::collection::vec(
+                (0u32..=req_kinds, 1u32..=m, 1u64..=9, 0u64..=15),
+                1usize..=16,
+            );
+            (Just(m), 0u32..=1, upfront, reqs)
+        })
+    }
+
+    /// Apply one up-front (t = 0) scenario op: reserve, inject, revoke, or a
+    /// guaranteed deadline submission. Returns a comparable digest.
+    fn apply_upfront<C: CapacityQuery + Speculate>(
+        svc: &mut ScheduleService<C>,
+        &(kind, width, dur, start): &(u32, u32, u64, u64),
+    ) -> String {
+        match kind % 4 {
+            0 => format!("{:?}", svc.reserve(width, Dur(dur), Time(start))),
+            1 => format!("{:?}", svc.inject(width, Dur(dur), Time(start))),
+            2 => {
+                let n = svc.drains().len();
+                if n == 0 {
+                    "no drains".to_string()
+                } else {
+                    format!("{:?}", svc.revoke(start as usize % n))
+                }
+            }
+            _ => format!(
+                "{:?}",
+                svc.submit_deadline(
+                    width,
+                    Dur(dur),
+                    None,
+                    Time(start + dur),
+                    AdmissionPolicy::Reject,
+                )
+            ),
+        }
+    }
+
+    /// Apply one decoded scenario request (the [`Req`] kinds plus inject /
+    /// revoke / deadline / moldable), returning a comparable digest.
+    fn apply_scenario_req<C: CapacityQuery + Speculate>(
+        svc: &mut ScheduleService<C>,
+        &(kind, width, dur, extra): &(u32, u32, u64, u64),
+    ) -> String {
+        let now = svc.now().ticks();
+        match kind % 7 {
+            0 => {
+                let release = (extra % 7 > 0).then(|| Time(now + extra % 7));
+                format!("{:?}", svc.submit(width, Dur(dur), release))
+            }
+            1 => format!("{:?}", svc.query(width, Dur(dur), None)),
+            2 => format!("{:?}", svc.advance(Time(now + extra))),
+            3 => format!("{:?}", svc.inject(width, Dur(dur), Time(now + extra % 5))),
+            4 => {
+                let n = svc.drains().len();
+                if n == 0 {
+                    "no drains".to_string()
+                } else {
+                    format!("{:?}", svc.revoke(extra as usize % n))
+                }
+            }
+            5 => {
+                let admission = if extra & 1 == 0 {
+                    AdmissionPolicy::Reject
+                } else {
+                    AdmissionPolicy::Boost
+                };
+                let delay = extra % 5;
+                let release = (delay > 0).then(|| Time(now + delay));
+                // Slack 0 probes the boundary: deadline == release + dur,
+                // which commits exactly when the substrate is free there.
+                let deadline = Time(now + delay + dur + extra % 9);
+                format!(
+                    "{:?}",
+                    svc.submit_deadline(width, Dur(dur), release, deadline, admission)
+                )
+            }
+            _ => {
+                let menu = [width.div_ceil(2), width];
+                format!("{:?}", svc.submit_moldable(&menu, dur * width as u64))
+            }
+        }
+    }
+
+    /// Drive one phased scenario session (all overlay mutations — reserve /
+    /// inject / revoke / committed deadlines — declared up front, then
+    /// ordinary and moldable traffic) on both substrates, lock-step, and
+    /// check the drained outcome against the off-line batch engine via
+    /// [`ScheduleService::oracle_parts`].
+    fn check_scenario_session(
+        m: u32,
+        upfront: &[(u32, u32, u64, u64)],
+        raw_reqs: &[(u32, u32, u64, u64)],
+        policy: ReferencePolicy,
+    ) -> Result<(), String> {
+        let mut tl = ScheduleService::new(policy, AvailabilityTimeline::constant(m));
+        let mut pf = ScheduleService::new(policy, ResourceProfile::constant(m));
+        for (i, op) in upfront.iter().enumerate() {
+            let a = apply_upfront(&mut tl, op);
+            let b = apply_upfront(&mut pf, op);
+            if a != b {
+                return Err(format!("up-front op {i} diverged: {a} vs {b}"));
+            }
+        }
+        for (i, raw) in raw_reqs.iter().enumerate() {
+            // Phase 2 sticks to submit / query / advance / moldable so the
+            // overlay stays as declared at t = 0 (the oracle's contract).
+            let kind = [0, 1, 2, 6][raw.0 as usize % 4];
+            let raw = (kind, raw.1, raw.2, raw.3);
+            let a = apply_scenario_req(&mut tl, &raw);
+            let b = apply_scenario_req(&mut pf, &raw);
+            if a != b {
+                return Err(format!("request {i} diverged: {a} vs {b}"));
+            }
+        }
+        tl.drain();
+        pf.drain();
+        if tl.schedule() != pf.schedule() {
+            return Err("substrates diverged after drain".to_string());
+        }
+        let (instance, schedule) = tl.oracle_parts();
+        let offline = Simulator::new(instance.clone()).run_reference_policy(policy);
+        if offline.schedule != schedule {
+            return Err(format!(
+                "off-line replay diverged under {}: {:?} vs {:?}",
+                policy.name(),
+                offline.schedule,
+                schedule
+            ));
+        }
+        if !schedule.is_valid(&instance) {
+            return Err("oracle schedule is infeasible".to_string());
+        }
+        Ok(())
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -1305,6 +2314,125 @@ mod proptests {
                 for (i, req) in reqs[cut..].iter().enumerate() {
                     let a = apply_req(&mut live, req);
                     let b = apply_req(&mut restored, req);
+                    prop_assert_eq!(a, b, "request {} diverged after restore", cut + i);
+                }
+                live.drain();
+                restored.drain();
+                prop_assert_eq!(live.schedule(), restored.schedule());
+                prop_assert_eq!(live.stats(), restored.stats());
+            }
+        }
+
+        /// Scenario sessions whose overlay mutations (reservations, drains,
+        /// revokes, committed deadline jobs) are declared up front reproduce
+        /// the off-line batch engine bit for bit on both substrates, under
+        /// every policy — the PR 5 / PR 7 oracle extended to drains,
+        /// guarantees, and moldable jobs.
+        #[test]
+        fn scenario_sessions_replay_offline_identically(session in arb_scenario(3)) {
+            let (m, _, upfront, reqs) = session;
+            for policy in [
+                ReferencePolicy::Fcfs,
+                ReferencePolicy::Easy,
+                ReferencePolicy::Greedy,
+            ] {
+                let outcome = check_scenario_session(m, &upfront, &reqs, policy);
+                prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+            }
+        }
+
+        /// Free interleavings of every service op — including mid-run
+        /// drains, revokes, deadline admission under both policies, and
+        /// moldable submissions — stay lock-step identical across
+        /// substrates, drain to a feasible schedule, and never miss an
+        /// accepted deadline. (Mid-run preemption legitimately diverges from
+        /// an up-front off-line replay, so the oracle here is the *other
+        /// substrate* plus the guarantees themselves.)
+        #[test]
+        fn scenario_interleavings_agree_and_keep_guarantees(session in arb_scenario(6)) {
+            let (m, mode, upfront, reqs) = session;
+            let mode = if mode == 0 { DrainMode::Restart } else { DrainMode::Checkpoint };
+            for policy in [
+                ReferencePolicy::Fcfs,
+                ReferencePolicy::Easy,
+                ReferencePolicy::Greedy,
+            ] {
+                let mut tl = ScheduleService::new(policy, AvailabilityTimeline::constant(m));
+                let mut pf = ScheduleService::new(policy, ResourceProfile::constant(m));
+                tl.set_drain_mode(mode);
+                pf.set_drain_mode(mode);
+                for (i, op) in upfront.iter().enumerate() {
+                    let a = apply_upfront(&mut tl, op);
+                    let b = apply_upfront(&mut pf, op);
+                    prop_assert_eq!(a, b, "up-front op {} diverged", i);
+                }
+                for (i, raw) in reqs.iter().enumerate() {
+                    let a = apply_scenario_req(&mut tl, raw);
+                    let b = apply_scenario_req(&mut pf, raw);
+                    prop_assert_eq!(a, b, "request {} diverged", i);
+                }
+                tl.drain();
+                pf.drain();
+                prop_assert_eq!(tl.schedule(), pf.schedule());
+                prop_assert_eq!(tl.stats(), pf.stats());
+                let instance = tl.to_instance();
+                prop_assert!(
+                    tl.schedule().is_valid(&instance),
+                    "drained scenario schedule is infeasible"
+                );
+                // The admission guarantee: every committed job finished by
+                // its due date, no matter what failed around it.
+                for (pos, flags) in tl.job_flags().iter().enumerate() {
+                    if flags.guaranteed {
+                        let deadline = flags.deadline.expect("guaranteed implies a deadline");
+                        let start = tl
+                            .schedule()
+                            .start_of(JobId(pos))
+                            .expect("guaranteed job must stay placed");
+                        let completion = start.saturating_add(instance.jobs()[pos].duration);
+                        prop_assert!(
+                            completion <= deadline,
+                            "guaranteed job {} missed its deadline: {:?} > {:?}",
+                            pos, completion, deadline
+                        );
+                    }
+                }
+            }
+        }
+
+        /// [`ServiceState`] round-trips at any boundary of a full scenario
+        /// session: drains, flags, and the persisted waiting-queue order all
+        /// survive, and the restored service answers every remaining request
+        /// identically under both drain modes.
+        #[test]
+        fn scenario_state_restore_roundtrip(session in arb_scenario(6), cut in 0usize..=16) {
+            let (m, mode, upfront, reqs) = session;
+            let mode = if mode == 0 { DrainMode::Restart } else { DrainMode::Checkpoint };
+            let cut = cut.min(reqs.len());
+            for policy in [
+                ReferencePolicy::Fcfs,
+                ReferencePolicy::Easy,
+                ReferencePolicy::Greedy,
+            ] {
+                let mut live = ScheduleService::new(policy, AvailabilityTimeline::constant(m));
+                live.set_drain_mode(mode);
+                for op in &upfront {
+                    apply_upfront(&mut live, op);
+                }
+                for raw in &reqs[..cut] {
+                    apply_scenario_req(&mut live, raw);
+                }
+                let state = live.state();
+                let mut restored = ScheduleService::restore(
+                    policy,
+                    &state,
+                    AvailabilityTimeline::constant(m),
+                );
+                restored.set_drain_mode(mode);
+                prop_assert_eq!(restored.state(), state, "restore must be idempotent");
+                for (i, raw) in reqs[cut..].iter().enumerate() {
+                    let a = apply_scenario_req(&mut live, raw);
+                    let b = apply_scenario_req(&mut restored, raw);
                     prop_assert_eq!(a, b, "request {} diverged after restore", cut + i);
                 }
                 live.drain();

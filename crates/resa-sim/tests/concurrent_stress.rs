@@ -13,7 +13,10 @@
 //! Both properties are exercised on both substrates (the indexed
 //! [`AvailabilityTimeline`] and the reference [`ResourceProfile`]), first
 //! with a fixed heavy mix, then property-tested over random scripts and
-//! policies.
+//! policies. The mix covers the whole write surface, including the scenario
+//! ops: failure/maintenance `inject` and `revoke` (with mid-run
+//! preemptions), deadline-gated `submit_deadline` under both admission
+//! policies, and moldable `submit_moldable`.
 
 use proptest::prelude::*;
 use resa_core::prelude::*;
@@ -45,11 +48,12 @@ where
         handles.push(std::thread::spawn(move || {
             let mut jobs = Vec::new();
             let mut reservations: Vec<usize> = Vec::new();
+            let mut drains: Vec<usize> = Vec::new();
             let mut writes = 0u64;
             for op in script {
                 let width = 1 + op.width % m;
                 let dur = Dur(1 + op.dur % 8);
-                match op.kind % 6 {
+                match op.kind % 10 {
                     // Submits dominate the mix; a clamped width never fails.
                     0 | 1 => {
                         let (id, _) = client.submit(width, dur, None).expect("valid submit");
@@ -79,6 +83,56 @@ where
                         let target = client.stats().now.saturating_add(Dur(op.t % 5));
                         client.advance_clamped(target).expect("clamped advance");
                         writes += 1;
+                    }
+                    // Inject a failure drain in the near future. It may
+                    // preempt running jobs mid-window or be rejected for
+                    // capacity — every outcome is part of the serial
+                    // history and must replay identically.
+                    5 => {
+                        let start = client.stats().now.saturating_add(Dur(op.t % 16));
+                        writes += 1;
+                        if let Ok((id, _, _)) = client.inject(width, dur, start) {
+                            drains.push(id);
+                        }
+                    }
+                    // Revoke one of our drains, or a bogus id.
+                    6 => {
+                        let id = drains.pop().unwrap_or(usize::MAX);
+                        writes += 1;
+                        let _ = client.revoke(id);
+                    }
+                    // Deadline-gated submission. The due date is computed
+                    // from a stale `now`, so concurrent advances flip cells
+                    // between committed, boosted and rejected — all three
+                    // outcomes replay through the log.
+                    7 => {
+                        let admission = if op.t % 2 == 0 {
+                            AdmissionPolicy::Reject
+                        } else {
+                            AdmissionPolicy::Boost
+                        };
+                        let deadline = client
+                            .stats()
+                            .now
+                            .saturating_add(dur)
+                            .saturating_add(Dur(op.t % 24));
+                        writes += 1;
+                        if let Ok((id, _, _)) =
+                            client.submit_deadline(width, dur, None, deadline, admission)
+                        {
+                            jobs.push(id);
+                        }
+                    }
+                    // Moldable submission: the service picks the width.
+                    // The clamped menu always fits the cluster eventually,
+                    // but a failed probe is recorded like any rejection.
+                    8 => {
+                        let menu = vec![width.div_ceil(2), width];
+                        let area = u64::from(width) * dur.ticks();
+                        writes += 1;
+                        if let Ok((id, _, _)) = client.submit_moldable(menu, area) {
+                            jobs.push(id);
+                        }
                     }
                     // Reads: snapshot coherence + a speculative probe. Not
                     // writes, so they must not show up in the log.
