@@ -48,10 +48,15 @@ pub mod prelude {
     pub use crate::ratio::{ExactProbe, RatioHarness, RatioMeasurement, ReferenceKind};
     pub use crate::report::{fmt_f64, to_json, Table};
     pub use crate::runner::{stream_seed, ExperimentRunner};
-    pub use crate::scenarios::{deadlines_met, drain_invariant, Window};
+    pub use crate::scenarios::{
+        deadlines_met, drain_invariant, StreamValidator, StreamVerdicts, Window,
+    };
     pub use crate::shard::{atomic_write, contiguous_ranges, fnv1a64};
     pub use crate::statistics::{geometric_mean, percentile_sorted, Summary};
-    pub use crate::verification::{classify, verify_schedule, GuaranteeReport, InstanceClass};
+    pub use crate::verification::{
+        classify, report_for_stream, report_from_reference, verify_schedule, GuaranteeReport,
+        InstanceClass, StreamFacts,
+    };
 }
 
 #[cfg(test)]

@@ -92,9 +92,26 @@ pub fn verify_schedule(
     instance: &ResaInstance,
     schedule: &Schedule,
 ) -> GuaranteeReport {
-    let class = classify(instance);
     let (reference, reference_kind) = harness.reference(instance);
-    let makespan = schedule.makespan(instance);
+    report_from_reference(
+        instance,
+        schedule.makespan(instance),
+        reference,
+        reference_kind,
+    )
+}
+
+/// Build the guarantee report for a known makespan against a known
+/// reference. This is the class-dependent half of [`verify_schedule`],
+/// shared with the streaming replay path (which never materializes a
+/// schedule and derives its reference from streamed [`StreamFacts`]).
+pub fn report_from_reference(
+    instance: &ResaInstance,
+    makespan: Time,
+    reference: Time,
+    reference_kind: ReferenceKind,
+) -> GuaranteeReport {
+    let class = classify(instance);
     let measured_ratio = if reference == Time::ZERO {
         1.0
     } else {
@@ -153,6 +170,92 @@ pub fn verify_schedule(
         reference_kind,
         checks,
     }
+}
+
+/// Per-job facts folded while a trace streams past — everything the
+/// certified lower bound and [`report_for_stream`] need, without holding
+/// the job vector.
+///
+/// [`StreamFacts::certified_lower_bound`] reproduces
+/// `resa_core::bounds::lower_bound(instance).unwrap_or(Time::ZERO)` exactly:
+/// the area bound folds total work, the per-job bound folds each job's
+/// earliest standalone completion against the pristine overlay profile, and
+/// an unfittable job poisons the bound to `Time::ZERO` the way the
+/// materialized computation's `None` does.
+#[derive(Debug, Clone, Default)]
+pub struct StreamFacts {
+    jobs: usize,
+    total_work: u128,
+    qmax: u32,
+    per_job: Time,
+    unfit: bool,
+}
+
+impl StreamFacts {
+    /// A fresh fold (no jobs observed).
+    pub fn new() -> Self {
+        StreamFacts::default()
+    }
+
+    /// Fold one job. `profile` is the reservation-only overlay profile (no
+    /// job usage), matching `resa_core::bounds::per_job_bound`.
+    pub fn observe(&mut self, job: &Job, profile: &ResourceProfile) {
+        self.jobs += 1;
+        self.total_work += job.work();
+        self.qmax = self.qmax.max(job.width);
+        if !self.unfit {
+            match profile.earliest_fit(job.width, job.duration, job.release) {
+                Some(start) => self.per_job = self.per_job.max(start + job.duration),
+                None => self.unfit = true,
+            }
+        }
+    }
+
+    /// Jobs folded so far.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Largest job width folded so far.
+    pub fn qmax(&self) -> u32 {
+        self.qmax
+    }
+
+    /// The certified lower bound of the folded jobs on `profile` — equal to
+    /// `lower_bound(instance).unwrap_or(Time::ZERO)` of the materialized
+    /// instance.
+    pub fn certified_lower_bound(&self, profile: &ResourceProfile) -> Time {
+        if self.unfit {
+            return Time::ZERO;
+        }
+        match profile.earliest_time_with_area(self.total_work) {
+            Some(area) => area.max(self.per_job),
+            None => Time::ZERO,
+        }
+    }
+}
+
+/// Guarantee report for a streamed replay.
+///
+/// Classification, `max_alpha` and every bound formula depend on the
+/// instance only through `(machines, reservations, qmax)`, so a *surrogate*
+/// instance holding a single job of width `qmax` over the real overlay
+/// reproduces [`verify_schedule`]'s report exactly — provided the reference
+/// is the certified lower bound, which is what [`verify_schedule`] itself
+/// uses past the exact-solver job limit (streaming callers fall back to the
+/// materialized path below that limit precisely so the exact reference is
+/// never bypassed).
+pub fn report_for_stream(
+    machines: u32,
+    reservations: &[Reservation],
+    facts: &StreamFacts,
+    makespan: Time,
+) -> GuaranteeReport {
+    let surrogate_job = Job::released_at(0usize, facts.qmax.max(1).min(machines), 1u64, 0u64);
+    let surrogate = ResaInstance::new(machines, vec![surrogate_job], reservations.to_vec())
+        .expect("surrogate mirrors an overlay that already validated");
+    let reference = facts.certified_lower_bound(&surrogate.profile());
+    report_from_reference(&surrogate, makespan, reference, ReferenceKind::LowerBound)
 }
 
 #[cfg(test)]
@@ -269,6 +372,76 @@ mod tests {
         assert!(schedule.is_valid(&inst));
         let report = verify_schedule(&RatioHarness::new(), &inst, &schedule);
         assert!(report.has_conclusive_violation());
+    }
+
+    /// The streaming surrogate report is indistinguishable from the
+    /// materialized `verify_schedule` once the instance is past the exact
+    /// solver's job limit (the only regime streaming callers use it in) —
+    /// across every instance class, including the α and non-increasing
+    /// branches whose bounds consult the profile and qmax.
+    #[test]
+    fn stream_report_matches_verify_schedule_past_the_exact_limit() {
+        let overlays: [(&str, Vec<Reservation>); 4] = [
+            ("free", vec![]),
+            ("nonincreasing", vec![Reservation::new(0, 4, 6u64, 0u64)]),
+            ("alpha", vec![Reservation::new(0, 3, 5u64, 4u64)]),
+            // A full-width job below makes no α work: unrestricted.
+            ("unrestricted", vec![Reservation::new(0, 3, 5u64, 4u64)]),
+        ];
+        for (name, overlay) in overlays {
+            let mut b = ResaInstanceBuilder::new(8);
+            for i in 0..14u64 {
+                b = b.job_released_at(1 + (i % 4) as u32, 1 + (i * 3) % 9, i % 5);
+            }
+            if name == "unrestricted" {
+                b = b.job(8, 2u64);
+            }
+            for r in &overlay {
+                b = b.reservation(r.width, r.duration, r.start);
+            }
+            let inst = b.build().unwrap();
+            assert!(inst.n_jobs() > 12, "must exceed the exact-solver limit");
+            let schedule = Lsrc::new().schedule(&inst);
+
+            let materialized = verify_schedule(&RatioHarness::new(), &inst, &schedule);
+            let mut facts = StreamFacts::new();
+            let profile = inst.profile();
+            for j in inst.jobs() {
+                facts.observe(j, &profile);
+            }
+            let streamed = report_for_stream(
+                inst.machines(),
+                inst.reservations(),
+                &facts,
+                schedule.makespan(&inst),
+            );
+            assert_eq!(
+                crate::report::to_json(&streamed),
+                crate::report::to_json(&materialized),
+                "{name}: streamed report diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_facts_reproduce_the_certified_lower_bound() {
+        let inst = ResaInstanceBuilder::new(4)
+            .job(4, 3u64)
+            .job(2, 1u64)
+            .reservation(2, 5u64, 1u64)
+            .build()
+            .unwrap();
+        let mut facts = StreamFacts::new();
+        let profile = inst.profile();
+        for j in inst.jobs() {
+            facts.observe(j, &profile);
+        }
+        assert_eq!(
+            facts.certified_lower_bound(&profile),
+            resa_core::bounds::lower_bound(&inst).unwrap()
+        );
+        assert_eq!(facts.qmax(), 4);
+        assert_eq!(facts.jobs(), 2);
     }
 
     #[test]

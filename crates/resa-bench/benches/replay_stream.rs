@@ -1,0 +1,327 @@
+//! PR-10 acceptance bench: streaming replay vs materialize-then-simulate.
+//!
+//! One synthetic release-sorted SWF log (balanced load, so the active-job
+//! population is independent of the trace length) is replayed two ways:
+//!
+//! * **streaming** — [`SwfStream`] pulled as a [`JobSource`] through
+//!   [`run_stream`], completed jobs retired into a [`DiscardSink`]: the
+//!   bounded-memory pipeline `resa replay` uses by default since PR 10;
+//! * **materialized** — the whole trace parsed into a `Vec<Job>`, wrapped in
+//!   a [`ResaInstance`] and run through the batch [`Simulator`]: the
+//!   pre-PR-10 pipeline, kept as `resa replay --materialize`.
+//!
+//! Metrics are asserted bit-identical between the two, the streaming side's
+//! `peak_active` is asserted small against the trace length (the structural
+//! bounded-memory story; the `VmHWM` deltas from `/proc/self/status` tell it
+//! in kilobytes where the kernel exposes them), and throughput lands in
+//! `BENCH_pr10.json` at the workspace root with a loose acceptance bound:
+//! streaming must hold at least half the materialized jobs/sec at full size
+//! — it does strictly more work per job (incremental metrics + retirement)
+//! but never pays the O(trace) parse, so in practice it is comparable.
+//!
+//! `RESA_BENCH_QUICK=1` shrinks the trace and relaxes the ratio (shared CI
+//! runners are noisy); the full run enforces the acceptance numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resa_analysis::prelude::to_json;
+use resa_core::prelude::*;
+use resa_sim::prelude::*;
+use resa_workloads::prelude::*;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::io::BufRead;
+use std::time::{Duration, Instant};
+
+struct Config {
+    label: &'static str,
+    /// Trace length for the head-to-head comparison (both pipelines run it;
+    /// the materialized side is O(trace²)-ish in wall clock, so this stays
+    /// moderate).
+    jobs: usize,
+    /// Trace length for the streaming-only scale probe.
+    scale_jobs: usize,
+    machines: u32,
+    /// Asserted minimum streaming/materialized throughput ratio.
+    required_ratio: f64,
+}
+
+fn config() -> Config {
+    if std::env::var("RESA_BENCH_QUICK").is_ok() {
+        Config {
+            label: "quick",
+            jobs: 8_000,
+            scale_jobs: 40_000,
+            machines: 32,
+            required_ratio: 0.1,
+        }
+    } else {
+        Config {
+            label: "full",
+            jobs: 50_000,
+            scale_jobs: 300_000,
+            machines: 32,
+            required_ratio: 0.5,
+        }
+    }
+}
+
+/// The same shape `examples/gen_swf.rs` writes: sorted releases, ~30%
+/// utilization so the wait queue stays O(1) in the trace length.
+fn synthetic_trace(jobs: usize, machines: u32) -> String {
+    let mut text = String::with_capacity(24 * jobs);
+    let _ = writeln!(text, "; MaxProcs: {machines}");
+    let max_width = (machines as u64 / 8).max(1);
+    for i in 0..jobs as u64 {
+        let _ = writeln!(
+            text,
+            "{} {} {} {}",
+            i + 1,
+            i * 2,
+            1 + (i * 7919) % 30,
+            1 + (i * 104729) % max_width
+        );
+    }
+    text
+}
+
+/// [`SwfStream`] as a [`JobSource`]: the adapter `resa replay` uses, minus
+/// the CLI's warm-up/overlay bookkeeping.
+struct TextSource<R: BufRead> {
+    stream: SwfStream<R>,
+    kept: usize,
+}
+
+impl<R: BufRead> JobSource for TextSource<R> {
+    fn next_job(&mut self) -> Option<Job> {
+        match self.stream.next()? {
+            Ok(job) => {
+                self.kept += 1;
+                Some(job)
+            }
+            Err(e) => panic!("the synthetic trace always parses: {e}"),
+        }
+    }
+}
+
+/// Peak resident set of this process in kB (`VmHWM`), or 0 where
+/// `/proc/self/status` is unavailable. Monotone per process, so run-order
+/// deltas only ever under-report a phase's own footprint — which is exactly
+/// the conservative direction for the streaming side measured first.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+#[derive(Debug, Serialize)]
+struct StreamingSide {
+    jobs_per_sec: f64,
+    wall_ms: f64,
+    peak_active: usize,
+    peak_slots: usize,
+    hwm_delta_kb: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct MaterializedSide {
+    jobs_per_sec: f64,
+    wall_ms: f64,
+    hwm_delta_kb: u64,
+}
+
+/// The streaming-only scale probe: 6x the comparison trace, asserting that
+/// jobs/sec and the active-job population stay flat as the trace grows.
+#[derive(Debug, Serialize)]
+struct ScaleProbe {
+    jobs: usize,
+    jobs_per_sec: f64,
+    peak_active: usize,
+    peak_slots: usize,
+    hwm_delta_kb: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Pr10Report {
+    config: String,
+    jobs: usize,
+    machines: u32,
+    policy: String,
+    streaming: StreamingSide,
+    materialized: MaterializedSide,
+    streaming_at_scale: ScaleProbe,
+    /// Streaming jobs/sec over materialized jobs/sec, at equal trace length.
+    throughput_ratio: f64,
+    required_ratio: f64,
+    /// Both pipelines produced bit-identical `SimMetrics`.
+    metrics_identical: bool,
+}
+
+fn persist(report: &Pr10Report) {
+    let path = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|dir| format!("{dir}/../../BENCH_pr10.json"))
+        .unwrap_or_else(|_| "BENCH_pr10.json".to_string());
+    match std::fs::write(&path, to_json(report)) {
+        Ok(()) => println!("[saved {path}]"),
+        Err(e) => eprintln!("[could not save {path}: {e}]"),
+    }
+}
+
+/// One streaming replay of `text`: outcome, wall clock, and the HWM delta.
+fn stream_once(text: &str, machines: u32, jobs: usize) -> (StreamOutcome, Duration, u64) {
+    let overlay = ResourceProfile::constant(machines);
+    let hwm0 = vm_hwm_kb();
+    let mut substrate = AvailabilityTimeline::constant(machines);
+    let mut source = TextSource {
+        stream: SwfStream::new(std::io::Cursor::new(text.as_bytes()), Some(machines)),
+        kept: 0,
+    };
+    let mut sink = DiscardSink::default();
+    let t0 = Instant::now();
+    let outcome = run_stream(
+        &mut substrate,
+        &overlay,
+        &EasyPolicy,
+        &mut source,
+        &mut sink,
+    );
+    let wall = t0.elapsed();
+    let hwm = vm_hwm_kb().saturating_sub(hwm0);
+    assert_eq!(source.kept, jobs, "every job must be streamed");
+    assert_eq!(sink.completed, jobs, "every job must retire");
+    (outcome, wall, hwm)
+}
+
+fn acceptance(_c: &mut Criterion) {
+    let cfg = config();
+    println!("replay_stream config: {}", cfg.label);
+    let text = synthetic_trace(cfg.jobs, cfg.machines);
+
+    // Streaming first: its HWM delta then reflects only its own footprint.
+    let (outcome, stream_wall, stream_hwm) = stream_once(&text, cfg.machines, cfg.jobs);
+
+    // Materialized: the pre-PR-10 parse-everything pipeline.
+    let hwm1 = vm_hwm_kb();
+    let t1 = Instant::now();
+    let jobs = parse_trace(&text).expect("the synthetic trace always parses");
+    let instance =
+        ResaInstance::new(cfg.machines, jobs, Vec::new()).expect("widths fit the cluster");
+    let result = Simulator::new(instance).run(&EasyPolicy);
+    let mat_wall = t1.elapsed();
+    let mat_hwm = vm_hwm_kb().saturating_sub(hwm1);
+
+    assert_eq!(
+        outcome.metrics, result.metrics,
+        "streaming and materialized replay must agree bit for bit"
+    );
+    assert_eq!(outcome.decisions, result.decisions);
+    assert!(
+        outcome.peak_active * 10 < cfg.jobs,
+        "the active-job population ({}) must stay far below the trace \
+         length ({}) — the trace is balanced by construction",
+        outcome.peak_active,
+        cfg.jobs
+    );
+
+    let streaming = StreamingSide {
+        jobs_per_sec: cfg.jobs as f64 / stream_wall.as_secs_f64(),
+        wall_ms: stream_wall.as_secs_f64() * 1e3,
+        peak_active: outcome.peak_active,
+        peak_slots: outcome.peak_slots,
+        hwm_delta_kb: stream_hwm,
+    };
+    let materialized = MaterializedSide {
+        jobs_per_sec: cfg.jobs as f64 / mat_wall.as_secs_f64(),
+        wall_ms: mat_wall.as_secs_f64() * 1e3,
+        hwm_delta_kb: mat_hwm,
+    };
+    let throughput_ratio = streaming.jobs_per_sec / materialized.jobs_per_sec;
+
+    // The scale probe: 6x the trace, streaming only. Throughput and the
+    // active-job population must both stay flat.
+    let scale_text = synthetic_trace(cfg.scale_jobs, cfg.machines);
+    let (scale_outcome, scale_wall, scale_hwm) =
+        stream_once(&scale_text, cfg.machines, cfg.scale_jobs);
+    let streaming_at_scale = ScaleProbe {
+        jobs: cfg.scale_jobs,
+        jobs_per_sec: cfg.scale_jobs as f64 / scale_wall.as_secs_f64(),
+        peak_active: scale_outcome.peak_active,
+        peak_slots: scale_outcome.peak_slots,
+        hwm_delta_kb: scale_hwm,
+    };
+    assert!(
+        scale_outcome.peak_active <= outcome.peak_active * 4 + 64,
+        "the active-job population must not grow with the trace \
+         ({} at {} jobs vs {} at {} jobs)",
+        scale_outcome.peak_active,
+        cfg.scale_jobs,
+        outcome.peak_active,
+        cfg.jobs,
+    );
+    assert!(
+        streaming_at_scale.jobs_per_sec >= streaming.jobs_per_sec * 0.5,
+        "streaming throughput must stay flat as the trace grows \
+         ({:.0} jobs/s at {} vs {:.0} jobs/s at {})",
+        streaming_at_scale.jobs_per_sec,
+        cfg.scale_jobs,
+        streaming.jobs_per_sec,
+        cfg.jobs,
+    );
+
+    println!(
+        "streaming    {:.0} jobs/s ({:.0} ms, peak_active {}, peak_slots {}, \
+         +{} kB HWM)\n\
+         materialized {:.0} jobs/s ({:.0} ms, +{} kB HWM)\n\
+         at {} jobs   {:.0} jobs/s (peak_active {}, +{} kB HWM)\n\
+         ratio        {throughput_ratio:.2}x (required ≥ {:.2}x)",
+        streaming.jobs_per_sec,
+        streaming.wall_ms,
+        streaming.peak_active,
+        streaming.peak_slots,
+        streaming.hwm_delta_kb,
+        materialized.jobs_per_sec,
+        materialized.wall_ms,
+        materialized.hwm_delta_kb,
+        streaming_at_scale.jobs,
+        streaming_at_scale.jobs_per_sec,
+        streaming_at_scale.peak_active,
+        streaming_at_scale.hwm_delta_kb,
+        cfg.required_ratio,
+    );
+
+    let report = Pr10Report {
+        config: cfg.label.to_string(),
+        jobs: cfg.jobs,
+        machines: cfg.machines,
+        policy: "easy".to_string(),
+        streaming,
+        materialized,
+        streaming_at_scale,
+        throughput_ratio,
+        required_ratio: cfg.required_ratio,
+        metrics_identical: true,
+    };
+    persist(&report);
+
+    assert!(
+        throughput_ratio >= cfg.required_ratio,
+        "acceptance: streaming replay must hold >= {:.2}x the materialized \
+         throughput (got {throughput_ratio:.2}x)",
+        cfg.required_ratio,
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    targets = acceptance
+}
+criterion_main!(benches);

@@ -11,8 +11,11 @@
 //! resa table <fcfs|average|online|priority>
 //!                               reproduce one of the extension tables (E6-E9)
 //! resa graham                   the Theorem-2 Graham-bound experiment (E5)
-//! resa replay <trace.swf>       replay an SWF trace (policies, reservation
-//!                               overlays, warm-up truncation)
+//! resa replay <trace>           replay an SWF trace (policies, reservation
+//!                               overlays, warm-up truncation; streams
+//!                               archive-scale logs with bounded memory)
+//! resa fetch <name>             import an archive trace into the local
+//!                               checksum-pinned cache (`trace:` references)
 //! resa sweep <spec.json>        run a declarative experiment sweep
 //! resa serve                    resident scheduling service (line-delimited
 //!                               JSON over stdin/stdout, TCP or Unix socket)
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod bench_cmds;
+pub mod fetch;
 pub mod fields;
 pub mod opts;
 pub mod replay;
@@ -45,6 +49,14 @@ pub mod serve;
 pub mod sweep;
 
 use opts::CommonOpts;
+
+/// Serializes tests that set `RESA_TRACE_CACHE` — the variable is process
+/// global, so concurrent test threads would otherwise race on it.
+#[cfg(test)]
+pub(crate) fn trace_cache_env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// The result of a successfully executed subcommand.
 #[derive(Debug, Clone)]
@@ -98,7 +110,9 @@ SUBCOMMANDS:
     table <name>         reproduce an extension table: fcfs (E6), average (E7),
                          online (E9) or priority (E8)
     graham               the Theorem-2 Graham-bound experiment (E5)
-    replay <trace.swf>   replay an SWF trace end to end (see `resa replay --help`)
+    replay <trace>       replay an SWF trace end to end (see `resa replay --help`)
+    fetch <name>         import an archive trace into the checksum-pinned local
+                         cache, usable everywhere as `trace:<name>`
     sweep <spec.json>    run a declarative experiment sweep (see `resa sweep --help`)
     serve                resident scheduling service over a line-delimited JSON
                          protocol (see `resa serve --help`)
@@ -142,6 +156,7 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
             bench_cmds::graham(&opts)
         }
         "replay" => replay::run(rest),
+        "fetch" => fetch::run(rest),
         "sweep" => sweep::run(rest),
         "serve" => serve::run(rest),
         "help" | "--help" | "-h" => Ok(Outcome {

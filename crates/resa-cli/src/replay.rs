@@ -1,7 +1,8 @@
 //! `resa replay` — end-to-end SWF trace replay.
 //!
 //! The pipeline the paper motivates but never shows: a production trace in
-//! the Standard Workload Format is parsed (`resa_workloads::swf`), optionally
+//! the Standard Workload Format (plain or gzipped, a file path or a cached
+//! `trace:` reference) is parsed (`resa_workloads::swf`), optionally
 //! truncated past a warm-up horizon, decorated with a reservation overlay
 //! (α-restricted, non-increasing, or loaded from an instance file), and
 //! replayed — either through the on-line [`Simulator`] under a decision
@@ -9,6 +10,16 @@
 //! substrate. The resulting schedule is validated and checked against every
 //! paper guarantee that applies to the instance class; a conclusive
 //! violation flips the process exit code to 2.
+//!
+//! On-line replays of release-sorted traces **stream** by default: the trace
+//! is parsed incrementally, jobs enter the engine as virtual time reaches
+//! their warmed-up submission instant, and completed jobs retire
+//! immediately, so live memory is O(active jobs + overlay) — independent of
+//! the trace length. Validation, the drained-window invariant and the
+//! guarantee report are all derived online ([`StreamValidator`],
+//! [`StreamFacts`]), and the streamed report is byte-identical to the
+//! materialized one (`--materialize` forces the whole-trace-in-memory path;
+//! tests below assert equality across policies, substrates and overlays).
 
 use crate::opts::{CommonOpts, OutputFormat};
 use crate::{CliError, Outcome};
@@ -18,13 +29,19 @@ use resa_core::prelude::*;
 use resa_sim::prelude::*;
 use resa_workloads::prelude::*;
 use serde::Serialize;
+use std::path::{Path, PathBuf};
 
 /// Help text for `resa replay --help`.
 pub const REPLAY_HELP: &str = "\
 resa replay — replay a Standard Workload Format trace end to end
 
 USAGE:
-    resa replay <trace.swf> [OPTIONS]
+    resa replay <trace> [OPTIONS]
+
+    <trace> is a Standard Workload Format file — plain or gzipped — or a
+    cached archive reference `trace:<name>[@sha256:<hex>]` imported with
+    `resa fetch`. On-line replays of release-sorted traces stream with
+    bounded memory by default (see --materialize).
 
 OPTIONS:
     --machines <m>        cluster size (default: the trace's MaxProcs header,
@@ -53,6 +70,10 @@ OPTIONS:
                           timeline = optimized engine, profile = the
                           clone-based reference engine — results are identical,
                           which is exactly what the golden tests assert)
+    --materialize         force the whole-trace-in-memory pipeline instead of
+                          the streaming default (reports are byte-identical;
+                          off-line policies, unsorted traces and tiny traces
+                          materialize regardless)
 
 plus the common options: --seed --threads --format --quick --out
 ";
@@ -292,7 +313,13 @@ struct ReplayReport {
     violations: usize,
 }
 
-/// `resa replay <trace.swf> [options]`.
+/// Job counts at or below this make the materialized guarantee checker
+/// consult the exact solver (`RatioHarness::exact_job_limit`), which needs
+/// the whole job catalog — streaming replays fall back to the materialized
+/// pipeline there so the reports stay byte-identical.
+const STREAM_MIN_JOBS: usize = 12;
+
+/// `resa replay <trace> [options]`.
 pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     if args.first() == Some(&"--help") {
         return Ok(Outcome {
@@ -310,6 +337,7 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     let mut warmup: u64 = 0;
     let mut substrate = Substrate::Timeline;
     let mut failures: Vec<(u32, u64, u64)> = Vec::new();
+    let mut materialize = false;
     let opts = CommonOpts::parse(rest, &mut |flag, value| {
         let take = |name: &str| -> Result<&str, CliError> {
             value.ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
@@ -351,6 +379,10 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 };
                 Ok(1)
             }
+            "--materialize" => {
+                materialize = true;
+                Ok(0)
+            }
             other => Err(CliError::Usage(format!(
                 "unknown option '{other}' (see `resa replay --help`)"
             ))),
@@ -358,17 +390,163 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     })?;
     opts.runner(); // export the thread cap before any parallel work
 
-    // 1. Ingest the trace.
-    let text = std::fs::read_to_string(trace_path).map_err(|e| CliError::Io {
-        path: trace_path.to_string(),
+    let file_path = resolve_trace(trace_path)?;
+    let report = match (materialize, policy) {
+        // Streaming is the default for on-line policies; a bounded-memory
+        // prescan establishes whether the trace qualifies (sorted
+        // submissions, enough jobs to clear the exact-solver regime).
+        (false, PolicyArg::Online(kind)) => {
+            let scan = prescan(&file_path, trace_path, machines_arg, warmup)?;
+            if scan.sorted && scan.kept > STREAM_MIN_JOBS {
+                run_streaming(
+                    trace_path,
+                    &file_path,
+                    machines_arg,
+                    &scan,
+                    kind,
+                    substrate,
+                    &reservations,
+                    &failures,
+                    warmup,
+                    opts.seed,
+                )?
+            } else {
+                run_materialized(
+                    trace_path,
+                    &file_path,
+                    machines_arg,
+                    policy,
+                    substrate,
+                    &reservations,
+                    &failures,
+                    warmup,
+                    opts.seed,
+                )?
+            }
+        }
+        _ => run_materialized(
+            trace_path,
+            &file_path,
+            machines_arg,
+            policy,
+            substrate,
+            &reservations,
+            &failures,
+            warmup,
+            opts.seed,
+        )?,
+    };
+    render(&report, &opts)
+}
+
+/// Resolve a `trace:` cache reference to its on-disk file (re-verifying any
+/// pinned digest); plain paths pass through untouched.
+fn resolve_trace(trace: &str) -> Result<PathBuf, CliError> {
+    if TraceRef::is_trace_ref(trace) {
+        TraceStore::open_default()
+            .resolve_ref(trace)
+            .map_err(|e| CliError::Io {
+                path: trace.to_string(),
+                message: e.to_string(),
+            })
+    } else {
+        Ok(PathBuf::from(trace))
+    }
+}
+
+/// Map a streaming read error onto the error the materialized parser raises
+/// for the same trace (same line-anchored message for validation failures).
+fn read_error(display: &str, err: SwfReadError) -> CliError {
+    match err {
+        SwfReadError::Io(e) => CliError::Io {
+            path: display.to_string(),
+            message: e.to_string(),
+        },
+        SwfReadError::Swf(e) => CliError::Parse(format!("{display}: {e}")),
+    }
+}
+
+/// What one bounded-memory pass over the trace establishes before replaying:
+/// the cluster size (resolved exactly like the materialized path resolves
+/// it), how many jobs survive the warm-up cut, the warmed-up release
+/// horizon, and whether the kept submissions are release-sorted (the
+/// streaming engine's source contract).
+struct Prescan {
+    machines: u32,
+    kept: usize,
+    max_release: u64,
+    sorted: bool,
+}
+
+fn prescan(
+    path: &Path,
+    display: &str,
+    machines_arg: Option<u32>,
+    warmup: u64,
+) -> Result<Prescan, CliError> {
+    let mut stream = open_trace(path, machines_arg).map_err(|e| CliError::Io {
+        path: display.to_string(),
+        message: e.to_string(),
+    })?;
+    let mut kept = 0usize;
+    let mut max_release = 0u64;
+    let mut last_release = 0u64;
+    let mut sorted = true;
+    let mut max_width = 0u32;
+    for item in stream.by_ref() {
+        let job = item.map_err(|e| read_error(display, e))?;
+        max_width = max_width.max(job.width);
+        let release = job.release.ticks();
+        if release < warmup {
+            continue;
+        }
+        if kept > 0 && release < last_release {
+            sorted = false;
+        }
+        last_release = release;
+        kept += 1;
+        max_release = max_release.max(release - warmup);
+    }
+    let machines = machines_arg
+        .or(stream.max_procs())
+        .or((max_width > 0).then_some(max_width))
+        .ok_or_else(|| CliError::Parse(format!("{display}: trace has no jobs")))?;
+    Ok(Prescan {
+        machines,
+        kept,
+        max_release,
+        sorted,
+    })
+}
+
+/// The original whole-trace pipeline: parse everything, build a
+/// [`ResaInstance`], simulate or schedule it, and check the materialized
+/// schedule. Stays the reference semantics the streaming path must
+/// reproduce; also the only path that can serve off-line schedulers (they
+/// need the full catalog up front) and the exact-solver regime.
+#[allow(clippy::too_many_arguments)]
+fn run_materialized(
+    display: &str,
+    path: &Path,
+    machines_arg: Option<u32>,
+    policy: PolicyArg,
+    substrate: Substrate,
+    reservations: &ReservationArg,
+    failures: &[(u32, u64, u64)],
+    warmup: u64,
+    seed: u64,
+) -> Result<ReplayReport, CliError> {
+    // 1. Ingest the trace (inflating gzip transparently).
+    let text = read_trace_text(path).map_err(|e| CliError::Io {
+        path: display.to_string(),
         message: e.to_string(),
     })?;
     let parsed = resa_workloads::swf::parse_trace_full(&text, machines_arg)
-        .map_err(|e| CliError::Parse(format!("{trace_path}: {e}")))?;
+        .map_err(|e| CliError::Parse(format!("{display}: {e}")))?;
     let machines = machines_arg
         .or(parsed.max_procs)
         .or_else(|| parsed.jobs.iter().map(|j| j.width).max())
-        .ok_or_else(|| CliError::Parse(format!("{trace_path}: trace has no jobs")))?;
+        .ok_or_else(|| CliError::Parse(format!("{display}: trace has no jobs")))?;
 
     // 2. Warm-up truncation: drop the ramp-up prefix, shift time to 0.
     let total = parsed.jobs.len();
@@ -390,21 +568,15 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     // 3. Reservation overlay (file overlays live on the same warmed-up
     // clock as the truncated jobs — see `build_instance`).
     let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
-    let (mut instance, clamped_jobs) = build_instance(
-        machines,
-        jobs,
-        &reservations,
-        max_release,
-        opts.seed,
-        warmup,
-    )?;
+    let (mut instance, clamped_jobs) =
+        build_instance(machines, jobs, reservations, max_release, seed, warmup)?;
 
     // 3b. Failure drains: up-front declared capacity losses, merged into the
     // same overlay the schedulers already respect (a drain *is* a
     // reservation to an off-line engine).
     if !failures.is_empty() {
         let mut overlay: Vec<Reservation> = instance.reservations().to_vec();
-        for &(width, duration, start) in &failures {
+        for &(width, duration, start) in failures {
             overlay.push(Reservation::new(overlay.len(), width, duration, start));
         }
         instance = ResaInstance::new(machines, instance.jobs().to_vec(), overlay)
@@ -448,8 +620,8 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
         + usize::from(!schedule_valid)
         + usize::from(!drained_windows_respected);
 
-    let report = ReplayReport {
-        trace: trace_path.to_string(),
+    Ok(ReplayReport {
+        trace: display.to_string(),
         machines,
         jobs: instance.n_jobs(),
         dropped_by_warmup: dropped,
@@ -464,8 +636,216 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
         metrics,
         guarantees,
         violations,
+    })
+}
+
+/// The streaming replay pipeline. The trace is parsed incrementally
+/// ([`SwfSource`]), jobs enter the engine as virtual time reaches their
+/// warmed-up submission instant, completed jobs retire the moment they
+/// finish, and everything the report needs — metrics, validity, the
+/// drained-window invariant, the guarantee bounds — folds online through
+/// [`StreamValidator`] and [`StreamFacts`]. Live state is O(active jobs +
+/// overlay); the emitted report is byte-identical to
+/// [`run_materialized`]'s (asserted by the tests below across policies,
+/// substrates and overlay families).
+#[allow(clippy::too_many_arguments)]
+fn run_streaming(
+    display: &str,
+    path: &Path,
+    machines_arg: Option<u32>,
+    scan: &Prescan,
+    kind: ReferencePolicy,
+    substrate: Substrate,
+    reservations: &ReservationArg,
+    failures: &[(u32, u64, u64)],
+    warmup: u64,
+    seed: u64,
+) -> Result<ReplayReport, CliError> {
+    let machines = scan.machines;
+    // The overlay is generated exactly like the materialized path generates
+    // it (same RNG stream, same warm-up shifting of file overlays), just
+    // over an empty job list: the workload itself is never materialized.
+    let (overlay_inst, _) = build_instance(
+        machines,
+        Vec::new(),
+        reservations,
+        scan.max_release,
+        seed,
+        warmup,
+    )?;
+    let overlay_inst = if failures.is_empty() {
+        overlay_inst
+    } else {
+        let mut merged: Vec<Reservation> = overlay_inst.reservations().to_vec();
+        for &(width, duration, start) in failures {
+            merged.push(Reservation::new(merged.len(), width, duration, start));
+        }
+        ResaInstance::new(machines, Vec::new(), merged)
+            .map_err(|e| CliError::Usage(format!("failure overlay rejected: {e}")))?
     };
-    render(&report, &opts)
+    let overlay_res: Vec<Reservation> = overlay_inst.reservations().to_vec();
+    let profile = overlay_inst.profile();
+
+    // The α-restricted model narrows jobs wider than α·m, exactly as
+    // `AlphaReservations::instance` does on the materialized path.
+    let width_cap = match reservations {
+        ReservationArg::Alpha { alpha, .. } => alpha.max_job_width(machines).max(1),
+        _ => u32::MAX,
+    };
+    let mut source = SwfSource {
+        stream: open_trace(path, machines_arg).map_err(|e| CliError::Io {
+            path: display.to_string(),
+            message: e.to_string(),
+        })?,
+        warmup,
+        width_cap,
+        profile: &profile,
+        facts: StreamFacts::new(),
+        total: 0,
+        kept: 0,
+        clamped: 0,
+        error: None,
+    };
+    let overlay_windows: Vec<Window> = overlay_res
+        .iter()
+        .map(|r| (r.width, r.start, r.end()))
+        .collect();
+    let mut sink = ValidatingSink {
+        validator: StreamValidator::new(machines, profile.clone(), &overlay_windows),
+    };
+    let outcome = match substrate {
+        Substrate::Timeline => {
+            let mut timeline = AvailabilityTimeline::from(&profile);
+            run_stream_policy(&mut timeline, &profile, kind, &mut source, &mut sink)
+        }
+        Substrate::Profile => {
+            let mut reference = profile.clone();
+            run_stream_policy(&mut reference, &profile, kind, &mut source, &mut sink)
+        }
+    };
+    if let Some(err) = source.error.take() {
+        return Err(read_error(display, err));
+    }
+    let verdicts = sink.validator.finish();
+    // The streaming counterpart of `Schedule::is_valid`: capacity and
+    // release respected at every start, and every submitted job both
+    // started and finished.
+    let schedule_valid = verdicts.schedule_valid
+        && verdicts.starts == outcome.submitted
+        && outcome.completed == outcome.submitted;
+    let guarantees = report_for_stream(
+        machines,
+        &overlay_res,
+        &source.facts,
+        outcome.metrics.makespan,
+    );
+    let violations = usize::from(guarantees.has_conclusive_violation())
+        + usize::from(!schedule_valid)
+        + usize::from(!verdicts.drains_respected);
+    Ok(ReplayReport {
+        trace: display.to_string(),
+        machines,
+        jobs: source.kept,
+        dropped_by_warmup: source.total - source.kept,
+        clamped_jobs: source.clamped,
+        reservations: overlay_res.len(),
+        failures: failures.len(),
+        policy: PolicyArg::Online(kind).name(),
+        substrate: substrate.name().to_string(),
+        schedule_valid,
+        drained_windows_respected: verdicts.drains_respected,
+        decisions: outcome.decisions,
+        metrics: outcome.metrics,
+        guarantees,
+        violations,
+    })
+}
+
+/// Incremental [`JobSource`] over an SWF stream: warm-up filtering and
+/// clock-shifting, dense re-identification, α width clamping and the
+/// guarantee-fact fold all happen per record, so no job list ever exists in
+/// memory. A read error ends the stream and is surfaced by the caller after
+/// the run (the prescan has already validated the records, so only I/O can
+/// fail here).
+struct SwfSource<'a> {
+    stream: SwfStream<resa_workloads::swf::TraceReader>,
+    warmup: u64,
+    width_cap: u32,
+    profile: &'a ResourceProfile,
+    facts: StreamFacts,
+    total: usize,
+    kept: usize,
+    clamped: usize,
+    error: Option<SwfReadError>,
+}
+
+impl JobSource for SwfSource<'_> {
+    fn next_job(&mut self) -> Option<Job> {
+        if self.error.is_some() {
+            return None;
+        }
+        loop {
+            match self.stream.next()? {
+                Err(err) => {
+                    self.error = Some(err);
+                    return None;
+                }
+                Ok(job) => {
+                    self.total += 1;
+                    if job.release.ticks() < self.warmup {
+                        continue;
+                    }
+                    let width = job.width.min(self.width_cap);
+                    if width < job.width {
+                        self.clamped += 1;
+                    }
+                    let job = Job::released_at(
+                        self.kept,
+                        width,
+                        job.duration.ticks(),
+                        job.release.ticks() - self.warmup,
+                    );
+                    self.kept += 1;
+                    self.facts.observe(&job, self.profile);
+                    return Some(job);
+                }
+            }
+        }
+    }
+}
+
+/// [`RecordSink`] that feeds every placement to the online validator and
+/// lets the retired records go (the engine already counts them).
+struct ValidatingSink {
+    validator: StreamValidator,
+}
+
+impl RecordSink for ValidatingSink {
+    fn record(&mut self, _rec: JobRecord) {}
+
+    fn on_start(&mut self, job: &Job, start: Time) {
+        self.validator.observe_start(job, start);
+    }
+}
+
+/// Dispatch a streaming run over the statically-typed policy.
+fn run_stream_policy<C, S, K>(
+    substrate: &mut C,
+    overlay: &ResourceProfile,
+    kind: ReferencePolicy,
+    source: &mut S,
+    sink: &mut K,
+) -> StreamOutcome
+where
+    C: CapacityQuery,
+    S: JobSource,
+    K: RecordSink,
+{
+    match kind {
+        ReferencePolicy::Fcfs => run_stream(substrate, overlay, &FcfsPolicy, source, sink),
+        ReferencePolicy::Easy => run_stream(substrate, overlay, &EasyPolicy, source, sink),
+        ReferencePolicy::Greedy => run_stream(substrate, overlay, &GreedyPolicy, source, sink),
+    }
 }
 
 /// Run a policy on an instance through the default (timeline) substrate,
@@ -872,6 +1252,145 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Write a release-sorted synthetic trace of `n` jobs with mixed widths
+    /// and durations (wide enough to exceed the exact-solver fallback).
+    fn sorted_trace(n: usize) -> String {
+        let mut text = String::from("; MaxProcs: 8\n");
+        for i in 0..n {
+            text.push_str(&format!(
+                "{} {} {} {}\n",
+                i + 1,
+                3 * i,
+                3 + (i * 7) % 11,
+                1 + (i % 5)
+            ));
+        }
+        text
+    }
+
+    /// The tentpole property: the streaming pipeline (the default for
+    /// on-line policies on sorted traces) emits a report byte-identical to
+    /// the materialized pipeline — across every on-line policy, both
+    /// substrates, and with warm-up truncation, α clamping and failure
+    /// drains layered on.
+    #[test]
+    fn streaming_report_is_byte_identical_to_materialized() {
+        let dir = std::env::temp_dir().join("resa-replay-streaming-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream-vs-mat.swf");
+        std::fs::write(&path, sorted_trace(40)).unwrap();
+        let path = path.to_str().unwrap().to_string();
+        let decorations: [&[&str]; 3] = [
+            &[],
+            &["--warmup", "30", "--reservations", "alpha:0.5"],
+            &["--reservations", "nonincreasing:3", "--failures", "2:9:25"],
+        ];
+        for policy in ["fcfs", "easy", "greedy"] {
+            for substrate in ["timeline", "profile"] {
+                for extra in decorations {
+                    let mut args = vec![
+                        "replay",
+                        &path,
+                        "--policy",
+                        policy,
+                        "--substrate",
+                        substrate,
+                        "--format",
+                        "json",
+                    ];
+                    args.extend_from_slice(extra);
+                    let streamed = crate::run(&args).unwrap();
+                    args.push("--materialize");
+                    let materialized = crate::run(&args).unwrap();
+                    assert_eq!(
+                        streamed.stdout, materialized.stdout,
+                        "streaming diverged for {policy}/{substrate} {extra:?}"
+                    );
+                    assert_eq!(streamed.violations, materialized.violations);
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Gzipped traces replay through both pipelines, with identical output.
+    #[test]
+    fn gzipped_traces_replay_in_both_pipelines() {
+        let dir = std::env::temp_dir().join("resa-replay-streaming-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compressed.swf.gz");
+        resa_workloads::gzip::write_gz(&path, sorted_trace(30).as_bytes()).unwrap();
+        let path = path.to_str().unwrap().to_string();
+        let streamed = crate::run(&["replay", &path, "--format", "json"]).unwrap();
+        let materialized =
+            crate::run(&["replay", &path, "--format", "json", "--materialize"]).unwrap();
+        assert_eq!(streamed.stdout, materialized.stdout);
+        assert!(
+            streamed.stdout.contains("\"jobs\": 30"),
+            "{}",
+            streamed.stdout
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Unsorted submissions break the streaming source contract, so the
+    /// replay silently materializes — and still reports identically to an
+    /// explicit `--materialize`.
+    #[test]
+    fn unsorted_traces_fall_back_to_the_materialized_pipeline() {
+        let dir = std::env::temp_dir().join("resa-replay-streaming-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unsorted.swf");
+        let mut text = sorted_trace(20);
+        text.push_str("21 5 4 2\n"); // release jumps backwards
+        std::fs::write(&path, text).unwrap();
+        let path = path.to_str().unwrap().to_string();
+        let implicit = crate::run(&["replay", &path, "--format", "json"]).unwrap();
+        let explicit = crate::run(&["replay", &path, "--format", "json", "--materialize"]).unwrap();
+        assert_eq!(implicit.stdout, explicit.stdout);
+        assert!(
+            implicit.stdout.contains("\"jobs\": 21"),
+            "{}",
+            implicit.stdout
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `trace:` references resolve through the checksum-pinned cache; a
+    /// missing entry degrades with the exact fetch command to run.
+    #[test]
+    fn trace_refs_resolve_through_the_cache() {
+        let _env = crate::trace_cache_env_lock();
+        let cache =
+            std::env::temp_dir().join(format!("resa-replay-trace-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&cache).ok();
+        let src = cache.with_extension("src.swf");
+        std::fs::write(&src, sorted_trace(20)).unwrap();
+        let store = TraceStore::at(cache.clone());
+        let digest = store.import("synthetic", &src, None).unwrap();
+        std::env::set_var("RESA_TRACE_CACHE", &cache);
+        let pinned = format!("trace:synthetic@sha256:{digest}");
+        let out = crate::run(&["replay", &pinned, "--format", "json"]).unwrap();
+        // The report names the reference the user typed, not the cache path.
+        assert!(
+            out.stdout.contains(&format!("\"trace\": \"{pinned}\"")),
+            "{}",
+            out.stdout
+        );
+        assert!(out.stdout.contains("\"jobs\": 20"), "{}", out.stdout);
+        let err = crate::run(&["replay", "trace:never-fetched"]).unwrap_err();
+        match err {
+            CliError::Io { path, message } => {
+                assert_eq!(path, "trace:never-fetched");
+                assert!(message.contains("resa fetch never-fetched"), "{message}");
+            }
+            other => panic!("expected an I/O error, got {other:?}"),
+        }
+        std::env::remove_var("RESA_TRACE_CACHE");
+        std::fs::remove_dir_all(&cache).ok();
+        std::fs::remove_file(&src).ok();
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! {"op":"drain"}                                 run until every job completed
 //! {"op":"stats"}                                 aggregate counters
 //! {"op":"snapshot"}                              current schedule + metrics
+//!                                                (optional "since" paginates
+//!                                                records by job id)
 //! {"op":"shutdown"}                              end the session
 //! ```
 //!
@@ -110,6 +112,14 @@ OPTIONS:
                           remaining work only); re-supply at recovery — the
                           mode is configuration, not journaled state
                                                                [default: restart]
+    --retire              retire completed jobs out of the resident state after
+                          every time-advancing request, so a long-running
+                          session's memory tracks the *active* jobs; snapshot
+                          metrics still describe the whole run (merged
+                          bit-exactly). Sequential transports only; incompatible
+                          with --journal
+    --records-out <file>  with --retire, append each retired job record to
+                          <file> as one JSON line
 
 REQUESTS (one JSON object per line; blank lines and # comments are ignored):
     {\"op\":\"submit\",\"width\":W,\"duration\":D[,\"release\":T]}   job arrival
@@ -129,7 +139,9 @@ REQUESTS (one JSON object per line; blank lines and # comments are ignored):
     {\"op\":\"advance\",\"to\":T}      move virtual time, draining completions
     {\"op\":\"drain\"}                 run until every submitted job completed
     {\"op\":\"stats\"}                 aggregate counters
-    {\"op\":\"snapshot\"}              current schedule + metrics (replay shapes)
+    {\"op\":\"snapshot\"[,\"since\":ID]}  current schedule + metrics (replay shapes);
+        \"since\" paginates the record list to job ids strictly greater than ID
+        (pass the largest id already seen; metrics always cover the whole run)
     {\"op\":\"shutdown\"}              end the session
 
 plus the common options: --seed --threads --format --quick --out
@@ -177,7 +189,9 @@ enum Request {
     },
     Drain,
     Stats,
-    Snapshot,
+    Snapshot {
+        since: Option<u64>,
+    },
     Shutdown,
 }
 
@@ -271,7 +285,12 @@ fn parse_request(line: &str) -> Result<Request, String> {
         }
         "drain" => strict(&["op"]).map(|()| Request::Drain),
         "stats" => strict(&["op"]).map(|()| Request::Stats),
-        "snapshot" => strict(&["op"]).map(|()| Request::Snapshot),
+        "snapshot" => {
+            strict(&["op", "since"])?;
+            Ok(Request::Snapshot {
+                since: optional(&value, &ctx, "since")?,
+            })
+        }
         "shutdown" => strict(&["op"]).map(|()| Request::Shutdown),
         other => Err(format!(
             "unknown op '{other}' (submit|reserve|cancel|query|inject|revoke|submit_moldable|\
@@ -701,6 +720,171 @@ impl<C: CapacityQuery + Speculate> Backend for JournaledService<C> {
     }
 }
 
+/// Record sink of a `--retire` session: counts every retired record and,
+/// with `--records-out`, appends each as one JSON line. A write error is
+/// reported once on stderr and disables the writer — the session keeps
+/// serving (the records were already applied to the merged metrics).
+struct FileRecordSink {
+    out: Option<std::io::BufWriter<std::fs::File>>,
+    path: String,
+    written: usize,
+}
+
+impl FileRecordSink {
+    fn new(path: Option<&str>) -> Result<Self, CliError> {
+        let out = path
+            .map(|p| {
+                std::fs::File::create(p)
+                    .map(std::io::BufWriter::new)
+                    .map_err(|e| CliError::Io {
+                        path: p.to_string(),
+                        message: e.to_string(),
+                    })
+            })
+            .transpose()?;
+        Ok(FileRecordSink {
+            out,
+            path: path.unwrap_or_default().to_string(),
+            written: 0,
+        })
+    }
+
+    fn flush(&mut self) {
+        if let Some(w) = &mut self.out {
+            let _ = w.flush();
+        }
+    }
+}
+
+impl RecordSink for FileRecordSink {
+    fn record(&mut self, rec: JobRecord) {
+        self.written += 1;
+        if let Some(w) = &mut self.out {
+            if let Err(e) = writeln!(w, "{}", render(&rec.to_value())) {
+                eprintln!(
+                    "--records-out {}: {e}; further records are dropped",
+                    self.path
+                );
+                self.out = None;
+            }
+        }
+    }
+}
+
+/// A sequential [`ScheduleService`] that retires completed jobs into a
+/// [`FileRecordSink`] after every time-advancing request (`--retire`), so a
+/// long-running session's resident set tracks the *active* jobs. Snapshot
+/// metrics stay bit-identical to a never-retired session; the retired
+/// records leave through the sink and via `snapshot`+`since` pagination
+/// before they go.
+struct RetiringService<C: CapacityQuery + Speculate> {
+    svc: ScheduleService<C>,
+    sink: FileRecordSink,
+}
+
+impl<C: CapacityQuery + Speculate> RetiringService<C> {
+    fn retire(&mut self) {
+        if self.svc.retire_completed(&mut self.sink) > 0 {
+            self.sink.flush();
+        }
+    }
+}
+
+impl<C: CapacityQuery + Speculate> Backend for RetiringService<C> {
+    fn submit(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+    ) -> Result<(JobId, Effects), ServiceError> {
+        Backend::submit(&mut self.svc, width, duration, release)
+    }
+
+    fn reserve(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Effects), ServiceError> {
+        Backend::reserve(&mut self.svc, width, duration, start)
+    }
+
+    fn cancel(&mut self, id: usize) -> Result<Effects, ServiceError> {
+        Backend::cancel(&mut self.svc, id)
+    }
+
+    fn inject(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        start: Time,
+    ) -> Result<(usize, Vec<JobId>, Effects), ServiceError> {
+        Backend::inject(&mut self.svc, width, duration, start)
+    }
+
+    fn revoke(&mut self, id: usize) -> Result<Effects, ServiceError> {
+        Backend::revoke(&mut self.svc, id)
+    }
+
+    fn submit_deadline(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        release: Option<Time>,
+        deadline: Time,
+        admission: AdmissionPolicy,
+    ) -> Result<(JobId, DeadlineOutcome, Effects), ServiceError> {
+        Backend::submit_deadline(&mut self.svc, width, duration, release, deadline, admission)
+    }
+
+    fn submit_moldable(
+        &mut self,
+        widths: &[u32],
+        area: u64,
+    ) -> Result<(JobId, WidthChoice, Effects), ServiceError> {
+        Backend::submit_moldable(&mut self.svc, widths, area)
+    }
+
+    fn query(
+        &mut self,
+        width: u32,
+        duration: Dur,
+        not_before: Option<Time>,
+    ) -> Result<Option<Time>, ServiceError> {
+        Backend::query(&mut self.svc, width, duration, not_before)
+    }
+
+    fn advance(&mut self, to: Time) -> Result<(Time, Effects), ServiceError> {
+        let res = Backend::advance(&mut self.svc, to);
+        self.retire();
+        res
+    }
+
+    fn advance_clamped(&mut self, to: Time) -> Result<(Time, Effects), ServiceError> {
+        let res = Backend::advance_clamped(&mut self.svc, to);
+        self.retire();
+        res
+    }
+
+    fn drain(&mut self) -> Result<(Time, Effects), ServiceError> {
+        let res = Backend::drain(&mut self.svc);
+        self.retire();
+        res
+    }
+
+    fn stats(&mut self) -> ServiceStats {
+        Backend::stats(&mut self.svc)
+    }
+
+    fn policy(&self) -> ReferencePolicy {
+        Backend::policy(&self.svc)
+    }
+
+    fn snapshot_parts(&mut self) -> (Time, u32, Vec<JobRecord>, SimMetrics) {
+        Backend::snapshot_parts(&mut self.svc)
+    }
+}
+
 /// Execute one request against the resident service, producing the response
 /// line (without trailing newline) and whether the session should end.
 fn handle<B: Backend>(svc: &mut B, line: &str) -> (String, bool) {
@@ -864,8 +1048,15 @@ fn handle<B: Backend>(svc: &mut B, line: &str) -> (String, bool) {
                 ],
             )
         }
-        Request::Snapshot => {
-            let (now, machines, records, metrics) = svc.snapshot_parts();
+        Request::Snapshot { since } => {
+            let (now, machines, mut records, metrics) = svc.snapshot_parts();
+            // `since` paginates the record list by job id (strictly greater,
+            // so a poller passes the largest id it has seen). The metrics
+            // still describe the whole run. Absent `since`, the response is
+            // byte-identical to the pre-pagination protocol.
+            if let Some(since) = since {
+                records.retain(|r| r.job.0 as u64 > since);
+            }
             ok_response(
                 "snapshot",
                 vec![
@@ -1114,6 +1305,39 @@ pub fn run_script_with_mode(
     String::from_utf8(out).expect("responses are UTF-8")
 }
 
+/// [`run_script`], but with `--retire`: completed jobs are retired out of
+/// the resident state after every time-advancing request, optionally
+/// streamed to a `--records-out` file as JSON lines.
+fn run_script_retiring(
+    script: &str,
+    machines: u32,
+    policy: ReferencePolicy,
+    substrate: Substrate,
+    mode: DrainMode,
+    records_out: Option<&str>,
+) -> Result<String, CliError> {
+    let cfg = SessionCfg::default();
+    let mut out = Vec::new();
+    let sink = FileRecordSink::new(records_out)?;
+    match substrate {
+        Substrate::Timeline => {
+            let mut svc = ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
+            svc.set_drain_mode(mode);
+            let mut retiring = RetiringService { svc, sink };
+            serve_session(&mut retiring, &cfg, script.as_bytes(), &mut out).expect("in-memory I/O");
+            retiring.sink.flush();
+        }
+        Substrate::Profile => {
+            let mut svc = ScheduleService::new(policy, ResourceProfile::constant(machines));
+            svc.set_drain_mode(mode);
+            let mut retiring = RetiringService { svc, sink };
+            serve_session(&mut retiring, &cfg, script.as_bytes(), &mut out).expect("in-memory I/O");
+            retiring.sink.flush();
+        }
+    }
+    Ok(String::from_utf8(out).expect("responses are UTF-8"))
+}
+
 /// Journal configuration as parsed from the CLI.
 struct JournalOpts {
     path: String,
@@ -1225,6 +1449,8 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
     let mut snapshot_every: Option<u64> = None;
     let mut idle_timeout: Option<u64> = None;
     let mut drain_mode = DrainMode::Restart;
+    let mut retire = false;
+    let mut records_out: Option<String> = None;
     let opts = CommonOpts::parse(args, &mut |flag, value| {
         let take = |name: &str| -> Result<&str, CliError> {
             value.ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
@@ -1327,6 +1553,14 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 })?;
                 Ok(1)
             }
+            "--retire" => {
+                retire = true;
+                Ok(0)
+            }
+            "--records-out" => {
+                records_out = Some(take("--records-out")?.to_string());
+                Ok(1)
+            }
             other => Err(CliError::Usage(format!(
                 "unknown option '{other}' (see `resa serve --help`)"
             ))),
@@ -1359,6 +1593,23 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
             "--idle-timeout requires a socket transport (--listen or --unix)".into(),
         ));
     }
+    if retire && socket_transport {
+        return Err(CliError::Usage(
+            "--retire requires a sequential transport (stdin or --script): the \
+             concurrent backend publishes whole-history snapshots"
+                .into(),
+        ));
+    }
+    if retire && journal_path.is_some() {
+        return Err(CliError::Usage(
+            "--retire is incompatible with --journal: retired records leave the \
+             process, so a recovery checkpoint could not capture the session"
+                .into(),
+        ));
+    }
+    if records_out.is_some() && !retire {
+        return Err(CliError::Usage("--records-out requires --retire".into()));
+    }
     let journal = journal_path.map(|path| JournalOpts {
         path,
         fsync: fsync.unwrap_or_default(),
@@ -1378,9 +1629,19 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
                 path: path.clone(),
                 message: e.to_string(),
             })?;
-            let transcript = match &journal {
-                None => run_script_with_mode(&script, machines, policy, substrate, drain_mode),
-                Some(jo) => {
+            let transcript = match (&journal, retire) {
+                (None, false) => {
+                    run_script_with_mode(&script, machines, policy, substrate, drain_mode)
+                }
+                (None, true) => run_script_retiring(
+                    &script,
+                    machines,
+                    policy,
+                    substrate,
+                    drain_mode,
+                    records_out.as_deref(),
+                )?,
+                (Some(jo), _) => {
                     run_script_journaled(&script, machines, policy, substrate, drain_mode, jo)?
                 }
             };
@@ -1401,6 +1662,33 @@ pub fn run(args: &[&str]) -> Result<Outcome, CliError> {
             };
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
+            if retire {
+                let sink = FileRecordSink::new(records_out.as_deref())?;
+                match substrate {
+                    Substrate::Timeline => {
+                        let mut svc =
+                            ScheduleService::new(policy, AvailabilityTimeline::constant(machines));
+                        svc.set_drain_mode(drain_mode);
+                        let mut retiring = RetiringService { svc, sink };
+                        serve_session(&mut retiring, &cfg, stdin.lock(), stdout.lock())
+                            .map_err(io_err)?;
+                        retiring.sink.flush();
+                    }
+                    Substrate::Profile => {
+                        let mut svc =
+                            ScheduleService::new(policy, ResourceProfile::constant(machines));
+                        svc.set_drain_mode(drain_mode);
+                        let mut retiring = RetiringService { svc, sink };
+                        serve_session(&mut retiring, &cfg, stdin.lock(), stdout.lock())
+                            .map_err(io_err)?;
+                        retiring.sink.flush();
+                    }
+                }
+                return Ok(Outcome {
+                    stdout: String::new(),
+                    violations: 0,
+                });
+            }
             match (substrate, &journal) {
                 (Substrate::Timeline, None) => {
                     let mut svc =

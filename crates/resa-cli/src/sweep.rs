@@ -20,8 +20,12 @@
 //! }
 //! ```
 //!
-//! `workload` is `uniform`, `feitelson` (default) or `lublin`; `arrivals`
-//! (mean interarrival) is optional — without it all jobs are released at 0.
+//! `workload` is `uniform`, `feitelson` (default), `lublin`, or a cached
+//! trace reference `trace:<name>[@sha256:<hex>]` (see `resa fetch`): the
+//! first `jobs` records of the trace become a batch workload, widths clamped
+//! into each swept cluster — `arrivals` and per-seed workload variation do
+//! not apply to traces. For the generator workloads, `arrivals` (mean
+//! interarrival) is optional — without it all jobs are released at 0.
 //! `policies` accepts the same names as `resa replay --policy`.
 //! `reservations` is optional; `family` is `alpha` (fields `alpha`, `count`,
 //! `horizon`, `max_duration`) or `nonincreasing` (fields `steps`,
@@ -100,7 +104,10 @@ The spec is a JSON object:
     jobs          int | [int, ...]        jobs per generated instance; a list
                   is swept as an extra product dimension with labeled rows
     seeds         int                     repetitions per cell
-    workload      uniform|feitelson|lublin  (optional, default feitelson)
+    workload      uniform|feitelson|lublin|trace:<name>  (default feitelson)
+                  a trace: reference sweeps the first 'jobs' records of a
+                  fetched trace as a batch workload (widths clamped to each
+                  cluster; arrivals and seed variation do not apply)
     arrivals      int (optional)          mean interarrival; omit for release-at-0
     policies      [name, ...]             resa replay policy names
     reservations  object (optional)       { family: alpha|nonincreasing, ... }
@@ -519,6 +526,10 @@ type Sample = (f64, f64, f64, f64, bool, Option<f64>);
 struct SweepPlan {
     variants: Vec<(Option<String>, ReservationArg)>,
     policies: Vec<(String, PolicyArg)>,
+    /// For a `trace:<name>` workload: the job prefix loaded (once, at plan
+    /// time) from the checksum-pinned cache. Cells reuse its widths and
+    /// durations as a batch workload.
+    trace_pool: Option<Vec<Job>>,
     /// `(machines, jobs index, α-variant index, policy index, seed)` per cell.
     cells: Vec<(u32, usize, usize, usize, u64)>,
 }
@@ -535,12 +546,22 @@ fn plan(spec: &SweepSpec) -> Result<SweepPlan, CliError> {
             "'jobs' needs at least one positive job count".into(),
         ));
     }
-    if !matches!(spec.workload.as_str(), "uniform" | "feitelson" | "lublin") {
+    let trace_pool = if TraceRef::is_trace_ref(&spec.workload) {
+        let wanted = spec
+            .jobs
+            .iter()
+            .copied()
+            .max()
+            .expect("jobs checked non-empty");
+        Some(load_trace_pool(&spec.workload, wanted)?)
+    } else if matches!(spec.workload.as_str(), "uniform" | "feitelson" | "lublin") {
+        None
+    } else {
         return Err(CliError::Parse(format!(
-            "unknown workload '{}' (uniform|feitelson|lublin)",
+            "unknown workload '{}' (uniform|feitelson|lublin|trace:<name>)",
             spec.workload
         )));
-    }
+    };
     check_scenario(spec)?;
     let variants: Vec<(Option<String>, ReservationArg)> = match &spec.reservations {
         None => vec![(None, ReservationArg::None)],
@@ -579,8 +600,58 @@ fn plan(spec: &SweepSpec) -> Result<SweepPlan, CliError> {
     Ok(SweepPlan {
         variants,
         policies,
+        trace_pool,
         cells,
     })
+}
+
+/// Resolve a `trace:` workload reference through the cache and stream the
+/// first `wanted` jobs out of it — the sweep never materializes the rest of
+/// an archive-scale log. The pool is loaded once per plan, not per cell.
+fn load_trace_pool(reference: &str, wanted: usize) -> Result<Vec<Job>, CliError> {
+    let path = TraceStore::open_default()
+        .resolve_ref(reference)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
+    let stream = open_trace(&path, None).map_err(|e| CliError::Io {
+        path: reference.to_string(),
+        message: e.to_string(),
+    })?;
+    let mut pool = Vec::with_capacity(wanted);
+    for item in stream {
+        if pool.len() == wanted {
+            break;
+        }
+        match item {
+            Ok(job) => pool.push(job),
+            Err(SwfReadError::Swf(e)) => return Err(CliError::Parse(format!("{reference}: {e}"))),
+            Err(SwfReadError::Io(e)) => {
+                return Err(CliError::Io {
+                    path: reference.to_string(),
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+    if pool.len() < wanted {
+        return Err(CliError::Parse(format!(
+            "{reference}: trace has {} jobs but the sweep asks for {wanted}",
+            pool.len()
+        )));
+    }
+    Ok(pool)
+}
+
+/// Shape one cell's workload out of the trace pool: the first `jobs`
+/// records, widths clamped into the swept cluster, submissions treated as a
+/// batch (sweeps compare policies across machine counts the trace was never
+/// recorded on, so its arrival clock is deliberately ignored — `arrivals`
+/// and per-seed workload variation do not apply to `trace:` workloads).
+fn trace_cell_jobs(pool: &[Job], machines: u32, jobs: usize) -> Vec<Job> {
+    pool[..jobs]
+        .iter()
+        .enumerate()
+        .map(|(id, j)| Job::new(id, j.width.min(machines).max(1), j.duration))
+        .collect()
 }
 
 /// Validate the scenario knobs against each other and against the smallest
@@ -664,7 +735,10 @@ fn run_cells(
     let runner = opts.runner();
     runner.map(&plan.cells[start..end], |&(m, j, v, p, s)| {
         let seed = opts.seed + s;
-        let jobs = generate_jobs(&spec.workload, m, spec.jobs[j], spec.arrivals, seed);
+        let jobs = match &plan.trace_pool {
+            Some(pool) => trace_cell_jobs(pool, m, spec.jobs[j]),
+            None => generate_jobs(&spec.workload, m, spec.jobs[j], spec.arrivals, seed),
+        };
         let max_release = jobs.iter().map(|j| j.release.ticks()).max().unwrap_or(0);
         let (instance, _clamped) =
             crate::replay::build_instance(m, jobs, &plan.variants[v].1, max_release, seed, 0)
@@ -1819,6 +1893,71 @@ mod tests {
             assert!(r.mean_ratio_to_lb >= 1.0 - 1e-9);
             assert!(r.mean_utilization <= 1.0 + 1e-9);
         }
+    }
+
+    /// A `trace:` workload sweeps the cached trace's job prefix: widths are
+    /// clamped into each swept cluster, over-long requests and unfetched
+    /// references fail at plan time with actionable errors.
+    #[test]
+    fn trace_workloads_sweep_the_cached_prefix() {
+        let _env = crate::trace_cache_env_lock();
+        let cache =
+            std::env::temp_dir().join(format!("resa-sweep-trace-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&cache).ok();
+        let src = cache.with_extension("src.swf");
+        // 12 jobs with widths up to 8, so the m=4 cluster exercises the clamp.
+        let mut text = String::from("; MaxProcs: 8\n");
+        for i in 0..12u64 {
+            text.push_str(&format!(
+                "{} {} {} {}\n",
+                i + 1,
+                2 * i,
+                3 + i % 5,
+                1 + i % 8
+            ));
+        }
+        std::fs::write(&src, &text).unwrap();
+        TraceStore::at(cache.clone())
+            .import("swept", &src, None)
+            .unwrap();
+        std::env::set_var("RESA_TRACE_CACHE", &cache);
+
+        let spec: SweepSpec = serde_json::from_str(
+            r#"{
+                "machines": [4, 8], "jobs": [6, 12], "seeds": 2,
+                "workload": "trace:swept", "policies": ["easy"]
+            }"#,
+        )
+        .unwrap();
+        let (rows, violations) = execute(&spec, &CommonOpts::default()).unwrap();
+        assert_eq!(violations, 0);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert_eq!(r.cells, 2);
+            assert!(r.mean_makespan > 0.0);
+        }
+
+        // Asking for more jobs than the trace holds is a plan-time error...
+        let too_many: SweepSpec = serde_json::from_str(
+            r#"{ "machines": [4], "jobs": 50, "seeds": 1,
+                 "workload": "trace:swept", "policies": ["easy"] }"#,
+        )
+        .unwrap();
+        let err = execute(&too_many, &CommonOpts::default()).unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)), "{err:?}");
+
+        // ...and an unfetched reference degrades with the fetch hint.
+        let missing: SweepSpec = serde_json::from_str(
+            r#"{ "machines": [4], "jobs": 3, "seeds": 1,
+                 "workload": "trace:absent", "policies": ["easy"] }"#,
+        )
+        .unwrap();
+        let err = execute(&missing, &CommonOpts::default()).unwrap_err();
+        assert!(err.to_string().contains("resa fetch absent"), "{err}");
+
+        std::env::remove_var("RESA_TRACE_CACHE");
+        std::fs::remove_dir_all(&cache).ok();
+        std::fs::remove_file(&src).ok();
     }
 
     #[test]

@@ -219,3 +219,125 @@ fn serve_binary_smoke_over_stdin() {
         "{stdout}"
     );
 }
+
+#[test]
+fn snapshot_since_paginates_records_by_job_id() {
+    // Three jobs complete; `since` trims the record list to ids strictly
+    // greater than the given one, while the metrics stay whole-run.
+    let script = "\
+{\"op\":\"submit\",\"width\":2,\"duration\":3}\n\
+{\"op\":\"submit\",\"width\":2,\"duration\":3}\n\
+{\"op\":\"submit\",\"width\":2,\"duration\":3}\n\
+{\"op\":\"drain\"}\n\
+{\"op\":\"snapshot\"}\n\
+{\"op\":\"snapshot\",\"since\":0}\n\
+{\"op\":\"snapshot\",\"since\":2}\n";
+    let transcript = run_script(script, 4, ReferencePolicy::Easy, Substrate::Timeline);
+    let lines: Vec<&str> = transcript.lines().collect();
+    assert_eq!(lines.len(), 7, "{transcript}");
+    let full = lines[4];
+    let after0 = lines[5];
+    let after2 = lines[6];
+    assert!(
+        full.contains("\"job\":0") && full.contains("\"job\":2"),
+        "{full}"
+    );
+    assert!(
+        !after0.contains("\"job\":0")
+            && after0.contains("\"job\":1")
+            && after0.contains("\"job\":2"),
+        "{after0}"
+    );
+    assert!(!after2.contains("\"job\":"), "{after2}");
+    // Pagination filters records only — the metrics objects are identical.
+    let metrics = |line: &str| {
+        let at = line.find("\"metrics\":").expect("snapshot carries metrics");
+        line[at..].to_string()
+    };
+    assert_eq!(metrics(full), metrics(after0));
+    assert_eq!(metrics(full), metrics(after2));
+}
+
+#[test]
+fn retiring_session_preserves_stats_and_metrics() {
+    // The same session with and without --retire: stats answers are
+    // byte-identical, snapshot metrics are byte-identical, and the retired
+    // records land in --records-out as JSON lines carrying the original ids.
+    let dir = std::env::temp_dir();
+    let tag = std::process::id();
+    let script_path = dir.join(format!("resa-retire-script-{tag}.jsonl"));
+    let records_path = dir.join(format!("resa-retire-records-{tag}.jsonl"));
+    let script = "\
+{\"op\":\"submit\",\"width\":4,\"duration\":5}\n\
+{\"op\":\"submit\",\"width\":4,\"duration\":5}\n\
+{\"op\":\"submit\",\"width\":2,\"duration\":7}\n\
+{\"op\":\"advance\",\"to\":6}\n\
+{\"op\":\"stats\"}\n\
+{\"op\":\"drain\"}\n\
+{\"op\":\"stats\"}\n\
+{\"op\":\"snapshot\"}\n\
+{\"op\":\"shutdown\"}\n";
+    std::fs::write(&script_path, script).unwrap();
+    let script_arg = script_path.display().to_string();
+    let records_arg = records_path.display().to_string();
+    let plain = resa_cli::run(&["serve", "--machines", "4", "--script", &script_arg])
+        .unwrap()
+        .stdout;
+    let retired = resa_cli::run(&[
+        "serve",
+        "--machines",
+        "4",
+        "--script",
+        &script_arg,
+        "--retire",
+        "--records-out",
+        &records_arg,
+    ])
+    .unwrap()
+    .stdout;
+    let plain_lines: Vec<&str> = plain.lines().collect();
+    let retired_lines: Vec<&str> = retired.lines().collect();
+    assert_eq!(plain_lines.len(), retired_lines.len());
+    // Every non-snapshot response is byte-identical (retirement is invisible
+    // to the protocol except through the snapshot record list).
+    for (p, r) in plain_lines.iter().zip(&retired_lines) {
+        if !p.contains("\"op\":\"snapshot\"") {
+            assert_eq!(p, r);
+        }
+    }
+    // Snapshot: records drained into the sink, metrics merged bit-exactly.
+    let snap_plain = plain_lines[7];
+    let snap_retired = retired_lines[7];
+    assert!(snap_retired.contains("\"schedule\":[]"), "{snap_retired}");
+    let metrics = |line: &str| {
+        let at = line.find("\"metrics\":").expect("snapshot carries metrics");
+        line[at..].to_string()
+    };
+    assert_eq!(metrics(snap_plain), metrics(snap_retired));
+    // The sink holds all three records, in retirement order, original ids.
+    let records = std::fs::read_to_string(&records_path).unwrap();
+    let ids: Vec<&str> = records
+        .lines()
+        .map(|l| {
+            assert!(l.starts_with('{') && l.contains("\"started\":"), "{l}");
+            &l[..l.find(',').unwrap()]
+        })
+        .collect();
+    assert_eq!(ids, vec!["{\"job\":0", "{\"job\":1", "{\"job\":2"]);
+    let _ = std::fs::remove_file(&script_path);
+    let _ = std::fs::remove_file(&records_path);
+}
+
+#[test]
+fn retire_flag_combinations_are_usage_errors() {
+    for args in [
+        &["serve", "--retire", "--journal", "j.log", "--script", "x"][..],
+        &["serve", "--retire", "--listen", "127.0.0.1:0"][..],
+        &["serve", "--records-out", "r.jsonl", "--script", "x"][..],
+    ] {
+        assert!(
+            matches!(resa_cli::run(args), Err(resa_cli::CliError::Usage(_))),
+            "{args:?} must be rejected"
+        );
+    }
+}

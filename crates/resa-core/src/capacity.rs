@@ -90,6 +90,15 @@ pub trait CapacityQuery {
         }
     }
 
+    /// Forget the availability function before `t`: queries at instants
+    /// `≥ t` answer exactly as before, values before `t` become unspecified,
+    /// and the substrate may drop every breakpoint that only the past
+    /// needed. Streaming engines call this as virtual time advances so a
+    /// substrate's live state tracks the *active* horizon instead of growing
+    /// with the whole simulated history. Default: no-op (keeping history is
+    /// always correct, just larger).
+    fn retire_before(&mut self, _t: Time) {}
+
     /// Withdraw `width` processors during `[start, start + dur)`.
     fn reserve(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError>;
 
@@ -247,6 +256,10 @@ impl CapacityQuery for ResourceProfile {
             }
             out.push((bt, cap));
         }
+    }
+
+    fn retire_before(&mut self, t: Time) {
+        ResourceProfile::retire_before(self, t)
     }
 
     fn reserve(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError> {
@@ -481,6 +494,52 @@ mod tests {
                 assert!(from_profile.is_empty());
             }
         }
+    }
+
+    /// `retire_before(t)` must leave every query at an instant `≥ t`
+    /// untouched on both backends while actually shedding the breakpoints
+    /// only the past needed.
+    #[test]
+    fn retire_before_preserves_the_future_and_sheds_history() {
+        let mut p = staircase();
+        let mut tl = AvailabilityTimeline::from(&p);
+        let horizon = Time(7);
+        let caps: Vec<u32> = (7..20).map(|t| p.capacity_at(Time(t))).collect();
+        let fits: Vec<Option<Time>> = (1..=8)
+            .map(|w| p.earliest_fit(w, Dur(3), horizon))
+            .collect();
+        let steps_before = p.steps().len();
+
+        p.retire_before(horizon);
+        tl.retire_before(horizon);
+
+        assert!(p.steps().len() < steps_before, "no history was shed");
+        for (i, t) in (7..20).enumerate() {
+            assert_eq!(p.capacity_at(Time(t)), caps[i], "profile at t={t}");
+            assert_eq!(tl.capacity_at(Time(t)), caps[i], "timeline at t={t}");
+        }
+        for (i, w) in (1..=8).enumerate() {
+            assert_eq!(p.earliest_fit(w, Dur(3), horizon), fits[i], "width {w}");
+            assert_eq!(tl.earliest_fit(w, Dur(3), horizon), fits[i], "width {w}");
+        }
+        assert_eq!(
+            p.min_capacity_in(Time(8), Dur(5)),
+            tl.min_capacity_in(Time(8), Dur(5))
+        );
+        // New capacity can still be taken and returned at the horizon.
+        p.reserve(Time(8), Dur(2), 2).unwrap();
+        tl.reserve(Time(8), Dur(2), 2).unwrap();
+        assert_eq!(p.capacity_at(Time(8)), tl.capacity_at(Time(8)));
+
+        // Under an outstanding mark the timeline must refuse to retire:
+        // the undo log re-derives leaf ranges from breakpoint times.
+        let mut txn = AvailabilityTimeline::from(&staircase());
+        let pristine = txn.to_profile();
+        let mark = txn.checkpoint();
+        txn.reserve(Time(6), Dur(4), 1).unwrap();
+        txn.retire_before(Time(10));
+        txn.rollback_to(mark);
+        assert_eq!(txn.to_profile(), pristine);
     }
 
     #[test]

@@ -398,6 +398,20 @@ impl ResourceProfile {
         p
     }
 
+    /// Forget the capacity function before `t`: the step containing `t` is
+    /// extended back to time zero and all earlier breakpoints are dropped.
+    /// The represented function is unchanged on `[t, ∞)`; values before `t`
+    /// are unspecified afterwards. Streaming consumers call this as virtual
+    /// time advances, so the breakpoint count tracks the active scheduling
+    /// horizon instead of the whole simulated history.
+    pub fn retire_before(&mut self, t: Time) {
+        let idx = self.steps.partition_point(|&(bt, _)| bt <= t) - 1;
+        if idx > 0 {
+            self.steps.drain(..idx);
+            self.steps[0].0 = Time::ZERO;
+        }
+    }
+
     /// Insert a breakpoint at `t` (splitting the enclosing step) if one is not
     /// already present. No-op on the semantics of the profile.
     fn ensure_breakpoint(&mut self, t: Time) {

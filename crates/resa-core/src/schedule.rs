@@ -69,6 +69,24 @@ impl Schedule {
         &self.placements
     }
 
+    /// Remove every placement matching `pred`, preserving the relative order
+    /// of the survivors, and return the removed placements in their original
+    /// insertion order. This is the retirement path of streaming replays and
+    /// long-running services: completed jobs leave the live schedule so its
+    /// size tracks *active* jobs, not every job ever seen.
+    pub fn retire_where<F: FnMut(&Placement) -> bool>(&mut self, mut pred: F) -> Vec<Placement> {
+        let mut retired = Vec::new();
+        self.placements.retain(|p| {
+            if pred(p) {
+                retired.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        retired
+    }
+
     /// Reserve room for at least `additional` more placements, so a loop
     /// staying under a known job count never reallocates mid-run.
     pub fn reserve(&mut self, additional: usize) {
@@ -588,6 +606,27 @@ mod tests {
         s.place(JobId(1), Time(0));
         s.place(JobId(2), Time(0));
         assert!(s.assign_processors(&inst).is_err());
+    }
+
+    #[test]
+    fn retire_where_splits_preserving_order() {
+        let mut s = Schedule::new();
+        s.place(JobId(0), Time(0));
+        s.place(JobId(2), Time(1));
+        s.place(JobId(1), Time(2));
+        s.place(JobId(3), Time(3));
+        let retired = s.retire_where(|p| p.job.0 < 2);
+        assert_eq!(
+            retired.iter().map(|p| p.job.0).collect::<Vec<_>>(),
+            vec![0, 1],
+            "retired placements keep insertion order"
+        );
+        assert_eq!(
+            s.placements().iter().map(|p| p.job.0).collect::<Vec<_>>(),
+            vec![2, 3],
+            "survivors keep insertion order"
+        );
+        assert!(s.retire_where(|_| false).is_empty());
     }
 
     #[test]

@@ -775,6 +775,43 @@ impl AvailabilityTimeline {
         self.caps_scratch = caps;
     }
 
+    /// Forget the availability function before `t` (the streaming
+    /// counterpart of batch normalization; see
+    /// [`ResourceProfile::retire_before`] for the contract): leaves entirely
+    /// before the one containing `t` are dropped, that leaf is extended back
+    /// to time zero, and equal-capacity runs merge while the rebuild is
+    /// being paid for anyway. No-op while a transaction mark is outstanding —
+    /// the undo log re-derives leaf ranges from breakpoint times, so
+    /// dropping logged endpoints would corrupt rollback.
+    pub fn retire_before(&mut self, t: Time) {
+        if !self.marks.is_empty() {
+            return;
+        }
+        let idx = self.times.partition_point(|&bt| bt <= t.ticks()) - 1;
+        if idx == 0 {
+            return;
+        }
+        let n = self.times.len();
+        let mut caps = std::mem::take(&mut self.caps_scratch);
+        caps.clear();
+        caps.resize(n, 0);
+        self.collect(1, 0, n - 1, 0, &mut caps);
+        let mut kept = 0usize;
+        for i in idx..n {
+            if kept == 0 || caps[i] != caps[kept - 1] {
+                self.times[kept] = self.times[i];
+                caps[kept] = caps[i];
+                kept += 1;
+            }
+        }
+        self.times.truncate(kept);
+        caps.truncate(kept);
+        self.times[0] = 0;
+        self.splits_since_compaction = 0;
+        self.build(1, 0, kept - 1, &caps);
+        self.caps_scratch = caps;
+    }
+
     fn n(&self) -> usize {
         self.times.len()
     }
@@ -1067,6 +1104,10 @@ impl CapacityQuery for AvailabilityTimeline {
             // The first covered leaf may begin before the window.
             first.0 = first.0.max(start);
         }
+    }
+
+    fn retire_before(&mut self, t: Time) {
+        AvailabilityTimeline::retire_before(self, t)
     }
 
     fn reserve(&mut self, start: Time, dur: Dur, width: u32) -> Result<(), ProfileError> {

@@ -53,6 +53,44 @@ impl WaitList {
         }
     }
 
+    /// Current index capacity (length of the backing arrays). Exposed so
+    /// bounded-memory harnesses can assert that live state stays O(active
+    /// jobs) — a raw job id used as the index would drag this to the maximum
+    /// id ever seen, which is why streaming callers queue compact *slots*
+    /// and remap sparse external ids before they reach the list.
+    pub fn capacity(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Shift every present index down by `delta` and shrink the accepted
+    /// range accordingly — the compaction path taken after a prefix of the
+    /// caller's catalog is retired (so old index `i` now lives at
+    /// `i - delta`). Arrival order is preserved. Retirement is rare relative
+    /// to queue operations, so this rebuilds the links in O(capacity).
+    ///
+    /// # Panics
+    /// Panics if any present index is smaller than `delta`.
+    pub fn rebase(&mut self, delta: usize) {
+        if delta == 0 {
+            return;
+        }
+        let order: Vec<usize> = self.iter().collect();
+        let new_cap = self.next.len().saturating_sub(delta);
+        self.next.clear();
+        self.next.resize(new_cap, NIL);
+        self.prev.clear();
+        self.prev.resize(new_cap, NIL);
+        self.present.clear();
+        self.present.resize(new_cap, false);
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
+        for index in order {
+            assert!(index >= delta, "rebase past a still-queued index");
+            self.push_back(index - delta);
+        }
+    }
+
     /// Number of present indices.
     pub fn len(&self) -> usize {
         self.len
@@ -247,5 +285,33 @@ mod tests {
         let mut l = WaitList::with_capacity(2);
         l.push_back(0);
         l.push_back(0);
+    }
+
+    #[test]
+    fn rebase_shifts_and_shrinks() {
+        let mut l = WaitList::with_capacity(10);
+        for i in [7, 4, 9] {
+            l.push_back(i);
+        }
+        l.rebase(3);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![4, 1, 6]);
+        assert_eq!(l.capacity(), 7);
+        assert_eq!(l.front(), Some(4));
+        assert!(l.contains(6) && !l.contains(7));
+        // Rebasing by zero is a no-op.
+        l.rebase(0);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![4, 1, 6]);
+        // The freed range is really gone: re-growing starts from the new cap.
+        l.ensure_capacity(8);
+        l.push_back(7);
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![4, 1, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebase past a still-queued index")]
+    fn rebase_past_live_index_panics() {
+        let mut l = WaitList::with_capacity(4);
+        l.push_back(1);
+        l.rebase(2);
     }
 }

@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod policy;
 pub mod reference;
 pub mod service;
+pub mod stream;
 pub mod trace;
 
 /// Convenient glob import.
@@ -58,7 +59,7 @@ pub mod prelude {
     pub use crate::journal::{
         FsyncPolicy, JournalCfg, JournaledService, OpJournal, Recovered, TornTail,
     };
-    pub use crate::metrics::SimMetrics;
+    pub use crate::metrics::{MetricsAccumulator, SimMetrics};
     pub use crate::policy::{
         DecisionScratch, EasyPolicy, FcfsPolicy, GreedyPolicy, OnlinePolicy, WaitingJobs,
     };
@@ -66,6 +67,10 @@ pub mod prelude {
     pub use crate::service::{
         AdmissionPolicy, DeadlineOutcome, DrainMode, Effects, JobFlags, ScheduleService,
         ServiceDrain, ServiceError, ServiceReservation, ServiceState, ServiceStats,
+    };
+    pub use crate::stream::{
+        run_stream, run_stream_on_instance, DiscardSink, InstanceSource, JobSource, RecordSink,
+        StreamOutcome, VecSink,
     };
     pub use crate::trace::{JobRecord, RunTrace};
 }
@@ -123,6 +128,64 @@ mod proptests {
                 let reference = simulate_reference(&inst, kind);
                 prop_assert_eq!(&reference.schedule, &res.schedule, "{} diverged", kind.name());
                 prop_assert_eq!(reference.decisions, res.decisions);
+            }
+        }
+
+        /// Streaming replay is equivalent to the materialized batch engine on
+        /// random instances, on BOTH substrates: identical placement
+        /// sequences, identical decision counts, and bit-identical metrics
+        /// (the f64 fields included — the accumulator folds in the same
+        /// order `from_schedule` does).
+        #[test]
+        fn streaming_matches_batch_on_both_substrates(inst in arb_online_instance()) {
+            use crate::stream::{run_stream, InstanceSource, RecordSink};
+
+            #[derive(Default)]
+            struct Placements(Vec<Placement>);
+            impl RecordSink for Placements {
+                fn record(&mut self, _rec: JobRecord) {}
+                fn on_start(&mut self, job: &Job, start: Time) {
+                    self.0.push(Placement { job: job.id, start });
+                }
+            }
+
+            let sim = Simulator::new(inst.clone());
+            let overlay = inst.profile();
+            for (name, batch) in [
+                ("fcfs", sim.run(&FcfsPolicy)),
+                ("easy", sim.run(&EasyPolicy)),
+                ("greedy", sim.run(&GreedyPolicy)),
+            ] {
+                // Indexed-timeline substrate.
+                let mut timeline = AvailabilityTimeline::from(&overlay);
+                let mut sink = Placements::default();
+                let mut source = InstanceSource::new(&inst);
+                let streamed = match name {
+                    "fcfs" => run_stream(&mut timeline, &overlay, &FcfsPolicy, &mut source, &mut sink),
+                    "easy" => run_stream(&mut timeline, &overlay, &EasyPolicy, &mut source, &mut sink),
+                    _ => run_stream(&mut timeline, &overlay, &GreedyPolicy, &mut source, &mut sink),
+                };
+                prop_assert_eq!(
+                    &Schedule::from_placements(sink.0.clone()), &batch.schedule,
+                    "{} placements diverged on the timeline substrate", name
+                );
+                prop_assert_eq!(streamed.decisions, batch.decisions, "{}", name);
+                prop_assert_eq!(streamed.metrics, batch.metrics, "{}", name);
+
+                // Reference-profile substrate.
+                let mut reference = overlay.clone();
+                let mut sink = Placements::default();
+                let mut source = InstanceSource::new(&inst);
+                let streamed = match name {
+                    "fcfs" => run_stream(&mut reference, &overlay, &FcfsPolicy, &mut source, &mut sink),
+                    "easy" => run_stream(&mut reference, &overlay, &EasyPolicy, &mut source, &mut sink),
+                    _ => run_stream(&mut reference, &overlay, &GreedyPolicy, &mut source, &mut sink),
+                };
+                prop_assert_eq!(
+                    &Schedule::from_placements(sink.0.clone()), &batch.schedule,
+                    "{} placements diverged on the reference substrate", name
+                );
+                prop_assert_eq!(streamed.metrics, batch.metrics, "{}", name);
             }
         }
 

@@ -74,10 +74,136 @@ impl SimMetrics {
     }
 }
 
+/// Incremental accumulator producing the exact [`SimMetrics`] of
+/// [`SimMetrics::from_schedule`] without holding the schedule.
+///
+/// [`SimMetrics::from_schedule`] folds placements in insertion order, which
+/// for engine-produced schedules is the order jobs were started. Feeding
+/// [`MetricsAccumulator::record`] one `(job, start)` pair per start, in that
+/// same order, therefore reproduces its integer totals exactly and its `f64`
+/// bounded-slowdown sum *bit for bit* (floating-point addition is not
+/// associative, so the matching order is what makes streamed and
+/// materialized reports byte-identical). Proven by the differential
+/// proptests in `stream.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsAccumulator {
+    jobs: usize,
+    total_wait: u128,
+    max_wait: u64,
+    total_flow: u128,
+    total_bsld: f64,
+    work: u128,
+    makespan: Time,
+}
+
+impl MetricsAccumulator {
+    /// A fresh accumulator (all totals zero).
+    pub fn new() -> Self {
+        MetricsAccumulator::default()
+    }
+
+    /// Fold one job start, in the order starts were decided.
+    pub fn record(&mut self, job: &Job, start: Time) {
+        let wait = start.since(job.release).ticks();
+        let flow = wait + job.duration.ticks();
+        self.total_wait += wait as u128;
+        self.max_wait = self.max_wait.max(wait);
+        self.total_flow += flow as u128;
+        let denom = job.duration.ticks().max(SLOWDOWN_BOUND) as f64;
+        self.total_bsld += (flow as f64 / denom).max(1.0);
+        self.work += job.work();
+        self.makespan = self.makespan.max(start + job.duration);
+        self.jobs += 1;
+    }
+
+    /// Jobs folded so far.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Largest completion time folded so far.
+    pub fn makespan(&self) -> Time {
+        self.makespan
+    }
+
+    /// Total scheduled work folded so far (processor·ticks).
+    pub fn work(&self) -> u128 {
+        self.work
+    }
+
+    /// Finalize against the availability profile the run was scheduled on
+    /// (reservations only — job usage is not part of it, matching
+    /// [`resa_core::schedule::Schedule::utilization`]).
+    pub fn finish(&self, profile: &ResourceProfile) -> SimMetrics {
+        if self.jobs == 0 {
+            return SimMetrics {
+                makespan: Time::ZERO,
+                mean_wait: 0.0,
+                max_wait: 0,
+                mean_flow: 0.0,
+                mean_bounded_slowdown: 0.0,
+                utilization: 0.0,
+                jobs: 0,
+            };
+        }
+        let utilization = if self.makespan == Time::ZERO {
+            0.0
+        } else {
+            let area = profile.available_area(self.makespan);
+            if area == 0 {
+                0.0
+            } else {
+                self.work as f64 / area as f64
+            }
+        };
+        let n = self.jobs as f64;
+        SimMetrics {
+            makespan: self.makespan,
+            mean_wait: self.total_wait as f64 / n,
+            max_wait: self.max_wait,
+            mean_flow: self.total_flow as f64 / n,
+            mean_bounded_slowdown: self.total_bsld / n,
+            utilization,
+            jobs: self.jobs,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use resa_core::instance::ResaInstanceBuilder;
+
+    #[test]
+    fn accumulator_matches_from_schedule_in_placement_order() {
+        let inst = ResaInstanceBuilder::new(2)
+            .job(1, 2u64)
+            .job(1, 20u64)
+            .job_released_at(2, 7u64, 3u64)
+            .build()
+            .unwrap();
+        let mut s = Schedule::new();
+        s.place(JobId(1), Time(0));
+        s.place(JobId(0), Time(20));
+        s.place(JobId(2), Time(22));
+        let reference = SimMetrics::from_schedule(&inst, &s);
+        let mut acc = MetricsAccumulator::new();
+        for p in s.placements() {
+            acc.record(inst.job(p.job).unwrap(), p.start);
+        }
+        let streamed = acc.finish(&inst.profile());
+        assert_eq!(
+            streamed, reference,
+            "bit-exact equality, f64 fields included"
+        );
+    }
+
+    #[test]
+    fn empty_accumulator_is_the_zero_metrics() {
+        let inst = ResaInstanceBuilder::new(1).build().unwrap();
+        let zero = SimMetrics::from_schedule(&inst, &Schedule::new());
+        assert_eq!(MetricsAccumulator::new().finish(&inst.profile()), zero);
+    }
 
     #[test]
     fn metrics_of_simple_schedule() {

@@ -35,11 +35,12 @@
 //! scheduler can have: every latent state bug shows up as a divergence from
 //! the batch engine.
 
-use crate::metrics::SimMetrics;
+use crate::metrics::{MetricsAccumulator, SimMetrics};
 use crate::policy::{
     DecisionScratch, EasyPolicy, FcfsPolicy, GreedyPolicy, OnlinePolicy, WaitingJobs,
 };
 use crate::reference::ReferencePolicy;
+use crate::stream::RecordSink;
 use crate::trace::{JobRecord, RunTrace};
 use resa_core::capacity::Speculate;
 use resa_core::prelude::*;
@@ -443,6 +444,19 @@ pub struct ScheduleService<C: CapacityQuery + Speculate> {
     fx_buf: Effects,
     /// Reused `(time, width-delta)` event buffer for breakpoint refreshes.
     bp_events: Vec<(u64, i64)>,
+    /// Ids below `base` have been retired: their catalog entries were
+    /// compacted away and catalog position `pos` now holds id `base + pos`.
+    /// Stays `0` until [`ScheduleService::retire_completed`] compacts.
+    base: usize,
+    /// Metrics of retired placements, folded in decision order so merging
+    /// with the live placements reproduces `SimMetrics::from_schedule`
+    /// bit-for-bit.
+    retired_metrics: MetricsAccumulator,
+    /// Completed-job records handed to a [`RecordSink`] so far.
+    retired_records: usize,
+    /// Parallel to `jobs`: `true` once the position's placement has been
+    /// retired, making the catalog entry eligible for compaction.
+    retired_placement: Vec<bool>,
 }
 
 impl<C: CapacityQuery + Speculate> ScheduleService<C> {
@@ -479,7 +493,23 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             to_start: Vec::new(),
             fx_buf: Effects::default(),
             bp_events: Vec::new(),
+            base: 0,
+            retired_metrics: MetricsAccumulator::new(),
+            retired_records: 0,
+            retired_placement: Vec::new(),
         }
+    }
+
+    /// The catalog position of a live job id.
+    #[inline]
+    fn pos_of(&self, id: JobId) -> usize {
+        id.0 - self.base
+    }
+
+    /// The job id stored at catalog position `pos`.
+    #[inline]
+    fn id_at(&self, pos: usize) -> JobId {
+        JobId(self.base + pos)
     }
 
     /// Pre-size every per-job container for a session expected to hold up to
@@ -502,6 +532,8 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         self.flags.reserve(jobs.saturating_sub(self.flags.len()));
         self.completion_of
             .reserve(jobs.saturating_sub(self.completion_of.len()));
+        self.retired_placement
+            .reserve(jobs.saturating_sub(self.retired_placement.len()));
         self.preempted_buf
             .reserve(jobs.saturating_sub(self.preempted_buf.len()));
         self.reservations
@@ -576,6 +608,12 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
     /// (three `Vec` clones), called by the journal layer at compaction
     /// points only.
     pub fn state(&self) -> ServiceState {
+        assert!(
+            self.base == 0 && self.retired_records == 0,
+            "a retiring session cannot be checkpointed: retired records left \
+             the process, so the captured state would be partial (the serve \
+             front rejects --retire alongside --journal)"
+        );
         ServiceState {
             machines: self.machines,
             now: self.now,
@@ -630,6 +668,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         svc.reservations = state.reservations.clone();
         svc.drains = state.drains.clone();
         svc.completion_of = vec![None; state.jobs.len()];
+        svc.retired_placement = vec![false; state.jobs.len()];
         // Future suffixes of the effective reservation and drain windows.
         // Cancelled/revoked windows released their suffix at resolution time
         // (which was <= now), and windows wholly in the past never get
@@ -723,11 +762,12 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             });
         }
         let pos = self.jobs.len();
-        let id = JobId(pos);
+        let id = self.id_at(pos);
         self.jobs
-            .push(Job::released_at(pos, width, duration, release));
+            .push(Job::released_at(id.0, width, duration, release));
         self.flags.push(JobFlags::default());
         self.completion_of.push(None);
+        self.retired_placement.push(false);
         self.waiting.ensure_capacity(pos + 1);
         let mut effects = std::mem::take(&mut self.fx_buf);
         effects.clear();
@@ -877,7 +917,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             // disturbed last.
             let mut victims: Vec<(usize, u32, Time, Time)> = Vec::new();
             for p in self.schedule.placements() {
-                let pos = p.job.0;
+                let pos = self.pos_of(p.job);
                 let Some(completion) = self.completion_of[pos] else {
                     continue;
                 };
@@ -918,7 +958,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
                 self.substrate
                     .release(from, completion.since(from), w)
                     .expect("releasing a running job's own window");
-                self.schedule.remove(JobId(pos));
+                self.schedule.remove(self.id_at(pos));
                 self.completion_of[pos] = None;
                 self.running_count -= 1;
                 if self.drain_mode == DrainMode::Checkpoint {
@@ -927,7 +967,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
                 }
                 self.flags[pos].boosted = false;
                 self.waiting.push_back(pos);
-                self.preempted_buf.push(JobId(pos));
+                self.preempted_buf.push(self.id_at(pos));
             }
             self.recompute_makespan();
             self.substrate
@@ -1033,15 +1073,16 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
                 .reserve(start, duration, width)
                 .expect("the speculative probe certified this window");
             let pos = self.jobs.len();
-            let id = JobId(pos);
+            let id = self.id_at(pos);
             self.jobs
-                .push(Job::released_at(pos, width, duration, release));
+                .push(Job::released_at(id.0, width, duration, release));
             self.flags.push(JobFlags {
                 deadline: Some(deadline),
                 guaranteed: true,
                 boosted: false,
             });
             self.completion_of.push(Some(completion));
+            self.retired_placement.push(false);
             self.waiting.ensure_capacity(pos + 1);
             self.schedule.place(id, start);
             self.running.push(Reverse((completion, pos)));
@@ -1069,15 +1110,16 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             }),
             AdmissionPolicy::Boost => {
                 let pos = self.jobs.len();
-                let id = JobId(pos);
+                let id = self.id_at(pos);
                 self.jobs
-                    .push(Job::released_at(pos, width, duration, release));
+                    .push(Job::released_at(id.0, width, duration, release));
                 self.flags.push(JobFlags {
                     deadline: Some(deadline),
                     guaranteed: false,
                     boosted: true,
                 });
                 self.completion_of.push(None);
+                self.retired_placement.push(false);
                 self.waiting.ensure_capacity(pos + 1);
                 let mut effects = std::mem::take(&mut self.fx_buf);
                 effects.clear();
@@ -1194,7 +1236,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         ServiceStats {
             now: self.now,
             machines: self.machines,
-            submitted: self.jobs.len(),
+            submitted: self.base + self.jobs.len(),
             pending: self.pending.len(),
             waiting: self.waiting.len(),
             running: self.running_count,
@@ -1213,10 +1255,130 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
     /// the same shapes `resa replay` reports. Jobs still running carry their
     /// scheduled completion time.
     pub fn snapshot(&self) -> (Vec<JobRecord>, SimMetrics) {
-        let instance = self.to_instance();
-        let trace = RunTrace::from_schedule(&instance, &self.schedule);
-        let metrics = SimMetrics::from_schedule(&instance, &self.schedule);
-        (trace.records().to_vec(), metrics)
+        if self.retired_records == 0 {
+            let instance = self.to_instance();
+            let trace = RunTrace::from_schedule(&instance, &self.schedule);
+            let metrics = SimMetrics::from_schedule(&instance, &self.schedule);
+            return (trace.records().to_vec(), metrics);
+        }
+        // Retired placements already left the schedule (and the process, via
+        // the record sink): report the live ones in the same `(started, id)`
+        // order and merge the retired accumulator, so the metrics equal what
+        // a never-retired twin reports bit for bit — the retired prefix was
+        // a decision-order prefix, and the live placements continue that
+        // order (pinned by `retirement_preserves_snapshot_and_stats`).
+        let mut records: Vec<JobRecord> = self
+            .schedule
+            .placements()
+            .iter()
+            .map(|p| {
+                let job = self.jobs[self.pos_of(p.job)];
+                JobRecord {
+                    job: p.job,
+                    width: job.width,
+                    duration: job.duration,
+                    arrived: job.release,
+                    started: p.start,
+                    completed: p.start.saturating_add(job.duration),
+                }
+            })
+            .collect();
+        records.sort_unstable_by_key(|r| (r.started, r.job));
+        let mut acc = self.retired_metrics.clone();
+        for p in self.schedule.placements() {
+            acc.record(&self.jobs[self.pos_of(p.job)], p.start);
+        }
+        let profile = ResourceProfile::from_reservations(self.machines, &self.effective_overlay())
+            .expect("the live substrate accepted every window");
+        (records, acc.finish(&profile))
+    }
+
+    /// Completed-job records handed to a [`RecordSink`] by
+    /// [`ScheduleService::retire_completed`] so far.
+    pub fn retired_records(&self) -> usize {
+        self.retired_records
+    }
+
+    /// Retire every *leading* completed placement into `sink`, then compact
+    /// the job catalog, so a long-running session's resident set tracks the
+    /// active jobs instead of the whole history. Returns how many records
+    /// were written.
+    ///
+    /// Only a decision-order *prefix* of the schedule is retired — that is
+    /// what keeps the merged metrics of [`ScheduleService::snapshot`]
+    /// bit-identical to a never-retired twin (the bounded-slowdown sum is a
+    /// non-associative `f64` fold). A completed placement behind a still-live
+    /// one simply waits its turn; with FIFO-ish completion orders the prefix
+    /// covers almost everything.
+    ///
+    /// Catalog compaction has the same prefix shape: positions are freed
+    /// once every earlier position is also retired. A drain-preempted job
+    /// re-queues under its original id (both [`DrainMode`]s), so its entry
+    /// blocks compaction only until it re-runs and completes. Retiring
+    /// sessions cannot be checkpointed ([`ScheduleService::state`] panics)
+    /// or oracle-compared.
+    pub fn retire_completed<K: RecordSink>(&mut self, sink: &mut K) -> usize {
+        // 1. The longest leading run of completed placements.
+        let mut n = 0usize;
+        for p in self.schedule.placements() {
+            let pos = self.pos_of(p.job);
+            let done = self.completion_of[pos].is_none()
+                && p.start.saturating_add(self.jobs[pos].duration) <= self.now;
+            if !done {
+                break;
+            }
+            n += 1;
+        }
+        if n == 0 {
+            return 0;
+        }
+        // 2. Retire it: fold metrics in decision order, emit records, mark
+        //    the catalog entries.
+        let mut i = 0usize;
+        let retired = self.schedule.retire_where(|_| {
+            i += 1;
+            i <= n
+        });
+        for p in &retired {
+            let pos = self.pos_of(p.job);
+            let job = self.jobs[pos];
+            self.retired_metrics.record(&job, p.start);
+            self.retired_placement[pos] = true;
+            sink.record(JobRecord {
+                job: p.job,
+                width: job.width,
+                duration: job.duration,
+                arrived: job.release,
+                started: p.start,
+                completed: p.start.saturating_add(job.duration),
+            });
+        }
+        self.retired_records += n;
+        // 3. Compact the leading fully-retired run of the catalog. Retired
+        //    positions are in no heap and no queue: their completions
+        //    drained (that is what made them retirable), and any stale ghost
+        //    entry a preemption left in the running heap sits at a time no
+        //    later than the job's eventual completion, hence also drained.
+        let k = self.retired_placement.iter().take_while(|&&r| r).count();
+        if k > 0 {
+            self.jobs.drain(..k);
+            self.flags.drain(..k);
+            self.completion_of.drain(..k);
+            self.retired_placement.drain(..k);
+            self.base += k;
+            self.waiting.rebase(k);
+            let running = std::mem::take(&mut self.running);
+            self.running = running
+                .into_iter()
+                .map(|Reverse((t, pos))| Reverse((t, pos - k)))
+                .collect();
+            let pending = std::mem::take(&mut self.pending);
+            self.pending = pending
+                .into_iter()
+                .map(|Reverse((t, pos))| Reverse((t, pos - k)))
+                .collect();
+        }
+        n
     }
 
     /// Freeze the availability substrate into an immutable,
@@ -1255,6 +1417,11 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
     /// session without committed jobs this degenerates to
     /// `(to_instance(), schedule().clone())`.
     pub fn oracle_parts(&self) -> (ResaInstance, Schedule) {
+        assert!(
+            self.base == 0,
+            "the off-line oracle needs the full job catalog; retiring \
+             sessions are excluded from oracle comparisons"
+        );
         let mut remap = vec![usize::MAX; self.jobs.len()];
         let mut jobs = Vec::new();
         for (pos, job) in self.jobs.iter().enumerate() {
@@ -1335,9 +1502,15 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
             .schedule
             .placements()
             .iter()
-            .map(|p| p.start.saturating_add(self.jobs[p.job.0].duration))
+            .map(|p| {
+                p.start
+                    .saturating_add(self.jobs[self.pos_of(p.job)].duration)
+            })
             .max()
-            .unwrap_or(Time::ZERO);
+            .unwrap_or(Time::ZERO)
+            // Retired placements left the schedule but their high-water mark
+            // must survive: a preemption can only revoke *live* starts.
+            .max(self.retired_metrics.makespan());
     }
 
     /// Walk virtual time forward to `to`, appending starts and completions
@@ -1373,7 +1546,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
                     self.completion_of[pos] = None;
                     self.running_count -= 1;
                     self.completed_count += 1;
-                    effects.completed.push((JobId(pos), t));
+                    effects.completed.push((self.id_at(pos), t));
                     decide |= !self.flags[pos].guaranteed;
                 }
             }
@@ -1456,7 +1629,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         }
         for i in 0..self.to_start.len() {
             let id = self.to_start[i];
-            let pos = id.0;
+            let pos = self.pos_of(id);
             if !self.waiting.contains(pos) {
                 continue; // policies must only start waiting jobs
             }
@@ -1505,7 +1678,7 @@ impl<C: CapacityQuery + Speculate> ScheduleService<C> {
         // off-line engine; they must normalize together with the rest so
         // both sides agree on which instants are decision points.
         for p in self.schedule.placements() {
-            let pos = p.job.0;
+            let pos = self.pos_of(p.job);
             if !self.flags[pos].guaranteed {
                 continue;
             }
@@ -2441,5 +2614,165 @@ mod proptests {
                 prop_assert_eq!(live.stats(), restored.stats());
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod retirement_tests {
+    use super::*;
+    use crate::stream::VecSink;
+
+    fn service(m: u32) -> ScheduleService<AvailabilityTimeline> {
+        ScheduleService::new(ReferencePolicy::Easy, AvailabilityTimeline::constant(m))
+    }
+
+    #[test]
+    fn retire_with_nothing_completed_returns_zero() {
+        let mut svc = service(4);
+        let mut sink = VecSink::default();
+        assert_eq!(svc.retire_completed(&mut sink), 0);
+        svc.submit(2, Dur(5), None).unwrap();
+        assert_eq!(
+            svc.retire_completed(&mut sink),
+            0,
+            "the job is still running"
+        );
+        assert!(sink.records.is_empty());
+        assert_eq!(svc.retired_records(), 0);
+    }
+
+    /// A retiring session reports the same stats and *bit-identical* snapshot
+    /// metrics as a never-retired twin fed the same requests, and the sink
+    /// records plus the live snapshot records reassemble the twin's full
+    /// record set — on every policy.
+    #[test]
+    fn retirement_preserves_snapshot_and_stats() {
+        for policy in [
+            ReferencePolicy::Fcfs,
+            ReferencePolicy::Easy,
+            ReferencePolicy::Greedy,
+        ] {
+            let mut retiring = ScheduleService::new(policy, AvailabilityTimeline::constant(4));
+            let mut twin = ScheduleService::new(policy, AvailabilityTimeline::constant(4));
+            let mut sink = VecSink::default();
+            // A saturating mix: widths cycle so jobs queue up, durations
+            // stagger so completions interleave with arrivals.
+            for i in 0..40u64 {
+                let width = 1 + (i % 4) as u32;
+                let duration = Dur(1 + (i * 7) % 9);
+                let release = Some(Time(i));
+                retiring.submit(width, duration, release).unwrap();
+                twin.submit(width, duration, release).unwrap();
+                if i % 5 == 4 {
+                    retiring.advance(Time(i)).unwrap();
+                    twin.advance(Time(i)).unwrap();
+                    retiring.retire_completed(&mut sink);
+                }
+            }
+            retiring.drain();
+            twin.drain();
+            retiring.retire_completed(&mut sink);
+            assert!(
+                retiring.retired_records() > 0,
+                "the mix must retire something"
+            );
+            assert_eq!(retiring.stats(), twin.stats(), "{policy:?}");
+            let (live_records, metrics) = retiring.snapshot();
+            let (twin_records, twin_metrics) = twin.snapshot();
+            assert_eq!(
+                metrics, twin_metrics,
+                "{policy:?}: merged metrics must match"
+            );
+            let mut all = sink.records.clone();
+            all.extend(live_records);
+            all.sort_unstable_by_key(|r| (r.started, r.job));
+            assert_eq!(all, twin_records, "{policy:?}: records must reassemble");
+        }
+    }
+
+    #[test]
+    fn compaction_shrinks_the_catalog_and_rebases_the_queue() {
+        let mut svc = service(2);
+        let mut sink = VecSink::default();
+        // Width-2 jobs serialize: one runs, the rest wait in the queue.
+        for _ in 0..6 {
+            svc.submit(2, Dur(3), None).unwrap();
+        }
+        svc.advance(Time(6)).unwrap();
+        assert_eq!(svc.retire_completed(&mut sink), 2);
+        assert_eq!(svc.retired_records(), 2);
+        assert_eq!(
+            sink.records.iter().map(|r| r.job).collect::<Vec<_>>(),
+            vec![JobId(0), JobId(1)]
+        );
+        // The catalog now holds only the four live jobs; the waiting queue
+        // was rebased across the compaction and keeps scheduling correctly.
+        assert_eq!(svc.jobs.len(), 4);
+        svc.drain();
+        assert_eq!(svc.retire_completed(&mut sink), 4);
+        assert_eq!(
+            svc.jobs.len(),
+            0,
+            "a fully drained session compacts to empty"
+        );
+        let (records, metrics) = svc.snapshot();
+        assert!(records.is_empty());
+        assert_eq!(metrics.jobs, 6);
+        assert_eq!(metrics.makespan, Time(18));
+        assert_eq!(svc.stats().submitted, 6);
+        let ids: Vec<JobId> = sink.records.iter().map(|r| r.job).collect();
+        assert_eq!(ids, (0..6).map(JobId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ids_keep_counting_past_compaction() {
+        let mut svc = service(2);
+        let mut sink = VecSink::default();
+        svc.submit(2, Dur(2), None).unwrap();
+        svc.submit(2, Dur(2), None).unwrap();
+        svc.advance(Time(2)).unwrap();
+        assert_eq!(svc.retire_completed(&mut sink), 1);
+        let (id, _) = svc.submit(1, Dur(1), None).unwrap();
+        assert_eq!(id, JobId(2), "ids are global, not catalog positions");
+        svc.drain();
+        svc.retire_completed(&mut sink);
+        let ids: Vec<usize> = sink.records.iter().map(|r| r.job.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    /// A drain preemption leaves a stale ghost entry in the running heap;
+    /// retirement after the re-run must still be correct in both modes.
+    #[test]
+    fn retirement_after_a_drain_preemption() {
+        for mode in [DrainMode::Restart, DrainMode::Checkpoint] {
+            let mut svc = service(2);
+            svc.set_drain_mode(mode);
+            let mut sink = VecSink::default();
+            svc.submit(2, Dur(10), None).unwrap();
+            svc.advance(Time(2)).unwrap();
+            svc.inject(2, Dur(3), Time(2)).unwrap();
+            svc.drain();
+            assert_eq!(svc.retire_completed(&mut sink), 1, "{mode:?}");
+            let (records, metrics) = svc.snapshot();
+            assert!(records.is_empty());
+            assert_eq!(metrics.jobs, 1);
+            assert_eq!(sink.records[0].job, JobId(0));
+            assert_eq!(
+                svc.jobs.len(),
+                0,
+                "{mode:?}: catalog compacts after the re-run"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retiring session cannot be checkpointed")]
+    fn state_refuses_a_retiring_session() {
+        let mut svc = service(2);
+        let mut sink = VecSink::default();
+        svc.submit(1, Dur(1), None).unwrap();
+        svc.drain();
+        assert_eq!(svc.retire_completed(&mut sink), 1);
+        let _ = svc.state();
     }
 }

@@ -1,0 +1,501 @@
+//! Streaming simulation: bounded-memory replay over a pulled job stream.
+//!
+//! The batch [`crate::engine::Simulator`] materializes the whole instance,
+//! seeds one arrival event per job and summarizes the complete schedule at
+//! the end — O(trace) memory. This module is its streaming twin for
+//! archive-scale replays:
+//!
+//! * a [`JobSource`] is *pulled* as virtual time advances, so only jobs at
+//!   or before the current instant ever enter memory;
+//! * completed jobs are *retired* into a [`RecordSink`] the moment they
+//!   finish, freeing their catalog slot (a slab with a free list — sparse or
+//!   enormous external job ids from real traces never inflate the waitlist,
+//!   which queues compact slot indices);
+//! * metrics fold through [`crate::metrics::MetricsAccumulator`] in decision
+//!   order, reproducing [`crate::metrics::SimMetrics::from_schedule`] bit
+//!   for bit.
+//!
+//! [`run_stream`] replays the batch engine's event semantics exactly — same
+//! instants, same per-instant event draining (completions, availability
+//! changes, then arrivals in source order), same single policy consultation
+//! per instant, same defensive feasibility guard — so its placements,
+//! decision counts and metrics are identical to [`Simulator::run`] on any
+//! materialized instance (property-tested below on both substrates). Live
+//! state is O(active jobs + overlay), independent of trace length.
+//!
+//! [`Simulator::run`]: crate::engine::Simulator::run
+
+use crate::metrics::{MetricsAccumulator, SimMetrics};
+use crate::policy::{DecisionScratch, OnlinePolicy, WaitingJobs};
+use crate::trace::JobRecord;
+use resa_core::prelude::*;
+use resa_core::waitlist::WaitList;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A pull-based job stream, consumed as virtual time advances.
+///
+/// Contract: releases are non-decreasing, and jobs sharing a release instant
+/// arrive in ascending id order (the order the batch engine's event queue
+/// yields same-instant arrivals). Sources carrying real traces should
+/// pre-sort or verify sortedness before handing the stream to the engine.
+pub trait JobSource {
+    /// The next job, or `None` when the stream is exhausted.
+    fn next_job(&mut self) -> Option<Job>;
+}
+
+/// [`JobSource`] over a materialized instance: jobs sorted by
+/// `(release, id)`, which reproduces the batch engine's arrival order for
+/// *any* instance, sorted or not.
+pub struct InstanceSource {
+    jobs: std::vec::IntoIter<Job>,
+}
+
+impl InstanceSource {
+    /// Stream the jobs of `instance` in arrival order.
+    pub fn new(instance: &ResaInstance) -> Self {
+        let mut jobs = instance.jobs().to_vec();
+        jobs.sort_by_key(|j| (j.release, j.id));
+        InstanceSource {
+            jobs: jobs.into_iter(),
+        }
+    }
+}
+
+impl JobSource for InstanceSource {
+    fn next_job(&mut self) -> Option<Job> {
+        self.jobs.next()
+    }
+}
+
+/// Where retired jobs go. `record` receives each job exactly once, at its
+/// completion instant, ordered by `(completion, id)`; `on_start` fires at
+/// placement time in decision order (the insertion order of the batch
+/// engine's schedule), for sinks that need the placement sequence.
+pub trait RecordSink {
+    /// A job completed and left the live state.
+    fn record(&mut self, rec: JobRecord);
+
+    /// A job started (decision order). Default: ignored.
+    fn on_start(&mut self, job: &Job, start: Time) {
+        let _ = (job, start);
+    }
+}
+
+/// Sink that drops records, keeping only the count — the bounded-memory
+/// default when only aggregate metrics are wanted.
+#[derive(Debug, Default)]
+pub struct DiscardSink {
+    /// Number of records retired into this sink.
+    pub completed: usize,
+}
+
+impl RecordSink for DiscardSink {
+    fn record(&mut self, _rec: JobRecord) {
+        self.completed += 1;
+    }
+}
+
+/// Sink that collects every record (tests and small interactive runs; this
+/// reintroduces O(trace) memory by construction).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// Retired records in `(completion, id)` order.
+    pub records: Vec<JobRecord>,
+}
+
+impl RecordSink for VecSink {
+    fn record(&mut self, rec: JobRecord) {
+        self.records.push(rec);
+    }
+}
+
+/// Aggregate outcome of a streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Metrics, equal to `SimMetrics::from_schedule` on the materialized run.
+    pub metrics: SimMetrics,
+    /// Decision points at which the policy was consulted (equal to the batch
+    /// engine's count).
+    pub decisions: u64,
+    /// Jobs pulled from the source.
+    pub submitted: usize,
+    /// Jobs retired into the sink. Less than `submitted` only if some job
+    /// could never be placed (an infeasible stream).
+    pub completed: usize,
+    /// Peak number of simultaneously live jobs (waiting + running) — the
+    /// quantity the bounded-memory guarantee is about.
+    pub peak_active: usize,
+    /// High-water mark of the job slab (slots are reused after retirement,
+    /// so this tracks `peak_active`, not the trace length).
+    pub peak_slots: usize,
+}
+
+/// Run a streaming simulation of `source` under `policy` on `substrate`.
+///
+/// `substrate` must be freshly built from `overlay` (the reservations-only
+/// profile): the run reserves job capacity on it in place, exactly like the
+/// batch engine. `overlay` additionally supplies the availability-change
+/// instants and the area denominator for utilization.
+pub fn run_stream<C, P, S, K>(
+    substrate: &mut C,
+    overlay: &ResourceProfile,
+    policy: &P,
+    source: &mut S,
+    sink: &mut K,
+) -> StreamOutcome
+where
+    C: CapacityQuery,
+    P: OnlinePolicy,
+    S: JobSource,
+    K: RecordSink,
+{
+    // Job slab: slot-indexed live catalog with a free list. External ids
+    // (arbitrarily sparse in real traces) are mapped to compact slots, so
+    // the waitlist and heaps stay O(active jobs).
+    let mut slots: Vec<Job> = Vec::new();
+    let mut start_of: Vec<Time> = Vec::new();
+    let mut free: Vec<u32> = Vec::new();
+    let mut slot_of: HashMap<JobId, u32> = HashMap::new();
+    let mut waiting = WaitList::with_capacity(0);
+    // Running jobs keyed by (completion, id, slot): pops in completion order
+    // with deterministic id tie-break, matching the batch event queue.
+    let mut running: BinaryHeap<Reverse<(Time, JobId, u32)>> = BinaryHeap::new();
+    // Availability-change instants, consumed in order (t > 0, like the batch
+    // engine's AvailabilityChange events).
+    let mut bp_iter = overlay
+        .steps()
+        .iter()
+        .map(|&(t, _)| t)
+        .filter(|&t| t > Time::ZERO);
+    let mut next_bp = bp_iter.next();
+
+    let mut pending = source.next_job();
+    let mut acc = MetricsAccumulator::new();
+    let mut scratch = DecisionScratch::default();
+    let mut to_start: Vec<JobId> = Vec::new();
+    let mut decisions = 0u64;
+    let mut submitted = 0usize;
+    let mut completed = 0usize;
+    let mut peak_active = 0usize;
+    // Substrate garbage collection: every placement adds breakpoints the
+    // substrate would otherwise keep forever, so the availability function
+    // before `now` is periodically forgotten (`CapacityQuery::retire_before`
+    // — queries never look behind the clock). The cadence amortizes the
+    // O(live breakpoints) compaction to O(1) per completion and caps the
+    // substrate at O(active jobs + RETIRE_EVERY) breakpoints.
+    const RETIRE_EVERY: usize = 64;
+    let mut retired_at = 0usize;
+
+    loop {
+        // The next instant: earliest of pending arrival, completion, and
+        // availability change. Breakpoints alone can unblock a waiting job
+        // (capacity rises when a reservation ends), so they count as
+        // instants while anything is waiting; with nothing live and nothing
+        // pending they are irrelevant, as in the batch engine, where they
+        // drain with no effect.
+        if pending.is_none() && running.is_empty() && (waiting.is_empty() || next_bp.is_none()) {
+            break;
+        }
+        let mut now: Option<Time> = None;
+        let consider = |t: Time, now: &mut Option<Time>| {
+            *now = Some(now.map_or(t, |n| n.min(t)));
+        };
+        if let Some(job) = &pending {
+            consider(job.release, &mut now);
+        }
+        if let Some(&Reverse((t, _, _))) = running.peek() {
+            consider(t, &mut now);
+        }
+        if let Some(bp) = next_bp {
+            consider(bp, &mut now);
+        }
+        let Some(now) = now else { break };
+
+        // 1. Completions at `now`: retire out of the live state.
+        while let Some(&Reverse((t, _, _))) = running.peek() {
+            if t != now {
+                break;
+            }
+            let Reverse((_, _, slot)) = running.pop().expect("peeked");
+            let job = slots[slot as usize];
+            sink.record(JobRecord {
+                job: job.id,
+                width: job.width,
+                duration: job.duration,
+                arrived: job.release,
+                started: start_of[slot as usize],
+                completed: now,
+            });
+            slot_of.remove(&job.id);
+            free.push(slot);
+            completed += 1;
+        }
+        if completed - retired_at >= RETIRE_EVERY {
+            substrate.retire_before(now);
+            retired_at = completed;
+        }
+        // 2. Availability changes at (or skipped before) `now`.
+        while let Some(bp) = next_bp {
+            if bp > now {
+                break;
+            }
+            next_bp = bp_iter.next();
+        }
+        // 3. Arrivals at `now`, in source order.
+        while let Some(job) = &pending {
+            if job.release > now {
+                break;
+            }
+            let job = pending.take().expect("checked");
+            debug_assert!(job.release == now, "source releases must not decrease");
+            let slot = match free.pop() {
+                Some(slot) => {
+                    slots[slot as usize] = job;
+                    start_of[slot as usize] = Time::ZERO;
+                    slot
+                }
+                None => {
+                    slots.push(job);
+                    start_of.push(Time::ZERO);
+                    (slots.len() - 1) as u32
+                }
+            };
+            slot_of.insert(job.id, slot);
+            waiting.ensure_capacity(slots.len());
+            waiting.push_back(slot as usize);
+            submitted += 1;
+            pending = source.next_job();
+        }
+        peak_active = peak_active.max(waiting.len() + running.len());
+
+        if waiting.is_empty() {
+            continue;
+        }
+        // One decision per instant, exactly like the batch engine.
+        decisions += 1;
+        policy.decide(
+            now,
+            &WaitingJobs::new(&slots, &waiting),
+            substrate,
+            &mut scratch,
+            &mut to_start,
+        );
+        for &id in &to_start {
+            let Some(&slot) = slot_of.get(&id) else {
+                continue;
+            };
+            if !waiting.contains(slot as usize) {
+                // Policies must only start waiting jobs; ignore others.
+                continue;
+            }
+            let job = slots[slot as usize];
+            if substrate.min_capacity_in(now, job.duration) < job.width {
+                // Defensive: refuse infeasible starts instead of corrupting
+                // the run (mirrors the batch engine).
+                continue;
+            }
+            substrate
+                .reserve(now, job.duration, job.width)
+                .expect("capacity just checked");
+            acc.record(&job, now);
+            sink.on_start(&job, now);
+            start_of[slot as usize] = now;
+            running.push(Reverse((now + job.duration, job.id, slot)));
+            waiting.remove(slot as usize);
+        }
+    }
+
+    StreamOutcome {
+        metrics: acc.finish(overlay),
+        decisions,
+        submitted,
+        completed,
+        peak_active,
+        peak_slots: slots.len(),
+    }
+}
+
+/// Convenience wrapper: stream a materialized instance on the indexed
+/// timeline substrate (the common case for tests and benches).
+pub fn run_stream_on_instance<P: OnlinePolicy, K: RecordSink>(
+    instance: &ResaInstance,
+    policy: &P,
+    sink: &mut K,
+) -> StreamOutcome {
+    let overlay = instance.profile();
+    let mut substrate = AvailabilityTimeline::from(&overlay);
+    let mut source = InstanceSource::new(instance);
+    run_stream(&mut substrate, &overlay, policy, &mut source, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::policy::{EasyPolicy, FcfsPolicy, GreedyPolicy};
+    use resa_core::instance::ResaInstanceBuilder;
+
+    /// Sink that rebuilds the placement sequence, for equivalence checks.
+    #[derive(Default)]
+    struct PlacementSink {
+        placements: Vec<Placement>,
+        records: Vec<JobRecord>,
+    }
+
+    impl RecordSink for PlacementSink {
+        fn record(&mut self, rec: JobRecord) {
+            self.records.push(rec);
+        }
+
+        fn on_start(&mut self, job: &Job, start: Time) {
+            self.placements.push(Placement { job: job.id, start });
+        }
+    }
+
+    fn check_equivalence(inst: &ResaInstance) {
+        let sim = Simulator::new(inst.clone());
+        for (name, batch, streamed) in [
+            ("fcfs", sim.run(&FcfsPolicy), {
+                let mut sink = PlacementSink::default();
+                (run_stream_on_instance(inst, &FcfsPolicy, &mut sink), sink)
+            }),
+            ("easy", sim.run(&EasyPolicy), {
+                let mut sink = PlacementSink::default();
+                (run_stream_on_instance(inst, &EasyPolicy, &mut sink), sink)
+            }),
+            ("greedy", sim.run(&GreedyPolicy), {
+                let mut sink = PlacementSink::default();
+                (run_stream_on_instance(inst, &GreedyPolicy, &mut sink), sink)
+            }),
+        ] {
+            let (outcome, sink) = streamed;
+            assert_eq!(
+                Schedule::from_placements(sink.placements.clone()),
+                batch.schedule,
+                "{name}: placement sequence diverged"
+            );
+            assert_eq!(outcome.decisions, batch.decisions, "{name}");
+            assert_eq!(
+                outcome.metrics, batch.metrics,
+                "{name}: metrics (f64 bit-exact)"
+            );
+            assert_eq!(outcome.submitted, inst.n_jobs(), "{name}");
+            assert_eq!(outcome.completed, inst.n_jobs(), "{name}");
+            assert_eq!(sink.records.len(), inst.n_jobs(), "{name}");
+            for r in &sink.records {
+                assert_eq!(r.completed, r.started + r.duration);
+            }
+            // Records arrive in completion order with id tie-break.
+            for pair in sink.records.windows(2) {
+                assert!((pair[0].completed, pair[0].job) < (pair[1].completed, pair[1].job));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_batch_engine_on_reserved_instance() {
+        let inst = ResaInstanceBuilder::new(4)
+            .job(3, 4u64)
+            .job_released_at(4, 2u64, 1u64)
+            .job_released_at(1, 3u64, 1u64)
+            .job_released_at(2, 2u64, 6u64)
+            .reservation(2, 3u64, 5u64)
+            .build()
+            .unwrap();
+        check_equivalence(&inst);
+    }
+
+    #[test]
+    fn breakpoint_alone_unblocks_a_waiting_job() {
+        // One job too wide to run while the reservation holds: the only
+        // instant that can start it is the reservation's *end* breakpoint.
+        let inst = ResaInstanceBuilder::new(4)
+            .job(4, 2u64)
+            .reservation(2, 5u64, 0u64)
+            .build()
+            .unwrap();
+        check_equivalence(&inst);
+        let mut sink = DiscardSink::default();
+        let outcome = run_stream_on_instance(&inst, &GreedyPolicy, &mut sink);
+        assert_eq!(outcome.metrics.makespan, Time(7));
+        assert_eq!(sink.completed, 1);
+    }
+
+    #[test]
+    fn empty_source() {
+        let inst = ResaInstanceBuilder::new(2).build().unwrap();
+        let mut sink = DiscardSink::default();
+        let outcome = run_stream_on_instance(&inst, &GreedyPolicy, &mut sink);
+        assert_eq!(outcome.decisions, 0);
+        assert_eq!(outcome.submitted, 0);
+        assert_eq!(outcome.metrics.jobs, 0);
+        assert_eq!(outcome.peak_active, 0);
+    }
+
+    /// The slab + slot indirection keeps live state O(active) even when
+    /// external job ids start at 10^7 (the sparse-id regression of real
+    /// traces: a raw-id waitlist would allocate tens of millions of slots).
+    #[test]
+    fn sparse_huge_job_ids_stay_compact() {
+        struct SparseSource {
+            next: usize,
+            count: usize,
+        }
+        impl JobSource for SparseSource {
+            fn next_job(&mut self) -> Option<Job> {
+                if self.count == 0 {
+                    return None;
+                }
+                self.count -= 1;
+                let id = self.next;
+                self.next += 13;
+                // Release = sequential instants, short jobs: ≤ 2 live at once.
+                Some(Job::released_at(
+                    id,
+                    1,
+                    2u64,
+                    (10_000_000usize.abs_diff(id)) as u64,
+                ))
+            }
+        }
+        let overlay = ResourceProfile::constant(4);
+        let mut substrate = AvailabilityTimeline::from(&overlay);
+        let mut source = SparseSource {
+            next: 10_000_000,
+            count: 500,
+        };
+        let mut sink = DiscardSink::default();
+        let outcome = run_stream(
+            &mut substrate,
+            &overlay,
+            &GreedyPolicy,
+            &mut source,
+            &mut sink,
+        );
+        assert_eq!(outcome.submitted, 500);
+        assert_eq!(outcome.completed, 500);
+        assert!(
+            outcome.peak_slots <= 4,
+            "slab grew to {} slots for ids starting at 10^7",
+            outcome.peak_slots
+        );
+        assert!(outcome.peak_active <= 4);
+    }
+
+    #[test]
+    fn retirement_reuses_slots() {
+        // 100 sequential jobs, each finishing before the next arrives: the
+        // slab should never need more than one slot.
+        let mut b = ResaInstanceBuilder::new(2);
+        for i in 0..100u64 {
+            b = b.job_released_at(1, 1u64, i * 2);
+        }
+        let inst = b.build().unwrap();
+        let mut sink = DiscardSink::default();
+        let outcome = run_stream_on_instance(&inst, &FcfsPolicy, &mut sink);
+        assert_eq!(outcome.completed, 100);
+        assert_eq!(outcome.peak_slots, 1);
+        assert_eq!(outcome.peak_active, 1);
+    }
+}

@@ -1,0 +1,718 @@
+//! Minimal streaming gzip support for archive-scale SWF traces.
+//!
+//! The real CTC/SDSC/KTH logs behind the SWF format ship gzip-compressed,
+//! and the container building this workspace has no network access and no
+//! compression crates — so this module vendors the two halves the trace
+//! pipeline needs, with no dependency beyond `std`:
+//!
+//! * [`GzipReader`] — a streaming RFC 1952 (gzip) / RFC 1951 (deflate)
+//!   *inflater* implementing [`std::io::Read`]: stored, fixed-Huffman and
+//!   dynamic-Huffman blocks over a 32 KiB back-reference window, decoding
+//!   on demand so a multi-million-line log is never materialized. The
+//!   trailer's CRC32 and ISIZE are verified as the stream drains; every
+//!   corruption is surfaced as an [`std::io::ErrorKind::InvalidData`] error
+//!   (the loader tests pin truncation and bit-flip cases).
+//! * [`compress_stored`] / [`write_gz`] — a gzip *writer* emitting stored
+//!   (uncompressed) deflate blocks. It exists so tests, benches and the CI
+//!   smoke can fabricate valid `.swf.gz` fixtures; real archives arrive
+//!   already compressed, so the write side never needs entropy coding.
+//!
+//! The canonical-Huffman decoder follows the classic `puff` construction:
+//! per-length symbol counts plus a sorted symbol table, decoded bit by bit
+//! (codes are at most 15 bits, so the loop is bounded and branch-cheap).
+
+use std::io::{Error, ErrorKind, Read, Result};
+
+/// Magic bytes opening every gzip member.
+pub const GZIP_MAGIC: [u8; 2] = [0x1f, 0x8b];
+
+/// CRC32 (IEEE, reflected) over `data`, continuing from `crc` (start with 0).
+pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
+    // The 256-entry table is tiny; building it per call would also be fine,
+    // but a lazily-initialized static keeps the hot loop to one lookup.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (n, entry) in t.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut c = !crc;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Whether `head` starts with the gzip magic (callers peek two bytes to
+/// decide between the plain and compressed trace paths).
+pub fn is_gzip(head: &[u8]) -> bool {
+    head.len() >= 2 && head[0] == GZIP_MAGIC[0] && head[1] == GZIP_MAGIC[1]
+}
+
+fn corrupt(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+fn truncated() -> Error {
+    Error::new(
+        ErrorKind::UnexpectedEof,
+        "truncated gzip stream".to_string(),
+    )
+}
+
+/// Canonical Huffman decoding table: `counts[l]` codes of length `l`,
+/// symbols sorted by (length, symbol value).
+struct Huffman {
+    counts: [u16; 16],
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    /// Build from per-symbol code lengths (0 = unused). Rejects
+    /// over-subscribed length sets; incomplete sets are accepted (deflate
+    /// allows them for the distance table of degenerate blocks).
+    fn new(lengths: &[u8]) -> Result<Self> {
+        let mut counts = [0u16; 16];
+        for &l in lengths {
+            if l > 15 {
+                return Err(corrupt("huffman code length exceeds 15"));
+            }
+            counts[l as usize] += 1;
+        }
+        counts[0] = 0;
+        let mut left = 1i32;
+        for &count in &counts[1..] {
+            left = (left << 1) - count as i32;
+            if left < 0 {
+                return Err(corrupt("over-subscribed huffman code lengths"));
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for l in 1..15 {
+            offsets[l + 1] = offsets[l] + counts[l];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l != 0).count()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l != 0 {
+                symbols[offsets[l as usize] as usize] = sym as u16;
+                offsets[l as usize] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+}
+
+/// Extra bits and base values for length codes 257..=285.
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Extra bits and base values for distance codes 0..=29.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Order in which code-length-code lengths are stored in a dynamic block.
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+const WINDOW: usize = 32 * 1024;
+
+/// What the inflater is currently working through.
+enum BlockState {
+    /// Between blocks; `true` once the final block has been consumed.
+    Boundary { last_seen: bool },
+    /// Inside a stored block with this many bytes left to copy.
+    Stored { remaining: u16, last: bool },
+    /// Inside a compressed block with these tables.
+    Huffman {
+        litlen: Huffman,
+        dist: Huffman,
+        last: bool,
+    },
+    /// Deflate stream fully decoded and trailer verified.
+    Done,
+}
+
+/// Streaming gzip decompressor over any [`Read`].
+///
+/// Reads compressed bytes on demand and serves decompressed bytes through
+/// [`Read::read`], keeping only a 32 KiB sliding window plus a small input
+/// buffer resident — memory is O(1) in the archive size. The gzip header is
+/// parsed lazily on the first read; the CRC32/ISIZE trailer is checked when
+/// the deflate stream ends, so a fully drained reader is a verified one.
+pub struct GzipReader<R: Read> {
+    inner: R,
+    /// Input staging buffer and the bit cursor into it.
+    in_buf: Vec<u8>,
+    in_pos: usize,
+    in_len: usize,
+    bit_buf: u32,
+    bit_count: u32,
+    /// Sliding output window (ring buffer) and undelivered byte count.
+    window: Box<[u8]>,
+    wpos: usize,
+    avail: usize,
+    /// Running CRC32 / byte count of the *delivered* output.
+    crc: u32,
+    out_len: u64,
+    header_done: bool,
+    state: BlockState,
+}
+
+impl<R: Read> GzipReader<R> {
+    /// Wrap `inner`, which must yield one complete gzip member.
+    pub fn new(inner: R) -> Self {
+        GzipReader {
+            inner,
+            in_buf: vec![0u8; 8 * 1024],
+            in_pos: 0,
+            in_len: 0,
+            bit_buf: 0,
+            bit_count: 0,
+            window: vec![0u8; WINDOW].into_boxed_slice(),
+            wpos: 0,
+            avail: 0,
+            crc: 0,
+            out_len: 0,
+            header_done: false,
+            state: BlockState::Boundary { last_seen: false },
+        }
+    }
+
+    fn next_byte(&mut self) -> Result<u8> {
+        if self.in_pos == self.in_len {
+            self.in_len = self.inner.read(&mut self.in_buf)?;
+            self.in_pos = 0;
+            if self.in_len == 0 {
+                return Err(truncated());
+            }
+        }
+        let b = self.in_buf[self.in_pos];
+        self.in_pos += 1;
+        Ok(b)
+    }
+
+    fn read_bits(&mut self, n: u32) -> Result<u32> {
+        while self.bit_count < n {
+            let b = self.next_byte()?;
+            self.bit_buf |= (b as u32) << self.bit_count;
+            self.bit_count += 8;
+        }
+        let out = if n == 0 {
+            0
+        } else {
+            self.bit_buf & ((1u32 << n) - 1)
+        };
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+        Ok(out)
+    }
+
+    fn drop_partial_bits(&mut self) {
+        let drop = self.bit_count % 8;
+        self.bit_buf >>= drop;
+        self.bit_count -= drop;
+    }
+
+    fn decode(&mut self, which: Which) -> Result<u16> {
+        let mut code = 0usize;
+        let mut first = 0usize;
+        let mut index = 0usize;
+        for len in 1..=15usize {
+            code |= self.read_bits(1)? as usize;
+            let count = {
+                let h = match (&self.state, which) {
+                    (BlockState::Huffman { litlen, .. }, Which::LitLen) => litlen,
+                    (BlockState::Huffman { dist, .. }, Which::Dist) => dist,
+                    _ => unreachable!("decode called outside a huffman block"),
+                };
+                h.counts[len] as usize
+            };
+            if code < first + count {
+                let h = match (&self.state, which) {
+                    (BlockState::Huffman { litlen, .. }, Which::LitLen) => litlen,
+                    (BlockState::Huffman { dist, .. }, Which::Dist) => dist,
+                    _ => unreachable!(),
+                };
+                return Ok(h.symbols[index + (code - first)]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(corrupt("invalid huffman code"))
+    }
+
+    /// Decode with an explicit table (used while reading dynamic headers,
+    /// before the block tables are installed in `state`).
+    fn decode_with(&mut self, h: &Huffman) -> Result<u16> {
+        let mut code = 0usize;
+        let mut first = 0usize;
+        let mut index = 0usize;
+        for len in 1..=15usize {
+            code |= self.read_bits(1)? as usize;
+            let count = h.counts[len] as usize;
+            if code < first + count {
+                return Ok(h.symbols[index + (code - first)]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(corrupt("invalid huffman code"))
+    }
+
+    fn push_out(&mut self, b: u8) {
+        self.window[self.wpos] = b;
+        self.wpos = (self.wpos + 1) % WINDOW;
+        self.avail += 1;
+    }
+
+    fn parse_header(&mut self) -> Result<()> {
+        let m0 = self.next_byte()?;
+        let m1 = self.next_byte()?;
+        if [m0, m1] != GZIP_MAGIC {
+            return Err(corrupt("not a gzip stream (bad magic)"));
+        }
+        let cm = self.next_byte()?;
+        if cm != 8 {
+            return Err(corrupt(format!("unsupported gzip compression method {cm}")));
+        }
+        let flg = self.next_byte()?;
+        for _ in 0..6 {
+            self.next_byte()?; // MTIME, XFL, OS
+        }
+        if flg & 0x04 != 0 {
+            // FEXTRA
+            let lo = self.next_byte()? as usize;
+            let hi = self.next_byte()? as usize;
+            for _ in 0..(hi << 8 | lo) {
+                self.next_byte()?;
+            }
+        }
+        if flg & 0x08 != 0 {
+            while self.next_byte()? != 0 {} // FNAME
+        }
+        if flg & 0x10 != 0 {
+            while self.next_byte()? != 0 {} // FCOMMENT
+        }
+        if flg & 0x02 != 0 {
+            self.next_byte()?;
+            self.next_byte()?; // FHCRC
+        }
+        self.header_done = true;
+        Ok(())
+    }
+
+    fn begin_block(&mut self) -> Result<()> {
+        let last = self.read_bits(1)? == 1;
+        let btype = self.read_bits(2)?;
+        match btype {
+            0 => {
+                self.drop_partial_bits();
+                let len = self.read_bits(16)? as u16;
+                let nlen = self.read_bits(16)? as u16;
+                if len != !nlen {
+                    return Err(corrupt("stored block LEN/NLEN mismatch"));
+                }
+                self.state = BlockState::Stored {
+                    remaining: len,
+                    last,
+                };
+            }
+            1 => {
+                let mut litlen = [0u8; 288];
+                litlen[..144].fill(8);
+                litlen[144..256].fill(9);
+                litlen[256..280].fill(7);
+                litlen[280..288].fill(8);
+                let dist = [5u8; 30];
+                self.state = BlockState::Huffman {
+                    litlen: Huffman::new(&litlen)?,
+                    dist: Huffman::new(&dist)?,
+                    last,
+                };
+            }
+            2 => {
+                let hlit = self.read_bits(5)? as usize + 257;
+                let hdist = self.read_bits(5)? as usize + 1;
+                let hclen = self.read_bits(4)? as usize + 4;
+                let mut clen_lengths = [0u8; 19];
+                for &pos in CLEN_ORDER.iter().take(hclen) {
+                    clen_lengths[pos] = self.read_bits(3)? as u8;
+                }
+                let clen = Huffman::new(&clen_lengths)?;
+                let mut lengths = vec![0u8; hlit + hdist];
+                let mut i = 0usize;
+                while i < lengths.len() {
+                    let sym = self.decode_with(&clen)?;
+                    match sym {
+                        0..=15 => {
+                            lengths[i] = sym as u8;
+                            i += 1;
+                        }
+                        16 => {
+                            if i == 0 {
+                                return Err(corrupt("length repeat with no previous length"));
+                            }
+                            let prev = lengths[i - 1];
+                            let n = 3 + self.read_bits(2)? as usize;
+                            if i + n > lengths.len() {
+                                return Err(corrupt("length repeat overflows the table"));
+                            }
+                            lengths[i..i + n].fill(prev);
+                            i += n;
+                        }
+                        17 => {
+                            let n = 3 + self.read_bits(3)? as usize;
+                            if i + n > lengths.len() {
+                                return Err(corrupt("zero-length run overflows the table"));
+                            }
+                            i += n;
+                        }
+                        18 => {
+                            let n = 11 + self.read_bits(7)? as usize;
+                            if i + n > lengths.len() {
+                                return Err(corrupt("zero-length run overflows the table"));
+                            }
+                            i += n;
+                        }
+                        _ => return Err(corrupt("invalid code-length symbol")),
+                    }
+                }
+                if lengths[256] == 0 {
+                    return Err(corrupt("dynamic block without an end-of-block code"));
+                }
+                self.state = BlockState::Huffman {
+                    litlen: Huffman::new(&lengths[..hlit])?,
+                    dist: Huffman::new(&lengths[hlit..])?,
+                    last,
+                };
+            }
+            _ => return Err(corrupt("reserved deflate block type")),
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        // Trailer: CRC32 + ISIZE, little-endian, byte-aligned.
+        self.drop_partial_bits();
+        let mut trailer = [0u8; 8];
+        for b in trailer.iter_mut() {
+            *b = self.next_byte()?;
+        }
+        let crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let isize = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+        if crc != self.crc {
+            return Err(corrupt(format!(
+                "gzip CRC mismatch: stored {crc:#010x}, computed {:#010x}",
+                self.crc
+            )));
+        }
+        if isize != self.out_len as u32 {
+            return Err(corrupt(format!(
+                "gzip ISIZE mismatch: stored {isize}, decompressed {} (mod 2^32)",
+                self.out_len as u32
+            )));
+        }
+        self.state = BlockState::Done;
+        Ok(())
+    }
+
+    /// Decode until at least one output byte is available (or the stream
+    /// ends). One call decodes at most one symbol / one stored chunk, so
+    /// `avail` stays far below the window size.
+    fn fill(&mut self) -> Result<()> {
+        if !self.header_done {
+            self.parse_header()?;
+        }
+        while self.avail == 0 {
+            match &mut self.state {
+                BlockState::Done => return Ok(()),
+                BlockState::Boundary { last_seen } => {
+                    if *last_seen {
+                        self.finish()?;
+                        return Ok(());
+                    }
+                    self.begin_block()?;
+                }
+                BlockState::Stored { remaining, last } => {
+                    if *remaining == 0 {
+                        let last = *last;
+                        self.state = BlockState::Boundary { last_seen: last };
+                        continue;
+                    }
+                    let n = (*remaining).min(4096);
+                    *remaining -= n;
+                    self.drop_partial_bits();
+                    for _ in 0..n {
+                        let b = self.next_byte()?;
+                        self.push_out(b);
+                    }
+                }
+                BlockState::Huffman { last, .. } => {
+                    let last = *last;
+                    let sym = self.decode(Which::LitLen)?;
+                    match sym {
+                        0..=255 => self.push_out(sym as u8),
+                        256 => self.state = BlockState::Boundary { last_seen: last },
+                        257..=285 => {
+                            let idx = (sym - 257) as usize;
+                            let len = LEN_BASE[idx] as usize
+                                + self.read_bits(LEN_EXTRA[idx] as u32)? as usize;
+                            let dsym = self.decode(Which::Dist)? as usize;
+                            if dsym >= 30 {
+                                return Err(corrupt("invalid distance symbol"));
+                            }
+                            let dist = DIST_BASE[dsym] as usize
+                                + self.read_bits(DIST_EXTRA[dsym] as u32)? as usize;
+                            if dist as u64 > self.out_len + self.avail as u64 {
+                                return Err(corrupt("back-reference before stream start"));
+                            }
+                            for _ in 0..len {
+                                let b = self.window[(self.wpos + WINDOW - dist) % WINDOW];
+                                self.push_out(b);
+                            }
+                        }
+                        _ => return Err(corrupt("invalid literal/length symbol")),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Which {
+    LitLen,
+    Dist,
+}
+
+impl<R: Read> Read for GzipReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.avail == 0 {
+            self.fill()?;
+            if self.avail == 0 {
+                return Ok(0); // verified end of stream
+            }
+        }
+        let n = self.avail.min(buf.len());
+        let start = (self.wpos + WINDOW - self.avail) % WINDOW;
+        for (i, slot) in buf[..n].iter_mut().enumerate() {
+            *slot = self.window[(start + i) % WINDOW];
+        }
+        self.avail -= n;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        self.out_len += n as u64;
+        Ok(n)
+    }
+}
+
+/// Compress `data` into a complete gzip member using stored (uncompressed)
+/// deflate blocks — valid input for any inflater, including [`GzipReader`].
+/// Used to fabricate `.swf.gz` fixtures; real archives arrive compressed.
+pub fn compress_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 32 + data.len() / 65_535 * 5);
+    out.extend_from_slice(&GZIP_MAGIC);
+    out.push(8); // CM = deflate
+    out.push(0); // FLG
+    out.extend_from_slice(&[0, 0, 0, 0]); // MTIME
+    out.push(0); // XFL
+    out.push(255); // OS = unknown
+    let mut chunks = data.chunks(65_535).peekable();
+    if data.is_empty() {
+        out.push(0x01); // final empty stored block
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&(!0u16).to_le_bytes());
+    }
+    while let Some(chunk) = chunks.next() {
+        out.push(if chunks.peek().is_none() { 0x01 } else { 0x00 });
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&crc32_update(0, data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Write `data` to `path` as a gzip member (stored blocks).
+pub fn write_gz(path: &std::path::Path, data: &[u8]) -> Result<()> {
+    std::fs::write(path, compress_stored(data))
+}
+
+/// Decompress a complete gzip member held in memory (test convenience).
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    GzipReader::new(data).read_to_end(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC32("123456789") = 0xCBF43926, the classic check value.
+        assert_eq!(crc32_update(0, b"123456789"), 0xCBF4_3926);
+        // Incremental == one-shot.
+        let a = crc32_update(0, b"1234");
+        assert_eq!(crc32_update(a, b"56789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn stored_roundtrip() {
+        for data in [
+            &b""[..],
+            &b"hello, gzip"[..],
+            &vec![0xAB; 200_000][..], // multiple stored blocks
+        ] {
+            let gz = compress_stored(data);
+            assert!(is_gzip(&gz));
+            assert_eq!(decompress(&gz).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn tiny_read_chunks_see_the_same_bytes() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let gz = compress_stored(&data);
+        let mut r = GzipReader::new(&gz[..]);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 3];
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let gz = compress_stored(b"some trace data that will be cut short");
+        for cut in [3, 12, gz.len() - 3] {
+            let err = decompress(&gz[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err.kind(),
+                    ErrorKind::UnexpectedEof | ErrorKind::InvalidData
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_crc() {
+        let mut gz = compress_stored(b"bytes whose checksum is pinned in the trailer");
+        let payload_at = 10 + 5; // header + stored-block header
+        gz[payload_at] ^= 0x40;
+        let err = decompress(&gz).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_isize_is_reported() {
+        let mut gz = compress_stored(b"length is pinned too");
+        let n = gz.len();
+        gz[n - 1] ^= 0x01;
+        let err = decompress(&gz).unwrap_err();
+        assert!(err.to_string().contains("ISIZE"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_and_bad_method_are_rejected() {
+        let mut gz = compress_stored(b"x");
+        gz[0] = 0x1e;
+        assert!(decompress(&gz).unwrap_err().to_string().contains("magic"));
+        let mut gz = compress_stored(b"x");
+        gz[2] = 7;
+        assert!(decompress(&gz)
+            .unwrap_err()
+            .to_string()
+            .contains("compression method"));
+    }
+
+    #[test]
+    fn stored_len_nlen_mismatch_is_rejected() {
+        let mut gz = compress_stored(b"abcdef");
+        // Byte 10 is the stored-block header; bytes 11..15 are LEN/NLEN.
+        gz[13] ^= 0xFF;
+        let err = decompress(&gz).unwrap_err();
+        assert!(err.to_string().contains("LEN/NLEN"), "{err}");
+    }
+
+    /// A handcrafted fixed-Huffman member: literals "ab" then a
+    /// length-3/distance-2 match, yielding "ababa". Exercises the
+    /// compressed-block decoder without a reference compressor.
+    #[test]
+    fn fixed_huffman_with_back_reference() {
+        let mut bits: Vec<bool> = Vec::new();
+        let push_code = |bits: &mut Vec<bool>, code: u32, n: u32| {
+            // Huffman codes are written MSB-first.
+            for i in (0..n).rev() {
+                bits.push(code >> i & 1 == 1);
+            }
+        };
+        let push_int = |bits: &mut Vec<bool>, v: u32, n: u32| {
+            // Extra-bit integers are written LSB-first.
+            for i in 0..n {
+                bits.push(v >> i & 1 == 1);
+            }
+        };
+        // Block header: BFINAL=1, BTYPE=01 (LSB-first).
+        push_int(&mut bits, 1, 1);
+        push_int(&mut bits, 1, 2);
+        // 'a' = 97 → fixed code 0x30 + 97, 8 bits; same for 'b'.
+        push_code(&mut bits, 0x30 + 97, 8);
+        push_code(&mut bits, 0x30 + 98, 8);
+        // Length 3 → symbol 257, fixed 7-bit code 0b0000001; no extra bits.
+        push_code(&mut bits, 1, 7);
+        // Distance 2 → symbol 1, 5-bit code; no extra bits.
+        push_code(&mut bits, 1, 5);
+        // End of block → symbol 256, 7-bit code 0.
+        push_code(&mut bits, 0, 7);
+        let mut deflate = Vec::new();
+        for chunk in bits.chunks(8) {
+            let mut b = 0u8;
+            for (i, &bit) in chunk.iter().enumerate() {
+                b |= (bit as u8) << i;
+            }
+            deflate.push(b);
+        }
+        let mut gz = vec![0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 255];
+        gz.extend_from_slice(&deflate);
+        gz.extend_from_slice(&crc32_update(0, b"ababa").to_le_bytes());
+        gz.extend_from_slice(&5u32.to_le_bytes());
+        assert_eq!(decompress(&gz).unwrap(), b"ababa");
+    }
+}

@@ -15,7 +15,12 @@
 //! * [`reservations`] — random α-restricted and non-increasing reservation
 //!   sets (§4.1 and §4.2);
 //! * [`swf`] — a Standard-Workload-Format-style trace codec and synthetic
-//!   trace writer.
+//!   trace writer, including the streaming [`swf::SwfStream`] parser for
+//!   archive-scale (optionally gzipped) logs;
+//! * [`gzip`] — a vendored streaming gzip inflater/stored-block writer so
+//!   compressed archives decode with no external dependency;
+//! * [`store`] — a checksum-pinned on-disk trace cache behind `trace:`
+//!   references (`resa fetch`).
 //!
 //! ```
 //! use resa_workloads::prelude::*;
@@ -34,8 +39,10 @@
 
 pub mod adversarial;
 pub mod feitelson;
+pub mod gzip;
 pub mod lublin;
 pub mod reservations;
+pub mod store;
 pub mod swf;
 pub mod uniform;
 
@@ -48,9 +55,10 @@ pub mod prelude {
     pub use crate::feitelson::FeitelsonWorkload;
     pub use crate::lublin::LublinWorkload;
     pub use crate::reservations::{AlphaReservations, NonIncreasingReservations};
+    pub use crate::store::{CachedTrace, StoreError, TraceRef, TraceStore};
     pub use crate::swf::{
-        as_offline_instance, parse_trace, parse_trace_for_cluster, parse_trace_full, write_trace,
-        SwfError, SwfTrace,
+        as_offline_instance, open_trace, parse_trace, parse_trace_for_cluster, parse_trace_full,
+        read_trace_text, write_trace, SwfError, SwfReadError, SwfStream, SwfTrace,
     };
     pub use crate::uniform::UniformWorkload;
 }

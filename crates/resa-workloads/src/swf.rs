@@ -13,8 +13,11 @@
 //! 18-field SWF records; extra fields on a line are ignored so genuine SWF
 //! files parse too).
 
+use crate::gzip::{is_gzip, GzipReader};
 use resa_core::prelude::*;
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
 
 /// Errors raised while parsing a trace.
 ///
@@ -133,27 +136,131 @@ pub fn parse_trace_for_cluster(text: &str, machines: u32) -> Result<Vec<Job>, Sw
 /// The full parser behind [`parse_trace`] / [`parse_trace_for_cluster`]:
 /// returns the jobs *and* the header metadata. The width cap is `cluster`
 /// when given, else the `; MaxProcs:` header when present, else unlimited.
+///
+/// This is now a thin collect over [`SwfStream`]; the streaming parser is
+/// the single source of truth for SWF validation.
 pub fn parse_trace_full(text: &str, cluster: Option<u32>) -> Result<SwfTrace, SwfError> {
+    let mut stream = SwfStream::new(text.as_bytes(), cluster);
     let mut jobs = Vec::new();
-    let mut max_procs: Option<u32> = None;
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = lineno + 1;
+    for item in stream.by_ref() {
+        match item {
+            Ok(job) => jobs.push(job),
+            Err(SwfReadError::Swf(err)) => return Err(err),
+            // Reading from an in-memory slice cannot fail.
+            Err(SwfReadError::Io(err)) => unreachable!("in-memory read failed: {err}"),
+        }
+    }
+    Ok(SwfTrace {
+        jobs,
+        max_procs: stream.max_procs(),
+    })
+}
+
+/// Error from the streaming parser: either the underlying reader failed
+/// (file truncated mid-download, gzip corruption, …) or a record is invalid.
+#[derive(Debug)]
+pub enum SwfReadError {
+    /// The underlying byte stream failed.
+    Io(std::io::Error),
+    /// A record failed validation (carries the 1-based line number).
+    Swf(SwfError),
+}
+
+impl std::fmt::Display for SwfReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwfReadError::Io(err) => write!(f, "trace read error: {err}"),
+            SwfReadError::Swf(err) => err.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SwfReadError {}
+
+impl From<SwfError> for SwfReadError {
+    fn from(err: SwfError) -> Self {
+        SwfReadError::Swf(err)
+    }
+}
+
+/// Incremental, line-at-a-time SWF parser over any [`BufRead`].
+///
+/// Yields jobs one by one with exactly the validation and dense re-numbering
+/// of [`parse_trace_full`] (which is implemented as a collect over this
+/// type), but holds only the current line in memory — a multi-million-line
+/// archive trace streams in O(1) space. Comment lines are skipped inline and
+/// the `; MaxProcs:` header is recovered as it is encountered; query it with
+/// [`SwfStream::max_procs`] (its value at any point reflects the headers
+/// *seen so far*, matching the batch parser's cap semantics, which apply the
+/// latest header to each subsequent record).
+///
+/// After the first error the stream is fused: further calls return `None`.
+pub struct SwfStream<R: BufRead> {
+    reader: R,
+    line: String,
+    line_no: usize,
+    cluster: Option<u32>,
+    max_procs: Option<u32>,
+    next_id: usize,
+    done: bool,
+}
+
+impl<R: BufRead> SwfStream<R> {
+    /// Start streaming records from `reader`, capping widths at `cluster`
+    /// when given (else at the trace's own `; MaxProcs:` header, else
+    /// unlimited).
+    pub fn new(reader: R, cluster: Option<u32>) -> Self {
+        SwfStream {
+            reader,
+            line: String::new(),
+            line_no: 0,
+            cluster,
+            max_procs: None,
+            next_id: 0,
+            done: false,
+        }
+    }
+
+    /// The `; MaxProcs:` header value seen so far, if any.
+    pub fn max_procs(&self) -> Option<u32> {
+        self.max_procs
+    }
+
+    /// Number of job records yielded so far (also the next dense id).
+    pub fn jobs_seen(&self) -> usize {
+        self.next_id
+    }
+
+    /// Parse one raw line. `Ok(None)` means the line was blank or a comment.
+    /// Free-standing over disjoint fields so the caller can keep the line
+    /// buffer borrowed.
+    fn step(
+        line: usize,
+        raw: &str,
+        cluster: Option<u32>,
+        max_procs: &mut Option<u32>,
+        next_id: &mut usize,
+    ) -> Result<Option<Job>, SwfError> {
         let trimmed = raw.trim();
         if trimmed.is_empty() || trimmed.starts_with(';') || trimmed.starts_with('#') {
             // Recover the `MaxProcs` header the SWF standard puts in the
             // comment preamble (`; MaxProcs: 128`).
             let comment = trimmed.trim_start_matches([';', '#']).trim();
             if let Some(rest) = comment.strip_prefix("MaxProcs:") {
-                max_procs = rest.trim().parse::<u32>().ok().or(max_procs);
+                *max_procs = rest.trim().parse::<u32>().ok().or(*max_procs);
             }
-            continue;
+            return Ok(None);
         }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        if fields.len() < 4 {
+        // The field-count check comes before any field parse, so a short
+        // line always reports `MissingFields` even when its present fields
+        // are also malformed (matching the batch parser's error priority).
+        if trimmed.split_whitespace().nth(3).is_none() {
             return Err(SwfError::MissingFields { line });
         }
-        let parse = |idx: usize, name: &'static str| -> Result<u64, SwfError> {
-            let value = fields[idx]
+        let mut fields = trimmed.split_whitespace();
+        let mut parse = |name: &'static str| -> Result<u64, SwfError> {
+            let raw = fields.next().expect("field count checked above");
+            let value = raw
                 .parse::<i64>()
                 .map_err(|_| SwfError::BadField { line, field: name })?;
             u64::try_from(value).map_err(|_| SwfError::NegativeField {
@@ -162,14 +269,14 @@ pub fn parse_trace_full(text: &str, cluster: Option<u32>) -> Result<SwfTrace, Sw
                 value,
             })
         };
-        let _orig_id = parse(0, "job_id")?;
-        let submit = parse(1, "submit_time")?;
-        let run_time = parse(2, "run_time")?;
-        let procs = parse(3, "processors")?;
+        let _orig_id = parse("job_id")?;
+        let submit = parse("submit_time")?;
+        let run_time = parse("run_time")?;
+        let procs = parse("processors")?;
         if run_time == 0 || procs == 0 {
             return Err(SwfError::DegenerateJob { line });
         }
-        let cap = cluster.or(max_procs);
+        let cap = cluster.or(*max_procs);
         if let Some(machines) = cap {
             if procs > machines as u64 {
                 return Err(SwfError::WidthExceedsCluster {
@@ -184,10 +291,78 @@ pub fn parse_trace_full(text: &str, cluster: Option<u32>) -> Result<SwfTrace, Sw
             width: procs,
             machines: u32::MAX,
         })?;
-        let id = jobs.len();
-        jobs.push(Job::released_at(id, width, run_time, submit));
+        let id = *next_id;
+        *next_id += 1;
+        Ok(Some(Job::released_at(id, width, run_time, submit)))
     }
-    Ok(SwfTrace { jobs, max_procs })
+}
+
+impl<R: BufRead> Iterator for SwfStream<R> {
+    type Item = Result<Job, SwfReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(err) => {
+                    self.done = true;
+                    return Some(Err(SwfReadError::Io(err)));
+                }
+            }
+            self.line_no += 1;
+            match Self::step(
+                self.line_no,
+                &self.line,
+                self.cluster,
+                &mut self.max_procs,
+                &mut self.next_id,
+            ) {
+                Ok(Some(job)) => return Some(Ok(job)),
+                Ok(None) => continue,
+                Err(err) => {
+                    self.done = true;
+                    return Some(Err(SwfReadError::Swf(err)));
+                }
+            }
+        }
+    }
+}
+
+/// A boxed line reader over either a plain or a gzip-compressed trace file.
+pub type TraceReader = Box<dyn BufRead>;
+
+/// Open a trace file for streaming, transparently inflating gzip members
+/// (sniffed by the two magic bytes, not the file name).
+pub fn open_trace_reader(path: &Path) -> std::io::Result<TraceReader> {
+    let file = std::fs::File::open(path)?;
+    let mut buffered = BufReader::new(file);
+    let head = buffered.fill_buf()?;
+    if is_gzip(head) {
+        Ok(Box::new(BufReader::new(GzipReader::new(buffered))))
+    } else {
+        Ok(Box::new(buffered))
+    }
+}
+
+/// Open a streaming SWF parser over `path` (plain or gzipped).
+pub fn open_trace(path: &Path, cluster: Option<u32>) -> std::io::Result<SwfStream<TraceReader>> {
+    Ok(SwfStream::new(open_trace_reader(path)?, cluster))
+}
+
+/// Read a trace file fully into a string, inflating gzip transparently —
+/// the materialized counterpart of [`open_trace`].
+pub fn read_trace_text(path: &Path) -> std::io::Result<String> {
+    let mut text = String::new();
+    open_trace_reader(path)?.read_to_string(&mut text)?;
+    Ok(text)
 }
 
 /// Serialize jobs to the textual trace form (with a header comment).
@@ -376,5 +551,94 @@ mod tests {
     fn empty_trace() {
         assert!(parse_trace("").unwrap().is_empty());
         assert!(parse_trace("; nothing\n").unwrap().is_empty());
+    }
+
+    /// A reader that hands out at most `chunk` bytes per `read` call, to
+    /// prove the streaming parser is agnostic to input chunking.
+    struct ChunkReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl std::io::Read for ChunkReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn stream_is_chunking_agnostic() {
+        let text = "; MaxProcs: 32\n1 0 5 8\n\n# note\n2 3 7 32\n9 10 1 1";
+        let whole = parse_trace_full(text, None).unwrap();
+        for chunk in 1..=7usize {
+            let reader = std::io::BufReader::with_capacity(
+                2,
+                ChunkReader {
+                    data: text.as_bytes(),
+                    pos: 0,
+                    chunk,
+                },
+            );
+            let mut stream = SwfStream::new(reader, None);
+            let jobs: Vec<Job> = stream.by_ref().map(|r| r.unwrap()).collect();
+            assert_eq!(jobs, whole.jobs, "chunk size {chunk}");
+            assert_eq!(stream.max_procs(), whole.max_procs);
+            assert_eq!(stream.jobs_seen(), whole.jobs.len());
+        }
+    }
+
+    #[test]
+    fn stream_surfaces_errors_and_fuses() {
+        let text = "1 0 5 2\n2 10 x 3\n3 20 5 2\n";
+        let mut stream = SwfStream::new(text.as_bytes(), None);
+        assert!(stream.next().unwrap().is_ok());
+        match stream.next().unwrap() {
+            Err(SwfReadError::Swf(err)) => assert_eq!(
+                err,
+                SwfError::BadField {
+                    line: 2,
+                    field: "run_time"
+                }
+            ),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        assert!(stream.next().is_none(), "stream must fuse after an error");
+    }
+
+    #[test]
+    fn short_line_with_bad_field_still_reports_missing_fields() {
+        // Error-priority pin: field count is checked before field syntax.
+        assert_eq!(
+            parse_trace("x 2 3").unwrap_err(),
+            SwfError::MissingFields { line: 1 }
+        );
+    }
+
+    #[test]
+    fn open_trace_sniffs_gzip() {
+        let dir = std::env::temp_dir().join(format!(
+            "resa-swf-gz-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = "; MaxProcs: 8\n1 0 5 4\n2 3 7 8\n";
+        let plain = dir.join("t.swf");
+        let gzed = dir.join("t.swf.gz");
+        std::fs::write(&plain, text).unwrap();
+        crate::gzip::write_gz(&gzed, text.as_bytes()).unwrap();
+        for path in [&plain, &gzed] {
+            let jobs: Vec<Job> = open_trace(path, None)
+                .unwrap()
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(jobs.len(), 2, "{}", path.display());
+            assert_eq!(read_trace_text(path).unwrap(), text);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
